@@ -1,0 +1,81 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Every bench binary prints the paper's table/figure rows side by side
+// with the values measured from this implementation, then runs a few
+// google-benchmark timings of the underlying machinery (synthesis,
+// scheduling, simulation throughput).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "apps/appbuild.h"
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "fpga/area.h"
+#include "fpga/device.h"
+#include "fpga/timing.h"
+#include "rtl/netlist.h"
+#include "sched/schedule.h"
+#include "sim/simulator.h"
+#include "support/table.h"
+
+namespace hlsav::bench {
+
+/// One synthesized + characterized configuration of a design.
+struct Characterized {
+  ir::Design design;
+  assertions::SynthesisReport synth;
+  sched::DesignSchedule schedule;
+  rtl::Netlist netlist;
+  fpga::AreaReport area;
+  fpga::TimingReport timing;
+};
+
+inline Characterized characterize(const ir::Design& lowered, const assertions::Options& opt,
+                                  const sched::SchedOptions& sched_opts = {}) {
+  Characterized c{lowered.clone(), {}, {}, {}, {}, {}};
+  c.synth = assertions::synthesize(c.design, opt);
+  ir::verify(c.design);
+  c.schedule = sched::schedule_design(c.design, sched_opts);
+  c.netlist = rtl::build_netlist(c.design, c.schedule);
+  c.area = fpga::estimate_area(c.netlist);
+  c.timing = fpga::estimate_fmax(c.netlist, fpga::Device::ep2s180());
+  return c;
+}
+
+/// Renders an overhead table in the exact shape of the paper's
+/// Tables 1-2: Original / Assert / Overhead columns per resource row.
+inline std::string overhead_table(const std::string& title, const Characterized& original,
+                                  const Characterized& assert_cfg) {
+  const fpga::Device dev = fpga::Device::ep2s180();
+  TextTable t(title);
+  t.header({"EP2S180", "Original", "Assert", "Overhead"});
+  auto row = [&t, &dev](const std::string& name, std::uint64_t total, std::uint64_t a,
+                        std::uint64_t b) {
+    double pa = 100.0 * static_cast<double>(a) / static_cast<double>(total);
+    double pb = 100.0 * static_cast<double>(b) / static_cast<double>(total);
+    t.row({name, fmt_count_pct(static_cast<long long>(a), pa),
+           fmt_count_pct(static_cast<long long>(b), pb),
+           fmt_overhead(static_cast<long long>(b) - static_cast<long long>(a), pb - pa)});
+  };
+  row("Logic Used (of " + std::to_string(dev.logic) + ")", dev.logic, original.area.logic,
+      assert_cfg.area.logic);
+  row("Comb. ALUT (of " + std::to_string(dev.aluts) + ")", dev.aluts, original.area.aluts,
+      assert_cfg.area.aluts);
+  row("Registers (of " + std::to_string(dev.registers) + ")", dev.registers,
+      original.area.registers, assert_cfg.area.registers);
+  row("Block RAM bits (of " + std::to_string(dev.bram_bits) + ")", dev.bram_bits,
+      original.area.bram_bits, assert_cfg.area.bram_bits);
+  row("Block interconnect (of " + std::to_string(dev.interconnect) + ")", dev.interconnect,
+      original.area.interconnect, assert_cfg.area.interconnect);
+  double fa = original.timing.fmax_mhz;
+  double fb = assert_cfg.timing.fmax_mhz;
+  t.row({"Frequency (MHz)", fmt_double(fa, 1), fmt_double(fb, 1),
+         fmt_double(fb - fa, 1) + " (" + fmt_double(100.0 * (fb - fa) / fa, 2) + "%)"});
+  return t.render();
+}
+
+}  // namespace hlsav::bench

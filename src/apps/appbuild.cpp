@@ -1,0 +1,29 @@
+#include "apps/appbuild.h"
+
+#include "ir/lower.h"
+#include "lang/parser.h"
+
+namespace hlsav::apps {
+
+std::unique_ptr<CompiledApp> compile_app(const std::string& design_name,
+                                         const std::string& file_name,
+                                         const std::string& source) {
+  auto app = std::make_unique<CompiledApp>();
+  app->diags.attach(&app->sm);
+  app->design.name = design_name;
+  app->program = lang::parse_source(app->sm, app->diags, file_name, source);
+  if (app->diags.has_errors()) {
+    internal_error("apps", 0, "generated source failed to parse:\n" + app->diags.render());
+  }
+  app->sema = lang::analyze(*app->program, app->sm, app->diags);
+  if (!app->sema.ok) {
+    internal_error("apps", 0, "generated source failed sema:\n" + app->diags.render());
+  }
+  if (!ir::lower_all_processes(app->design, *app->program, app->sm, app->diags)) {
+    internal_error("apps", 0, "generated source failed lowering:\n" + app->diags.render());
+  }
+  ir::verify(app->design);
+  return app;
+}
+
+}  // namespace hlsav::apps

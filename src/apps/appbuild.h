@@ -1,0 +1,34 @@
+// Shared front-door for the application case studies: compile HLS-C
+// source text through the full pipeline into an ir::Design.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/ir.h"
+#include "lang/ast.h"
+#include "lang/sema.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace hlsav::apps {
+
+/// A compiled application: owns the source buffers and the lowered
+/// design. The design still contains kAssert ops; run
+/// assertions::synthesize on a clone per configuration.
+struct CompiledApp {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  std::unique_ptr<lang::Program> program;
+  lang::SemaResult sema;
+  ir::Design design;
+};
+
+/// Parses, analyzes and lowers `source`. Throws InternalError with the
+/// rendered diagnostics if the source does not compile (application
+/// sources are generated, so failure is a bug).
+[[nodiscard]] std::unique_ptr<CompiledApp> compile_app(const std::string& design_name,
+                                                       const std::string& file_name,
+                                                       const std::string& source);
+
+}  // namespace hlsav::apps

@@ -1,0 +1,140 @@
+#include "apps/bmp.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "support/str.h"
+
+namespace hlsav::apps::img {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& b, std::size_t off) {
+  if (off + 4 > b.size()) return 0;
+  return static_cast<std::uint32_t>(b[off]) | (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_bmp(const Image& img) {
+  const unsigned row_stride = (img.width + 3) & ~3u;  // rows pad to 4 bytes
+  const std::uint32_t palette_bytes = 256 * 4;
+  const std::uint32_t data_offset = 14 + 40 + palette_bytes;
+  const std::uint32_t data_bytes = row_stride * img.height;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(data_offset + data_bytes);
+  // BITMAPFILEHEADER.
+  out.push_back('B');
+  out.push_back('M');
+  put_u32(out, data_offset + data_bytes);
+  put_u32(out, 0);
+  put_u32(out, data_offset);
+  // BITMAPINFOHEADER.
+  put_u32(out, 40);
+  put_u32(out, img.width);
+  put_u32(out, img.height);
+  put_u16(out, 1);   // planes
+  put_u16(out, 8);   // bpp
+  put_u32(out, 0);   // no compression
+  put_u32(out, data_bytes);
+  put_u32(out, 2835);
+  put_u32(out, 2835);
+  put_u32(out, 256);
+  put_u32(out, 0);
+  // Grayscale palette.
+  for (unsigned i = 0; i < 256; ++i) {
+    out.push_back(static_cast<std::uint8_t>(i));
+    out.push_back(static_cast<std::uint8_t>(i));
+    out.push_back(static_cast<std::uint8_t>(i));
+    out.push_back(0);
+  }
+  // Pixel rows, bottom-up.
+  for (unsigned y = 0; y < img.height; ++y) {
+    unsigned src_y = img.height - 1 - y;
+    for (unsigned x = 0; x < img.width; ++x) {
+      out.push_back(static_cast<std::uint8_t>(std::min<std::uint16_t>(img.at(x, src_y), 255)));
+    }
+    for (unsigned x = img.width; x < row_stride; ++x) out.push_back(0);
+  }
+  return out;
+}
+
+Image decode_bmp(const std::vector<std::uint8_t>& b) {
+  Image img;
+  if (b.size() < 54 || b[0] != 'B' || b[1] != 'M') return img;
+  std::uint32_t data_offset = get_u32(b, 10);
+  std::uint32_t width = get_u32(b, 18);
+  std::uint32_t height = get_u32(b, 22);
+  if (width == 0 || height == 0 || width > 1u << 15 || height > 1u << 15) return img;
+  std::uint16_t bpp = static_cast<std::uint16_t>(b[28] | (b[29] << 8));
+  if (bpp != 8) return img;
+  const unsigned row_stride = (width + 3) & ~3u;
+  if (data_offset + static_cast<std::uint64_t>(row_stride) * height > b.size()) return img;
+
+  img.width = width;
+  img.height = height;
+  img.pixels.assign(static_cast<std::size_t>(width) * height, 0);
+  for (unsigned y = 0; y < height; ++y) {
+    unsigned dst_y = height - 1 - y;
+    for (unsigned x = 0; x < width; ++x) {
+      img.set(x, dst_y, b[data_offset + static_cast<std::size_t>(y) * row_stride + x]);
+    }
+  }
+  return img;
+}
+
+bool write_bmp_file(const std::string& path, const Image& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  std::vector<std::uint8_t> bytes = encode_bmp(image);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+Image read_bmp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return decode_bmp(bytes);
+}
+
+Image synthetic_image(unsigned width, unsigned height, std::uint64_t seed) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.assign(static_cast<std::size_t>(width) * height, 0);
+  SplitMix64 rng(seed);
+  // Flat background with rectangles and a diagonal bar: crisp edges for
+  // the detector, deterministic content for the tests.
+  std::uint16_t bg = static_cast<std::uint16_t>(40 + rng.next_below(40));
+  for (auto& p : img.pixels) p = bg;
+  for (int rect = 0; rect < 4; ++rect) {
+    unsigned x0 = static_cast<unsigned>(rng.next_below(width));
+    unsigned y0 = static_cast<unsigned>(rng.next_below(height));
+    unsigned w = 4 + static_cast<unsigned>(rng.next_below(width / 2 + 1));
+    unsigned h = 4 + static_cast<unsigned>(rng.next_below(height / 2 + 1));
+    std::uint16_t v = static_cast<std::uint16_t>(100 + rng.next_below(150));
+    for (unsigned y = y0; y < std::min(height, y0 + h); ++y) {
+      for (unsigned x = x0; x < std::min(width, x0 + w); ++x) img.set(x, y, v);
+    }
+  }
+  for (unsigned d = 0; d < std::min(width, height); ++d) img.set(d, d, 230);
+  return img;
+}
+
+}  // namespace hlsav::apps::img

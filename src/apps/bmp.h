@@ -1,0 +1,45 @@
+// Minimal grayscale BMP reader/writer.
+//
+// The edge-detection case study (paper §5.2) reads a grayscale bitmap on
+// the CPU, streams it to the FPGA and writes the edge image back. This
+// is the CPU side: 8-bit-palette BMP (the common grayscale encoding)
+// plus an in-memory Image type used by the golden model, the stream
+// marshalling, and the synthetic test-image generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlsav::apps::img {
+
+struct Image {
+  unsigned width = 0;
+  unsigned height = 0;
+  std::vector<std::uint16_t> pixels;  // row-major
+
+  [[nodiscard]] std::uint16_t at(unsigned x, unsigned y) const {
+    return pixels[static_cast<std::size_t>(y) * width + x];
+  }
+  void set(unsigned x, unsigned y, std::uint16_t v) {
+    pixels[static_cast<std::size_t>(y) * width + x] = v;
+  }
+  [[nodiscard]] bool valid() const {
+    return width > 0 && height > 0 && pixels.size() == static_cast<std::size_t>(width) * height;
+  }
+};
+
+/// Serializes as an 8-bit grayscale-palette BMP (values clamped to 255).
+[[nodiscard]] std::vector<std::uint8_t> encode_bmp(const Image& image);
+
+/// Parses an 8-bit-palette BMP produced by encode_bmp (or compatible).
+/// Returns an empty image on malformed input.
+[[nodiscard]] Image decode_bmp(const std::vector<std::uint8_t>& bytes);
+
+bool write_bmp_file(const std::string& path, const Image& image);
+[[nodiscard]] Image read_bmp_file(const std::string& path);
+
+/// Deterministic synthetic test image (shapes with crisp edges).
+[[nodiscard]] Image synthetic_image(unsigned width, unsigned height, std::uint64_t seed = 1);
+
+}  // namespace hlsav::apps::img

@@ -1,0 +1,335 @@
+#include "apps/des.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace hlsav::apps::des {
+
+namespace {
+
+// FIPS 46-3 tables. Bit positions are 1-based from the MSB, as in the
+// standard.
+constexpr std::uint8_t kIp[64] = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+
+constexpr std::uint8_t kFp[64] = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+
+constexpr std::uint8_t kE[48] = {
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
+    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
+    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+constexpr std::uint8_t kP[32] = {16, 7,  20, 21, 29, 12, 28, 17, 1,  15, 23,
+                                 26, 5,  18, 31, 10, 2,  8,  24, 14, 32, 27,
+                                 3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
+
+constexpr std::uint8_t kPc1[56] = {
+    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18, 10, 2,  59, 51, 43,
+    35, 27, 19, 11, 3,  60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7,  62, 54,
+    46, 38, 30, 22, 14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
+
+constexpr std::uint8_t kPc2[48] = {14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10,
+                                   23, 19, 12, 4,  26, 8,  16, 7,  27, 20, 13, 2,
+                                   41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+                                   44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+
+constexpr std::uint8_t kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1};
+
+constexpr std::uint8_t kSbox[8][64] = {
+    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
+     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
+     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
+     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
+    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
+     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
+     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
+     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
+    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
+     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
+     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
+     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
+    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
+     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
+     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
+     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
+    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
+     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
+     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
+     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
+    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
+     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
+     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
+     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
+    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
+     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
+     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
+     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
+    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
+     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
+     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
+     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
+
+/// Extracts bit `pos` (1-based from MSB of a `width`-bit value).
+constexpr std::uint64_t bit_from_msb(std::uint64_t v, unsigned pos, unsigned width) {
+  return (v >> (width - pos)) & 1;
+}
+
+std::uint64_t permute(std::uint64_t v, const std::uint8_t* table, unsigned out_bits,
+                      unsigned in_bits) {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < out_bits; ++i) {
+    out = (out << 1) | bit_from_msb(v, table[i], in_bits);
+  }
+  return out;
+}
+
+std::uint32_t feistel(std::uint32_t r, std::uint64_t k48) {
+  std::uint64_t e = permute(r, kE, 48, 32) ^ k48;
+  std::uint32_t out = 0;
+  for (unsigned s = 0; s < 8; ++s) {
+    std::uint32_t chunk = static_cast<std::uint32_t>((e >> (42 - 6 * s)) & 0x3f);
+    std::uint32_t row = ((chunk >> 4) & 2) | (chunk & 1);
+    std::uint32_t col = (chunk >> 1) & 0xf;
+    out = (out << 4) | kSbox[s][row * 16 + col];
+  }
+  return static_cast<std::uint32_t>(permute(out, kP, 32, 32));
+}
+
+constexpr std::uint32_t rotl28(std::uint32_t v, unsigned n) {
+  return ((v << n) | (v >> (28 - n))) & 0x0fffffff;
+}
+
+}  // namespace
+
+std::array<std::uint64_t, 16> key_schedule(std::uint64_t key) {
+  std::uint64_t pc1 = permute(key, kPc1, 56, 64);
+  std::uint32_t c = static_cast<std::uint32_t>(pc1 >> 28) & 0x0fffffff;
+  std::uint32_t d = static_cast<std::uint32_t>(pc1) & 0x0fffffff;
+  std::array<std::uint64_t, 16> out{};
+  for (unsigned round = 0; round < 16; ++round) {
+    c = rotl28(c, kShifts[round]);
+    d = rotl28(d, kShifts[round]);
+    std::uint64_t cd = (static_cast<std::uint64_t>(c) << 28) | d;
+    out[round] = permute(cd, kPc2, 48, 56);
+  }
+  return out;
+}
+
+std::uint64_t des_block(std::uint64_t block, std::uint64_t key, bool decrypt) {
+  std::array<std::uint64_t, 16> ks = key_schedule(key);
+  std::uint64_t ip = permute(block, kIp, 64, 64);
+  std::uint32_t l = static_cast<std::uint32_t>(ip >> 32);
+  std::uint32_t r = static_cast<std::uint32_t>(ip);
+  for (unsigned round = 0; round < 16; ++round) {
+    std::uint64_t k = ks[decrypt ? 15 - round : round];
+    std::uint32_t next_r = l ^ feistel(r, k);
+    l = r;
+    r = next_r;
+  }
+  std::uint64_t preout = (static_cast<std::uint64_t>(r) << 32) | l;  // final swap
+  return permute(preout, kFp, 64, 64);
+}
+
+std::uint64_t triple_des_encrypt(std::uint64_t block, const std::array<std::uint64_t, 3>& keys) {
+  std::uint64_t x = des_block(block, keys[0], false);
+  x = des_block(x, keys[1], true);
+  return des_block(x, keys[2], false);
+}
+
+std::uint64_t triple_des_decrypt(std::uint64_t block, const std::array<std::uint64_t, 3>& keys) {
+  std::uint64_t x = des_block(block, keys[2], true);
+  x = des_block(x, keys[1], false);
+  return des_block(x, keys[0], true);
+}
+
+std::vector<std::uint64_t> pack_text(const std::string& text) {
+  std::vector<std::uint64_t> blocks;
+  for (std::size_t i = 0; i < text.size(); i += 8) {
+    std::uint64_t b = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      char c = i + j < text.size() ? text[i + j] : ' ';
+      b = (b << 8) | static_cast<unsigned char>(c);
+    }
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+std::string unpack_text(const std::vector<std::uint64_t>& blocks) {
+  std::string out;
+  for (std::uint64_t b : blocks) {
+    for (int j = 7; j >= 0; --j) {
+      out.push_back(static_cast<char>((b >> (8 * j)) & 0xff));
+    }
+  }
+  return out;
+}
+
+std::array<std::uint64_t, 48> decrypt_subkeys(const std::array<std::uint64_t, 3>& keys) {
+  // EDE decrypt = D(k3), E(k2), D(k1). Decryption applies the schedule
+  // in reverse, so the streamed kernel sees one flat 48-entry ROM.
+  std::array<std::uint64_t, 48> out{};
+  std::array<std::uint64_t, 16> k3 = key_schedule(keys[2]);
+  std::array<std::uint64_t, 16> k2 = key_schedule(keys[1]);
+  std::array<std::uint64_t, 16> k1 = key_schedule(keys[0]);
+  for (unsigned i = 0; i < 16; ++i) out[i] = k3[15 - i];
+  for (unsigned i = 0; i < 16; ++i) out[16 + i] = k2[i];
+  for (unsigned i = 0; i < 16; ++i) out[32 + i] = k1[15 - i];
+  return out;
+}
+
+std::vector<std::uint64_t> to_word_stream(const std::vector<std::uint64_t>& blocks) {
+  std::vector<std::uint64_t> words;
+  words.push_back(blocks.size());
+  for (std::uint64_t b : blocks) {
+    words.push_back(b >> 32);
+    words.push_back(b & 0xffffffffull);
+  }
+  return words;
+}
+
+namespace {
+
+template <typename T>
+void emit_table(std::ostringstream& os, const char* type, const char* name, const T* data,
+                unsigned n) {
+  os << "  const " << type << " " << name << "[" << n << "] = {";
+  for (unsigned i = 0; i < n; ++i) {
+    if (i != 0) os << ", ";
+    if (i % 12 == 0) os << "\n    ";
+    os << static_cast<std::uint64_t>(data[i]);
+  }
+  os << "};\n";
+}
+
+}  // namespace
+
+std::string hlsc_decrypt_source(const std::array<std::uint64_t, 3>& keys) {
+  std::array<std::uint64_t, 48> ks = decrypt_subkeys(keys);
+  std::uint8_t sbox_flat[512];
+  for (unsigned s = 0; s < 8; ++s) {
+    for (unsigned i = 0; i < 64; ++i) sbox_flat[s * 64 + i] = kSbox[s][i];
+  }
+
+  std::ostringstream os;
+  os << "// Triple-DES (EDE) streaming decryptor -- generated HLS-C.\n"
+     << "// Input: word count, then hi/lo 32-bit words per 64-bit block.\n"
+     << "// Output: decrypted characters, each bound-checked as printable\n"
+     << "// ASCII by the two in-circuit assertions of the paper's Table 1\n"
+     << "// case study.\n"
+     << "void des3(stream_in<32> in, stream_out<8> txt) {\n";
+  emit_table(os, "uint8", "ip_t", kIp, 64);
+  emit_table(os, "uint8", "fp_t", kFp, 64);
+  emit_table(os, "uint8", "e_t", kE, 48);
+  emit_table(os, "uint8", "p_t", kP, 32);
+  emit_table(os, "uint8", "sbox_t", sbox_flat, 512);
+  emit_table(os, "uint64", "ks_t", ks.data(), 48);
+  os << R"(
+  uint32 nblocks;
+  nblocks = stream_read(in);
+  for (uint32 blk = 0; blk < nblocks; blk++) {
+    uint64 hi;
+    uint64 lo;
+    hi = stream_read(in);
+    lo = stream_read(in);
+    uint64 b;
+    b = (hi << 32) | lo;
+
+    // Initial permutation.
+    uint64 x;
+    x = 0;
+    for (uint32 j1 = 0; j1 < 64; j1++) {
+      x = x | (((b >> (64 - ip_t[j1])) & 1) << (63 - j1));
+    }
+    uint32 l;
+    uint32 r;
+    l = x >> 32;
+    r = x;
+
+    // Three DES passes (D-E-D), 16 rounds each, flat subkey ROM.
+    for (uint32 pass = 0; pass < 3; pass++) {
+      for (uint32 rd = 0; rd < 16; rd++) {
+        uint64 k;
+        k = ks_t[pass * 16 + rd];
+        // Expansion E(r) xor k.
+        uint64 e;
+        e = 0;
+        uint64 r64;
+        r64 = r;
+        for (uint32 j2 = 0; j2 < 48; j2++) {
+          e = e | (((r64 >> (32 - e_t[j2])) & 1) << (47 - j2));
+        }
+        e = e ^ k;
+        // S-boxes.
+        uint32 fo;
+        fo = 0;
+        for (uint32 s = 0; s < 8; s++) {
+          uint32 chunk;
+          chunk = e >> (42 - 6 * s);
+          chunk = chunk & 63;
+          uint32 row;
+          uint32 col;
+          row = ((chunk >> 4) & 2) | (chunk & 1);
+          col = (chunk >> 1) & 15;
+          uint32 sval;
+          sval = sbox_t[s * 64 + row * 16 + col];
+          fo = fo | (sval << (28 - 4 * s));
+        }
+        // P permutation.
+        uint32 f;
+        f = 0;
+        uint64 fo64;
+        fo64 = fo;
+        for (uint32 j3 = 0; j3 < 32; j3++) {
+          f = f | (((fo64 >> (32 - p_t[j3])) & 1) << (31 - j3));
+        }
+        uint32 nr;
+        nr = l ^ f;
+        l = r;
+        r = nr;
+      }
+      // Between passes the halves swap back (each pass is a full DES
+      // with final swap); undo the last round's swap.
+      uint32 tmp;
+      tmp = l;
+      l = r;
+      r = tmp;
+    }
+
+    // Pre-output (r:l after the final swap) and final permutation.
+    uint64 pre;
+    uint64 l64;
+    l64 = l;
+    uint64 r64b;
+    r64b = r;
+    pre = (l64 << 32) | r64b;
+    uint64 pt;
+    pt = 0;
+    for (uint32 j4 = 0; j4 < 64; j4++) {
+      pt = pt | (((pre >> (64 - fp_t[j4])) & 1) << (63 - j4));
+    }
+
+    // Emit the eight decrypted characters, bound-checked (Table 1's two
+    // assertions: printable ASCII or whitespace).
+    for (uint32 cpos = 0; cpos < 8; cpos++) {
+      uint8 ch;
+      ch = pt >> (56 - 8 * cpos);
+      assert(ch >= 9);
+      assert(ch <= 126);
+      stream_write(txt, ch);
+    }
+  }
+}
+)";
+  return os.str();
+}
+
+}  // namespace hlsav::apps::des

@@ -1,0 +1,53 @@
+// FIPS 46-3 DES / Triple-DES.
+//
+// Two faces, one source of truth for every table:
+//  * a C++ golden model (key schedule, single-block DES, 3DES EDE) used
+//    by the tests and as the oracle for the hardware runs, and
+//  * a generator that emits the HLS-C source of the paper's first case
+//    study (§5.2): a streaming Triple-DES decryptor whose decrypted
+//    characters are bound-checked by two ANSI-C assertions.
+//
+// The HLS-C text inlines the round subkeys (precomputed, in application
+// order) and the permutation/S-box tables as const ROMs, so the emitted
+// program is self-contained and the frontend compiles it like any other
+// source file.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hlsav::apps::des {
+
+/// 16 round subkeys (48 bits each, in encryption order).
+[[nodiscard]] std::array<std::uint64_t, 16> key_schedule(std::uint64_t key);
+
+/// Encrypts/decrypts one 64-bit block with single DES.
+[[nodiscard]] std::uint64_t des_block(std::uint64_t block, std::uint64_t key, bool decrypt);
+
+/// Triple-DES EDE: encrypt = E(k1) D(k2) E(k3); decrypt reverses it.
+[[nodiscard]] std::uint64_t triple_des_encrypt(std::uint64_t block,
+                                               const std::array<std::uint64_t, 3>& keys);
+[[nodiscard]] std::uint64_t triple_des_decrypt(std::uint64_t block,
+                                               const std::array<std::uint64_t, 3>& keys);
+
+/// Packs text into 64-bit blocks (big-endian chars, space padded).
+[[nodiscard]] std::vector<std::uint64_t> pack_text(const std::string& text);
+[[nodiscard]] std::string unpack_text(const std::vector<std::uint64_t>& blocks);
+
+/// The 48 subkeys (3 passes x 16 rounds) that the streaming decryptor
+/// applies in order for EDE decryption.
+[[nodiscard]] std::array<std::uint64_t, 48> decrypt_subkeys(
+    const std::array<std::uint64_t, 3>& keys);
+
+/// Emits the Triple-DES decryptor as HLS-C. Process name: "des3".
+/// Ports: stream_in<32> "in" (word count, then hi/lo per block),
+/// stream_out<8> "txt" (decrypted characters). Contains the two ASCII
+/// bound assertions of the paper's Table 1 case study.
+[[nodiscard]] std::string hlsc_decrypt_source(const std::array<std::uint64_t, 3>& keys);
+
+/// Splits blocks into the decryptor's input word stream.
+[[nodiscard]] std::vector<std::uint64_t> to_word_stream(const std::vector<std::uint64_t>& blocks);
+
+}  // namespace hlsav::apps::des

@@ -1,0 +1,162 @@
+#include "apps/edge.h"
+
+#include <array>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace hlsav::apps::edge {
+
+std::string hlsc_source(unsigned width, unsigned height) {
+  HLSAV_CHECK(width >= 5 && height >= 5, "edge kernel needs at least a 5x5 image");
+  std::ostringstream os;
+  os << "// 5x5 window edge detector -- generated HLS-C, configured for a\n"
+     << "// fixed " << width << "x" << height << " image. The two assertions are the\n"
+     << "// paper's Table 2 case study: the streamed image size must match\n"
+     << "// the hardware configuration.\n"
+     << "void edge(stream_in<16> in, stream_out<16> out) {\n";
+  for (int i = 0; i < 4; ++i) {
+    os << "  uint16 lb" << i << "[" << width << "];\n";
+  }
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) os << "  uint16 w" << r << c << ";\n";
+  }
+  os << "  uint32 width;\n  uint32 height;\n"
+     << "  width = stream_read(in);\n  height = stream_read(in);\n"
+     << "  assert(width == " << width << ");\n"
+     << "  assert(height == " << height << ");\n"
+     << "  for (uint32 y = 0; y < " << height << "; y++) {\n"
+     << "    #pragma HLS pipeline\n"
+     << "    for (uint32 x = 0; x < " << width << "; x++) {\n"
+     << "      uint16 px;\n      px = stream_read(in);\n";
+  // Read the stored column, then rotate the line buffers.
+  for (int i = 0; i < 4; ++i) os << "      uint16 c" << i << ";\n      c" << i << " = lb" << i
+                                 << "[x];\n";
+  os << "      lb0[x] = c1;\n      lb1[x] = c2;\n      lb2[x] = c3;\n      lb3[x] = px;\n";
+  // Shift the 5x5 window left; new right column is (c0..c3, px).
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      os << "      w" << r << c << " = w" << r << c + 1 << ";\n";
+    }
+    if (r < 4) {
+      os << "      w" << r << 4 << " = c" << r << ";\n";
+    } else {
+      os << "      w" << r << 4 << " = px;\n";
+    }
+  }
+  // Column/row gradient sums (right-left, bottom-top) and the response.
+  auto sum_cols = [&os](const char* name, int c_lo, int c_hi) {
+    os << "      int32 " << name << ";\n      " << name << " = ";
+    bool first = true;
+    for (int r = 0; r < 5; ++r) {
+      for (int c = c_lo; c <= c_hi; ++c) {
+        if (!first) os << " + ";
+        os << 'w' << r << c;
+        first = false;
+      }
+    }
+    os << ";\n";
+  };
+  auto sum_rows = [&os](const char* name, int r_lo, int r_hi) {
+    os << "      int32 " << name << ";\n      " << name << " = ";
+    bool first = true;
+    for (int r = r_lo; r <= r_hi; ++r) {
+      for (int c = 0; c < 5; ++c) {
+        if (!first) os << " + ";
+        os << 'w' << r << c;
+        first = false;
+      }
+    }
+    os << ";\n";
+  };
+  sum_cols("xr", 3, 4);
+  sum_cols("xl", 0, 1);
+  sum_rows("yb", 3, 4);
+  sum_rows("yt", 0, 1);
+  os << R"(      int32 dx;
+      dx = xr - xl;
+      int32 dy;
+      dy = yb - yt;
+      int32 gsq;
+      gsq = dx * dx + dy * dy;
+      uint16 ev;
+      ev = gsq >> 8;
+      stream_write(out, ev);
+    }
+  }
+}
+)";
+  return os.str();
+}
+
+img::Image golden_edge(const img::Image& input) {
+  HLSAV_CHECK(input.valid(), "golden_edge on invalid image");
+  const unsigned width = input.width;
+  const unsigned height = input.height;
+  img::Image out;
+  out.width = width;
+  out.height = height;
+  out.pixels.assign(static_cast<std::size_t>(width) * height, 0);
+
+  std::array<std::vector<std::uint16_t>, 4> lb;
+  for (auto& l : lb) l.assign(width, 0);
+  std::uint16_t w[5][5] = {};
+
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      std::uint16_t px = input.at(x, y);
+      std::uint16_t c[4];
+      for (int i = 0; i < 4; ++i) c[i] = lb[static_cast<std::size_t>(i)][x];
+      lb[0][x] = c[1];
+      lb[1][x] = c[2];
+      lb[2][x] = c[3];
+      lb[3][x] = px;
+      for (int r = 0; r < 5; ++r) {
+        for (int cc = 0; cc < 4; ++cc) w[r][cc] = w[r][cc + 1];
+      }
+      for (int r = 0; r < 4; ++r) w[r][4] = c[r];
+      w[4][4] = px;
+
+      std::int32_t xr = 0;
+      std::int32_t xl = 0;
+      std::int32_t yb = 0;
+      std::int32_t yt = 0;
+      for (int r = 0; r < 5; ++r) {
+        for (int cc = 3; cc <= 4; ++cc) xr += w[r][cc];
+        for (int cc = 0; cc <= 1; ++cc) xl += w[r][cc];
+      }
+      for (int cc = 0; cc < 5; ++cc) {
+        for (int r = 3; r <= 4; ++r) yb += w[r][cc];
+        for (int r = 0; r <= 1; ++r) yt += w[r][cc];
+      }
+      std::int32_t dx = xr - xl;
+      std::int32_t dy = yb - yt;
+      std::int32_t gsq = dx * dx + dy * dy;
+      out.set(x, y, static_cast<std::uint16_t>((static_cast<std::uint32_t>(gsq) >> 8) & 0xffff));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> to_word_stream(const img::Image& image) {
+  std::vector<std::uint64_t> words;
+  words.reserve(image.pixels.size() + 2);
+  words.push_back(image.width);
+  words.push_back(image.height);
+  for (std::uint16_t p : image.pixels) words.push_back(p);
+  return words;
+}
+
+img::Image from_word_stream(const std::vector<std::uint64_t>& words, unsigned width,
+                            unsigned height) {
+  img::Image out;
+  out.width = width;
+  out.height = height;
+  out.pixels.assign(static_cast<std::size_t>(width) * height, 0);
+  for (std::size_t i = 0; i < out.pixels.size() && i < words.size(); ++i) {
+    out.pixels[i] = static_cast<std::uint16_t>(words[i]);
+  }
+  return out;
+}
+
+}  // namespace hlsav::apps::edge

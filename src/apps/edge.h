@@ -1,0 +1,38 @@
+// Edge-detection case study (paper §5.2, Table 2).
+//
+// The FPGA kernel processes a fixed-size grayscale image with a 5x5
+// window pipeline: four block-RAM line buffers feed a 25-register
+// window; the edge response is dx^2 + dy^2 over the window's column/row
+// sums. Two in-circuit assertions check that the streamed image's width
+// and height match the hardware configuration -- the paper's exact
+// scenario.
+//
+// The golden model is a C++ transcription of the same streaming
+// algorithm (including line-buffer warm-up), so hardware runs are
+// compared bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/bmp.h"
+
+namespace hlsav::apps::edge {
+
+/// HLS-C source of the kernel configured for width x height.
+/// Process "edge": stream_in<16> "in" (width, height, then pixels in
+/// raster order), stream_out<16> "out" (edge map, same pixel count).
+[[nodiscard]] std::string hlsc_source(unsigned width, unsigned height);
+
+/// Golden model: exactly the streaming algorithm the kernel implements.
+[[nodiscard]] img::Image golden_edge(const img::Image& input);
+
+/// Marshals an image into the kernel's input stream (header + pixels).
+[[nodiscard]] std::vector<std::uint64_t> to_word_stream(const img::Image& image);
+
+/// Unmarshals the kernel's output stream back into an image.
+[[nodiscard]] img::Image from_word_stream(const std::vector<std::uint64_t>& words,
+                                          unsigned width, unsigned height);
+
+}  // namespace hlsav::apps::edge

@@ -1,0 +1,53 @@
+#include "apps/loopback.h"
+
+#include <sstream>
+
+namespace hlsav::apps::loopback {
+
+std::string hlsc_source(unsigned stages, unsigned words) {
+  std::ostringstream os;
+  os << "// " << stages << "-process streaming loopback -- generated HLS-C.\n"
+     << "// Each stage stores and retrieves the value and asserts it is\n"
+     << "// positive (one assertion and one potential failure stream per\n"
+     << "// process: the paper's Fig. 4/5 scalability stressor).\n";
+  for (unsigned k = 0; k < stages; ++k) {
+    os << "void stage" << k << "(stream_in<32> a, stream_out<32> b) {\n"
+       << "  uint32 buf[16];\n"
+       << "  for (uint32 i = 0; i < " << words << "; i++) {\n"
+       << "    uint32 v;\n"
+       << "    v = stream_read(a);\n"
+       << "    buf[i & 15] = v;\n"
+       << "    uint32 w;\n"
+       << "    w = buf[i & 15];\n"
+       << "    assert(w > 0);\n"
+       << "    stream_write(b, w);\n"
+       << "  }\n"
+       << "}\n";
+  }
+  return os.str();
+}
+
+std::unique_ptr<CompiledApp> build(unsigned stages, unsigned words) {
+  auto app = compile_app("loopback" + std::to_string(stages), "loopback.c",
+                         hlsc_source(stages, words));
+  // Chain the stages: stage{k}.b feeds stage{k+1}.a.
+  for (unsigned k = 0; k + 1 < stages; ++k) {
+    std::string producer = "stage" + std::to_string(k);
+    std::string consumer = "stage" + std::to_string(k + 1);
+    ir::StreamId link = app->design.find_process(producer)->find_port("b")->stream;
+    app->design.connect_consumer(link, consumer, "a");
+  }
+  ir::verify(app->design);
+  return app;
+}
+
+std::string input_stream(unsigned stages) {
+  (void)stages;
+  return "stage0.a";
+}
+
+std::string output_stream(unsigned stages) {
+  return "stage" + std::to_string(stages - 1) + ".b";
+}
+
+}  // namespace hlsav::apps::loopback

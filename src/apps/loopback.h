@@ -1,0 +1,30 @@
+// Streaming-loopback scalability study (paper §5.3, Figs. 4-5).
+//
+// N chained processes; each stage stores the incoming word into a small
+// block RAM, reads it back, asserts it is greater than zero (the paper's
+// per-process assertion) and forwards it. Every process therefore adds
+// one assertion and -- in the unshared configuration -- one failure
+// stream, which is exactly the pessimistic scenario the paper uses to
+// measure assertion scalability.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/appbuild.h"
+
+namespace hlsav::apps::loopback {
+
+/// HLS-C source with `stages` chained processes (stage0..stageN-1),
+/// each looping over `words` values.
+[[nodiscard]] std::string hlsc_source(unsigned stages, unsigned words);
+
+/// Compiles the source and wires the chain: CPU -> stage0 -> ... ->
+/// stage{N-1} -> CPU. Input stream: "stage0.a"; output: "stageN-1.b".
+[[nodiscard]] std::unique_ptr<CompiledApp> build(unsigned stages, unsigned words);
+
+/// Stream names for feeding/collecting.
+[[nodiscard]] std::string input_stream(unsigned stages);
+[[nodiscard]] std::string output_stream(unsigned stages);
+
+}  // namespace hlsav::apps::loopback

@@ -1,0 +1,65 @@
+#include "assertions/notify.h"
+
+#include <sstream>
+
+namespace hlsav::assertions {
+
+std::vector<std::uint32_t> decode_failure_word(const ir::Design& design, ir::StreamId stream,
+                                               std::uint64_t word) {
+  std::vector<std::uint32_t> ids;
+  const ir::Stream& s = design.stream(stream);
+  switch (s.role) {
+    case ir::StreamRole::kAssertFail:
+      // The word is the assertion id itself.
+      ids.push_back(static_cast<std::uint32_t>(word));
+      break;
+    case ir::StreamRole::kAssertPacked:
+      // One bit per assertion of this collector's group.
+      for (const ir::AssertionRecord& rec : design.assertions) {
+        if (rec.fail_stream != stream) continue;
+        if ((word >> rec.fail_bit) & 1) ids.push_back(rec.id);
+      }
+      break;
+    default:
+      internal_error("assertions/notify", 0,
+                     "decode_failure_word on non-assertion stream '" + s.name + "'");
+  }
+  return ids;
+}
+
+bool NotificationFunction::on_word(ir::StreamId stream, std::uint64_t word,
+                                   std::uint64_t cycle) {
+  bool halt = false;
+  for (std::uint32_t id : decode_failure_word(*design_, stream, word)) {
+    halt |= on_direct(id, cycle);
+  }
+  return halt;
+}
+
+bool NotificationFunction::on_direct(std::uint32_t assertion_id, std::uint64_t cycle) {
+  const ir::AssertionRecord* rec = design_->find_assertion(assertion_id);
+  Failure f;
+  f.assertion_id = assertion_id;
+  f.cycle = cycle;
+  f.message = rec != nullptr
+                  ? rec->failure_message()
+                  : "<unknown assertion #" + std::to_string(assertion_id) + "> failed.";
+  if (sink_) sink_(f);
+  failures_.push_back(std::move(f));
+  if (!design_->continue_on_failure) {
+    aborted_ = true;
+    return true;
+  }
+  return false;
+}
+
+std::string NotificationFunction::render() const {
+  std::ostringstream os;
+  for (const Failure& f : failures_) {
+    os << f.message << "  [cycle " << f.cycle << "]\n";
+  }
+  if (aborted_) os << "Application aborted on first assertion failure.\n";
+  return os.str();
+}
+
+}  // namespace hlsav::assertions

@@ -1,0 +1,83 @@
+#include "assertions/report.h"
+
+#include <sstream>
+
+namespace hlsav::assertions {
+
+std::string describe_framework(const ir::Design& d) {
+  std::ostringstream os;
+  os << "assertion framework for design '" << d.name << "'\n";
+
+  os << "application tasks:\n";
+  for (const auto& p : d.processes) {
+    if (p->role != ir::ProcessRole::kApplication) continue;
+    unsigned asserts = 0;
+    for (const ir::AssertionRecord& a : d.assertions) {
+      if (a.process == p->name) ++asserts;
+    }
+    os << "  " << p->name << " (" << asserts << " assertion"
+       << (asserts == 1 ? "" : "s") << ")\n";
+  }
+
+  bool any_checker = false;
+  for (const auto& p : d.processes) {
+    if (p->role != ir::ProcessRole::kAssertChecker) continue;
+    if (!any_checker) {
+      os << "assertion checkers (run concurrently; latency only delays notification):\n";
+      any_checker = true;
+    }
+    os << "  " << p->name << " checks";
+    for (const ir::AssertionRecord& a : d.assertions) {
+      if (a.checker_process == p->name) os << " #" << a.id;
+    }
+    os << '\n';
+  }
+
+  bool any_collector = false;
+  for (const auto& p : d.processes) {
+    if (p->role != ir::ProcessRole::kAssertCollector) continue;
+    if (!any_collector) {
+      os << "failure collectors (bit-packed shared channels):\n";
+      any_collector = true;
+    }
+    os << "  " << p->name << '\n';
+  }
+
+  bool any_replica = false;
+  for (const ir::Memory& m : d.memories) {
+    if (m.role != ir::MemRole::kReplica) continue;
+    if (!any_replica) {
+      os << "replicated RAMs (dedicated assertion read ports):\n";
+      any_replica = true;
+    }
+    os << "  " << m.name << " mirrors " << d.memory(m.replica_of).name << '\n';
+  }
+
+  os << "failure channels to the CPU (time-multiplexed physical link):\n";
+  bool any_stream = false;
+  for (const ir::Stream& s : d.streams) {
+    if (s.dead) continue;
+    if (s.role != ir::StreamRole::kAssertFail && s.role != ir::StreamRole::kAssertPacked) {
+      continue;
+    }
+    any_stream = true;
+    os << "  " << s.name << " <" << s.width << "> "
+       << (s.role == ir::StreamRole::kAssertFail ? "(id per failure)" : "(bit per assertion)")
+       << '\n';
+  }
+  if (!any_stream) os << "  (none -- assertions stripped or not yet synthesized)\n";
+
+  os << "notification decode table:\n";
+  for (const ir::AssertionRecord& a : d.assertions) {
+    os << "  #" << a.id << " -> \"" << a.failure_message() << "\"";
+    if (a.fail_stream != ir::kNoStream) {
+      const ir::Stream& s = d.stream(a.fail_stream);
+      os << "  via " << s.name;
+      if (s.role == ir::StreamRole::kAssertPacked) os << " bit " << a.fail_bit;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hlsav::assertions

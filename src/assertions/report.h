@@ -1,0 +1,15 @@
+// Human-readable rendering of the synthesized assertion framework --
+// the textual equivalent of the paper's Fig. 1: application tasks,
+// assertion checkers, collectors, replica RAMs, failure channels, and
+// the CPU-side notification decode table.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace hlsav::assertions {
+
+[[nodiscard]] std::string describe_framework(const ir::Design& design);
+
+}  // namespace hlsav::assertions

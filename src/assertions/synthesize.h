@@ -1,0 +1,59 @@
+// In-circuit assertion synthesis (the paper's §3 and §4).
+//
+// Transforms a lowered design in place:
+//
+//  * NDEBUG (enabled=false): every assert and its condition slice is
+//    removed; the design is the "Original" application.
+//
+//  * Unoptimized: each `assert` becomes the paper's straightforward
+//    if-statement conversion. In sequential code the block is split and
+//    a failure branch writes the assertion id to the process's failure
+//    stream; inside pipelined loop bodies the failure send becomes a
+//    predicated stream write so the loop stays a single block. Condition
+//    ops stay inline and keep their assert tags, so the scheduler gives
+//    the check its own state(s).
+//
+//  * Parallelized (§3.1): condition computation moves into a dedicated
+//    checker process; the application keeps only zero-cost register taps
+//    plus any block-RAM extraction loads, and never waits for the check.
+//
+//  * Replicated (§3.2): for tagged loads in pipelined bodies (or from
+//    memories marked `#pragma HLS replicate`), a write-mirrored replica
+//    RAM is created; the checker reads the replica through its own port
+//    and the application only taps the index after the mirrored write
+//    commits.
+//
+//  * Shared channels (§3.3/§4.2): failure signalling becomes a 1-bit
+//    wire into a collector process; one `channel_width`-bit stream
+//    serves up to that many assertions instead of one stream per
+//    process.
+//
+// Failure reporting always flows over ordinary HLS streams to the CPU
+// (portability), where notify.h decodes ids into the ANSI-C message.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assertions/options.h"
+#include "ir/ir.h"
+
+namespace hlsav::assertions {
+
+struct SynthesisReport {
+  unsigned assertions_synthesized = 0;
+  unsigned fail_streams_created = 0;
+  unsigned checker_processes = 0;
+  unsigned collector_processes = 0;
+  unsigned replicas_created = 0;
+  unsigned assertions_stripped = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Applies assertion synthesis to `design` in place. Call ir::verify()
+/// afterwards in tests. The design must still contain kAssert ops (i.e.
+/// run this exactly once per design).
+SynthesisReport synthesize(ir::Design& design, const Options& options);
+
+}  // namespace hlsav::assertions

@@ -1,0 +1,88 @@
+// Area estimation: netlist -> Stratix-II resource counts.
+//
+// The estimator replaces Quartus. Constants were calibrated once against
+// the paper's "Original" columns (see DESIGN.md's calibration policy);
+// the Assert/Overhead columns in our benchmark output are then whatever
+// the synthesized netlists cost -- nothing is hard-coded per experiment.
+//
+// Notable Stratix-II realities encoded here:
+//  - M4K block RAM stores data in 9-bit columns (width rounds up to a
+//    multiple of 9), which is why a 16-deep 32-bit assertion stream FIFO
+//    costs 16 * 36 = 576 bits: exactly the +576-bit deltas in the
+//    paper's Tables 1 and 2.
+//  - "Logic used" packs ALUTs and registers into ALMs; the paper's
+//    tables show logic ~ ALUTs + 0.58 * registers, which we adopt.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/device.h"
+#include "rtl/netlist.h"
+
+namespace hlsav::fpga {
+
+struct CostModel {
+  // Functional units (per operand bit unless noted).
+  double alut_per_addsub_bit = 1.0;
+  double alut_per_logic_bit = 0.5;
+  double alut_per_cmp_bit = 0.35;
+  double alut_per_varshift = 0.5;   // per bit, per log2(width) level
+  double alut_mul_fixed = 12.0;     // DSP-block glue
+  double alut_div_per_bit = 4.0;    // iterative divider datapath
+  double alut_mem_port = 6.0;       // address/write-enable decode
+  double alut_stream_op = 4.0;      // handshake glue per stream access
+  double alut_call_fixed = 8.0;     // external core interface
+
+  // Registers & muxes.
+  double alut_per_mux_input_bit = 0.5;  // (fanin - 1) * width * this
+
+  // FSM.
+  double alut_per_state = 1.7;
+  double alut_per_transition = 0.9;
+
+  // Per-process Impulse-C wrapper (control, handshake, reset).
+  double alut_process_base = 24.0;
+  double reg_process_base = 32.0;
+  // Checker/collector processes are HDL-instrumented glue without the
+  // full wrapper (paper §4.2): much smaller bases.
+  double alut_assert_proc_base = 6.0;
+  double reg_assert_proc_base = 8.0;
+
+  // Streams (Impulse-C co_stream FIFO + controller).
+  double alut_per_stream = 26.0;
+  double reg_per_stream = 18.0;
+  unsigned stream_fifo_depth = 16;
+
+  // Interconnect.
+  double interconnect_per_alut = 1.55;
+  double interconnect_per_reg = 1.05;
+  double interconnect_per_stream = 92.0;
+  double interconnect_per_memory = 16.0;
+
+  // ALM packing for the "logic used" column.
+  double logic_reg_packing = 0.58;
+};
+
+struct AreaReport {
+  std::uint64_t logic = 0;
+  std::uint64_t aluts = 0;
+  std::uint64_t registers = 0;
+  std::uint64_t bram_bits = 0;
+  std::uint64_t interconnect = 0;
+
+  [[nodiscard]] double logic_pct(const Device& d) const;
+  [[nodiscard]] double aluts_pct(const Device& d) const;
+  [[nodiscard]] double registers_pct(const Device& d) const;
+  [[nodiscard]] double bram_pct(const Device& d) const;
+  [[nodiscard]] double interconnect_pct(const Device& d) const;
+
+  [[nodiscard]] std::string to_string(const Device& d) const;
+};
+
+/// Rounds a RAM data width up to the M4K 9-bit column granularity.
+[[nodiscard]] unsigned m4k_width(unsigned width);
+
+[[nodiscard]] AreaReport estimate_area(const rtl::Netlist& netlist, const CostModel& model = {});
+
+}  // namespace hlsav::fpga

@@ -1,0 +1,33 @@
+// FPGA device descriptions.
+//
+// The paper's platform is an XtremeData XD1000 carrying an Altera
+// Stratix-II EP2S180; every resource total below is the denominator the
+// paper's percentage columns use (Tables 1-2, Figs. 4-5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hlsav::fpga {
+
+struct Device {
+  std::string name;
+  std::uint64_t aluts = 0;          // combinational ALUTs
+  std::uint64_t logic = 0;          // "logic used" packing denominator
+  std::uint64_t registers = 0;
+  std::uint64_t bram_bits = 0;      // block RAM bits
+  std::uint64_t interconnect = 0;   // block interconnect lines
+
+  static Device ep2s180() {
+    Device d;
+    d.name = "Altera Stratix-II EP2S180";
+    d.aluts = 143520;
+    d.logic = 143520;
+    d.registers = 143520;
+    d.bram_bits = 9383040;
+    d.interconnect = 536440;
+    return d;
+  }
+};
+
+}  // namespace hlsav::fpga

@@ -1,0 +1,53 @@
+#include "fpga/timing.h"
+
+#include <algorithm>
+
+#include "support/str.h"
+
+namespace hlsav::fpga {
+
+TimingReport estimate_fmax(const rtl::Netlist& n, const Device& device, const TimingModel& m,
+                           const CostModel& cost) {
+  TimingReport rep;
+
+  // Critical path over all processes.
+  double worst = m.t_base_ns;
+  for (const rtl::ProcessNetlist& p : n.processes) {
+    double t = m.t_base_ns + m.t_level_ns * p.max_chain_depth +
+               m.t_carry_bit_ns * p.max_carry_width + (p.has_multiplier ? m.t_mul_ns : 0.0);
+    if (t > worst) {
+      worst = t;
+      rep.critical_process = p.name;
+    }
+  }
+  rep.critical_path_ns = worst;
+  double fmax = 1000.0 / worst;
+
+  // Routing congestion: global (CPU-facing) stream wiring plus overall
+  // utilization. Local process-to-process streams stay in-region.
+  double global_bits = 0;
+  for (const rtl::StreamInst& s : n.streams) {
+    if (s.cpu_facing) global_bits += s.width + 4;
+  }
+  AreaReport area = estimate_area(n, cost);
+  double util = static_cast<double>(area.aluts) / static_cast<double>(device.aluts);
+  rep.congestion_factor = 1.0 + m.congestion_per_global_bit * global_bits +
+                          m.congestion_alut_util * util;
+  fmax /= rep.congestion_factor;
+
+  // Deterministic place-and-route variation, seeded by structure.
+  if (m.enable_noise) {
+    std::uint64_t h = fnv1a(n.design_name);
+    h ^= 0x9e3779b97f4a7c15ull * (n.streams.size() + 1);
+    h ^= 0xc2b2ae3d27d4eb4full * (area.aluts + 1);
+    h ^= 0x165667b19e3779f9ull * (area.registers + 1);
+    SplitMix64 rng(h);
+    rep.noise = (rng.next_double() * 2.0 - 1.0) * m.noise_amplitude;
+    fmax *= 1.0 + rep.noise;
+  }
+
+  rep.fmax_mhz = fmax;
+  return rep;
+}
+
+}  // namespace hlsav::fpga

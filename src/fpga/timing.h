@@ -1,0 +1,53 @@
+// Maximum-frequency estimation: netlist -> Fmax (MHz).
+//
+// Replaces the Quartus timing analyzer. The model is:
+//
+//   T_proc = t_base + t_level * max_chain_depth + t_carry * max_carry
+//            (+ t_mul if a DSP multiply is chained)
+//   Fmax0  = 1000 / max_over_processes(T_proc)
+//   Fmax   = Fmax0 / (1 + c_global * global_stream_bits
+//                       + c_util  * alut_utilization)
+//            * (1 + noise)
+//
+// The congestion term is what reproduces Fig. 4: every stream adds
+// global routing; 128 one-per-process failure streams sink Fmax by
+// ~19%, while 32-to-1 packed channels (4 streams) cost ~1%.
+//
+// `noise` is deterministic pseudo-variation seeded from the netlist
+// contents, modelling place-and-route luck: the paper itself attributes
+// the DES -2.5% / edge-detect +2.3% deltas to exactly this effect.
+#pragma once
+
+#include "fpga/area.h"
+#include "fpga/device.h"
+#include "rtl/netlist.h"
+
+namespace hlsav::fpga {
+
+struct TimingModel {
+  double t_base_ns = 3.6;
+  double t_level_ns = 0.42;
+  double t_carry_bit_ns = 0.02;
+  double t_mul_ns = 2.4;
+  /// Only CPU-facing streams are global: they all route to the single
+  /// time-multiplexed physical channel (paper §3), so each one adds
+  /// chip-crossing wiring. Process-to-process streams are local.
+  double congestion_per_global_bit = 5.1e-5;
+  double congestion_alut_util = 0.20;
+  double noise_amplitude = 0.025;  // +/- 2.5 %
+  bool enable_noise = true;
+};
+
+struct TimingReport {
+  double fmax_mhz = 0.0;
+  double critical_path_ns = 0.0;
+  std::string critical_process;
+  double congestion_factor = 1.0;  // divisor applied to raw Fmax
+  double noise = 0.0;              // applied multiplicative noise
+};
+
+[[nodiscard]] TimingReport estimate_fmax(const rtl::Netlist& netlist, const Device& device,
+                                         const TimingModel& model = {},
+                                         const CostModel& cost = {});
+
+}  // namespace hlsav::fpga

@@ -1,0 +1,38 @@
+// AST -> IR lowering.
+//
+// Each HLS-C process function lowers to an ir::Process: scalars become
+// registers, arrays become design Memories (const-initialized arrays
+// become ROMs), control flow becomes a CFG, and `assert` statements
+// lower to a kAssert op whose condition slice is tagged with the
+// assertion id (assert_tag) so synthesis strategies can relocate it.
+//
+// `for` loops with straight-line bodies lower to the canonical
+// header/body/exit shape and, when marked `#pragma HLS pipeline`, are
+// recorded as pipelineable in Process::loops.
+#pragma once
+
+#include "ir/ir.h"
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace hlsav::ir {
+
+/// Registers all `extern` HDL function declarations from the program.
+void register_externs(Design& design, const lang::Program& program);
+
+/// Lowers one process function into the design. Returns nullptr and
+/// reports diagnostics on failure. The process takes the function's name.
+Process* lower_process(Design& design, const lang::Program& program, const lang::Function& fn,
+                       const SourceManager& sm, DiagnosticEngine& diags);
+
+/// Lowers every process function in the program.
+/// Returns false if any lowering failed.
+bool lower_all_processes(Design& design, const lang::Program& program, const SourceManager& sm,
+                         DiagnosticEngine& diags);
+
+/// Evaluates a constant expression (literals, unary/binary ops); returns
+/// std::nullopt if the expression references variables, streams or calls.
+[[nodiscard]] std::optional<BitVector> eval_const_expr(const lang::Expr& e);
+
+}  // namespace hlsav::ir

@@ -1,0 +1,49 @@
+// Standard HLS cleanup passes over the IR.
+//
+// Frontend lowering is deliberately naive (one temp per expression node,
+// explicit copies into named variables); these passes perform the
+// cleanups any HLS tool runs before scheduling:
+//
+//  * constant folding  -- ops whose inputs are all immediates are
+//    evaluated at compile time (block-local, after-def uses rewritten);
+//  * copy propagation  -- uses of `dest` after `dest = copy src` read
+//    `src` directly while neither register is redefined (block-local);
+//  * dead code elimination -- side-effect-free ops whose results are
+//    never read anywhere are removed (global use check).
+//
+// The passes never touch ops with side effects (stores, stream I/O,
+// extern calls, assertion markers) and preserve assertion condition
+// slices: a tagged op survives as long as the assert/tap/failure op
+// consuming it does. Run ir::verify afterwards in tests; functional
+// equivalence is enforced by the integration property tests.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace hlsav::ir {
+
+struct OptOptions {
+  bool constant_fold = true;
+  bool copy_propagate = true;
+  bool dce = true;
+  unsigned max_iterations = 4;  // fixpoint bound
+};
+
+struct OptReport {
+  unsigned folded = 0;
+  unsigned propagated = 0;
+  unsigned removed = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] unsigned total() const { return folded + propagated + removed; }
+};
+
+/// Optimizes every process in place.
+OptReport optimize(Design& design, const OptOptions& options = {});
+
+/// Optimizes a single process in place.
+OptReport optimize_process(Design& design, Process& proc, const OptOptions& options = {});
+
+}  // namespace hlsav::ir

@@ -1,0 +1,292 @@
+#include "lang/ast.h"
+
+#include "support/diagnostics.h"
+
+namespace hlsav::lang {
+
+const char* binary_op_spelling(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kRem: return "%";
+    case BinaryOp::kAnd: return "&";
+    case BinaryOp::kOr: return "|";
+    case BinaryOp::kXor: return "^";
+    case BinaryOp::kShl: return "<<";
+    case BinaryOp::kShr: return ">>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLogicalAnd: return "&&";
+    case BinaryOp::kLogicalOr: return "||";
+  }
+  return "?";
+}
+
+const char* unary_op_spelling(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "~";
+    case UnaryOp::kLogicalNot: return "!";
+  }
+  return "?";
+}
+
+bool is_comparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------- Expr --
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->loc = loc;
+  e->type = type;
+  e->literal = literal;
+  e->literal_signed = literal_signed;
+  e->name = name;
+  e->unary_op = unary_op;
+  e->binary_op = binary_op;
+  e->operands.reserve(operands.size());
+  for (const ExprPtr& op : operands) e->operands.push_back(op->clone());
+  return e;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case ExprKind::kIntLit:
+      return literal.to_string_dec(literal_signed);
+    case ExprKind::kVarRef:
+      return name;
+    case ExprKind::kArrayIndex:
+      return name + "[" + operands[0]->to_string() + "]";
+    case ExprKind::kUnary:
+      return std::string(unary_op_spelling(unary_op)) + "(" + operands[0]->to_string() + ")";
+    case ExprKind::kBinary:
+      return "(" + operands[0]->to_string() + " " + binary_op_spelling(binary_op) + " " +
+             operands[1]->to_string() + ")";
+    case ExprKind::kCall: {
+      std::string s = name + "(";
+      for (std::size_t i = 0; i < operands.size(); ++i) {
+        if (i != 0) s += ", ";
+        s += operands[i]->to_string();
+      }
+      return s + ")";
+    }
+    case ExprKind::kStreamRead:
+      return "stream_read(" + name + ")";
+  }
+  return "?";
+}
+
+ExprPtr make_int_lit(SourceLoc loc, BitVector value, bool is_signed) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntLit;
+  e->loc = loc;
+  e->literal = std::move(value);
+  e->literal_signed = is_signed;
+  return e;
+}
+
+ExprPtr make_var_ref(SourceLoc loc, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVarRef;
+  e->loc = loc;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr make_array_index(SourceLoc loc, std::string array, ExprPtr index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kArrayIndex;
+  e->loc = loc;
+  e->name = std::move(array);
+  e->operands.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr make_unary(SourceLoc loc, UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->loc = loc;
+  e->unary_op = op;
+  e->operands.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr make_binary(SourceLoc loc, BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->loc = loc;
+  e->binary_op = op;
+  e->operands.push_back(std::move(lhs));
+  e->operands.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr make_call(SourceLoc loc, std::string callee, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->loc = loc;
+  e->name = std::move(callee);
+  e->operands = std::move(args);
+  return e;
+}
+
+ExprPtr make_stream_read(SourceLoc loc, std::string stream) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStreamRead;
+  e->loc = loc;
+  e->name = std::move(stream);
+  return e;
+}
+
+// ---------------------------------------------------------------- Stmt --
+
+LValue LValue::clone() const {
+  LValue l;
+  l.loc = loc;
+  l.name = name;
+  if (index) l.index = index->clone();
+  return l;
+}
+
+std::string LValue::to_string() const {
+  return index ? name + "[" + index->to_string() + "]" : name;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->loc = loc;
+  s->pragmas = pragmas;
+  for (const StmtPtr& b : body) s->body.push_back(b->clone());
+  s->decl_name = decl_name;
+  s->decl_type = decl_type;
+  s->decl_is_const = decl_is_const;
+  for (const ExprPtr& e : decl_init) s->decl_init.push_back(e->clone());
+  s->lhs = lhs.clone();
+  if (rhs) s->rhs = rhs->clone();
+  if (cond) s->cond = cond->clone();
+  for (const StmtPtr& b : else_body) s->else_body.push_back(b->clone());
+  if (for_init) s->for_init = for_init->clone();
+  if (for_step) s->for_step = for_step->clone();
+  s->assert_text = assert_text;
+  s->assert_function = assert_function;
+  s->assert_id = assert_id;
+  s->cycle_bound = cycle_bound;
+  s->stream_name = stream_name;
+  return s;
+}
+
+StmtPtr make_block(SourceLoc loc, std::vector<StmtPtr> body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kBlock;
+  s->loc = loc;
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr make_assign(SourceLoc loc, LValue lhs, ExprPtr rhs) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kAssign;
+  s->loc = loc;
+  s->lhs = std::move(lhs);
+  s->rhs = std::move(rhs);
+  return s;
+}
+
+StmtPtr make_assert(SourceLoc loc, ExprPtr cond, std::string text) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kAssert;
+  s->loc = loc;
+  s->cond = std::move(cond);
+  s->assert_text = std::move(text);
+  return s;
+}
+
+StmtPtr make_stream_write(SourceLoc loc, std::string stream, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::kStreamWrite;
+  s->loc = loc;
+  s->stream_name = std::move(stream);
+  s->rhs = std::move(value);
+  return s;
+}
+
+// ------------------------------------------------------------ Function --
+
+bool Function::is_process() const {
+  if (!return_type.is_void() || is_extern_hdl) return false;
+  for (const Param& p : params) {
+    if (!p.type.is_stream()) return false;
+  }
+  return true;
+}
+
+const Function* Program::find_function(std::string_view name) const {
+  for (const auto& f : functions) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+// --------------------------------------------------------- AST walking --
+
+namespace {
+template <typename Fn>
+void walk_one(Stmt& s, const Fn& fn) {
+  fn(s);
+  for (auto& b : s.body) walk_one(*b, fn);
+  for (auto& b : s.else_body) walk_one(*b, fn);
+  if (s.for_init) walk_one(*s.for_init, fn);
+  if (s.for_step) walk_one(*s.for_step, fn);
+}
+}  // namespace
+
+void walk_stmts(std::vector<StmtPtr>& body, const std::function<void(Stmt&)>& fn) {
+  for (auto& s : body) walk_one(*s, fn);
+}
+
+void walk_stmts(const std::vector<StmtPtr>& body, const std::function<void(const Stmt&)>& fn) {
+  for (const auto& s : body) {
+    walk_one(const_cast<Stmt&>(*s), [&fn](Stmt& st) { fn(st); });
+  }
+}
+
+void walk_exprs(const Expr& expr, const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  for (const ExprPtr& op : expr.operands) walk_exprs(*op, fn);
+}
+
+void walk_exprs(const Stmt& stmt, const std::function<void(const Expr&)>& fn) {
+  auto visit = [&fn](const ExprPtr& e) {
+    if (e) walk_exprs(*e, fn);
+  };
+  for (const ExprPtr& e : stmt.decl_init) visit(e);
+  if (stmt.lhs.index) visit(stmt.lhs.index);
+  visit(stmt.rhs);
+  visit(stmt.cond);
+  for (const StmtPtr& s : stmt.body) walk_exprs(*s, fn);
+  for (const StmtPtr& s : stmt.else_body) walk_exprs(*s, fn);
+  if (stmt.for_init) walk_exprs(*stmt.for_init, fn);
+  if (stmt.for_step) walk_exprs(*stmt.for_step, fn);
+}
+
+}  // namespace hlsav::lang

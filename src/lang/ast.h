@@ -1,0 +1,209 @@
+// Abstract syntax tree for HLS-C.
+//
+// Nodes are owned via unique_ptr down the tree. After semantic analysis
+// every expression carries its computed Type, every assert statement its
+// assertion-id-relevant metadata (the original condition text, needed for
+// the ANSI-C failure message "Assertion 'expr' failed"), and every loop
+// its pipeline directive if one was given via `#pragma HLS pipeline`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/type.h"
+#include "support/bitvector.h"
+#include "support/source_manager.h"
+
+namespace hlsav::lang {
+
+// ---------------------------------------------------------------- Expr --
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kVarRef,
+  kArrayIndex,
+  kUnary,
+  kBinary,
+  kCall,        // extern-HDL-function call
+  kStreamRead,  // stream_read(s)
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot, kLogicalNot };
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLogicalAnd, kLogicalOr,
+};
+
+[[nodiscard]] const char* binary_op_spelling(BinaryOp op);
+[[nodiscard]] const char* unary_op_spelling(UnaryOp op);
+[[nodiscard]] bool is_comparison(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  Type type;  // filled by sema
+
+  // kIntLit
+  BitVector literal{32};
+  bool literal_signed = true;
+
+  // kVarRef / kCall / kStreamRead: name of variable / function / stream.
+  std::string name;
+
+  // kArrayIndex: name = array, operands[0] = index.
+  // kUnary: operands[0]; kBinary: operands[0], operands[1].
+  // kCall: operands = arguments.
+  std::vector<ExprPtr> operands;
+
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  [[nodiscard]] ExprPtr clone() const;
+  /// Renders the expression back to C-like text (used for assertion
+  /// failure messages and IR naming).
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] ExprPtr make_int_lit(SourceLoc loc, BitVector value, bool is_signed = true);
+[[nodiscard]] ExprPtr make_var_ref(SourceLoc loc, std::string name);
+[[nodiscard]] ExprPtr make_array_index(SourceLoc loc, std::string array, ExprPtr index);
+[[nodiscard]] ExprPtr make_unary(SourceLoc loc, UnaryOp op, ExprPtr operand);
+[[nodiscard]] ExprPtr make_binary(SourceLoc loc, BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr make_call(SourceLoc loc, std::string callee, std::vector<ExprPtr> args);
+[[nodiscard]] ExprPtr make_stream_read(SourceLoc loc, std::string stream);
+
+// ---------------------------------------------------------------- Stmt --
+
+enum class StmtKind : std::uint8_t {
+  kBlock,
+  kDecl,          // local variable or array declaration
+  kAssign,        // lvalue = expr  (incl. compound ops, lowered to plain)
+  kIf,
+  kWhile,
+  kFor,
+  kAssert,
+  kAssertCycles,  // assert_cycles(N): timing assertion (paper §6 ext.)
+  kStreamWrite,   // stream_write(s, expr)
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Lvalue: a scalar variable or one array element.
+struct LValue {
+  SourceLoc loc;
+  std::string name;
+  ExprPtr index;  // null for scalars
+
+  [[nodiscard]] bool is_array_elem() const { return index != nullptr; }
+  [[nodiscard]] LValue clone() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Synthesis directives attached to the following statement.
+struct Pragmas {
+  bool pipeline = false;
+  /// `#pragma HLS replicate` on an array decl: duplicate the RAM for
+  /// assertion reads (resource replication, paper §3.2).
+  bool replicate = false;
+  [[nodiscard]] bool empty() const { return !pipeline && !replicate; }
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+  Pragmas pragmas;
+
+  // kBlock
+  std::vector<StmtPtr> body;
+
+  // kDecl
+  std::string decl_name;
+  Type decl_type;
+  bool decl_is_const = false;
+  std::vector<ExprPtr> decl_init;  // scalar: 0/1 exprs; array: element list
+
+  // kAssign
+  LValue lhs;
+  ExprPtr rhs;
+
+  // kIf: cond, body = then, else_body = else.
+  // kWhile: cond, body. kAssert: cond.
+  ExprPtr cond;
+  std::vector<StmtPtr> else_body;
+
+  // kFor: init/step are single statements (assign or decl).
+  StmtPtr for_init;
+  StmtPtr for_step;
+
+  // kAssert: original text of the condition (for failure messages),
+  // enclosing function name, and a stable id assigned by sema.
+  // kAssertCycles reuses these plus the evaluated bound.
+  std::string assert_text;
+  std::string assert_function;
+  std::uint32_t assert_id = 0;
+  std::uint64_t cycle_bound = 0;
+
+  // kStreamWrite: stream name + value expr (in rhs).
+  std::string stream_name;
+
+  [[nodiscard]] StmtPtr clone() const;
+};
+
+[[nodiscard]] StmtPtr make_block(SourceLoc loc, std::vector<StmtPtr> body);
+[[nodiscard]] StmtPtr make_assign(SourceLoc loc, LValue lhs, ExprPtr rhs);
+[[nodiscard]] StmtPtr make_assert(SourceLoc loc, ExprPtr cond, std::string text);
+[[nodiscard]] StmtPtr make_stream_write(SourceLoc loc, std::string stream, ExprPtr value);
+
+// ------------------------------------------------------------ Function --
+
+struct Param {
+  SourceLoc loc;
+  std::string name;
+  Type type;
+};
+
+/// A top-level HLS-C function. Void functions whose parameters are all
+/// streams are *processes* (Impulse-C co_process equivalents) and can be
+/// instantiated in a Design; other functions are inlined computations.
+struct Function {
+  SourceLoc loc;
+  std::string name;
+  Type return_type;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  bool is_extern_hdl = false;  // `extern` declaration: external HDL function
+
+  [[nodiscard]] bool is_process() const;
+};
+
+/// A parsed translation unit.
+struct Program {
+  FileId file = 0;
+  std::vector<std::unique_ptr<Function>> functions;
+
+  [[nodiscard]] const Function* find_function(std::string_view name) const;
+};
+
+// --------------------------------------------------------- AST walking --
+
+/// Calls fn on every statement in the subtree (pre-order).
+void walk_stmts(std::vector<StmtPtr>& body, const std::function<void(Stmt&)>& fn);
+void walk_stmts(const std::vector<StmtPtr>& body, const std::function<void(const Stmt&)>& fn);
+/// Calls fn on every expression in the statement subtree (pre-order).
+void walk_exprs(const Stmt& stmt, const std::function<void(const Expr&)>& fn);
+void walk_exprs(const Expr& expr, const std::function<void(const Expr&)>& fn);
+
+}  // namespace hlsav::lang

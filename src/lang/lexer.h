@@ -1,0 +1,48 @@
+// Hand-written lexer for HLS-C.
+//
+// Produces the token stream consumed by the recursive-descent parser.
+// `#pragma` lines are tokenized whole (TokKind::kPragma) so the parser
+// can attach synthesis directives (e.g. `#pragma HLS pipeline`) to the
+// following statement, the way HLS tools do.
+#pragma once
+
+#include <vector>
+
+#include "lang/token.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace hlsav::lang {
+
+class Lexer {
+ public:
+  Lexer(const SourceManager& sm, FileId file, DiagnosticEngine& diags);
+
+  /// Lexes the whole buffer; always ends with an EOF token.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  const SourceManager& sm_;
+  FileId file_;
+  DiagnosticEngine& diags_;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+
+  [[nodiscard]] SourceLoc loc() const { return SourceLoc{file_, line_, col_}; }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool match(char c);
+  void skip_whitespace_and_comments();
+
+  Token next();
+  Token next_impl();
+  Token lex_identifier_or_keyword(SourceLoc start);
+  Token lex_number(SourceLoc start);
+  Token lex_char_literal(SourceLoc start);
+  Token lex_pragma(SourceLoc start);
+  Token make(TokKind k, SourceLoc l) const;
+};
+
+}  // namespace hlsav::lang

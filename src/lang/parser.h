@@ -1,0 +1,76 @@
+// Recursive-descent parser for HLS-C.
+//
+// Entry point: parse_program(). Compound assignments and ++/-- are
+// desugared here; `#pragma HLS pipeline` / `#pragma HLS replicate`
+// directives are attached to the following statement; the raw source
+// text of every assert condition is captured for the ANSI-C failure
+// message.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lang/ast.h"
+#include "lang/token.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace hlsav::lang {
+
+class Parser {
+ public:
+  Parser(const SourceManager& sm, FileId file, DiagnosticEngine& diags);
+
+  /// Parses the whole buffer. Returns a Program even on error; check
+  /// diags.has_errors() before using it.
+  [[nodiscard]] std::unique_ptr<Program> parse_program();
+
+ private:
+  struct ParseError {};  // thrown for panic-mode recovery to top level
+
+  const SourceManager& sm_;
+  FileId file_;
+  DiagnosticEngine& diags_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] const Token& peek(std::size_t ahead = 1) const;
+  [[nodiscard]] bool at(TokKind k) const { return cur().kind == k; }
+  const Token& consume();
+  const Token& expect(TokKind k, const char* what);
+  bool accept(TokKind k);
+  [[noreturn]] void fail(const Token& tok, std::string message);
+  void sync_to_toplevel();
+
+  // Grammar productions.
+  std::unique_ptr<Function> parse_function(bool is_extern);
+  Param parse_param();
+  Type parse_int_type();
+  std::vector<StmtPtr> parse_block();
+  StmtPtr parse_stmt();
+  StmtPtr parse_stmt_no_pragma();
+  StmtPtr parse_decl();
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_do_while();
+  StmtPtr parse_for();
+  StmtPtr parse_assert();
+  StmtPtr parse_simple_stmt();  // assignment / ++ / -- / stream_write
+  Pragmas parse_pragmas();
+
+  ExprPtr parse_expr();
+  ExprPtr parse_ternary();
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_primary();
+
+  /// Raw source text between two token offsets (for assert messages).
+  [[nodiscard]] std::string source_between(std::size_t begin_tok, std::size_t end_tok) const;
+};
+
+/// Convenience: lex + parse a named buffer.
+[[nodiscard]] std::unique_ptr<Program> parse_source(SourceManager& sm, DiagnosticEngine& diags,
+                                                    std::string name, std::string text);
+
+}  // namespace hlsav::lang

@@ -1,0 +1,387 @@
+#include "lang/sema.h"
+
+#include <unordered_map>
+
+#include "support/str.h"
+
+namespace hlsav::lang {
+
+std::string AssertionInfo::failure_message() const {
+  // Mirrors glibc: "file:line: function: Assertion `expr' failed."
+  return file_name + ":" + std::to_string(loc.line) + ": " + function + ": Assertion `" +
+         condition_text + "' failed.";
+}
+
+namespace {
+
+class Analyzer {
+ public:
+  Analyzer(Program& program, const SourceManager& sm, DiagnosticEngine& diags)
+      : program_(program), sm_(sm), diags_(diags) {}
+
+  SemaResult run() {
+    SemaResult result;
+    for (auto& fn : program_.functions) {
+      if (program_.find_function(fn->name) != fn.get()) {
+        diags_.error(fn->loc, "redefinition of function '" + fn->name + "'");
+        continue;
+      }
+      analyze_function(*fn);
+    }
+    result.ok = !diags_.has_errors();
+    result.assertions = std::move(assertions_);
+    return result;
+  }
+
+ private:
+  Program& program_;
+  const SourceManager& sm_;
+  DiagnosticEngine& diags_;
+  std::vector<AssertionInfo> assertions_;
+  std::uint32_t next_assert_id_ = 0;
+
+  // Per-function state. Declarations are function-scoped (no shadowing),
+  // which keeps the name-keyed lowering maps unambiguous.
+  struct Symbol {
+    Type type;
+    bool is_const = false;
+    bool is_param = false;
+  };
+  std::unordered_map<std::string, Symbol> symbols_;
+  Function* current_fn_ = nullptr;
+  int loop_depth_ = 0;
+
+  void analyze_function(Function& fn) {
+    symbols_.clear();
+    current_fn_ = &fn;
+    loop_depth_ = 0;
+
+    if (fn.is_extern_hdl) {
+      if (!fn.return_type.is_int()) {
+        diags_.error(fn.loc, "extern HDL function '" + fn.name + "' must return an integer");
+      }
+      for (const Param& p : fn.params) {
+        if (!p.type.is_int()) {
+          diags_.error(p.loc, "extern HDL function parameters must be integers");
+        }
+      }
+      return;
+    }
+
+    for (const Param& p : fn.params) {
+      if (!declare(p.name, Symbol{p.type, false, true})) {
+        diags_.error(p.loc, "duplicate parameter name '" + p.name + "'");
+      }
+    }
+    for (StmtPtr& s : fn.body) analyze_stmt(*s);
+  }
+
+  bool declare(const std::string& name, Symbol sym) {
+    return symbols_.emplace(name, std::move(sym)).second;
+  }
+
+  const Symbol* lookup(const std::string& name) const {
+    auto it = symbols_.find(name);
+    return it == symbols_.end() ? nullptr : &it->second;
+  }
+
+  // ------------------------------------------------------- statements --
+
+  void analyze_stmt(Stmt& s) {
+    if (s.pragmas.pipeline && s.kind != StmtKind::kFor && s.kind != StmtKind::kWhile) {
+      diags_.warning(s.loc, "#pragma HLS pipeline applies only to loops; ignored");
+      s.pragmas.pipeline = false;
+    }
+    if (s.pragmas.replicate && s.kind != StmtKind::kDecl) {
+      diags_.warning(s.loc, "#pragma HLS replicate applies only to array declarations; ignored");
+      s.pragmas.replicate = false;
+    }
+
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (StmtPtr& b : s.body) analyze_stmt(*b);
+        break;
+      case StmtKind::kDecl:
+        analyze_decl(s);
+        break;
+      case StmtKind::kAssign:
+        analyze_assign(s);
+        break;
+      case StmtKind::kIf:
+        analyze_cond(s);
+        for (StmtPtr& b : s.body) analyze_stmt(*b);
+        for (StmtPtr& b : s.else_body) analyze_stmt(*b);
+        break;
+      case StmtKind::kWhile:
+        analyze_cond(s);
+        ++loop_depth_;
+        for (StmtPtr& b : s.body) analyze_stmt(*b);
+        --loop_depth_;
+        break;
+      case StmtKind::kFor:
+        if (s.for_init) analyze_stmt(*s.for_init);
+        if (s.cond) analyze_cond(s);
+        if (s.for_step) analyze_stmt(*s.for_step);
+        ++loop_depth_;
+        for (StmtPtr& b : s.body) analyze_stmt(*b);
+        --loop_depth_;
+        break;
+      case StmtKind::kAssert:
+        analyze_assert(s);
+        break;
+      case StmtKind::kAssertCycles: {
+        analyze_expr(*s.cond);
+        require_int(*s.cond);
+        s.assert_id = next_assert_id_++;
+        s.assert_function = current_fn_->name;
+        AssertionInfo info;
+        info.id = s.assert_id;
+        info.loc = s.loc;
+        info.function = current_fn_->name;
+        info.condition_text = "elapsed cycles <= " + s.assert_text;
+        info.file_name = std::string(sm_.name(s.loc.file));
+        assertions_.push_back(std::move(info));
+        break;
+      }
+      case StmtKind::kStreamWrite:
+        analyze_stream_write(s);
+        break;
+      case StmtKind::kReturn:
+        analyze_return(s);
+        break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          diags_.error(s.loc, "break/continue outside of a loop");
+        }
+        break;
+    }
+  }
+
+  void analyze_decl(Stmt& s) {
+    if (s.pragmas.replicate && !s.decl_type.is_array()) {
+      diags_.warning(s.loc, "#pragma HLS replicate on a scalar has no effect");
+      s.pragmas.replicate = false;
+    }
+    if (s.decl_type.is_array() &&
+        s.decl_type.array_size() > (std::uint64_t{1} << 20)) {
+      diags_.error(s.loc, "array '" + s.decl_name + "' exceeds the 1Mi-element block-RAM budget");
+    }
+    for (ExprPtr& e : s.decl_init) {
+      analyze_expr(*e);
+      require_int(*e);
+    }
+    if (s.decl_type.is_array() && !s.decl_init.empty() &&
+        s.decl_init.size() != s.decl_type.array_size()) {
+      diags_.error(s.loc, "array initializer has " + std::to_string(s.decl_init.size()) +
+                              " elements but '" + s.decl_name + "' has " +
+                              std::to_string(s.decl_type.array_size()));
+    }
+    if (s.decl_is_const && s.decl_init.empty()) {
+      diags_.error(s.loc, "const declaration '" + s.decl_name + "' requires an initializer");
+    }
+    if (!declare(s.decl_name, Symbol{s.decl_type, s.decl_is_const, false})) {
+      diags_.error(s.loc, "redeclaration of '" + s.decl_name +
+                              "' (HLS-C declarations are function-scoped)");
+    }
+  }
+
+  void analyze_assign(Stmt& s) {
+    analyze_expr(*s.rhs);
+    require_int(*s.rhs);
+    const Symbol* sym = lookup(s.lhs.name);
+    if (sym == nullptr) {
+      diags_.error(s.lhs.loc, "use of undeclared identifier '" + s.lhs.name + "'");
+      return;
+    }
+    if (sym->is_const) {
+      diags_.error(s.lhs.loc, "cannot assign to const '" + s.lhs.name + "'");
+    }
+    if (s.lhs.is_array_elem()) {
+      if (!sym->type.is_array()) {
+        diags_.error(s.lhs.loc, "'" + s.lhs.name + "' is not an array");
+        return;
+      }
+      analyze_expr(*s.lhs.index);
+      require_int(*s.lhs.index);
+    } else if (sym->type.is_array()) {
+      diags_.error(s.lhs.loc, "cannot assign to whole array '" + s.lhs.name + "'");
+    } else if (sym->type.is_stream()) {
+      diags_.error(s.lhs.loc, "cannot assign to stream '" + s.lhs.name +
+                                  "'; use stream_write(" + s.lhs.name + ", value)");
+    }
+  }
+
+  void analyze_cond(Stmt& s) {
+    analyze_expr(*s.cond);
+    require_int(*s.cond);
+  }
+
+  void analyze_assert(Stmt& s) {
+    analyze_expr(*s.cond);
+    require_int(*s.cond);
+    s.assert_id = next_assert_id_++;
+    s.assert_function = current_fn_->name;
+    AssertionInfo info;
+    info.id = s.assert_id;
+    info.loc = s.loc;
+    info.function = current_fn_->name;
+    info.condition_text = s.assert_text;
+    info.file_name = std::string(sm_.name(s.loc.file));
+    assertions_.push_back(std::move(info));
+  }
+
+  void analyze_stream_write(Stmt& s) {
+    analyze_expr(*s.rhs);
+    require_int(*s.rhs);
+    const Symbol* sym = lookup(s.stream_name);
+    if (sym == nullptr || !sym->type.is_stream()) {
+      diags_.error(s.loc, "'" + s.stream_name + "' is not a stream");
+      return;
+    }
+    if (sym->type.stream_dir() != StreamDir::kOut) {
+      diags_.error(s.loc, "cannot write to input stream '" + s.stream_name + "'");
+    }
+  }
+
+  void analyze_return(Stmt& s) {
+    if (current_fn_->return_type.is_void()) {
+      if (s.rhs) diags_.error(s.loc, "void function cannot return a value");
+      return;
+    }
+    if (!s.rhs) {
+      diags_.error(s.loc, "non-void function must return a value");
+      return;
+    }
+    analyze_expr(*s.rhs);
+    require_int(*s.rhs);
+  }
+
+  // ------------------------------------------------------ expressions --
+
+  void require_int(const Expr& e) {
+    if (!e.type.is_int() && !e.type.is_void()) {
+      diags_.error(e.loc, "expected an integer expression");
+    }
+  }
+
+  void analyze_expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        e.type = Type::int_type(e.literal.width(), e.literal_signed);
+        break;
+      case ExprKind::kVarRef: {
+        const Symbol* sym = lookup(e.name);
+        if (sym == nullptr) {
+          diags_.error(e.loc, "use of undeclared identifier '" + e.name + "'");
+          e.type = Type::int_type(32, true);
+          break;
+        }
+        if (sym->type.is_array()) {
+          diags_.error(e.loc, "array '" + e.name + "' must be indexed");
+          e.type = sym->type.element_type();
+        } else if (sym->type.is_stream()) {
+          diags_.error(e.loc, "stream '" + e.name + "' cannot be used as a value; " +
+                                  "use stream_read(" + e.name + ")");
+          e.type = sym->type.element_type();
+        } else {
+          e.type = sym->type;
+        }
+        break;
+      }
+      case ExprKind::kArrayIndex: {
+        const Symbol* sym = lookup(e.name);
+        analyze_expr(*e.operands[0]);
+        require_int(*e.operands[0]);
+        if (sym == nullptr || !sym->type.is_array()) {
+          diags_.error(e.loc, "'" + e.name + "' is not an array");
+          e.type = Type::int_type(32, true);
+        } else {
+          e.type = sym->type.element_type();
+        }
+        break;
+      }
+      case ExprKind::kUnary:
+        analyze_expr(*e.operands[0]);
+        require_int(*e.operands[0]);
+        e.type = (e.unary_op == UnaryOp::kLogicalNot) ? Type::bool_type()
+                                                      : e.operands[0]->type;
+        break;
+      case ExprKind::kBinary: {
+        analyze_expr(*e.operands[0]);
+        analyze_expr(*e.operands[1]);
+        require_int(*e.operands[0]);
+        require_int(*e.operands[1]);
+        const Type& lt = e.operands[0]->type;
+        const Type& rt = e.operands[1]->type;
+        if (!lt.is_int() || !rt.is_int()) {
+          e.type = Type::int_type(32, true);
+          break;
+        }
+        switch (e.binary_op) {
+          case BinaryOp::kShl:
+          case BinaryOp::kShr:
+            e.type = lt;
+            break;
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+          case BinaryOp::kEq:
+          case BinaryOp::kNe:
+          case BinaryOp::kLogicalAnd:
+          case BinaryOp::kLogicalOr:
+            e.type = Type::bool_type();
+            break;
+          default:
+            e.type = common_type(lt, rt);
+        }
+        break;
+      }
+      case ExprKind::kCall: {
+        const Function* callee = program_.find_function(e.name);
+        if (callee == nullptr) {
+          diags_.error(e.loc, "call to unknown function '" + e.name + "'");
+          e.type = Type::int_type(32, true);
+          break;
+        }
+        if (!callee->is_extern_hdl) {
+          diags_.error(e.loc, "only extern HDL functions may be called (got '" + e.name + "')");
+        }
+        if (e.operands.size() != callee->params.size()) {
+          diags_.error(e.loc, "'" + e.name + "' expects " +
+                                  std::to_string(callee->params.size()) + " arguments, got " +
+                                  std::to_string(e.operands.size()));
+        }
+        for (ExprPtr& arg : e.operands) {
+          analyze_expr(*arg);
+          require_int(*arg);
+        }
+        e.type = callee->return_type;
+        break;
+      }
+      case ExprKind::kStreamRead: {
+        const Symbol* sym = lookup(e.name);
+        if (sym == nullptr || !sym->type.is_stream()) {
+          diags_.error(e.loc, "'" + e.name + "' is not a stream");
+          e.type = Type::int_type(32, false);
+          break;
+        }
+        if (sym->type.stream_dir() != StreamDir::kIn) {
+          diags_.error(e.loc, "cannot read from output stream '" + e.name + "'");
+        }
+        e.type = sym->type.element_type();
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SemaResult analyze(Program& program, const SourceManager& sm, DiagnosticEngine& diags) {
+  Analyzer analyzer(program, sm, diags);
+  return analyzer.run();
+}
+
+}  // namespace hlsav::lang

@@ -1,0 +1,44 @@
+// Semantic analysis for HLS-C.
+//
+// Resolves names, computes expression types (hardware-style width rules,
+// see type.h), validates statements against synthesis constraints
+// (streams only read/written in the right direction, const discipline,
+// pipeline pragmas only on loops, ...), and assigns every assert
+// statement a stable assertion id. The assertion catalogue built here is
+// what the CPU-side notification function later uses to decode failure
+// codes into the ANSI-C message (file, line, function, expression).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+
+namespace hlsav::lang {
+
+/// One assert statement discovered during analysis. Ids are dense,
+/// assigned in source order, starting at 0.
+struct AssertionInfo {
+  std::uint32_t id = 0;
+  SourceLoc loc;
+  std::string function;
+  std::string condition_text;
+  std::string file_name;
+
+  /// Renders the ANSI-C abort message for this assertion.
+  [[nodiscard]] std::string failure_message() const;
+};
+
+/// Result of analyzing a Program.
+struct SemaResult {
+  bool ok = false;
+  std::vector<AssertionInfo> assertions;
+};
+
+/// Analyzes `program` in place (fills Expr::type, Stmt::assert_id, ...).
+[[nodiscard]] SemaResult analyze(Program& program, const SourceManager& sm,
+                                 DiagnosticEngine& diags);
+
+}  // namespace hlsav::lang

@@ -1,0 +1,51 @@
+// Token definitions for the HLS-C lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_manager.h"
+
+namespace hlsav::lang {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdentifier,
+  kIntLiteral,   // decimal, hex (0x...) or character ('a')
+  kPragma,       // a full "#pragma ..." line (text in Token::text)
+
+  // Keywords.
+  kKwVoid, kKwIf, kKwElse, kKwFor, kKwWhile, kKwDo, kKwReturn, kKwConst,
+  kKwAssert, kKwExtern, kKwBreak, kKwContinue, kKwStreamIn, kKwStreamOut,
+  kKwIntType,    // int8..int64 / intN / char / int  (width in Token::value)
+  kKwUintType,   // uint8..uint64 / uintN / bool     (width in Token::value)
+
+  // Punctuation & operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon, kLess, kGreater,          // < > double as template-ish delims
+  kAssign, kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr, kLessEq, kGreaterEq, kEqEq, kBangEq,
+  kAmpAmp, kPipePipe,
+  kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+  kAmpAssign, kPipeAssign, kCaretAssign, kShlAssign, kShrAssign,
+  kPlusPlus, kMinusMinus,
+  kQuestion, kColon, kDot,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  SourceLoc loc;
+  std::size_t offset = 0;    // byte offset of the token start in the buffer
+  std::string text;          // identifier spelling / pragma body
+  std::uint64_t value = 0;   // literal value or int-type width
+  bool value_signed = true;  // for literals: spelled without 'u' suffix
+
+  [[nodiscard]] bool is(TokKind k) const { return kind == k; }
+};
+
+/// Human-readable token kind name for diagnostics.
+[[nodiscard]] std::string_view tok_kind_name(TokKind k);
+
+}  // namespace hlsav::lang

@@ -1,0 +1,31 @@
+#include "lang/type.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace hlsav::lang {
+
+std::string Type::to_string() const {
+  switch (kind_) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kInt:
+      return (is_signed_ ? "int" : "uint") + std::to_string(width_);
+    case TypeKind::kArray:
+      return element_type().to_string() + "[" + std::to_string(array_size_) + "]";
+    case TypeKind::kStream:
+      return std::string(stream_dir_ == StreamDir::kIn ? "stream_in" : "stream_out") + "<" +
+             std::to_string(width_) + ">";
+  }
+  return "?";
+}
+
+Type common_type(const Type& a, const Type& b) {
+  HLSAV_CHECK(a.is_int() && b.is_int(), "common_type requires integer operands");
+  unsigned w = std::max(a.width(), b.width());
+  bool s = a.is_signed() && b.is_signed();
+  return Type::int_type(w, s);
+}
+
+}  // namespace hlsav::lang

@@ -1,0 +1,80 @@
+// Type system of the HLS-C subset.
+//
+// HLS-C is hardware-oriented C: every integer type has an explicit bit
+// width (int8/uint8 ... int64/uint64, plus intN/uintN for any N in 1..64).
+// Unlike ISO C there is no promotion to `int`: binary operators work at
+// the wider of the two operand widths, which is what the generated
+// datapath does. Arrays map to block RAMs / ROMs, stream parameters map
+// to the HLS tool's communication channels (Impulse-C co_stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hlsav::lang {
+
+enum class TypeKind : std::uint8_t {
+  kVoid,
+  kInt,     // fixed-width integer, signed or unsigned
+  kArray,   // fixed-size array of integers (block RAM / ROM)
+  kStream,  // communication channel endpoint (parameter-only)
+};
+
+enum class StreamDir : std::uint8_t { kIn, kOut };
+
+/// Value type; cheap to copy.
+class Type {
+ public:
+  Type() = default;
+
+  static Type void_type() { return Type(TypeKind::kVoid, 0, false); }
+  static Type int_type(unsigned width, bool is_signed) {
+    return Type(TypeKind::kInt, width, is_signed);
+  }
+  static Type bool_type() { return int_type(1, false); }
+  static Type array_type(unsigned elem_width, bool elem_signed, std::uint64_t size) {
+    Type t(TypeKind::kArray, elem_width, elem_signed);
+    t.array_size_ = size;
+    return t;
+  }
+  static Type stream_type(unsigned elem_width, StreamDir dir) {
+    Type t(TypeKind::kStream, elem_width, false);
+    t.stream_dir_ = dir;
+    return t;
+  }
+
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+  [[nodiscard]] bool is_void() const { return kind_ == TypeKind::kVoid; }
+  [[nodiscard]] bool is_int() const { return kind_ == TypeKind::kInt; }
+  [[nodiscard]] bool is_array() const { return kind_ == TypeKind::kArray; }
+  [[nodiscard]] bool is_stream() const { return kind_ == TypeKind::kStream; }
+
+  /// Bit width of the integer, array element or stream element.
+  [[nodiscard]] unsigned width() const { return width_; }
+  [[nodiscard]] bool is_signed() const { return is_signed_; }
+  [[nodiscard]] std::uint64_t array_size() const { return array_size_; }
+  [[nodiscard]] StreamDir stream_dir() const { return stream_dir_; }
+
+  /// Element type of an array or stream.
+  [[nodiscard]] Type element_type() const { return int_type(width_, is_signed_); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+
+ private:
+  Type(TypeKind kind, unsigned width, bool is_signed)
+      : kind_(kind), width_(width), is_signed_(is_signed) {}
+
+  TypeKind kind_ = TypeKind::kVoid;
+  unsigned width_ = 0;
+  bool is_signed_ = false;
+  std::uint64_t array_size_ = 0;
+  StreamDir stream_dir_ = StreamDir::kIn;
+};
+
+/// Result type of a binary arithmetic/bitwise operator: the wider width;
+/// signed only if both operands are signed (hardware-style, no promotion).
+[[nodiscard]] Type common_type(const Type& a, const Type& b);
+
+}  // namespace hlsav::lang

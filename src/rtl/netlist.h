@@ -1,0 +1,93 @@
+// FSMD netlist: the structural view of a scheduled design.
+//
+// The netlist is what the area/timing models cost and what the Verilog
+// emitter prints. Each process becomes an FSM (state register + next-
+// state logic) plus a datapath of functional units, registers with input
+// muxes, block-RAM ports and stream interfaces. Each scheduled op
+// instantiates its own functional unit (Impulse-C-style: no cross-op FU
+// sharing inside a process), which is exactly why the paper's §3.3
+// resource-sharing discussion matters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "sched/schedule.h"
+
+namespace hlsav::rtl {
+
+/// One datapath functional unit.
+struct FuInst {
+  ir::OpKind kind = ir::OpKind::kBin;
+  ir::BinKind bin = ir::BinKind::kAdd;
+  ir::UnKind un = ir::UnKind::kNeg;
+  unsigned width = 32;        // operand width
+  unsigned chain_depth = 0;   // accumulated depth within its state
+  bool in_pipeline = false;
+  bool for_assertion = false; // carries an assert tag
+};
+
+/// One datapath register with its input mux.
+struct RegInst {
+  std::string name;
+  unsigned width = 32;
+  unsigned fanin = 1;  // distinct writers (mux inputs)
+};
+
+struct FsmInst {
+  unsigned states = 0;
+  unsigned transitions = 0;
+};
+
+struct ProcessNetlist {
+  std::string name;
+  ir::ProcessRole role = ir::ProcessRole::kApplication;
+  FsmInst fsm;
+  std::vector<FuInst> fus;
+  std::vector<RegInst> regs;
+  /// Register bits added by pipeline stage balancing (modulo variable
+  /// expansion copies of values live across stages).
+  std::uint64_t pipeline_stage_reg_bits = 0;
+  /// Widest arithmetic carry chain in any single state (timing model).
+  unsigned max_carry_width = 0;
+  /// Deepest combinational chain in any single state (timing model).
+  unsigned max_chain_depth = 0;
+  bool has_multiplier = false;
+};
+
+struct MemInst {
+  std::string name;
+  unsigned width = 0;        // element width (before M4K column rounding)
+  std::uint64_t size = 0;    // elements
+  std::uint64_t bits = 0;    // width * size (raw data bits)
+  bool is_rom = false;
+  bool is_replica = false;
+};
+
+struct StreamInst {
+  std::string name;
+  unsigned width = 32;
+  unsigned depth = 16;
+  ir::StreamRole role = ir::StreamRole::kData;
+  bool cpu_facing = false;
+};
+
+struct Netlist {
+  std::string design_name;
+  std::vector<ProcessNetlist> processes;
+  std::vector<MemInst> memories;
+  std::vector<StreamInst> streams;
+
+  [[nodiscard]] const ProcessNetlist* find_process(std::string_view name) const;
+};
+
+/// Builds the netlist for a scheduled design.
+[[nodiscard]] Netlist build_netlist(const ir::Design& design,
+                                    const sched::DesignSchedule& schedule);
+
+/// Summary string (tests, debugging).
+[[nodiscard]] std::string describe(const Netlist& n);
+
+}  // namespace hlsav::rtl

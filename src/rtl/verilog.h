@@ -1,0 +1,27 @@
+// Verilog-2001 emission of a scheduled design.
+//
+// The emitter prints the structural design the HLS flow produced: one
+// module per process (FSM + datapath), inferred block-RAM modules, FIFO
+// modules for streams, and a top-level that wires everything together.
+// This is the artifact a designer would hand to Quartus; in this
+// repository it exists for inspection and for the area model's
+// ground truth (the netlist and the emitted code come from the same
+// structures).
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+#include "sched/schedule.h"
+
+namespace hlsav::rtl {
+
+/// Emits the complete design as a single Verilog source string.
+[[nodiscard]] std::string emit_verilog(const ir::Design& design,
+                                       const sched::DesignSchedule& schedule);
+
+/// Emits one process module.
+[[nodiscard]] std::string emit_process(const ir::Design& design, const ir::Process& proc,
+                                       const sched::ProcessSchedule& schedule);
+
+}  // namespace hlsav::rtl

@@ -1,0 +1,49 @@
+// Behaviours for external HDL functions (paper §5.1, second example).
+//
+// Impulse-C lets designers call hand-written HDL cores from C; during
+// software simulation a C-source model substitutes for the core. The two
+// may legitimately disagree -- that divergence is one of the bug classes
+// in-circuit assertions catch. Each registered function therefore has a
+// C model (used in software simulation) and an HDL behaviour (used by
+// the cycle simulator); by default they are identical.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bitvector.h"
+
+namespace hlsav::sim {
+
+class ExternRegistry {
+ public:
+  using Fn = std::function<BitVector(const std::vector<BitVector>&)>;
+
+  /// Registers both models; `hdl` defaults to the C model.
+  void add(const std::string& name, Fn c_model, Fn hdl_model = nullptr) {
+    Entry e;
+    e.c_model = std::move(c_model);
+    e.hdl_model = hdl_model ? std::move(hdl_model) : e.c_model;
+    funcs_[name] = std::move(e);
+  }
+
+  [[nodiscard]] const Fn* c_model(const std::string& name) const {
+    auto it = funcs_.find(name);
+    return it == funcs_.end() ? nullptr : &it->second.c_model;
+  }
+  [[nodiscard]] const Fn* hdl_model(const std::string& name) const {
+    auto it = funcs_.find(name);
+    return it == funcs_.end() ? nullptr : &it->second.hdl_model;
+  }
+
+ private:
+  struct Entry {
+    Fn c_model;
+    Fn hdl_model;
+  };
+  std::unordered_map<std::string, Entry> funcs_;
+};
+
+}  // namespace hlsav::sim

@@ -1,0 +1,43 @@
+// Translation-fault injection (paper §5.1, first example).
+//
+// The paper's in-circuit verification case study hinges on a real
+// Impulse-C bug: a 64-bit comparison was erroneously narrowed to 5 bits
+// in the generated HDL, so 4294967286 > 4294967296 (false in source
+// semantics) became 22 > 0 (true in circuit). Software simulation
+// executes source semantics and never sees it. We model this class of
+// bug as an injection the cycle simulator applies to specific
+// comparison ops, identified by process name and source line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace hlsav::sim {
+
+struct NarrowCompareFault {
+  std::string process;    // empty = any process
+  std::uint32_t line = 0; // 0 = any line
+  unsigned width = 5;     // comparison performed at this width
+};
+
+struct FaultInjection {
+  std::vector<NarrowCompareFault> narrow_compares;
+
+  [[nodiscard]] bool empty() const { return narrow_compares.empty(); }
+
+  /// Width to narrow this comparison to, or 0 for no fault.
+  [[nodiscard]] unsigned narrow_width(const std::string& process, const ir::Op& op) const {
+    if (op.kind != ir::OpKind::kBin || !ir::bin_is_comparison(op.bin)) return 0;
+    for (const NarrowCompareFault& f : narrow_compares) {
+      if (!f.process.empty() && f.process != process) continue;
+      if (f.line != 0 && f.line != op.loc.line) continue;
+      return f.width;
+    }
+    return 0;
+  }
+};
+
+}  // namespace hlsav::sim

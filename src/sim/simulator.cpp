@@ -1,0 +1,535 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hlsav::sim {
+
+using ir::BasicBlock;
+using ir::Op;
+using ir::OpKind;
+using ir::Operand;
+
+Simulator::Simulator(const ir::Design& design, const sched::DesignSchedule& schedule,
+                     const ExternRegistry& externs, SimOptions options)
+    : design_(design), schedule_(schedule), externs_(externs), opt_(options), notify_(design) {
+  init_state();
+}
+
+void Simulator::init_state() {
+  streams_.resize(design_.streams.size());
+  for (const ir::Stream& s : design_.streams) {
+    streams_[s.id].cpu_producer = s.producer.kind == ir::StreamEndpoint::Kind::kCpu;
+    streams_[s.id].cpu_consumer = s.consumer.kind == ir::StreamEndpoint::Kind::kCpu;
+  }
+  memories_.resize(design_.memories.size());
+  for (const ir::Memory& m : design_.memories) {
+    auto& mem = memories_[m.id];
+    mem.assign(m.size, BitVector(m.width));
+    for (std::size_t i = 0; i < m.init.size(); ++i) mem[i] = m.init[i];
+  }
+  for (const auto& p : design_.processes) {
+    if (p->role != ir::ProcessRole::kApplication) continue;
+    ProcState ps;
+    ps.proc = p.get();
+    ps.sched = schedule_.find(p->name);
+    HLSAV_CHECK(ps.sched != nullptr, "no schedule for process " + p->name);
+    ps.cur = p->entry;
+    ps.regs.reserve(p->regs.size());
+    for (const ir::Register& r : p->regs) ps.regs.emplace_back(r.width);
+    procs_.push_back(std::move(ps));
+  }
+}
+
+ir::StreamId Simulator::stream_by_name(std::string_view name) const {
+  for (const ir::Stream& s : design_.streams) {
+    if (s.name == name) return s.id;
+  }
+  internal_error("sim", 0, "unknown stream '" + std::string(name) + "'");
+}
+
+void Simulator::feed(std::string_view stream_name, const std::vector<std::uint64_t>& values) {
+  feed(stream_by_name(stream_name), values);
+}
+
+void Simulator::feed(ir::StreamId stream, const std::vector<std::uint64_t>& values) {
+  const ir::Stream& s = design_.stream(stream);
+  HLSAV_CHECK(streams_[stream].cpu_producer, "feed into a non-CPU-fed stream");
+  for (std::uint64_t v : values) {
+    streams_[stream].fifo.push_back(FifoEntry{BitVector::from_u64(s.width, v), 0});
+  }
+}
+
+std::vector<std::uint64_t> Simulator::received(std::string_view stream_name) const {
+  ir::StreamId id = stream_by_name(stream_name);
+  std::vector<std::uint64_t> out;
+  for (const BitVector& v : streams_[id].cpu_received) out.push_back(v.to_u64());
+  return out;
+}
+
+// ----------------------------------------------------------- operands --
+
+BitVector Simulator::value_of(const ProcState& ps, const Operand& o) const {
+  switch (o.kind) {
+    case ir::OperandKind::kReg:
+      return ps.regs[o.reg];
+    case ir::OperandKind::kImm:
+      return o.imm;
+    case ir::OperandKind::kNone:
+      break;
+  }
+  HLSAV_UNREACHABLE("value_of on empty operand");
+}
+
+bool Simulator::pred_active(const ProcState& ps, const Op& op) const {
+  if (op.pred.is_none()) return true;
+  bool v = value_of(ps, op.pred).any();
+  return op.pred_negated ? !v : v;
+}
+
+BitVector Simulator::eval_bin_op(const ProcState& ps, const Op& op) const {
+  BitVector a = value_of(ps, op.args[0]);
+  BitVector b = value_of(ps, op.args[1]);
+  if (opt_.mode == SimMode::kHardware) {
+    // Translation-fault injection: erroneously narrowed comparison
+    // (unsigned, as in the Impulse-C bug the paper reports).
+    unsigned w = opt_.faults.narrow_width(ps.proc->name, op);
+    if (w != 0 && w < a.width()) {
+      a = a.trunc(w);
+      b = b.trunc(w);
+      ir::BinKind k = op.bin;
+      switch (k) {  // signed compares degrade to unsigned at the narrow width
+        case ir::BinKind::kCmpLtS: k = ir::BinKind::kCmpLtU; break;
+        case ir::BinKind::kCmpLeS: k = ir::BinKind::kCmpLeU; break;
+        default: break;
+      }
+      return ir::eval_bin(k, a, b);
+    }
+  }
+  return ir::eval_bin(op.bin, a, b);
+}
+
+// ------------------------------------------------------------ streams --
+
+bool Simulator::try_stream_read(ProcState& ps, const Op& op, std::uint64_t at) {
+  StreamState& st = streams_[op.stream];
+  if (st.fifo.empty()) {
+    ps.blocked = true;
+    ps.blocked_at = op.loc;
+    ps.blocked_why = "stream_read on '" + design_.stream(op.stream).name + "' (empty)";
+    return false;
+  }
+  FifoEntry e = std::move(st.fifo.front());
+  st.fifo.pop_front();
+  if (e.time > at) {
+    // The producer delivered later than this process's clock: stall.
+    std::uint64_t stall = e.time - at;
+    ps.block_entry_cycle += stall;
+    if (ps.pipe) ps.pipe->start_cycle += stall;
+  }
+  ps.regs[op.dest] = std::move(e.value);
+  return true;
+}
+
+bool Simulator::try_stream_write(ProcState& ps, const Op& op, std::uint64_t at) {
+  StreamState& st = streams_[op.stream];
+  const ir::Stream& s = design_.stream(op.stream);
+  if (!st.cpu_consumer && st.fifo.size() >= s.depth) {
+    ps.blocked = true;
+    ps.blocked_at = op.loc;
+    ps.blocked_why = "stream_write on '" + s.name + "' (full)";
+    return false;
+  }
+  // Data crosses the channel one cycle after the send issues.
+  st.fifo.push_back(FifoEntry{value_of(ps, op.args[0]), at + 1});
+  return true;
+}
+
+void Simulator::push_stream(ir::StreamId id, BitVector value, std::uint64_t at) {
+  streams_[id].fifo.push_back(FifoEntry{std::move(value), at});
+}
+
+// --------------------------------------------------------- assertions --
+
+void Simulator::direct_assert_failure(std::uint32_t id, std::uint64_t at) {
+  if (notify_.on_direct(id, at)) halt_ = true;
+}
+
+void Simulator::fail_wire(std::uint32_t id, std::uint64_t at) {
+  const ir::AssertionRecord* rec = design_.find_assertion(id);
+  HLSAV_CHECK(rec != nullptr && rec->fail_stream != ir::kNoStream,
+              "fail wire without a collector stream");
+  std::uint64_t word = std::uint64_t{1} << rec->fail_bit;
+  const ir::Stream& s = design_.stream(rec->fail_stream);
+  push_stream(rec->fail_stream, BitVector::from_u64(s.width, word), at);
+}
+
+void Simulator::eval_checker(const ir::AssertionRecord& rec,
+                             const std::vector<BitVector>& inputs, std::uint64_t at) {
+  const ir::Process* chk = design_.find_process(rec.checker_process);
+  HLSAV_CHECK(chk != nullptr, "missing checker process " + rec.checker_process);
+
+  // Fresh register file per evaluation; set the tapped inputs.
+  std::vector<BitVector> regs;
+  regs.reserve(chk->regs.size());
+  for (const ir::Register& r : chk->regs) regs.emplace_back(r.width);
+  HLSAV_CHECK(inputs.size() == rec.checker_inputs.size(), "tap arity mismatch");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    regs[rec.checker_inputs[i]] = inputs[i];
+  }
+
+  auto val = [&regs](const Operand& o) -> BitVector {
+    return o.is_reg() ? regs[o.reg] : o.imm;
+  };
+
+  // Grouped checkers evaluate only this assertion's sub-block.
+  ir::BlockId block_id = rec.checker_block != ir::kNoBlock ? rec.checker_block : chk->entry;
+  const BasicBlock& b = chk->block(block_id);
+  for (const Op& op : b.ops) {
+    switch (op.kind) {
+      case OpKind::kBin:
+        regs[op.dest] = ir::eval_bin(op.bin, val(op.args[0]), val(op.args[1]));
+        break;
+      case OpKind::kUn:
+        regs[op.dest] = ir::eval_un(op.un, val(op.args[0]));
+        break;
+      case OpKind::kCopy:
+        regs[op.dest] = val(op.args[0]);
+        break;
+      case OpKind::kResize: {
+        bool sgn = op.resize == ir::ResizeKind::kSext;
+        regs[op.dest] = val(op.args[0]).resize(chk->reg(op.dest).width, sgn);
+        break;
+      }
+      case OpKind::kLoad: {
+        std::uint64_t idx = val(op.args[0]).to_u64();
+        const auto& mem = memories_[op.mem];
+        regs[op.dest] = idx < mem.size() ? mem[idx] : BitVector(design_.memory(op.mem).width);
+        break;
+      }
+      case OpKind::kCallExtern: {
+        const ExternRegistry::Fn* fn = extern_fn(op.callee);
+        HLSAV_CHECK(fn != nullptr, "unbound extern function '" + op.callee + "'");
+        std::vector<BitVector> args;
+        for (const Operand& a : op.args) args.push_back(val(a));
+        regs[op.dest] = (*fn)(args).resize(chk->reg(op.dest).width, false);
+        break;
+      }
+      case OpKind::kStreamWrite: {
+        // The checker's failure send: predicated on the (negated)
+        // condition. The +1 models the checker's notification latency,
+        // which never stalls the application (paper §3.3).
+        bool active = true;
+        if (!op.pred.is_none()) {
+          bool v = val(op.pred).any();
+          active = op.pred_negated ? !v : v;
+        }
+        if (active) push_stream(op.stream, val(op.args[0]), at + 1);
+        break;
+      }
+      case OpKind::kAssertFailWire: {
+        if (!val(op.args[0]).any()) fail_wire(op.assert_id, at + 1);
+        break;
+      }
+      default:
+        internal_error("sim", 0, "unexpected op in checker process");
+    }
+  }
+}
+
+// ------------------------------------------------------------ op exec --
+
+bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
+  if (!pred_active(ps, op)) return true;
+  if (opt_.trace && trace_.size() < opt_.trace_limit) {
+    trace_.push_back(TraceEvent{at, ps.proc->name, op.kind, op.loc});
+  }
+  switch (op.kind) {
+    case OpKind::kBin:
+      ps.regs[op.dest] = eval_bin_op(ps, op);
+      return true;
+    case OpKind::kUn:
+      ps.regs[op.dest] = ir::eval_un(op.un, value_of(ps, op.args[0]));
+      return true;
+    case OpKind::kCopy:
+      ps.regs[op.dest] = value_of(ps, op.args[0]);
+      return true;
+    case OpKind::kResize: {
+      bool sgn = op.resize == ir::ResizeKind::kSext;
+      ps.regs[op.dest] = value_of(ps, op.args[0]).resize(ps.proc->reg(op.dest).width, sgn);
+      return true;
+    }
+    case OpKind::kLoad: {
+      std::uint64_t idx = value_of(ps, op.args[0]).to_u64();
+      const auto& mem = memories_[op.mem];
+      // Out-of-range addresses read X in hardware; model as zero.
+      ps.regs[op.dest] = idx < mem.size() ? mem[idx] : BitVector(design_.memory(op.mem).width);
+      return true;
+    }
+    case OpKind::kStore: {
+      std::uint64_t idx = value_of(ps, op.args[0]).to_u64();
+      auto& mem = memories_[op.mem];
+      if (idx < mem.size()) mem[idx] = value_of(ps, op.args[1]);
+      return true;
+    }
+    case OpKind::kStreamRead:
+      return try_stream_read(ps, op, at);
+    case OpKind::kStreamWrite:
+      return try_stream_write(ps, op, at);
+    case OpKind::kCallExtern: {
+      const ExternRegistry::Fn* fn = extern_fn(op.callee);
+      HLSAV_CHECK(fn != nullptr, "unbound extern function '" + op.callee + "'");
+      std::vector<BitVector> args;
+      for (const Operand& a : op.args) args.push_back(value_of(ps, a));
+      ps.regs[op.dest] = (*fn)(args).resize(ps.proc->reg(op.dest).width, false);
+      return true;
+    }
+    case OpKind::kAssert: {
+      // Direct evaluation: software simulation / pre-synthesis designs.
+      if (!value_of(ps, op.args[0]).any()) direct_assert_failure(op.assert_id, at);
+      return true;
+    }
+    case OpKind::kAssertTap: {
+      const ir::AssertionRecord* rec = design_.find_assertion(op.assert_id);
+      HLSAV_CHECK(rec != nullptr, "tap without assertion record");
+      std::vector<BitVector> inputs;
+      for (const Operand& a : op.args) inputs.push_back(value_of(ps, a));
+      eval_checker(*rec, inputs, at);
+      return true;
+    }
+    case OpKind::kAssertFailWire: {
+      if (!value_of(ps, op.args[0]).any()) fail_wire(op.assert_id, at + 1);
+      return true;
+    }
+    case OpKind::kAssertCycles: {
+      // Timing assertion: cycles elapsed since the previous marker in
+      // this process (or process start) must not exceed the budget.
+      std::uint64_t elapsed = at >= ps.cycle_marker ? at - ps.cycle_marker : 0;
+      ps.cycle_marker = at;
+      if (elapsed > op.cycle_bound) {
+        const ir::AssertionRecord* rec = design_.find_assertion(op.assert_id);
+        if (rec != nullptr && rec->fail_stream != ir::kNoStream &&
+            design_.stream(rec->fail_stream).role == ir::StreamRole::kAssertPacked) {
+          fail_wire(op.assert_id, at + 1);
+        } else if (rec != nullptr && rec->fail_stream != ir::kNoStream) {
+          push_stream(rec->fail_stream,
+                      BitVector::from_u64(design_.stream(rec->fail_stream).width,
+                                          rec->fail_code),
+                      at + 1);
+        } else {
+          direct_assert_failure(op.assert_id, at);
+        }
+      }
+      return true;
+    }
+  }
+  HLSAV_UNREACHABLE("bad op kind");
+}
+
+// -------------------------------------------------------- block stepping --
+
+void Simulator::advance_to_block(ProcState& ps, ir::BlockId next) {
+  ps.cur = next;
+  ps.op_idx = 0;
+  ps.block_entry_cycle = ps.cycle;
+  // Entering the header of a pipelined loop switches to pipeline mode.
+  for (const ir::LoopInfo& l : ps.proc->loops) {
+    if (l.pipelined && l.header == next) {
+      ps.pipe = PipeCtx{&l, 0, ps.cycle};
+      return;
+    }
+  }
+  ps.pipe.reset();
+}
+
+bool Simulator::run_sequential_block(ProcState& ps) {
+  const BasicBlock& b = ps.proc->block(ps.cur);
+  const sched::BlockSchedule& bs = ps.sched->of(ps.cur);
+  bool progress = false;
+  while (ps.op_idx < b.ops.size()) {
+    const Op& op = b.ops[ps.op_idx];
+    std::uint64_t at = ps.block_entry_cycle +
+                       (ps.op_idx < bs.op_state.size() ? bs.op_state[ps.op_idx] : 0);
+    if (!exec_op(ps, op, at)) return progress;
+    ++ps.op_idx;
+    progress = true;
+  }
+  ps.cycle = ps.block_entry_cycle + bs.num_states;
+  switch (b.term.kind) {
+    case ir::TermKind::kJump:
+      advance_to_block(ps, b.term.on_true);
+      break;
+    case ir::TermKind::kBranch:
+      advance_to_block(ps, value_of(ps, b.term.cond).any() ? b.term.on_true : b.term.on_false);
+      break;
+    case ir::TermKind::kReturn:
+      ps.done = true;
+      break;
+  }
+  return true;
+}
+
+bool Simulator::run_pipelined_loop(ProcState& ps) {
+  PipeCtx& pc = *ps.pipe;
+  const ir::LoopInfo& loop = *pc.loop;
+  const BasicBlock& header = ps.proc->block(loop.header);
+  const BasicBlock& body = ps.proc->block(loop.body);
+  const sched::BlockSchedule& bs = ps.sched->of(loop.body);
+  const std::size_t h = header.ops.size();
+  bool progress = false;
+
+  while (true) {
+    std::uint64_t iter_base = pc.start_cycle + pc.iter * bs.ii;
+    if (iter_base > opt_.max_cycles) {
+      ps.blocked = true;
+      ps.blocked_at = loop.loc;
+      ps.blocked_why = "cycle limit exceeded in pipelined loop";
+      return progress;
+    }
+    // Header ops, then the loop test.
+    while (ps.op_idx < h) {
+      std::uint64_t at = iter_base + (ps.op_idx < bs.header_op_state.size()
+                                          ? bs.header_op_state[ps.op_idx]
+                                          : 0);
+      if (!exec_op(ps, header.ops[ps.op_idx], at)) return progress;
+      ++ps.op_idx;
+      progress = true;
+    }
+    if (ps.op_idx == h) {
+      bool taken = value_of(ps, header.term.cond).any();
+      if (!taken) {
+        std::uint64_t n = pc.iter;
+        ps.cycle = n == 0 ? pc.start_cycle + 1 : pc.start_cycle + bs.latency + (n - 1) * bs.ii;
+        ps.pipe.reset();
+        advance_to_block(ps, loop.exit);
+        return true;
+      }
+      ++ps.op_idx;  // proceed into the body
+      progress = true;
+    }
+    while (ps.op_idx - h - 1 < body.ops.size()) {
+      std::size_t j = ps.op_idx - h - 1;
+      std::uint64_t at = iter_base + (j < bs.op_state.size() ? bs.op_state[j] : 0);
+      if (!exec_op(ps, body.ops[j], at)) return progress;
+      ++ps.op_idx;
+      progress = true;
+    }
+    ++pc.iter;
+    ps.op_idx = 0;
+    if (halt_) return true;
+  }
+}
+
+bool Simulator::step_process(ProcState& ps) {
+  bool progress = false;
+  while (!ps.done && !ps.blocked && !halt_) {
+    if (ps.cycle > opt_.max_cycles) {
+      ps.blocked = true;
+      ps.blocked_at = {};
+      ps.blocked_why = "cycle limit exceeded";
+      return progress;
+    }
+    bool p = ps.pipe ? run_pipelined_loop(ps) : run_sequential_block(ps);
+    progress |= p;
+    if (!p) break;
+  }
+  return progress;
+}
+
+RunResult Simulator::run() {
+  bool progress = true;
+  while (progress && !halt_) {
+    progress = false;
+    for (ProcState& ps : procs_) {
+      if (ps.done) continue;
+      bool was_limited = ps.blocked && ps.blocked_why.find("cycle limit") != std::string::npos;
+      if (was_limited) continue;
+      ps.blocked = false;
+      progress |= step_process(ps);
+      drain_cpu_streams();
+      if (halt_) break;
+    }
+  }
+  drain_cpu_streams();
+
+  RunResult result;
+  result.failures = notify_.failures();
+  for (const ProcState& ps : procs_) result.cycles = std::max(result.cycles, ps.cycle);
+  if (halt_) {
+    result.status = RunStatus::kAborted;
+    return result;
+  }
+  bool all_done = std::all_of(procs_.begin(), procs_.end(),
+                              [](const ProcState& p) { return p.done; });
+  if (all_done) {
+    result.status = RunStatus::kCompleted;
+    return result;
+  }
+  result.status = RunStatus::kHung;
+  std::ostringstream os;
+  os << "application hang: no process can make progress\n";
+  for (const ProcState& ps : procs_) {
+    if (ps.done) continue;
+    os << "  process '" << ps.proc->name << "' stuck";
+    if (ps.blocked_at.valid()) os << " at line " << ps.blocked_at.line;
+    if (!ps.blocked_why.empty()) os << ": " << ps.blocked_why;
+    os << " (cycle " << ps.cycle << ")\n";
+  }
+  result.hang_report = os.str();
+  return result;
+}
+
+void Simulator::drain_cpu_streams() {
+  for (const ir::Stream& s : design_.streams) {
+    StreamState& st = streams_[s.id];
+    if (!st.cpu_consumer) continue;
+    while (!st.fifo.empty()) {
+      if (halt_) return;  // the abort stops the channel; later words are lost
+      FifoEntry e = std::move(st.fifo.front());
+      st.fifo.pop_front();
+      // All CPU-bound words share one physical channel (paper §3):
+      // serialize delivery slots.
+      std::uint64_t delivered = e.time;
+      if (opt_.model_channel_mux) {
+        delivered = std::max(e.time, channel_busy_until_ + 1);
+        channel_busy_until_ = delivered;
+      }
+      bool is_assert_stream = s.role == ir::StreamRole::kAssertFail ||
+                              s.role == ir::StreamRole::kAssertPacked;
+      if (is_assert_stream) {
+        if (notify_.on_word(s.id, e.value.to_u64(), delivered)) halt_ = true;
+      } else {
+        st.cpu_received.push_back(std::move(e.value));
+      }
+    }
+  }
+}
+
+std::string Simulator::render_trace(const SourceManager* sm) const {
+  std::ostringstream os;
+  for (const TraceEvent& e : trace_) {
+    os << "[" << e.cycle << "] " << e.process << ": " << ir::op_kind_name(e.kind);
+    if (e.loc.valid()) {
+      os << " @ ";
+      if (sm != nullptr) os << sm->name(e.loc.file) << ":";
+      os << "line " << e.loc.line;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+const ExternRegistry::Fn* Simulator::extern_fn(const std::string& name) const {
+  return opt_.mode == SimMode::kSoftware ? externs_.c_model(name) : externs_.hdl_model(name);
+}
+
+RunResult simulate(const ir::Design& design, const ExternRegistry& externs,
+                   const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                   SimOptions options) {
+  sched::DesignSchedule schedule = sched::schedule_design(design);
+  Simulator sim(design, schedule, externs, options);
+  for (const auto& [name, values] : feeds) sim.feed(name, values);
+  return sim.run();
+}
+
+}  // namespace hlsav::sim

@@ -1,0 +1,203 @@
+// Design simulator.
+//
+// Two modes sharing one interpreter core:
+//
+//  * kSoftware -- the paper's "software simulation": source semantics,
+//    C models for external HDL functions, no translation faults, assert
+//    statements evaluated directly. Run it on the design *before*
+//    assertion synthesis.
+//
+//  * kHardware -- in-circuit execution: the synthesized design (after
+//    assertions::synthesize), HDL behaviours for external functions,
+//    translation-fault injection active, and cycle accounting driven by
+//    the schedule (sequential blocks charge their FSM states; pipelined
+//    loops charge latency + (n-1) * rate; blocking stream handshakes
+//    stall with timestamped FIFO entries).
+//
+// Processes run cooperatively: each has a local clock; a blocked stream
+// op suspends the process until the peer makes progress. If no process
+// can make progress and the application has not completed, the run is
+// reported as a hang together with each stuck process's source position
+// -- this is what the paper's §5.1 assert(0)/NABORT tracing example
+// diagnoses.
+//
+// Failure streams are drained into the assertions::NotificationFunction,
+// which renders the ANSI-C message and halts the run unless NABORT.
+// Checker processes are evaluated reactively when the application
+// executes their kAssertTap (their latency only delays notification,
+// exactly as the paper argues), and collector processes forward packed
+// failure words.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assertions/notify.h"
+#include "ir/ir.h"
+#include "sched/schedule.h"
+#include "sim/extern_registry.h"
+#include "sim/fault.h"
+
+namespace hlsav::sim {
+
+enum class SimMode { kSoftware, kHardware };
+
+struct SimOptions {
+  SimMode mode = SimMode::kHardware;
+  /// Stop and report a hang after this many cycles on any local clock.
+  std::uint64_t max_cycles = 50'000'000;
+  /// Model the paper's single time-multiplexed physical CPU channel:
+  /// words bound for the CPU deliver one per cycle, in arrival order,
+  /// so a failure notification can be delayed behind data traffic (the
+  /// paper argues this never stalls the application -- and it doesn't:
+  /// only CPU-side delivery stamps shift).
+  bool model_channel_mux = true;
+  /// Record an execution trace (per-op events, capped at trace_limit).
+  bool trace = false;
+  std::size_t trace_limit = 100'000;
+  FaultInjection faults;
+};
+
+/// One traced op execution (trace mode). The closest thing the flow has
+/// to a waveform: which process executed what, when, and from which
+/// source line.
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  std::string process;
+  ir::OpKind kind = ir::OpKind::kCopy;
+  SourceLoc loc;
+};
+
+enum class RunStatus : std::uint8_t {
+  kCompleted,  // every application process returned
+  kAborted,    // halted by an assertion failure (NABORT off)
+  kHung,       // deadlock or cycle limit: some process never finished
+};
+
+struct RunResult {
+  RunStatus status = RunStatus::kCompleted;
+  std::uint64_t cycles = 0;  // max local clock over application processes
+  std::vector<assertions::Failure> failures;
+  std::string hang_report;  // per-process stuck positions when kHung
+
+  [[nodiscard]] bool completed() const { return status == RunStatus::kCompleted; }
+};
+
+class Simulator {
+ public:
+  Simulator(const ir::Design& design, const sched::DesignSchedule& schedule,
+            const ExternRegistry& externs, SimOptions options = {});
+
+  /// Feeds CPU-producer data into the named stream (values are truncated
+  /// to the stream width).
+  void feed(std::string_view stream_name, const std::vector<std::uint64_t>& values);
+  void feed(ir::StreamId stream, const std::vector<std::uint64_t>& values);
+
+  /// Runs to completion / abort / hang.
+  [[nodiscard]] RunResult run();
+
+  /// Values received by the CPU on the named data stream (valid after run).
+  [[nodiscard]] std::vector<std::uint64_t> received(std::string_view stream_name) const;
+
+  /// Sink invoked on each assertion failure as it is decoded.
+  void set_failure_sink(assertions::NotificationFunction::Sink sink) {
+    notify_.set_sink(std::move(sink));
+  }
+
+  /// Execution trace (only populated with SimOptions::trace).
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const { return trace_; }
+  /// Renders the trace, one event per line.
+  [[nodiscard]] std::string render_trace(const SourceManager* sm = nullptr) const;
+
+ private:
+  struct FifoEntry {
+    BitVector value;
+    std::uint64_t time = 0;
+  };
+
+  struct StreamState {
+    std::deque<FifoEntry> fifo;
+    std::vector<BitVector> cpu_received;
+    bool cpu_producer = false;
+    bool cpu_consumer = false;
+  };
+
+  struct PipeCtx {
+    const ir::LoopInfo* loop = nullptr;
+    std::uint64_t iter = 0;
+    std::uint64_t start_cycle = 0;
+  };
+
+  struct ProcState {
+    const ir::Process* proc = nullptr;
+    const sched::ProcessSchedule* sched = nullptr;
+    ir::BlockId cur = ir::kNoBlock;
+    std::size_t op_idx = 0;
+    std::uint64_t cycle = 0;             // local clock
+    std::uint64_t block_entry_cycle = 0; // local clock at block entry
+    std::vector<BitVector> regs;
+    std::optional<PipeCtx> pipe;
+    /// Local time of the last assert_cycles marker (timing assertions).
+    std::uint64_t cycle_marker = 0;
+    bool done = false;
+    bool blocked = false;
+    SourceLoc blocked_at;
+    std::string blocked_why;
+  };
+
+  const ir::Design& design_;
+  const sched::DesignSchedule& schedule_;
+  const ExternRegistry& externs_;
+  SimOptions opt_;
+  assertions::NotificationFunction notify_;
+
+  std::vector<StreamState> streams_;
+  std::vector<std::vector<BitVector>> memories_;
+  std::vector<ProcState> procs_;
+  bool halt_ = false;
+  /// Last delivery slot used on the multiplexed physical CPU channel.
+  std::uint64_t channel_busy_until_ = 0;
+  std::vector<TraceEvent> trace_;
+
+  [[nodiscard]] ir::StreamId stream_by_name(std::string_view name) const;
+  void init_state();
+
+  /// Runs one process until it blocks, finishes or the design halts.
+  /// Returns true if it made progress.
+  bool step_process(ProcState& ps);
+  /// Executes ops of a sequential block starting at ps.op_idx; returns
+  /// false if blocked.
+  bool run_sequential_block(ProcState& ps);
+  bool run_pipelined_loop(ProcState& ps);
+  void advance_to_block(ProcState& ps, ir::BlockId next);
+
+  /// Executes one op functionally at local time `at`. Returns false if
+  /// blocked on a stream (state untouched).
+  bool exec_op(ProcState& ps, const ir::Op& op, std::uint64_t at);
+
+  [[nodiscard]] BitVector value_of(const ProcState& ps, const ir::Operand& o) const;
+  [[nodiscard]] bool pred_active(const ProcState& ps, const ir::Op& op) const;
+  [[nodiscard]] BitVector eval_bin_op(const ProcState& ps, const ir::Op& op) const;
+
+  bool try_stream_read(ProcState& ps, const ir::Op& op, std::uint64_t at);
+  bool try_stream_write(ProcState& ps, const ir::Op& op, std::uint64_t at);
+  void push_stream(ir::StreamId id, BitVector value, std::uint64_t at);
+
+  void direct_assert_failure(std::uint32_t id, std::uint64_t at);
+  void eval_checker(const ir::AssertionRecord& rec, const std::vector<BitVector>& inputs,
+                    std::uint64_t at);
+  void fail_wire(std::uint32_t id, std::uint64_t at);
+  void drain_cpu_streams();
+
+  [[nodiscard]] const ExternRegistry::Fn* extern_fn(const std::string& name) const;
+};
+
+/// Convenience: schedule + simulate in one call.
+[[nodiscard]] RunResult simulate(const ir::Design& design, const ExternRegistry& externs,
+                                 const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                                 SimOptions options = {});
+
+}  // namespace hlsav::sim

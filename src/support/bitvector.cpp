@@ -1,0 +1,344 @@
+#include "support/bitvector.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace hlsav {
+
+void BitVector::check_width(unsigned w) {
+  HLSAV_CHECK(w >= 1 && w <= kMaxWidth, "BitVector width out of range");
+}
+
+void BitVector::check_same(const BitVector& rhs) const {
+  HLSAV_CHECK(width_ == rhs.width_, "BitVector width mismatch");
+}
+
+BitVector::BitVector(unsigned width) : width_(width) { check_width(width); }
+
+void BitVector::mask_top() {
+  unsigned full = width_ / 64;
+  unsigned rem = width_ % 64;
+  if (rem != 0) {
+    words_[full] &= (~std::uint64_t{0}) >> (64 - rem);
+    ++full;
+  }
+  for (unsigned i = full; i < kWords; ++i) words_[i] = 0;
+}
+
+BitVector BitVector::from_u64(unsigned width, std::uint64_t value) {
+  BitVector v(width);
+  v.words_[0] = value;
+  v.mask_top();
+  return v;
+}
+
+BitVector BitVector::from_i64(unsigned width, std::int64_t value) {
+  BitVector v(width);
+  std::uint64_t u = static_cast<std::uint64_t>(value);
+  v.words_[0] = u;
+  std::uint64_t fill = value < 0 ? ~std::uint64_t{0} : 0;
+  for (unsigned i = 1; i < kWords; ++i) v.words_[i] = fill;
+  v.mask_top();
+  return v;
+}
+
+BitVector BitVector::all_ones(unsigned width) {
+  BitVector v(width);
+  v.words_.fill(~std::uint64_t{0});
+  v.mask_top();
+  return v;
+}
+
+std::int64_t BitVector::to_i64() const {
+  if (width_ >= 64) return static_cast<std::int64_t>(words_[0]);
+  std::uint64_t u = words_[0];
+  if (sign_bit()) u |= (~std::uint64_t{0}) << width_;
+  return static_cast<std::int64_t>(u);
+}
+
+bool BitVector::any() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool BitVector::sign_bit() const { return bit(width_ - 1); }
+
+bool BitVector::bit(unsigned i) const {
+  HLSAV_CHECK(i < width_, "bit index out of range");
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void BitVector::set_bit(unsigned i, bool v) {
+  HLSAV_CHECK(i < width_, "bit index out of range");
+  std::uint64_t mask = std::uint64_t{1} << (i % 64);
+  if (v) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+BitVector BitVector::add(const BitVector& rhs) const {
+  check_same(rhs);
+  BitVector out(width_);
+  unsigned __int128 carry = 0;
+  for (unsigned i = 0; i < kWords; ++i) {
+    unsigned __int128 s = static_cast<unsigned __int128>(words_[i]) + rhs.words_[i] + carry;
+    out.words_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  out.mask_top();
+  return out;
+}
+
+BitVector BitVector::sub(const BitVector& rhs) const { return add(rhs.neg()); }
+
+BitVector BitVector::neg() const { return bnot().add(from_u64(width_, 1)); }
+
+BitVector BitVector::mul(const BitVector& rhs) const {
+  check_same(rhs);
+  BitVector out(width_);
+  // Schoolbook multiply over 64-bit limbs, truncated to the result width.
+  for (unsigned i = 0; i < kWords; ++i) {
+    if (words_[i] == 0) continue;
+    unsigned __int128 carry = 0;
+    for (unsigned j = 0; i + j < kWords; ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(words_[i]) * rhs.words_[j] +
+                              out.words_[i + j] + carry;
+      out.words_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+  out.mask_top();
+  return out;
+}
+
+namespace {
+// Long division on masked word arrays; quotient/remainder via shift-subtract.
+struct DivResult {
+  BitVector quot;
+  BitVector rem;
+};
+
+DivResult udivmod(const BitVector& num, const BitVector& den) {
+  unsigned w = num.width();
+  BitVector q(w);
+  BitVector r(w);
+  for (int i = static_cast<int>(w) - 1; i >= 0; --i) {
+    r = r.shl(1);
+    r.set_bit(0, num.bit(static_cast<unsigned>(i)));
+    if (!r.ult(den)) {
+      r = r.sub(den);
+      q.set_bit(static_cast<unsigned>(i), true);
+    }
+  }
+  return {q, r};
+}
+}  // namespace
+
+BitVector BitVector::udiv(const BitVector& rhs) const {
+  check_same(rhs);
+  if (rhs.is_zero()) return all_ones(width_);
+  return udivmod(*this, rhs).quot;
+}
+
+BitVector BitVector::urem(const BitVector& rhs) const {
+  check_same(rhs);
+  if (rhs.is_zero()) return *this;
+  return udivmod(*this, rhs).rem;
+}
+
+BitVector BitVector::sdiv(const BitVector& rhs) const {
+  check_same(rhs);
+  if (rhs.is_zero()) return all_ones(width_);
+  bool neg_n = sign_bit();
+  bool neg_d = rhs.sign_bit();
+  BitVector n = neg_n ? neg() : *this;
+  BitVector d = neg_d ? rhs.neg() : rhs;
+  BitVector q = udivmod(n, d).quot;
+  return (neg_n != neg_d) ? q.neg() : q;
+}
+
+BitVector BitVector::srem(const BitVector& rhs) const {
+  check_same(rhs);
+  if (rhs.is_zero()) return *this;
+  bool neg_n = sign_bit();
+  BitVector n = neg_n ? neg() : *this;
+  BitVector d = rhs.sign_bit() ? rhs.neg() : rhs;
+  BitVector r = udivmod(n, d).rem;
+  return neg_n ? r.neg() : r;
+}
+
+BitVector BitVector::band(const BitVector& rhs) const {
+  check_same(rhs);
+  BitVector out(width_);
+  for (unsigned i = 0; i < kWords; ++i) out.words_[i] = words_[i] & rhs.words_[i];
+  return out;
+}
+
+BitVector BitVector::bor(const BitVector& rhs) const {
+  check_same(rhs);
+  BitVector out(width_);
+  for (unsigned i = 0; i < kWords; ++i) out.words_[i] = words_[i] | rhs.words_[i];
+  return out;
+}
+
+BitVector BitVector::bxor(const BitVector& rhs) const {
+  check_same(rhs);
+  BitVector out(width_);
+  for (unsigned i = 0; i < kWords; ++i) out.words_[i] = words_[i] ^ rhs.words_[i];
+  return out;
+}
+
+BitVector BitVector::bnot() const {
+  BitVector out(width_);
+  for (unsigned i = 0; i < kWords; ++i) out.words_[i] = ~words_[i];
+  out.mask_top();
+  return out;
+}
+
+BitVector BitVector::shl(unsigned amount) const {
+  BitVector out(width_);
+  if (amount >= width_) return out;
+  unsigned word_shift = amount / 64;
+  unsigned bit_shift = amount % 64;
+  for (int i = kWords - 1; i >= 0; --i) {
+    std::uint64_t v = 0;
+    int src = i - static_cast<int>(word_shift);
+    if (src >= 0) {
+      v = words_[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) v |= words_[src - 1] >> (64 - bit_shift);
+    }
+    out.words_[i] = v;
+  }
+  out.mask_top();
+  return out;
+}
+
+BitVector BitVector::lshr(unsigned amount) const {
+  BitVector out(width_);
+  if (amount >= width_) return out;
+  unsigned word_shift = amount / 64;
+  unsigned bit_shift = amount % 64;
+  for (unsigned i = 0; i < kWords; ++i) {
+    std::uint64_t v = 0;
+    unsigned src = i + word_shift;
+    if (src < kWords) {
+      v = words_[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < kWords) v |= words_[src + 1] << (64 - bit_shift);
+    }
+    out.words_[i] = v;
+  }
+  return out;
+}
+
+BitVector BitVector::ashr(unsigned amount) const {
+  bool s = sign_bit();
+  if (amount >= width_) return s ? all_ones(width_) : BitVector(width_);
+  BitVector out = lshr(amount);
+  if (s) {
+    // Fill the vacated high bits with the sign.
+    for (unsigned i = width_ - amount; i < width_; ++i) out.set_bit(i, true);
+  }
+  return out;
+}
+
+bool BitVector::eq(const BitVector& rhs) const {
+  check_same(rhs);
+  return words_ == rhs.words_;
+}
+
+bool BitVector::ult(const BitVector& rhs) const {
+  check_same(rhs);
+  for (int i = kWords - 1; i >= 0; --i) {
+    if (words_[i] != rhs.words_[i]) return words_[i] < rhs.words_[i];
+  }
+  return false;
+}
+
+bool BitVector::slt(const BitVector& rhs) const {
+  check_same(rhs);
+  bool sa = sign_bit();
+  bool sb = rhs.sign_bit();
+  if (sa != sb) return sa;
+  return ult(rhs);
+}
+
+BitVector BitVector::zext(unsigned new_width) const {
+  check_width(new_width);
+  HLSAV_CHECK(new_width >= width_, "zext must not shrink");
+  BitVector out(new_width);
+  out.words_ = words_;
+  return out;
+}
+
+BitVector BitVector::sext(unsigned new_width) const {
+  check_width(new_width);
+  HLSAV_CHECK(new_width >= width_, "sext must not shrink");
+  BitVector out(new_width);
+  out.words_ = words_;
+  if (sign_bit()) {
+    for (unsigned i = width_; i < new_width; ++i) out.set_bit(i, true);
+  }
+  return out;
+}
+
+BitVector BitVector::trunc(unsigned new_width) const {
+  check_width(new_width);
+  HLSAV_CHECK(new_width <= width_, "trunc must not grow");
+  BitVector out(new_width);
+  out.words_ = words_;
+  out.mask_top();
+  return out;
+}
+
+BitVector BitVector::resize(unsigned new_width, bool is_signed) const {
+  if (new_width == width_) return *this;
+  if (new_width < width_) return trunc(new_width);
+  return is_signed ? sext(new_width) : zext(new_width);
+}
+
+BitVector BitVector::extract(unsigned lo, unsigned w) const {
+  HLSAV_CHECK(lo + w <= width_, "extract out of range");
+  return lshr(lo).trunc(w);
+}
+
+std::string BitVector::to_string_dec(bool is_signed) const {
+  if (width_ <= 64) {
+    return is_signed ? std::to_string(to_i64()) : std::to_string(to_u64());
+  }
+  BitVector v = *this;
+  bool neg_sign = false;
+  if (is_signed && sign_bit()) {
+    neg_sign = true;
+    v = v.neg();
+  }
+  std::string digits;
+  BitVector ten = from_u64(width_, 10);
+  while (v.any()) {
+    DivResult dr = udivmod(v, ten);
+    digits.push_back(static_cast<char>('0' + dr.rem.to_u64()));
+    v = dr.quot;
+  }
+  if (digits.empty()) digits = "0";
+  if (neg_sign) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BitVector::to_string_hex() const {
+  static const char* kHex = "0123456789abcdef";
+  unsigned nibbles = (width_ + 3) / 4;
+  std::string out = "0x";
+  for (int i = static_cast<int>(nibbles) - 1; i >= 0; --i) {
+    unsigned lo = static_cast<unsigned>(i) * 4;
+    unsigned w = std::min(4u, width_ - lo);
+    out.push_back(kHex[extract(lo, w).to_u64()]);
+  }
+  return out;
+}
+
+}  // namespace hlsav

@@ -1,0 +1,105 @@
+// Arbitrary-width two's-complement integer value, 1..256 bits.
+//
+// This is the runtime value type of the HLS-C interpreter, the IR constant
+// folder and the cycle-accurate FSMD simulator. Hardware signals have
+// explicit bit widths; every operation here models the corresponding
+// hardware operator exactly (wrap-around arithmetic, logical/arithmetic
+// shifts, signed/unsigned comparisons at the operand width).
+//
+// Widths of the two operands must match for binary operations; width
+// adaptation is explicit via zext/sext/trunc, mirroring the IR.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace hlsav {
+
+class BitVector {
+ public:
+  static constexpr unsigned kMaxWidth = 256;
+  static constexpr unsigned kWords = kMaxWidth / 64;
+
+  /// Zero value of the given width.
+  explicit BitVector(unsigned width = 1);
+
+  /// Builds from a 64-bit unsigned value, truncating/zero-extending to width.
+  static BitVector from_u64(unsigned width, std::uint64_t value);
+  /// Builds from a 64-bit signed value, truncating/sign-extending to width.
+  static BitVector from_i64(unsigned width, std::int64_t value);
+  /// Builds from a boolean as a width-1 vector.
+  static BitVector from_bool(bool b) { return from_u64(1, b ? 1 : 0); }
+  /// All-ones value of the given width.
+  static BitVector all_ones(unsigned width);
+
+  [[nodiscard]] unsigned width() const { return width_; }
+
+  /// Low 64 bits (zero-extended if the value is narrower).
+  [[nodiscard]] std::uint64_t to_u64() const { return words_[0]; }
+  /// Value sign-extended to 64 bits (for widths <= 64 this is exact).
+  [[nodiscard]] std::int64_t to_i64() const;
+  /// True iff any bit is set.
+  [[nodiscard]] bool any() const;
+  [[nodiscard]] bool is_zero() const { return !any(); }
+  /// Most significant (sign) bit.
+  [[nodiscard]] bool sign_bit() const;
+  [[nodiscard]] bool bit(unsigned i) const;
+  void set_bit(unsigned i, bool v);
+
+  // Arithmetic (operand widths must match; result has the same width).
+  [[nodiscard]] BitVector add(const BitVector& rhs) const;
+  [[nodiscard]] BitVector sub(const BitVector& rhs) const;
+  [[nodiscard]] BitVector mul(const BitVector& rhs) const;
+  [[nodiscard]] BitVector udiv(const BitVector& rhs) const;  // x/0 == all ones
+  [[nodiscard]] BitVector urem(const BitVector& rhs) const;  // x%0 == x
+  [[nodiscard]] BitVector sdiv(const BitVector& rhs) const;
+  [[nodiscard]] BitVector srem(const BitVector& rhs) const;
+  [[nodiscard]] BitVector neg() const;
+
+  // Bitwise.
+  [[nodiscard]] BitVector band(const BitVector& rhs) const;
+  [[nodiscard]] BitVector bor(const BitVector& rhs) const;
+  [[nodiscard]] BitVector bxor(const BitVector& rhs) const;
+  [[nodiscard]] BitVector bnot() const;
+
+  // Shifts; the shift amount is taken modulo nothing: amounts >= width
+  // yield 0 (or all-sign for ashr), matching hardware barrel shifters.
+  [[nodiscard]] BitVector shl(unsigned amount) const;
+  [[nodiscard]] BitVector lshr(unsigned amount) const;
+  [[nodiscard]] BitVector ashr(unsigned amount) const;
+
+  // Comparisons at operand width.
+  [[nodiscard]] bool eq(const BitVector& rhs) const;
+  [[nodiscard]] bool ult(const BitVector& rhs) const;
+  [[nodiscard]] bool ule(const BitVector& rhs) const { return ult(rhs) || eq(rhs); }
+  [[nodiscard]] bool slt(const BitVector& rhs) const;
+  [[nodiscard]] bool sle(const BitVector& rhs) const { return slt(rhs) || eq(rhs); }
+
+  // Width adaptation.
+  [[nodiscard]] BitVector zext(unsigned new_width) const;
+  [[nodiscard]] BitVector sext(unsigned new_width) const;
+  [[nodiscard]] BitVector trunc(unsigned new_width) const;
+  /// zext/sext/trunc as needed to reach new_width.
+  [[nodiscard]] BitVector resize(unsigned new_width, bool is_signed) const;
+
+  /// Extracts bits [lo, lo+w) as a width-w value.
+  [[nodiscard]] BitVector extract(unsigned lo, unsigned w) const;
+
+  [[nodiscard]] std::string to_string_dec(bool is_signed = false) const;
+  [[nodiscard]] std::string to_string_hex() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.width_ == b.width_ && a.words_ == b.words_;
+  }
+
+ private:
+  unsigned width_;
+  std::array<std::uint64_t, kWords> words_{};  // excess bits always zero
+
+  void mask_top();
+  static void check_width(unsigned w);
+  void check_same(const BitVector& rhs) const;
+};
+
+}  // namespace hlsav

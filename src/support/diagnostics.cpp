@@ -1,0 +1,59 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace hlsav {
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::kError) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+namespace {
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+}  // namespace
+
+std::string DiagnosticEngine::render(const Diagnostic& d) const {
+  std::ostringstream os;
+  if (d.loc.valid() && sm_ != nullptr) {
+    os << sm_->name(d.loc.file) << ':' << d.loc.line << ':' << d.loc.column << ": ";
+  }
+  os << severity_name(d.severity) << ": " << d.message;
+  if (d.loc.valid() && sm_ != nullptr) {
+    std::string_view line = sm_->line_text(d.loc.file, d.loc.line);
+    if (!line.empty()) {
+      os << '\n' << "  " << line << '\n' << "  ";
+      for (std::uint32_t i = 1; i < d.loc.column; ++i) {
+        os << (i - 1 < line.size() && line[i - 1] == '\t' ? '\t' : ' ');
+      }
+      os << '^';
+    }
+  }
+  return os.str();
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) os << render(d) << '\n';
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+void internal_error(const char* file, int line, const std::string& message) {
+  std::ostringstream os;
+  os << "internal error at " << file << ':' << line << ": " << message;
+  throw InternalError(os.str());
+}
+
+}  // namespace hlsav

@@ -1,0 +1,69 @@
+// Diagnostic engine shared by the whole compiler pipeline.
+//
+// User-facing errors (syntax, type, synthesis constraints) are reported
+// through a DiagnosticEngine so tools can collect, count and render them;
+// internal invariant violations use HLSAV_CHECK which throws.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/source_manager.h"
+
+namespace hlsav {
+
+enum class Severity { kNote, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics; never throws on user errors. Rendering includes
+/// the offending source line with a caret when a SourceManager is attached.
+class DiagnosticEngine {
+ public:
+  DiagnosticEngine() = default;
+  explicit DiagnosticEngine(const SourceManager* sm) : sm_(sm) {}
+
+  void attach(const SourceManager* sm) { sm_ = sm; }
+
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) { report(Severity::kError, loc, std::move(message)); }
+  void warning(SourceLoc loc, std::string message) { report(Severity::kWarning, loc, std::move(message)); }
+  void note(SourceLoc loc, std::string message) { report(Severity::kNote, loc, std::move(message)); }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// Renders all diagnostics, one per line, with source excerpts.
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::string render(const Diagnostic& d) const;
+
+  void clear();
+
+ private:
+  const SourceManager* sm_ = nullptr;
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+/// Thrown on internal compiler invariant violations (never on user error).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] void internal_error(const char* file, int line, const std::string& message);
+
+}  // namespace hlsav
+
+#define HLSAV_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) ::hlsav::internal_error(__FILE__, __LINE__, (msg));  \
+  } while (0)
+
+#define HLSAV_UNREACHABLE(msg) ::hlsav::internal_error(__FILE__, __LINE__, (msg))

@@ -1,0 +1,52 @@
+#include "support/source_manager.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hlsav {
+
+FileId SourceManager::add_buffer(std::string name, std::string text) {
+  Buffer buf;
+  buf.name = std::move(name);
+  buf.text = std::move(text);
+  buf.line_starts.push_back(0);
+  for (std::size_t i = 0; i < buf.text.size(); ++i) {
+    if (buf.text[i] == '\n') buf.line_starts.push_back(i + 1);
+  }
+  buffers_.push_back(std::move(buf));
+  return static_cast<FileId>(buffers_.size());  // ids are 1-based
+}
+
+FileId SourceManager::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return add_buffer(path, ss.str());
+}
+
+const SourceManager::Buffer* SourceManager::get(FileId id) const {
+  if (id == 0 || id > buffers_.size()) return nullptr;
+  return &buffers_[id - 1];
+}
+
+std::string_view SourceManager::name(FileId id) const {
+  const Buffer* b = get(id);
+  return b ? std::string_view(b->name) : std::string_view("<unknown>");
+}
+
+std::string_view SourceManager::text(FileId id) const {
+  const Buffer* b = get(id);
+  return b ? std::string_view(b->text) : std::string_view();
+}
+
+std::string_view SourceManager::line_text(FileId id, std::uint32_t line) const {
+  const Buffer* b = get(id);
+  if (!b || line == 0 || line > b->line_starts.size()) return {};
+  std::size_t start = b->line_starts[line - 1];
+  std::size_t end = (line < b->line_starts.size()) ? b->line_starts[line] : b->text.size();
+  while (end > start && (b->text[end - 1] == '\n' || b->text[end - 1] == '\r')) --end;
+  return std::string_view(b->text).substr(start, end - start);
+}
+
+}  // namespace hlsav

@@ -1,0 +1,66 @@
+// Source buffers and source locations for the HLS-C frontend.
+//
+// A SourceLoc is a (file, line, column) triple; the SourceManager owns the
+// text of every file handed to the compiler and resolves byte offsets into
+// human-readable positions for diagnostics and for the assertion failure
+// messages the paper requires (file name + line number + function name).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hlsav {
+
+/// Identifies one buffer registered with a SourceManager. 0 is invalid.
+using FileId = std::uint32_t;
+
+/// A resolved position inside a source buffer. Lines and columns are
+/// 1-based; a default-constructed SourceLoc is "unknown".
+struct SourceLoc {
+  FileId file = 0;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return file != 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Half-open range of positions, used for diagnostics underlining.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  [[nodiscard]] bool valid() const { return begin.valid(); }
+};
+
+/// Owns source text. Files are registered once and referenced by FileId.
+class SourceManager {
+ public:
+  /// Registers a buffer under the given (display) name; returns its id.
+  FileId add_buffer(std::string name, std::string text);
+
+  /// Loads a file from disk. Returns 0 on failure.
+  FileId load_file(const std::string& path);
+
+  [[nodiscard]] std::string_view name(FileId id) const;
+  [[nodiscard]] std::string_view text(FileId id) const;
+
+  /// Returns the text of one line (without newline); empty if out of range.
+  [[nodiscard]] std::string_view line_text(FileId id, std::uint32_t line) const;
+
+  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
+
+ private:
+  struct Buffer {
+    std::string name;
+    std::string text;
+    std::vector<std::size_t> line_starts;  // byte offset of each line start
+  };
+  std::vector<Buffer> buffers_;
+
+  [[nodiscard]] const Buffer* get(FileId id) const;
+};
+
+}  // namespace hlsav

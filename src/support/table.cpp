@@ -1,0 +1,77 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace hlsav {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::size_t cols = header_.size();
+  for (const Row& r : rows_) cols = std::max(cols, r.cells.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) width[i] = std::max(width[i], cells[i].size());
+  };
+  measure(header_);
+  for (const Row& r : rows_) {
+    if (!r.is_separator) measure(r.cells);
+  }
+
+  std::ostringstream os;
+  auto emit_sep = [&] {
+    os << '+';
+    for (std::size_t i = 0; i < cols; ++i) os << std::string(width[i] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < cols; ++i) {
+      std::string c = i < cells.size() ? cells[i] : std::string();
+      os << ' ' << c << std::string(width[i] - c.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  emit_sep();
+  if (!header_.empty()) {
+    emit_row(header_);
+    emit_sep();
+  }
+  for (const Row& r : rows_) {
+    if (r.is_separator) {
+      emit_sep();
+    } else {
+      emit_row(r.cells);
+    }
+  }
+  emit_sep();
+  return os.str();
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_count_pct(long long count, double pct, int decimals) {
+  return std::to_string(count) + " (" + fmt_double(pct, decimals) + "%)";
+}
+
+std::string fmt_overhead(long long delta, double pct, int decimals) {
+  std::string s = delta >= 0 ? "+" : "";
+  std::string p = pct >= 0 ? "+" : "";
+  return s + std::to_string(delta) + " (" + p + fmt_double(pct, decimals) + "%)";
+}
+
+}  // namespace hlsav

@@ -1,0 +1,41 @@
+// Plain-text table renderer used by the benchmark harnesses to print
+// the paper's tables (Tables 1-4) and figure series side by side with
+// the measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlsav {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+  /// Appends a data row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+  /// Appends a horizontal separator.
+  void separator();
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+[[nodiscard]] std::string fmt_double(double v, int decimals = 2);
+/// Formats "count (pct%)" like the paper's resource cells.
+[[nodiscard]] std::string fmt_count_pct(long long count, double pct, int decimals = 2);
+/// Formats a signed overhead like "+174 (+0.12%)".
+[[nodiscard]] std::string fmt_overhead(long long delta, double pct, int decimals = 2);
+
+}  // namespace hlsav

@@ -1,0 +1,133 @@
+// Edge detection: BMP round trips, golden model sanity, and the HLS-C
+// kernel vs the golden model through the simulator -- including the
+// image-size assertion scenario from the paper's Table 2 case study.
+#include <gtest/gtest.h>
+
+#include "apps/appbuild.h"
+#include "apps/edge.h"
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "sim/simulator.h"
+
+namespace hlsav::apps::edge {
+namespace {
+
+TEST(Bmp, EncodeDecodeRoundTrip) {
+  img::Image im = img::synthetic_image(31, 17, 5);  // odd width: stride padding
+  auto bytes = img::encode_bmp(im);
+  img::Image back = img::decode_bmp(bytes);
+  ASSERT_TRUE(back.valid());
+  EXPECT_EQ(back.width, im.width);
+  EXPECT_EQ(back.height, im.height);
+  EXPECT_EQ(back.pixels, im.pixels);
+}
+
+TEST(Bmp, RejectsGarbage) {
+  EXPECT_FALSE(img::decode_bmp({}).valid());
+  EXPECT_FALSE(img::decode_bmp({'B', 'M', 0, 0}).valid());
+  std::vector<std::uint8_t> not_bmp(200, 0x42);
+  EXPECT_FALSE(img::decode_bmp(not_bmp).valid());
+}
+
+TEST(Bmp, SyntheticImageDeterministic) {
+  img::Image a = img::synthetic_image(16, 16, 3);
+  img::Image b = img::synthetic_image(16, 16, 3);
+  EXPECT_EQ(a.pixels, b.pixels);
+  img::Image c = img::synthetic_image(16, 16, 4);
+  EXPECT_NE(a.pixels, c.pixels);
+}
+
+TEST(EdgeGolden, FlatImageHasNoInteriorEdges) {
+  img::Image flat;
+  flat.width = 16;
+  flat.height = 16;
+  flat.pixels.assign(256, 100);
+  img::Image out = golden_edge(flat);
+  // Away from the warm-up border the response must be zero.
+  for (unsigned y = 6; y < 16; ++y) {
+    for (unsigned x = 6; x < 16; ++x) {
+      EXPECT_EQ(out.at(x, y), 0u) << x << "," << y;
+    }
+  }
+}
+
+TEST(EdgeGolden, StepEdgeDetected) {
+  img::Image im;
+  im.width = 20;
+  im.height = 12;
+  im.pixels.assign(20 * 12, 0);
+  for (unsigned y = 0; y < 12; ++y) {
+    for (unsigned x = 10; x < 20; ++x) im.set(x, y, 200);
+  }
+  img::Image out = golden_edge(im);
+  // Response near the vertical step (window center trails by 2).
+  bool found = false;
+  for (unsigned y = 6; y < 12; ++y) {
+    for (unsigned x = 8; x < 15; ++x) found |= out.at(x, y) > 0;
+  }
+  EXPECT_TRUE(found);
+}
+
+struct EdgeHarness {
+  unsigned width;
+  unsigned height;
+  std::unique_ptr<CompiledApp> app;
+  ir::Design design;
+  sched::DesignSchedule schedule;
+  sim::ExternRegistry externs;
+
+  EdgeHarness(unsigned w, unsigned h, const assertions::Options& opt) : width(w), height(h) {
+    app = compile_app("edge_detect", "edge.c", hlsc_source(w, h));
+    design = app->design.clone();
+    assertions::synthesize(design, opt);
+    ir::verify(design);
+    schedule = sched::schedule_design(design);
+  }
+};
+
+TEST(EdgeHlsc, MatchesGoldenModel) {
+  EdgeHarness h(24, 16, assertions::Options::ndebug());
+  img::Image input = img::synthetic_image(24, 16, 11);
+  sim::Simulator s(h.design, h.schedule, h.externs, {});
+  s.feed("edge.in", to_word_stream(input));
+  sim::RunResult r = s.run();
+  ASSERT_EQ(r.status, sim::RunStatus::kCompleted) << r.hang_report;
+  img::Image hw = from_word_stream(s.received("edge.out"), 24, 16);
+  img::Image gold = golden_edge(input);
+  EXPECT_EQ(hw.pixels, gold.pixels);
+}
+
+TEST(EdgeHlsc, SizeAssertionsPassOnMatchingImage) {
+  EdgeHarness h(24, 16, assertions::Options::optimized());
+  img::Image input = img::synthetic_image(24, 16, 2);
+  sim::Simulator s(h.design, h.schedule, h.externs, {});
+  s.feed("edge.in", to_word_stream(input));
+  sim::RunResult r = s.run();
+  EXPECT_EQ(r.status, sim::RunStatus::kCompleted) << r.hang_report;
+  EXPECT_TRUE(r.failures.empty());
+}
+
+TEST(EdgeHlsc, WrongImageSizeTripsAssertion) {
+  // Hardware configured for 24x16, image claims 32x16: the paper's
+  // exact verification scenario.
+  EdgeHarness h(24, 16, assertions::Options::optimized());
+  img::Image wrong = img::synthetic_image(32, 16, 2);
+  sim::Simulator s(h.design, h.schedule, h.externs, {});
+  s.feed("edge.in", to_word_stream(wrong));
+  sim::RunResult r = s.run();
+  EXPECT_EQ(r.status, sim::RunStatus::kAborted);
+  ASSERT_GE(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].message.find("width == 24"), std::string::npos);
+}
+
+TEST(EdgeHlsc, PipelinedInnerLoop) {
+  EdgeHarness h(16, 8, assertions::Options::ndebug());
+  const ir::Process& p = *h.design.find_process("edge");
+  ASSERT_EQ(p.loops.size(), 1u);
+  sched::LoopPerf perf = sched::loop_perf(*h.schedule.find("edge"), p.loops[0].body);
+  // Four line buffers each see one load + one store per pixel: II = 2.
+  EXPECT_EQ(perf.rate, 2u);
+}
+
+}  // namespace
+}  // namespace hlsav::apps::edge

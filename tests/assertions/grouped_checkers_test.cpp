@@ -1,0 +1,136 @@
+// Grouped checkers: the §3.3 extension the paper leaves as future work.
+// One checker process per application process with per-assertion
+// sub-blocks, instead of one process per assertion.
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "fpga/area.h"
+#include "rtl/netlist.h"
+#include "sim/simulator.h"
+
+namespace hlsav::assertions {
+namespace {
+
+using hlsav::testing::compile;
+
+const char* kThreeAssertSrc = R"(
+  void f(stream_in<32> in, stream_out<32> out) {
+    for (uint32 i = 0; i < 4; i++) {
+      uint32 v;
+      v = stream_read(in);
+      assert(v > 0);
+      assert(v < 100);
+      assert(v != 13);
+      stream_write(out, v);
+    }
+  }
+)";
+
+Options grouped() {
+  Options o;
+  o.parallelize = true;
+  o.group_checkers = true;
+  return o;
+}
+
+Options ungrouped() {
+  Options o;
+  o.parallelize = true;
+  return o;
+}
+
+TEST(GroupedCheckers, OneCheckerProcessPerAppProcess) {
+  auto c = compile(kThreeAssertSrc);
+  ir::Design d = c->design.clone();
+  SynthesisReport rep = synthesize(d, grouped());
+  EXPECT_EQ(rep.checker_processes, 1u);
+  ir::verify(d);
+  const ir::Process* chk = d.find_process("chk_f");
+  ASSERT_NE(chk, nullptr);
+  EXPECT_EQ(chk->blocks.size(), 3u);  // one sub-block per assertion
+  // Each record points at its own sub-block of the shared checker.
+  EXPECT_NE(d.assertions[0].checker_block, d.assertions[1].checker_block);
+  EXPECT_EQ(d.assertions[0].checker_process, "chk_f");
+  EXPECT_EQ(d.assertions[2].checker_process, "chk_f");
+}
+
+TEST(GroupedCheckers, UngroupedCreatesThree) {
+  auto c = compile(kThreeAssertSrc);
+  ir::Design d = c->design.clone();
+  SynthesisReport rep = synthesize(d, ungrouped());
+  EXPECT_EQ(rep.checker_processes, 3u);
+}
+
+TEST(GroupedCheckers, FunctionalDetectionUnchanged) {
+  auto c = compile(kThreeAssertSrc);
+  ir::Design d = c->design.clone();
+  synthesize(d, grouped());
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  sim::ExternRegistry ext;
+  {
+    sim::Simulator s(d, sch, ext, {});
+    s.feed("f.in", {5, 6, 7, 8});
+    sim::RunResult r = s.run();
+    EXPECT_EQ(r.status, sim::RunStatus::kCompleted);
+    EXPECT_TRUE(r.failures.empty());
+  }
+  {
+    // The third assertion (v != 13) of the shared checker must fire --
+    // and only that one, proving per-sub-block evaluation.
+    sim::Simulator s(d, sch, ext, {});
+    s.feed("f.in", {5, 13, 7, 8});
+    sim::RunResult r = s.run();
+    EXPECT_EQ(r.status, sim::RunStatus::kAborted);
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_EQ(r.failures[0].assertion_id, 2u);
+    EXPECT_NE(r.failures[0].message.find("v != 13"), std::string::npos);
+  }
+}
+
+TEST(GroupedCheckers, SavesAreaOverUngrouped) {
+  auto c = compile(kThreeAssertSrc);
+  auto area_of = [&](const Options& opt) {
+    ir::Design d = c->design.clone();
+    synthesize(d, opt);
+    ir::verify(d);
+    sched::DesignSchedule sch = sched::schedule_design(d);
+    rtl::Netlist nl = rtl::build_netlist(d, sch);
+    return fpga::estimate_area(nl);
+  };
+  fpga::AreaReport g = area_of(grouped());
+  fpga::AreaReport u = area_of(ungrouped());
+  EXPECT_LT(g.aluts, u.aluts);
+  EXPECT_LT(g.registers, u.registers);
+}
+
+TEST(GroupedCheckers, SharesOneFailureStream) {
+  auto c = compile(kThreeAssertSrc);
+  ir::Design d = c->design.clone();
+  SynthesisReport rep = synthesize(d, grouped());
+  // One stream for the whole grouped checker (vs three ungrouped).
+  EXPECT_EQ(rep.fail_streams_created, 1u);
+  EXPECT_EQ(d.assertions[0].fail_stream, d.assertions[2].fail_stream);
+}
+
+TEST(GroupedCheckers, ComposesWithSharedChannels) {
+  auto c = compile(kThreeAssertSrc);
+  ir::Design d = c->design.clone();
+  Options o = grouped();
+  o.share_channels = true;
+  synthesize(d, o);
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  sim::ExternRegistry ext;
+  sim::Simulator s(d, sch, ext, {});
+  s.feed("f.in", {0, 2, 3, 4});  // first element violates v > 0
+  sim::RunResult r = s.run();
+  EXPECT_EQ(r.status, sim::RunStatus::kAborted);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].assertion_id, 0u);
+}
+
+}  // namespace
+}  // namespace hlsav::assertions

@@ -1,0 +1,418 @@
+// Assertion-synthesis tests.
+//
+// The heart of the reproduction: the Table 3 and Table 4 overheads of the
+// paper must *emerge* from assertion synthesis + scheduling of the
+// micro-kernels, not be hard-coded anywhere.
+#include <gtest/gtest.h>
+
+#include "assertions/notify.h"
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "sched/schedule.h"
+
+namespace hlsav::assertions {
+namespace {
+
+using hlsav::testing::compile;
+
+/// Compiles `src`, applies `opt`, verifies, schedules, and returns the
+/// total FSM state count of process `proc`.
+struct Synthesized {
+  ir::Design design;
+  SynthesisReport report;
+  sched::ProcessSchedule sched;
+};
+
+Synthesized run(const std::string& src, const Options& opt, const std::string& proc = "k") {
+  auto c = compile(src);
+  Synthesized out{c->design.clone(), {}, {}};
+  out.report = synthesize(out.design, opt);
+  ir::verify(out.design);
+  out.sched = sched::schedule_process(out.design, *out.design.find_process(proc), {});
+  return out;
+}
+
+// ------------------------------------------------------------- basics --
+
+TEST(AssertSynth, NdebugStripsEverything) {
+  auto s = run(R"(
+    void k(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      assert(x > 0);
+      stream_write(out, x);
+    }
+  )", Options::ndebug());
+  EXPECT_EQ(s.report.assertions_stripped, 1u);
+  EXPECT_TRUE(s.design.assertions.empty());
+  for (const auto& p : s.design.processes) {
+    for (const auto& b : p->blocks) {
+      for (const auto& op : b.ops) {
+        EXPECT_EQ(op.assert_tag, ir::kNoAssertTag);
+        EXPECT_NE(op.kind, ir::OpKind::kAssert);
+      }
+    }
+  }
+}
+
+TEST(AssertSynth, UnoptimizedCreatesFailStreamAndBranch) {
+  auto s = run(R"(
+    void k(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      assert(x > 0);
+      stream_write(out, x);
+    }
+  )", Options::unoptimized());
+  EXPECT_EQ(s.report.assertions_synthesized, 1u);
+  EXPECT_EQ(s.report.fail_streams_created, 1u);
+  EXPECT_EQ(s.report.checker_processes, 0u);
+  // One kAssertFail stream exists and the record points at it.
+  const ir::AssertionRecord& rec = s.design.assertions[0];
+  EXPECT_NE(rec.fail_stream, ir::kNoStream);
+  EXPECT_EQ(s.design.stream(rec.fail_stream).role, ir::StreamRole::kAssertFail);
+  EXPECT_EQ(rec.fail_code, rec.id);
+  // The process gained a failure branch.
+  const ir::Process& p = *s.design.find_process("k");
+  bool has_fail_write = false;
+  for (const auto& b : p.blocks) {
+    for (const auto& op : b.ops) {
+      if (op.kind == ir::OpKind::kStreamWrite && op.stream == rec.fail_stream) {
+        has_fail_write = true;
+      }
+    }
+  }
+  EXPECT_TRUE(has_fail_write);
+}
+
+TEST(AssertSynth, ParallelizedCreatesChecker) {
+  Options opt;
+  opt.parallelize = true;
+  auto s = run(R"(
+    void k(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      assert(x > 0);
+      stream_write(out, x);
+    }
+  )", opt);
+  EXPECT_EQ(s.report.checker_processes, 1u);
+  const ir::AssertionRecord& rec = s.design.assertions[0];
+  EXPECT_FALSE(rec.checker_process.empty());
+  const ir::Process* chk = s.design.find_process(rec.checker_process);
+  ASSERT_NE(chk, nullptr);
+  EXPECT_EQ(chk->role, ir::ProcessRole::kAssertChecker);
+  ASSERT_EQ(rec.checker_inputs.size(), 1u);
+  // The app kept a zero-cost tap.
+  const ir::Process& p = *s.design.find_process("k");
+  unsigned taps = 0;
+  for (const auto& b : p.blocks) {
+    for (const auto& op : b.ops) {
+      if (op.kind == ir::OpKind::kAssertTap) ++taps;
+    }
+  }
+  EXPECT_EQ(taps, 1u);
+}
+
+TEST(AssertSynth, SharedChannelsCreateCollectors) {
+  Options opt;
+  opt.share_channels = true;
+  opt.channel_width = 2;  // force multiple collectors with 3 assertions
+  auto s = run(R"(
+    void k(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      assert(x > 0);
+      assert(x < 100);
+      assert(x != 13);
+      stream_write(out, x);
+    }
+  )", opt);
+  EXPECT_EQ(s.report.collector_processes, 2u);
+  EXPECT_EQ(s.design.assertions[0].fail_bit, 0u);
+  EXPECT_EQ(s.design.assertions[1].fail_bit, 1u);
+  EXPECT_EQ(s.design.assertions[2].fail_bit, 0u);
+  EXPECT_NE(s.design.assertions[0].fail_stream, s.design.assertions[2].fail_stream);
+  EXPECT_EQ(s.design.stream(s.design.assertions[0].fail_stream).role,
+            ir::StreamRole::kAssertPacked);
+}
+
+TEST(AssertSynth, NabortRecordedOnDesign) {
+  Options opt;
+  opt.nabort = true;
+  auto s = run(R"(
+    void k(stream_in<32> in) {
+      uint32 x;
+      x = stream_read(in);
+      assert(0);
+    }
+  )", opt);
+  EXPECT_TRUE(s.design.continue_on_failure);
+}
+
+TEST(AssertSynth, AssertZeroHasNoInputs) {
+  Options opt;
+  opt.parallelize = true;
+  auto s = run(R"(
+    void k(stream_in<32> in) {
+      uint32 x;
+      x = stream_read(in);
+      assert(0);
+    }
+  )", opt);
+  EXPECT_TRUE(s.design.assertions[0].checker_inputs.empty());
+}
+
+// --------------------------------------- Table 3: non-pipelined latency --
+
+// Micro-kernels mirroring §5.4. The measured quantity is the total FSM
+// state count of the application process; overhead = states(cfg) -
+// states(NDEBUG original).
+
+unsigned states_of(const std::string& src, const Options& opt) {
+  Synthesized s = run(src, opt);
+  // The paper's latency metric: states on the passing path. Failure
+  // branches exist in the FSM (they cost area) but never cost the
+  // application a cycle unless an assertion actually fires.
+  return sched::passing_path_states(*s.design.find_process("k"), s.sched);
+}
+
+const char* kScalarKernel = R"(
+  void k(stream_in<32> in, stream_out<32> out) {
+    uint32 x;
+    x = stream_read(in);
+    uint32 y;
+    y = x + 1;
+    assert(x > 0);
+    stream_write(out, y);
+  }
+)";
+
+TEST(AssertSynthTable3, ScalarUnoptimizedAddsOneState) {
+  unsigned base = states_of(kScalarKernel, Options::ndebug());
+  EXPECT_EQ(states_of(kScalarKernel, Options::unoptimized()), base + 1);
+}
+
+TEST(AssertSynthTable3, ScalarOptimizedAddsNothing) {
+  unsigned base = states_of(kScalarKernel, Options::ndebug());
+  EXPECT_EQ(states_of(kScalarKernel, Options::optimized()), base + 0);
+}
+
+// Non-consecutive: the application last touched `b` several statements
+// before the assertion, and has a port-free state the extraction load can
+// merge into.
+const char* kArrayNonConsecutiveKernel = R"(
+  void k(stream_in<32> in, stream_out<32> out) {
+    uint32 b[8];
+    uint32 c[8];
+    uint32 x;
+    x = stream_read(in);
+    b[0] = x;
+    c[0] = x;
+    uint32 w;
+    w = c[0] + 1;
+    assert(b[1] > 0);
+    stream_write(out, w);
+  }
+)";
+
+TEST(AssertSynthTable3, ArrayNonConsecutiveUnoptimizedAddsOneState) {
+  unsigned base = states_of(kArrayNonConsecutiveKernel, Options::ndebug());
+  EXPECT_EQ(states_of(kArrayNonConsecutiveKernel, Options::unoptimized()), base + 1);
+}
+
+TEST(AssertSynthTable3, ArrayNonConsecutiveOptimizedAddsNothing) {
+  unsigned base = states_of(kArrayNonConsecutiveKernel, Options::ndebug());
+  EXPECT_EQ(states_of(kArrayNonConsecutiveKernel, Options::optimized()), base + 0);
+}
+
+// Consecutive: the application stores to `b` immediately before the
+// assertion reads it, and reads it again right after -- the single
+// application port is busy in every adjacent state.
+const char* kArrayConsecutiveKernel = R"(
+  void k(stream_in<32> in, stream_out<32> out) {
+    uint32 b[8];
+    uint32 x;
+    x = stream_read(in);
+    b[0] = x;
+    assert(b[0] > 0);
+    uint32 y;
+    y = b[1];
+    stream_write(out, y);
+  }
+)";
+
+TEST(AssertSynthTable3, ArrayConsecutiveUnoptimizedAddsTwoStates) {
+  unsigned base = states_of(kArrayConsecutiveKernel, Options::ndebug());
+  EXPECT_EQ(states_of(kArrayConsecutiveKernel, Options::unoptimized()), base + 2);
+}
+
+TEST(AssertSynthTable3, ArrayConsecutiveOptimizedAddsOneState) {
+  unsigned base = states_of(kArrayConsecutiveKernel, Options::ndebug());
+  // Table 3: extraction still needs one state for the port-conflicted
+  // block-RAM read. (Replication is not applied outside pipelines unless
+  // the pragma asks for it.)
+  Options opt;
+  opt.parallelize = true;
+  EXPECT_EQ(states_of(kArrayConsecutiveKernel, opt), base + 1);
+}
+
+// ------------------------------------------ Table 4: pipelined overhead --
+
+sched::LoopPerf perf_of(const std::string& src, const Options& opt) {
+  Synthesized s = run(src, opt);
+  const ir::Process& p = *s.design.find_process("k");
+  EXPECT_EQ(p.loops.size(), 1u);
+  return sched::loop_perf(s.sched, p.loops[0].body);
+}
+
+const char* kPipelinedScalarKernel = R"(
+  void k(stream_in<32> in, stream_out<32> out) {
+    uint32 x;
+    x = stream_read(in);
+    uint32 acc;
+    acc = 0;
+    #pragma HLS pipeline
+    for (uint32 i = 0; i < 64; i++) {
+      uint32 t;
+      t = x * 23 + i;
+      acc = acc + t;
+      assert(t > 0);
+    }
+    stream_write(out, acc);
+  }
+)";
+
+TEST(AssertSynthTable4, PipelinedScalarOriginal) {
+  sched::LoopPerf perf = perf_of(kPipelinedScalarKernel, Options::ndebug());
+  EXPECT_EQ(perf.latency, 2u);
+  EXPECT_EQ(perf.rate, 1u);
+}
+
+TEST(AssertSynthTable4, PipelinedScalarUnoptimized) {
+  // Paper: latency 2 -> 3 (+1), rate 1 -> 2 (the failure send's stream
+  // call halves the throughput).
+  sched::LoopPerf perf = perf_of(kPipelinedScalarKernel, Options::unoptimized());
+  EXPECT_EQ(perf.latency, 3u);
+  EXPECT_EQ(perf.rate, 2u);
+}
+
+TEST(AssertSynthTable4, PipelinedScalarOptimized) {
+  // Paper: all overhead eliminated (2x speedup vs unoptimized).
+  sched::LoopPerf perf = perf_of(kPipelinedScalarKernel, Options::optimized());
+  EXPECT_EQ(perf.latency, 2u);
+  EXPECT_EQ(perf.rate, 1u);
+}
+
+const char* kPipelinedArrayKernel = R"(
+  void k(stream_in<32> in, stream_out<32> out) {
+    uint32 x;
+    x = stream_read(in);
+    uint32 acc;
+    acc = 0;
+    #pragma HLS replicate
+    uint32 b[64];
+    #pragma HLS pipeline
+    for (uint32 i = 0; i < 64; i++) {
+      acc = acc + b[i];
+      b[i] = x + i;
+      assert(b[i] > 0);
+    }
+    stream_write(out, acc);
+  }
+)";
+
+TEST(AssertSynthTable4, PipelinedArrayOriginal) {
+  sched::LoopPerf perf = perf_of(kPipelinedArrayKernel, Options::ndebug());
+  EXPECT_EQ(perf.latency, 2u);
+  EXPECT_EQ(perf.rate, 2u);
+}
+
+TEST(AssertSynthTable4, PipelinedArrayUnoptimized) {
+  // Paper: latency 2 -> 4, rate 2 -> 3 (third port access).
+  sched::LoopPerf perf = perf_of(kPipelinedArrayKernel, Options::unoptimized());
+  EXPECT_EQ(perf.latency, 4u);
+  EXPECT_EQ(perf.rate, 3u);
+}
+
+TEST(AssertSynthTable4, PipelinedArrayOptimizedWithReplication) {
+  // Paper: latency 2 -> 3, rate stays 2 (33% throughput recovery).
+  sched::LoopPerf perf = perf_of(kPipelinedArrayKernel, Options::optimized());
+  EXPECT_EQ(perf.latency, 3u);
+  EXPECT_EQ(perf.rate, 2u);
+}
+
+TEST(AssertSynthTable4, ReplicationCreatesMirroredStores) {
+  Synthesized s = run(kPipelinedArrayKernel, Options::optimized());
+  EXPECT_EQ(s.report.replicas_created, 1u);
+  // One replica memory exists, same shape as the original.
+  const ir::Memory* replica = nullptr;
+  for (const ir::Memory& m : s.design.memories) {
+    if (m.role == ir::MemRole::kReplica) replica = &m;
+  }
+  ASSERT_NE(replica, nullptr);
+  const ir::Memory& orig = s.design.memory(replica->replica_of);
+  EXPECT_EQ(replica->size, orig.size);
+  // Every application store to the original has a mirror to the replica.
+  const ir::Process& p = *s.design.find_process("k");
+  unsigned orig_stores = 0;
+  unsigned mirror_stores = 0;
+  for (const auto& b : p.blocks) {
+    for (const auto& op : b.ops) {
+      if (op.kind != ir::OpKind::kStore) continue;
+      if (op.mem == orig.id) ++orig_stores;
+      if (op.mem == replica->id) ++mirror_stores;
+    }
+  }
+  EXPECT_EQ(orig_stores, mirror_stores);
+  EXPECT_GE(orig_stores, 1u);
+}
+
+// ----------------------------------------------------- stream book-keeping --
+
+TEST(AssertSynth, OneFailStreamPerProcessUnshared) {
+  auto c = compile(R"(
+    void p1(stream_in<32> in) {
+      uint32 x;
+      x = stream_read(in);
+      assert(x > 0);
+      assert(x < 9);
+    }
+    void p2(stream_in<32> in) {
+      uint32 y;
+      y = stream_read(in);
+      assert(y > 0);
+    }
+  )");
+  ir::Design d = c->design.clone();
+  SynthesisReport rep = synthesize(d, Options::unoptimized());
+  EXPECT_EQ(rep.fail_streams_created, 2u);  // one per process
+  ir::verify(d);
+}
+
+TEST(AssertSynth, SharedChannelsReduceStreams) {
+  auto c = compile(R"(
+    void p1(stream_in<32> in) {
+      uint32 x;
+      x = stream_read(in);
+      assert(x > 0);
+      assert(x < 9);
+    }
+    void p2(stream_in<32> in) {
+      uint32 y;
+      y = stream_read(in);
+      assert(y > 0);
+    }
+  )");
+  ir::Design d = c->design.clone();
+  Options opt;
+  opt.share_channels = true;
+  SynthesisReport rep = synthesize(d, opt);
+  EXPECT_EQ(rep.collector_processes, 1u);  // 3 assertions fit one 32-bit word
+  EXPECT_EQ(rep.fail_streams_created, 1u);
+  ir::verify(d);
+}
+
+}  // namespace
+}  // namespace hlsav::assertions

@@ -1,0 +1,165 @@
+// Timing assertions (assert_cycles): the paper's §6 future-work feature.
+// Checks parse/sema/lowering, checker synthesis, the NDEBUG path, and
+// the cycle-simulator semantics (budget met vs exceeded).
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "sim/simulator.h"
+
+namespace hlsav::assertions {
+namespace {
+
+using hlsav::testing::compile;
+
+const char* kTimedSrc = R"(
+  void f(stream_in<32> in, stream_out<32> out) {
+    uint32 n;
+    n = stream_read(in);
+    assert_cycles(2);
+    uint32 acc;
+    acc = 0;
+    for (uint32 i = 0; i < n; i++) {
+      acc = acc + i;
+    }
+    assert_cycles(40);
+    stream_write(out, acc);
+  }
+)";
+
+TEST(TimingAssert, ParsedAndCatalogued) {
+  auto c = compile(kTimedSrc);
+  ASSERT_EQ(c->sema.assertions.size(), 2u);
+  EXPECT_EQ(c->sema.assertions[0].condition_text, "elapsed cycles <= 2");
+  ASSERT_EQ(c->design.assertions.size(), 2u);
+  EXPECT_NE(c->design.assertions[1].failure_message().find("elapsed cycles <= 40"),
+            std::string::npos);
+}
+
+TEST(TimingAssert, BoundMustBeConstant) {
+  auto c = compile(R"(
+    void f(stream_in<32> in) {
+      uint32 n;
+      n = stream_read(in);
+      assert_cycles(n);
+    }
+  )", /*expect_ok=*/false);
+  EXPECT_TRUE(c->diags.has_errors());
+}
+
+TEST(TimingAssert, ConstantExpressionBound) {
+  auto c = compile(R"(
+    void f(stream_in<32> in) {
+      uint32 n;
+      n = stream_read(in);
+      assert_cycles(8 * 4 + 1);
+    }
+  )");
+  const ir::Process& p = *c->design.find_process("f");
+  bool found = false;
+  for (const auto& b : p.blocks) {
+    for (const auto& op : b.ops) {
+      if (op.kind == ir::OpKind::kAssertCycles) {
+        EXPECT_EQ(op.cycle_bound, 33u);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TimingAssert, SynthesisCreatesMicroCheckers) {
+  auto c = compile(kTimedSrc);
+  ir::Design d = c->design.clone();
+  SynthesisReport rep = synthesize(d, Options::unoptimized());
+  EXPECT_EQ(rep.assertions_synthesized, 2u);
+  EXPECT_EQ(rep.checker_processes, 2u);  // one micro-checker per marker
+  ir::verify(d);
+  const ir::AssertionRecord& rec = d.assertions[0];
+  EXPECT_NE(rec.checker_process.find("chk_cyc_"), std::string::npos);
+  EXPECT_NE(rec.fail_stream, ir::kNoStream);
+}
+
+TEST(TimingAssert, NdebugStripsMarkers) {
+  auto c = compile(kTimedSrc);
+  ir::Design d = c->design.clone();
+  synthesize(d, Options::ndebug());
+  for (const auto& p : d.processes) {
+    for (const auto& b : p->blocks) {
+      for (const auto& op : b.ops) EXPECT_NE(op.kind, ir::OpKind::kAssertCycles);
+    }
+  }
+}
+
+TEST(TimingAssert, MarkerCostsNoApplicationStates) {
+  auto c = compile(kTimedSrc);
+  ir::Design with = c->design.clone();
+  synthesize(with, Options::unoptimized());
+  ir::Design without = c->design.clone();
+  synthesize(without, Options::ndebug());
+  sched::ProcessSchedule sw = sched::schedule_process(with, *with.find_process("f"), {});
+  sched::ProcessSchedule so = sched::schedule_process(without, *without.find_process("f"), {});
+  EXPECT_EQ(sched::passing_path_states(*with.find_process("f"), sw),
+            sched::passing_path_states(*without.find_process("f"), so));
+}
+
+struct TimedRun {
+  sim::RunResult result;
+};
+
+TimedRun run_timed(std::uint64_t n, bool nabort = false) {
+  auto c = compile(kTimedSrc);
+  ir::Design d = c->design.clone();
+  Options opt = Options::unoptimized();
+  opt.nabort = nabort;
+  synthesize(d, opt);
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  sim::ExternRegistry ext;
+  sim::Simulator s(d, sch, ext, {});
+  s.feed("f.in", {n});
+  return TimedRun{s.run()};
+}
+
+TEST(TimingAssert, PassesWhenWithinBudget) {
+  // Small loop: the 40-cycle budget between the two markers holds.
+  TimedRun r = run_timed(4);
+  EXPECT_EQ(r.result.status, sim::RunStatus::kCompleted);
+  EXPECT_TRUE(r.result.failures.empty());
+}
+
+TEST(TimingAssert, FailsWhenBudgetExceeded) {
+  // 64 iterations blow the 40-cycle budget: the timing assertion fires.
+  TimedRun r = run_timed(64);
+  EXPECT_EQ(r.result.status, sim::RunStatus::kAborted);
+  ASSERT_EQ(r.result.failures.size(), 1u);
+  EXPECT_NE(r.result.failures[0].message.find("elapsed cycles <= 40"), std::string::npos);
+}
+
+TEST(TimingAssert, NabortReportsAndContinues) {
+  TimedRun r = run_timed(64, /*nabort=*/true);
+  EXPECT_EQ(r.result.status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(r.result.failures.size(), 1u);
+}
+
+TEST(TimingAssert, SharedChannelEncoding) {
+  auto c = compile(kTimedSrc);
+  ir::Design d = c->design.clone();
+  Options opt;
+  opt.share_channels = true;
+  synthesize(d, opt);
+  ir::verify(d);
+  EXPECT_EQ(d.stream(d.assertions[0].fail_stream).role, ir::StreamRole::kAssertPacked);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  sim::ExternRegistry ext;
+  sim::Simulator s(d, sch, ext, {});
+  s.feed("f.in", {64});
+  sim::RunResult r = s.run();
+  EXPECT_EQ(r.status, sim::RunStatus::kAborted);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].assertion_id, 1u);
+}
+
+}  // namespace
+}  // namespace hlsav::assertions

@@ -1,0 +1,53 @@
+// Shared helpers for tests: compile HLS-C source through the full
+// frontend (parse -> sema -> lower) into an ir::Design.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ir/ir.h"
+#include "ir/lower.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace hlsav::testing {
+
+struct Compiled {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  std::unique_ptr<lang::Program> program;
+  lang::SemaResult sema;
+  ir::Design design;
+
+  [[nodiscard]] ir::Process& process(std::string_view name) {
+    ir::Process* p = design.find_process(name);
+    EXPECT_NE(p, nullptr) << "no process " << name;
+    return *p;
+  }
+};
+
+/// Parses, analyzes and lowers `src`. Expects success unless
+/// `expect_ok` is false.
+inline std::unique_ptr<Compiled> compile(const std::string& src, bool expect_ok = true,
+                                         const std::string& file_name = "test.c") {
+  auto c = std::make_unique<Compiled>();
+  c->diags.attach(&c->sm);
+  c->design.name = "test_design";
+  c->program = lang::parse_source(c->sm, c->diags, file_name, src);
+  if (c->diags.has_errors()) {
+    EXPECT_FALSE(expect_ok) << c->diags.render();
+    return c;
+  }
+  c->sema = lang::analyze(*c->program, c->sm, c->diags);
+  if (!c->sema.ok) {
+    EXPECT_FALSE(expect_ok) << c->diags.render();
+    return c;
+  }
+  bool lowered = ir::lower_all_processes(c->design, *c->program, c->sm, c->diags);
+  EXPECT_EQ(lowered, expect_ok) << c->diags.render();
+  return c;
+}
+
+}  // namespace hlsav::testing

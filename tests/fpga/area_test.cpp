@@ -1,0 +1,127 @@
+// Area model tests: monotonicity and the structural facts the paper's
+// deltas depend on (the 576-bit assertion stream, M4K column widths,
+// role-aware process bases).
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "fpga/area.h"
+#include "rtl/netlist.h"
+
+namespace hlsav::fpga {
+namespace {
+
+using hlsav::testing::compile;
+
+rtl::Netlist netlist_of(hlsav::testing::Compiled& c, const assertions::Options& opt) {
+  ir::Design d = c.design.clone();
+  assertions::synthesize(d, opt);
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  return rtl::build_netlist(d, sch);
+}
+
+TEST(AreaModel, M4kColumnRounding) {
+  EXPECT_EQ(m4k_width(1), 9u);
+  EXPECT_EQ(m4k_width(8), 9u);
+  EXPECT_EQ(m4k_width(9), 9u);
+  EXPECT_EQ(m4k_width(16), 18u);
+  EXPECT_EQ(m4k_width(32), 36u);
+  EXPECT_EQ(m4k_width(36), 36u);
+  EXPECT_EQ(m4k_width(64), 72u);
+}
+
+TEST(AreaModel, AssertionStreamCosts576BramBits) {
+  // 16-deep 32-bit FIFO -> 16 * m4k_width(36) = 576: the exact BRAM
+  // delta in the paper's Tables 1 and 2.
+  CostModel m;
+  EXPECT_EQ(static_cast<std::uint64_t>(m.stream_fifo_depth) * m4k_width(32 + 4), 576u);
+}
+
+const char* kSimpleSrc = R"(
+  void f(stream_in<32> in, stream_out<32> out) {
+    uint32 x;
+    x = stream_read(in);
+    assert(x > 0);
+    stream_write(out, x + 1);
+  }
+)";
+
+TEST(AreaModel, AssertionsOnlyAddArea) {
+  auto c = compile(kSimpleSrc);
+  AreaReport base = estimate_area(netlist_of(*c, assertions::Options::ndebug()));
+  AreaReport with = estimate_area(netlist_of(*c, assertions::Options::unoptimized()));
+  EXPECT_GT(with.aluts, base.aluts);
+  EXPECT_GT(with.registers, base.registers);
+  EXPECT_GT(with.bram_bits, base.bram_bits);
+  EXPECT_GT(with.interconnect, base.interconnect);
+  EXPECT_GT(with.logic, base.logic);
+}
+
+TEST(AreaModel, WiderDatapathCostsMore) {
+  auto narrow = compile(R"(
+    void f(stream_in<8> in, stream_out<8> out) {
+      uint8 x;
+      x = stream_read(in);
+      stream_write(out, x + 1);
+    }
+  )");
+  auto wide = compile(R"(
+    void f(stream_in<64> in, stream_out<64> out) {
+      uint64 x;
+      x = stream_read(in);
+      stream_write(out, x + 1);
+    }
+  )");
+  AreaReport n = estimate_area(netlist_of(*narrow, assertions::Options::ndebug()));
+  AreaReport w = estimate_area(netlist_of(*wide, assertions::Options::ndebug()));
+  EXPECT_GT(w.aluts, n.aluts);
+  EXPECT_GT(w.registers, n.registers);
+}
+
+TEST(AreaModel, RomCostsBramNotAluts) {
+  auto with_rom = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      const uint32 lut[64] = {0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+                              0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+                              0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+                              0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15};
+      uint32 k;
+      k = stream_read(in);
+      stream_write(out, lut[k & 63]);
+    }
+  )");
+  AreaReport r = estimate_area(netlist_of(*with_rom, assertions::Options::ndebug()));
+  // 64 x m4k_width(32)=36 bits, plus the two stream FIFOs.
+  EXPECT_GE(r.bram_bits, 64u * 36u);
+}
+
+TEST(AreaModel, PercentagesAgainstEp2s180) {
+  Device d = Device::ep2s180();
+  AreaReport r;
+  r.aluts = 14352;  // exactly 10%
+  EXPECT_DOUBLE_EQ(r.aluts_pct(d), 10.0);
+  r.bram_bits = d.bram_bits;
+  EXPECT_DOUBLE_EQ(r.bram_pct(d), 100.0);
+}
+
+TEST(AreaModel, CheckerProcessesAreCheaperThanApplications) {
+  // The same comparator logic in a checker-role process costs less base
+  // overhead than a full Impulse-C wrapper process.
+  CostModel m;
+  EXPECT_LT(m.alut_assert_proc_base, m.alut_process_base);
+  EXPECT_LT(m.reg_assert_proc_base, m.reg_process_base);
+}
+
+TEST(AreaModel, ToStringMentionsEveryResource) {
+  auto c = compile(kSimpleSrc);
+  AreaReport r = estimate_area(netlist_of(*c, assertions::Options::ndebug()));
+  std::string s = r.to_string(Device::ep2s180());
+  for (const char* key : {"logic", "aluts", "regs", "bram", "interconnect"}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace hlsav::fpga

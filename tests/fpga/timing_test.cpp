@@ -1,0 +1,115 @@
+// Timing (Fmax) model tests: the structural effects Figure 4 depends on.
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "fpga/timing.h"
+#include "rtl/netlist.h"
+
+namespace hlsav::fpga {
+namespace {
+
+using hlsav::testing::compile;
+
+rtl::Netlist netlist_of(hlsav::testing::Compiled& c, const assertions::Options& opt,
+                        const sched::SchedOptions& so = {}) {
+  ir::Design d = c.design.clone();
+  assertions::synthesize(d, opt);
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d, so);
+  return rtl::build_netlist(d, sch);
+}
+
+TimingModel no_noise() {
+  TimingModel m;
+  m.enable_noise = false;
+  return m;
+}
+
+const char* kChainSrc = R"(
+  void f(stream_in<32> in, stream_out<32> out) {
+    uint32 x;
+    x = stream_read(in);
+    stream_write(out, x + 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10 + 11);
+  }
+)";
+
+TEST(TimingModel, DeeperChainingLowersFmax) {
+  auto c = compile(kChainSrc);
+  Device dev = Device::ep2s180();
+  sched::SchedOptions shallow;
+  shallow.chain_depth = 2;
+  sched::SchedOptions deep;
+  deep.chain_depth = 10;
+  TimingReport f_shallow = estimate_fmax(
+      netlist_of(*c, assertions::Options::ndebug(), shallow), dev, no_noise());
+  TimingReport f_deep = estimate_fmax(
+      netlist_of(*c, assertions::Options::ndebug(), deep), dev, no_noise());
+  EXPECT_GT(f_shallow.fmax_mhz, f_deep.fmax_mhz);
+}
+
+TEST(TimingModel, MultiplierSlowsClock) {
+  auto add = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      stream_write(out, x + x);
+    }
+  )");
+  auto mul = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      stream_write(out, x * x);
+    }
+  )");
+  Device dev = Device::ep2s180();
+  TimingReport fa =
+      estimate_fmax(netlist_of(*add, assertions::Options::ndebug()), dev, no_noise());
+  TimingReport fm =
+      estimate_fmax(netlist_of(*mul, assertions::Options::ndebug()), dev, no_noise());
+  EXPECT_GT(fa.fmax_mhz, fm.fmax_mhz);
+}
+
+TEST(TimingModel, GlobalStreamsCongestTheClock) {
+  // One assertion per process adds one CPU-facing failure stream each
+  // (unshared): Fmax must drop relative to the assertion-free design.
+  auto c = compile(R"(
+    void a(stream_in<32> in) { uint32 x; x = stream_read(in); assert(x > 0); }
+    void b(stream_in<32> in) { uint32 x2; x2 = stream_read(in); assert(x2 > 0); }
+    void c(stream_in<32> in) { uint32 x3; x3 = stream_read(in); assert(x3 > 0); }
+    void d(stream_in<32> in) { uint32 x4; x4 = stream_read(in); assert(x4 > 0); }
+  )");
+  Device dev = Device::ep2s180();
+  TimingReport orig =
+      estimate_fmax(netlist_of(*c, assertions::Options::ndebug()), dev, no_noise());
+  TimingReport unopt =
+      estimate_fmax(netlist_of(*c, assertions::Options::unoptimized()), dev, no_noise());
+  EXPECT_GT(orig.congestion_factor, 1.0);
+  EXPECT_GT(unopt.congestion_factor, orig.congestion_factor);
+  EXPECT_GT(orig.fmax_mhz, unopt.fmax_mhz);
+}
+
+TEST(TimingModel, NoiseIsDeterministic) {
+  auto c = compile(kChainSrc);
+  Device dev = Device::ep2s180();
+  rtl::Netlist nl = netlist_of(*c, assertions::Options::ndebug());
+  TimingReport a = estimate_fmax(nl, dev);
+  TimingReport b = estimate_fmax(nl, dev);
+  EXPECT_DOUBLE_EQ(a.fmax_mhz, b.fmax_mhz);
+  EXPECT_EQ(a.noise, b.noise);
+  TimingModel m;
+  EXPECT_LE(std::abs(a.noise), m.noise_amplitude);
+}
+
+TEST(TimingModel, CriticalProcessNamed) {
+  auto c = compile(kChainSrc);
+  rtl::Netlist nl = netlist_of(*c, assertions::Options::ndebug());
+  TimingReport t = estimate_fmax(nl, Device::ep2s180(), no_noise());
+  EXPECT_EQ(t.critical_process, "f");
+  EXPECT_GT(t.critical_path_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace hlsav::fpga

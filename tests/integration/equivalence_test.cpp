@@ -1,0 +1,163 @@
+// Cross-configuration equivalence properties.
+//
+// The core soundness argument of in-circuit ABV is that instrumentation
+// must not change application behaviour (the paper's "transparency").
+// These property tests enforce it mechanically: for a family of
+// generated programs, the application's outputs are identical across
+//  - assertion configurations (NDEBUG / unoptimized / every optimized
+//    combination), as long as no assertion fires, and
+//  - scheduler configurations (chain depth, memory ports, stream-write
+//    occupancy), which may only change cycle counts, never values.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "sim/simulator.h"
+#include "support/str.h"
+
+namespace hlsav {
+namespace {
+
+using assertions::Options;
+using hlsav::testing::compile;
+
+/// Deterministically generates a small stream-processing program:
+/// a mix of arithmetic, array traffic, control flow and assertions that
+/// always hold for inputs in [1, 50].
+std::string generate_program(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::ostringstream os;
+  os << "void f(stream_in<32> in, stream_out<32> out) {\n"
+     << "  uint32 buf[16];\n"
+     << "  uint32 acc;\n"
+     << "  acc = 0;\n"
+     << "  for (uint32 i = 0; i < 8; i++) {\n"
+     << "    uint32 v;\n"
+     << "    v = stream_read(in);\n"
+     << "    assert(v > 0);\n";
+  // A few random arithmetic statements.
+  const char* ops[] = {"+", "^", "|"};
+  for (int s = 0; s < 3; ++s) {
+    os << "    acc = acc " << ops[rng.next_below(3)] << " (v "
+       << (rng.next_below(2) == 0 ? "+" : "^") << " " << 1 + rng.next_below(9) << ");\n";
+  }
+  os << "    buf[i & 15] = acc;\n";
+  if (rng.next_below(2) == 0) {
+    os << "    if (acc > " << 100 + rng.next_below(400) << ") {\n"
+       << "      acc = acc - " << 1 + rng.next_below(50) << ";\n"
+       << "    }\n";
+  }
+  os << "    assert(buf[i & 15] == acc || acc != buf[i & 15] - 0);\n"
+     << "    stream_write(out, acc + buf[i & 15]);\n"
+     << "  }\n"
+     << "}\n";
+  return os.str();
+}
+
+std::vector<std::uint64_t> run_config(const ir::Design& lowered, const Options& aopt,
+                                      const sched::SchedOptions& sopt,
+                                      const std::vector<std::uint64_t>& input,
+                                      sim::RunStatus* status = nullptr) {
+  ir::Design d = lowered.clone();
+  assertions::synthesize(d, aopt);
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d, sopt);
+  sim::ExternRegistry ext;
+  sim::Simulator s(d, sch, ext, {});
+  s.feed("f.in", input);
+  sim::RunResult r = s.run();
+  if (status != nullptr) *status = r.status;
+  EXPECT_EQ(r.status, sim::RunStatus::kCompleted);
+  return s.received("f.out");
+}
+
+class EquivalenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceProperty, OutputsInvariantAcrossAssertionConfigs) {
+  std::string src = generate_program(GetParam());
+  auto c = compile(src);
+  SplitMix64 rng(GetParam() * 7 + 1);
+  std::vector<std::uint64_t> input;
+  for (int i = 0; i < 8; ++i) input.push_back(1 + rng.next_below(50));
+
+  std::vector<std::uint64_t> baseline = run_config(c->design, Options::ndebug(), {}, input);
+  ASSERT_EQ(baseline.size(), 8u);
+
+  std::vector<Options> configs;
+  configs.push_back(Options::unoptimized());
+  configs.push_back(Options::optimized());
+  {
+    Options o;
+    o.parallelize = true;
+    configs.push_back(o);
+  }
+  {
+    Options o;
+    o.share_channels = true;
+    configs.push_back(o);
+  }
+  {
+    Options o;
+    o.parallelize = true;
+    o.group_checkers = true;
+    configs.push_back(o);
+  }
+  for (const Options& o : configs) {
+    EXPECT_EQ(run_config(c->design, o, {}, input), baseline);
+  }
+}
+
+TEST_P(EquivalenceProperty, OutputsInvariantAcrossSchedules) {
+  std::string src = generate_program(GetParam());
+  auto c = compile(src);
+  SplitMix64 rng(GetParam() * 13 + 5);
+  std::vector<std::uint64_t> input;
+  for (int i = 0; i < 8; ++i) input.push_back(1 + rng.next_below(50));
+
+  std::vector<std::uint64_t> baseline =
+      run_config(c->design, Options::optimized(), {}, input);
+
+  for (unsigned chain : {1u, 2u, 8u}) {
+    for (unsigned ports : {1u, 2u}) {
+      sched::SchedOptions so;
+      so.chain_depth = chain;
+      so.mem_ports = ports;
+      EXPECT_EQ(run_config(c->design, Options::optimized(), so, input), baseline)
+          << "chain=" << chain << " ports=" << ports;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+// Latency monotonicity: optimized assertions never cost more passing-path
+// states than unoptimized ones, on the same generated program.
+class LatencyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatencyProperty, OptimizedNeverSlower) {
+  std::string src = generate_program(GetParam());
+  auto c = compile(src);
+  auto states_of = [&](const Options& o) {
+    ir::Design d = c->design.clone();
+    assertions::synthesize(d, o);
+    ir::verify(d);
+    sched::ProcessSchedule s = sched::schedule_process(d, *d.find_process("f"), {});
+    return sched::passing_path_states(*d.find_process("f"), s);
+  };
+  unsigned base = states_of(Options::ndebug());
+  unsigned unopt = states_of(Options::unoptimized());
+  unsigned opt = states_of(Options::optimized());
+  EXPECT_GE(unopt, base);
+  EXPECT_GE(opt, base);
+  EXPECT_LE(opt, unopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencyProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+}  // namespace
+}  // namespace hlsav

@@ -1,0 +1,263 @@
+// IR optimizer tests: folding, copy propagation, DCE, and the safety
+// rules (side effects, assertion slices, cross-block liveness).
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "ir/optimize.h"
+#include "sim/simulator.h"
+
+namespace hlsav::ir {
+namespace {
+
+using hlsav::testing::compile;
+
+unsigned count_ops(const Process& p) {
+  unsigned n = 0;
+  for (const BasicBlock& b : p.blocks) n += static_cast<unsigned>(b.ops.size());
+  return n;
+}
+
+TEST(Optimize, FoldsConstantArithmetic) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 k;
+      k = (4 + 4) * 8 - 1;
+      stream_write(out, stream_read(in) + k);
+    }
+  )");
+  OptReport r = optimize(c->design);
+  EXPECT_GE(r.folded + r.removed, 1u);
+  verify(c->design);
+  // k folded all the way into the add feeding the output stream (and
+  // the now-dead computation of k was eliminated).
+  const Process& p = *c->design.find_process("f");
+  bool add_uses_63 = false;
+  for (const BasicBlock& b : p.blocks) {
+    for (const Op& op : b.ops) {
+      if (op.kind != OpKind::kBin || op.bin != BinKind::kAdd) continue;
+      for (const Operand& a : op.args) {
+        if (a.is_imm() && a.imm.to_u64() == 63u) add_uses_63 = true;
+      }
+    }
+  }
+  EXPECT_TRUE(add_uses_63);
+}
+
+TEST(Optimize, RemovesDeadComputation) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      uint32 unused;
+      unused = x * x + 7;
+      stream_write(out, x);
+    }
+  )");
+  const Process& before = *c->design.find_process("f");
+  unsigned ops_before = count_ops(before);
+  OptReport r = optimize(c->design);
+  EXPECT_GE(r.removed, 2u);  // the mul, the add, the copy into `unused`
+  EXPECT_LT(count_ops(*c->design.find_process("f")), ops_before);
+  verify(c->design);
+}
+
+TEST(Optimize, KeepsSideEffects) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 b[4];
+      uint32 x;
+      x = stream_read(in);
+      b[0] = x;
+      stream_write(out, x);
+    }
+  )");
+  optimize(c->design);
+  const Process& p = *c->design.find_process("f");
+  unsigned stores = 0;
+  unsigned stream_ops = 0;
+  for (const BasicBlock& b : p.blocks) {
+    for (const Op& op : b.ops) {
+      if (op.kind == OpKind::kStore) ++stores;
+      if (op.is_stream_access()) ++stream_ops;
+    }
+  }
+  EXPECT_EQ(stores, 1u);
+  EXPECT_EQ(stream_ops, 2u);
+}
+
+TEST(Optimize, PreservesAssertionSlices) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      assert(x * 3 > 0);
+      stream_write(out, x);
+    }
+  )");
+  optimize(c->design);
+  verify(c->design);
+  const Process& p = *c->design.find_process("f");
+  bool assert_survives = false;
+  for (const BasicBlock& b : p.blocks) {
+    for (const Op& op : b.ops) assert_survives |= op.kind == OpKind::kAssert;
+  }
+  EXPECT_TRUE(assert_survives);
+}
+
+TEST(Optimize, CopyPropagationShortensChains) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 a;
+      a = stream_read(in);
+      uint32 bb;
+      bb = a;
+      uint32 cc;
+      cc = bb;
+      stream_write(out, cc);
+    }
+  )");
+  OptReport r = optimize(c->design);
+  EXPECT_GE(r.propagated, 1u);
+  EXPECT_GE(r.removed, 1u);  // intermediate copies die
+  verify(c->design);
+}
+
+TEST(Optimize, ConstantBranchBecomesJump) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      if (1 > 0) {
+        x = x + 1;
+      }
+      stream_write(out, x);
+    }
+  )");
+  optimize(c->design);
+  verify(c->design);
+  const Process& p = *c->design.find_process("f");
+  for (const BasicBlock& b : p.blocks) {
+    if (b.term.kind == TermKind::kBranch) {
+      EXPECT_FALSE(b.term.cond.is_imm()) << "constant branch not folded";
+    }
+  }
+}
+
+TEST(Optimize, FixpointTerminates) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      stream_write(out, stream_read(in));
+    }
+  )");
+  OptOptions o;
+  o.max_iterations = 100;
+  OptReport r = optimize(c->design, o);
+  EXPECT_EQ(r.total(), 0u);  // nothing to do, and it stops
+}
+
+// Functional equivalence with and without optimization, across assertion
+// configurations, on a realistic kernel.
+TEST(Optimize, SimulationResultsUnchanged) {
+  const char* src = R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 scale;
+      scale = 2 + 2;
+      for (uint32 i = 0; i < 6; i++) {
+        uint32 v;
+        v = stream_read(in);
+        uint32 t;
+        t = v * scale + (3 - 3);
+        assert(t >= v);
+        stream_write(out, t);
+      }
+    }
+  )";
+  auto run = [&](bool opt) {
+    auto c = compile(src);
+    ir::Design d = c->design.clone();
+    if (opt) optimize(d);
+    assertions::synthesize(d, assertions::Options::optimized());
+    verify(d);
+    sched::DesignSchedule sch = sched::schedule_design(d);
+    sim::ExternRegistry ext;
+    sim::Simulator s(d, sch, ext, {});
+    s.feed("f.in", {1, 2, 3, 4, 5, 6});
+    sim::RunResult r = s.run();
+    EXPECT_EQ(r.status, sim::RunStatus::kCompleted);
+    return s.received("f.out");
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Optimize, ReducesScheduledStates) {
+  const char* src = R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 dead1;
+      dead1 = 11 * 13;
+      uint32 dead2;
+      dead2 = dead1 + 5;
+      uint32 x;
+      x = stream_read(in);
+      stream_write(out, x);
+    }
+  )";
+  auto states = [&](bool opt) {
+    auto c = compile(src);
+    if (opt) optimize(c->design);
+    verify(c->design);
+    sched::ProcessSchedule s =
+        sched::schedule_process(c->design, *c->design.find_process("f"), {});
+    return s.total_states;
+  };
+  EXPECT_LE(states(true), states(false));
+}
+
+TEST(DoWhile, DesugarsAndRuns) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 v;
+      v = stream_read(in);
+      uint32 n;
+      n = 0;
+      do {
+        v = v / 2;
+        n = n + 1;
+      } while (v > 0);
+      stream_write(out, n);
+    }
+  )");
+  verify(c->design);
+  sched::DesignSchedule sch = sched::schedule_design(c->design);
+  sim::ExternRegistry ext;
+  sim::Simulator s(c->design, sch, ext, {});
+  s.feed("f.in", {9});  // 9 -> 4 -> 2 -> 1 -> 0: four iterations
+  sim::RunResult r = s.run();
+  EXPECT_EQ(r.status, sim::RunStatus::kCompleted);
+  EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{4}));
+}
+
+TEST(DoWhile, BodyRunsAtLeastOnce) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 v;
+      v = stream_read(in);
+      uint32 n;
+      n = 0;
+      do {
+        n = n + 1;
+      } while (0);
+      stream_write(out, n + v);
+    }
+  )");
+  sched::DesignSchedule sch = sched::schedule_design(c->design);
+  sim::ExternRegistry ext;
+  sim::Simulator s(c->design, sch, ext, {});
+  s.feed("f.in", {10});
+  (void)s.run();
+  EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{11}));
+}
+
+}  // namespace
+}  // namespace hlsav::ir

@@ -1,0 +1,124 @@
+// IR printer tests: the textual dump is a debugging interface; keep its
+// key landmarks stable.
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "ir/ir.h"
+
+namespace hlsav::ir {
+namespace {
+
+using hlsav::testing::compile;
+
+TEST(Print, ProcessStructure) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      if (x > 2) {
+        x = 2;
+      }
+      stream_write(out, x);
+    }
+  )");
+  std::string s = print_design(c->design);
+  EXPECT_NE(s.find("design test_design"), std::string::npos);
+  EXPECT_NE(s.find("process f(in<32> in -> f.in, out<32> out -> f.out)"), std::string::npos);
+  EXPECT_NE(s.find("stream_read f.in"), std::string::npos);
+  EXPECT_NE(s.find("branch"), std::string::npos);
+  EXPECT_NE(s.find("jump"), std::string::npos);
+  EXPECT_NE(s.find("return"), std::string::npos);
+}
+
+TEST(Print, MemoriesAndRoms) {
+  auto c = compile(R"(
+    void f(stream_in<8> in, stream_out<8> out) {
+      const uint8 lut[2] = {1, 2};
+      uint8 buf[4];
+      uint8 k;
+      k = stream_read(in);
+      buf[0] = lut[k & 1];
+      stream_write(out, buf[0]);
+    }
+  )");
+  std::string s = print_design(c->design);
+  EXPECT_NE(s.find("memory f.lut uint8[2] owner=f role=rom"), std::string::npos);
+  EXPECT_NE(s.find("memory f.buf uint8[4] owner=f role=data"), std::string::npos);
+  EXPECT_NE(s.find("load f.lut["), std::string::npos);
+  EXPECT_NE(s.find("store f.buf["), std::string::npos);
+}
+
+TEST(Print, AssertionCatalogue) {
+  auto c = compile(R"(
+    void f(stream_in<32> in) {
+      uint32 x;
+      x = stream_read(in);
+      assert(x < 7);
+    }
+  )", true, "demo.c");
+  std::string s = print_design(c->design);
+  EXPECT_NE(s.find("assert #0"), std::string::npos);
+  EXPECT_NE(s.find("assertion #0 in f: demo.c:"), std::string::npos);
+  EXPECT_NE(s.find("Assertion `x < 7' failed."), std::string::npos);
+}
+
+TEST(Print, SynthesizedArtifacts) {
+  auto c = compile(R"(
+    void f(stream_in<32> in) {
+      uint32 x;
+      x = stream_read(in);
+      assert(x < 7);
+      assert_cycles(100);
+    }
+  )");
+  ir::Design d = c->design.clone();
+  assertions::synthesize(d, assertions::Options::optimized());
+  std::string s = print_design(d);
+  EXPECT_NE(s.find("assert_checker"), std::string::npos);
+  EXPECT_NE(s.find("assert_collector"), std::string::npos);
+  EXPECT_NE(s.find("assert_tap #0"), std::string::npos);
+  EXPECT_NE(s.find("assert_cycles #1 bound=100"), std::string::npos);
+  EXPECT_NE(s.find("role=assert_packed"), std::string::npos);
+}
+
+TEST(Print, PipelinedBodyAnnotated) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 acc;
+      acc = 0;
+      #pragma HLS pipeline
+      for (uint32 i = 0; i < 4; i++) {
+        acc = acc + i;
+      }
+      stream_write(out, acc);
+    }
+  )");
+  std::string s = print_design(c->design);
+  EXPECT_NE(s.find("; pipelined loop body"), std::string::npos);
+}
+
+TEST(Print, PredicatedOps) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 acc;
+      acc = 0;
+      uint32 x;
+      x = stream_read(in);
+      #pragma HLS pipeline
+      for (uint32 i = 0; i < 4; i++) {
+        acc = acc + x;
+        assert(acc < 10000);
+      }
+      stream_write(out, acc);
+    }
+  )");
+  ir::Design d = c->design.clone();
+  assertions::synthesize(d, assertions::Options::unoptimized());
+  std::string s = print_design(d);
+  EXPECT_NE(s.find("if !%"), std::string::npos);  // predicated failure send
+}
+
+}  // namespace
+}  // namespace hlsav::ir

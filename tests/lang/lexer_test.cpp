@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+
+namespace hlsav::lang {
+namespace {
+
+std::vector<Token> lex(const std::string& src, bool expect_ok = true) {
+  static SourceManager sm;  // buffers must outlive returned tokens' locs
+  DiagnosticEngine diags(&sm);
+  FileId id = sm.add_buffer("test.c", src);
+  Lexer lexer(sm, id, diags);
+  auto toks = lexer.lex_all();
+  if (expect_ok) {
+    EXPECT_FALSE(diags.has_errors()) << diags.render();
+  }
+  return toks;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto t = lex("");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t[0].is(TokKind::kEof));
+}
+
+TEST(Lexer, Keywords) {
+  auto t = lex("void if else for while return const assert extern break continue");
+  EXPECT_TRUE(t[0].is(TokKind::kKwVoid));
+  EXPECT_TRUE(t[1].is(TokKind::kKwIf));
+  EXPECT_TRUE(t[2].is(TokKind::kKwElse));
+  EXPECT_TRUE(t[3].is(TokKind::kKwFor));
+  EXPECT_TRUE(t[4].is(TokKind::kKwWhile));
+  EXPECT_TRUE(t[5].is(TokKind::kKwReturn));
+  EXPECT_TRUE(t[6].is(TokKind::kKwConst));
+  EXPECT_TRUE(t[7].is(TokKind::kKwAssert));
+  EXPECT_TRUE(t[8].is(TokKind::kKwExtern));
+  EXPECT_TRUE(t[9].is(TokKind::kKwBreak));
+  EXPECT_TRUE(t[10].is(TokKind::kKwContinue));
+}
+
+TEST(Lexer, IntTypes) {
+  auto t = lex("int8 uint8 int32 uint64 int uint5 int17 char bool");
+  EXPECT_TRUE(t[0].is(TokKind::kKwIntType));
+  EXPECT_EQ(t[0].value, 8u);
+  EXPECT_TRUE(t[1].is(TokKind::kKwUintType));
+  EXPECT_EQ(t[1].value, 8u);
+  EXPECT_EQ(t[2].value, 32u);
+  EXPECT_EQ(t[3].value, 64u);
+  EXPECT_TRUE(t[4].is(TokKind::kKwIntType));  // int == int32
+  EXPECT_EQ(t[4].value, 32u);
+  EXPECT_TRUE(t[5].is(TokKind::kKwUintType));
+  EXPECT_EQ(t[5].value, 5u);
+  EXPECT_EQ(t[6].value, 17u);
+  EXPECT_EQ(t[7].value, 8u);   // char == int8
+  EXPECT_TRUE(t[8].is(TokKind::kKwUintType));
+  EXPECT_EQ(t[8].value, 1u);   // bool == uint1
+}
+
+TEST(Lexer, OversizedIntTypeIsIdentifier) {
+  auto t = lex("uint65 int0");
+  EXPECT_TRUE(t[0].is(TokKind::kIdentifier));
+  EXPECT_TRUE(t[1].is(TokKind::kIdentifier));
+}
+
+TEST(Lexer, Numbers) {
+  auto t = lex("0 42 0xff 0XAB 4294967286 123u 5L");
+  EXPECT_EQ(t[0].value, 0u);
+  EXPECT_EQ(t[1].value, 42u);
+  EXPECT_EQ(t[2].value, 0xffu);
+  EXPECT_EQ(t[3].value, 0xabu);
+  EXPECT_EQ(t[4].value, 4294967286u);
+  EXPECT_EQ(t[5].value, 123u);
+  EXPECT_FALSE(t[5].value_signed);
+  EXPECT_EQ(t[6].value, 5u);
+  EXPECT_TRUE(t[6].value_signed);
+}
+
+TEST(Lexer, CharLiterals) {
+  auto t = lex("'a' ' ' '\\n' '\\''");
+  EXPECT_EQ(t[0].value, static_cast<std::uint64_t>('a'));
+  EXPECT_EQ(t[1].value, static_cast<std::uint64_t>(' '));
+  EXPECT_EQ(t[2].value, static_cast<std::uint64_t>('\n'));
+  EXPECT_EQ(t[3].value, static_cast<std::uint64_t>('\''));
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  auto t = lex("<< >> <= >= == != && || += <<= >>= ++ --");
+  EXPECT_TRUE(t[0].is(TokKind::kShl));
+  EXPECT_TRUE(t[1].is(TokKind::kShr));
+  EXPECT_TRUE(t[2].is(TokKind::kLessEq));
+  EXPECT_TRUE(t[3].is(TokKind::kGreaterEq));
+  EXPECT_TRUE(t[4].is(TokKind::kEqEq));
+  EXPECT_TRUE(t[5].is(TokKind::kBangEq));
+  EXPECT_TRUE(t[6].is(TokKind::kAmpAmp));
+  EXPECT_TRUE(t[7].is(TokKind::kPipePipe));
+  EXPECT_TRUE(t[8].is(TokKind::kPlusAssign));
+  EXPECT_TRUE(t[9].is(TokKind::kShlAssign));
+  EXPECT_TRUE(t[10].is(TokKind::kShrAssign));
+  EXPECT_TRUE(t[11].is(TokKind::kPlusPlus));
+  EXPECT_TRUE(t[12].is(TokKind::kMinusMinus));
+}
+
+TEST(Lexer, Comments) {
+  auto t = lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(t.size(), 4u);  // a b c eof
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[2].text, "c");
+}
+
+TEST(Lexer, PragmaLine) {
+  auto t = lex("#pragma HLS pipeline\nx");
+  ASSERT_GE(t.size(), 2u);
+  EXPECT_TRUE(t[0].is(TokKind::kPragma));
+  EXPECT_EQ(t[0].text, "pragma HLS pipeline");
+  EXPECT_EQ(t[1].text, "x");
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  auto t = lex("a\n  b");
+  EXPECT_EQ(t[0].loc.line, 1u);
+  EXPECT_EQ(t[0].loc.column, 1u);
+  EXPECT_EQ(t[1].loc.line, 2u);
+  EXPECT_EQ(t[1].loc.column, 3u);
+}
+
+TEST(Lexer, OffsetsRecorded) {
+  auto t = lex("ab cd");
+  EXPECT_EQ(t[0].offset, 0u);
+  EXPECT_EQ(t[1].offset, 3u);
+}
+
+TEST(Lexer, UnknownCharacterReportsError) {
+  SourceManager sm;
+  DiagnosticEngine diags(&sm);
+  FileId id = sm.add_buffer("t", "a @ b");
+  Lexer lexer(sm, id, diags);
+  (void)lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace hlsav::lang

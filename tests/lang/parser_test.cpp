@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace hlsav::lang {
+namespace {
+
+struct Parsed {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  std::unique_ptr<Program> program;
+};
+
+std::unique_ptr<Parsed> parse(const std::string& src, bool expect_ok = true) {
+  auto p = std::make_unique<Parsed>();
+  p->diags.attach(&p->sm);
+  p->program = parse_source(p->sm, p->diags, "test.c", src);
+  if (expect_ok) {
+    EXPECT_FALSE(p->diags.has_errors()) << p->diags.render();
+  }
+  return p;
+}
+
+TEST(Parser, EmptyProgram) {
+  auto p = parse("");
+  EXPECT_TRUE(p->program->functions.empty());
+}
+
+TEST(Parser, SimpleProcess) {
+  auto p = parse(R"(
+    void loopback(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      stream_write(out, x);
+    }
+  )");
+  ASSERT_EQ(p->program->functions.size(), 1u);
+  const Function& f = *p->program->functions[0];
+  EXPECT_EQ(f.name, "loopback");
+  EXPECT_TRUE(f.is_process());
+  ASSERT_EQ(f.params.size(), 2u);
+  EXPECT_TRUE(f.params[0].type.is_stream());
+  EXPECT_EQ(f.params[0].type.stream_dir(), StreamDir::kIn);
+  EXPECT_EQ(f.params[1].type.stream_dir(), StreamDir::kOut);
+  ASSERT_EQ(f.body.size(), 3u);
+  EXPECT_EQ(f.body[0]->kind, StmtKind::kDecl);
+  EXPECT_EQ(f.body[1]->kind, StmtKind::kAssign);
+  EXPECT_EQ(f.body[2]->kind, StmtKind::kStreamWrite);
+}
+
+TEST(Parser, ExternDeclaration) {
+  auto p = parse("extern uint32 clz32(uint32 x);");
+  ASSERT_EQ(p->program->functions.size(), 1u);
+  EXPECT_TRUE(p->program->functions[0]->is_extern_hdl);
+  EXPECT_FALSE(p->program->functions[0]->is_process());
+}
+
+TEST(Parser, AssertCapturesSourceText) {
+  auto p = parse(R"(
+    void f(stream_in<8> in) {
+      uint8 c;
+      c = stream_read(in);
+      assert(c >= ' ' && c <= 126);
+    }
+  )");
+  const Function& f = *p->program->functions[0];
+  const Stmt& a = *f.body[2];
+  ASSERT_EQ(a.kind, StmtKind::kAssert);
+  EXPECT_EQ(a.assert_text, "c >= ' ' && c <= 126");
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      uint32 x;
+      x = 1 + 2 * 3;
+      x = 1 | 2 & 3;
+      x = 1 < 2 == 0;
+    }
+  )");
+  const Function& f = *p->program->functions[0];
+  // 1 + 2*3: top node is +, rhs is *.
+  const Stmt& s1 = *f.body[1];
+  EXPECT_EQ(s1.rhs->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(s1.rhs->operands[1]->binary_op, BinaryOp::kMul);
+  // 1 | 2&3: top |, rhs &.
+  const Stmt& s2 = *f.body[2];
+  EXPECT_EQ(s2.rhs->binary_op, BinaryOp::kOr);
+  EXPECT_EQ(s2.rhs->operands[1]->binary_op, BinaryOp::kAnd);
+  // 1<2 == 0: top ==, lhs <.
+  const Stmt& s3 = *f.body[3];
+  EXPECT_EQ(s3.rhs->binary_op, BinaryOp::kEq);
+  EXPECT_EQ(s3.rhs->operands[0]->binary_op, BinaryOp::kLt);
+}
+
+TEST(Parser, CompoundAssignDesugars) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      uint32 x;
+      x += 5;
+      x <<= 2;
+    }
+  )");
+  const Function& f = *p->program->functions[0];
+  const Stmt& s = *f.body[1];
+  ASSERT_EQ(s.kind, StmtKind::kAssign);
+  EXPECT_EQ(s.rhs->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(s.rhs->operands[0]->name, "x");
+  EXPECT_EQ(f.body[2]->rhs->binary_op, BinaryOp::kShl);
+}
+
+TEST(Parser, IncrementDesugars) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      uint32 i;
+      i++;
+      i--;
+    }
+  )");
+  const Function& f = *p->program->functions[0];
+  EXPECT_EQ(f.body[1]->rhs->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(f.body[2]->rhs->binary_op, BinaryOp::kSub);
+}
+
+TEST(Parser, ForLoopPieces) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      uint32 s;
+      for (uint32 i = 0; i < 10; i++) {
+        s = s + i;
+      }
+    }
+  )");
+  const Stmt& loop = *p->program->functions[0]->body[1];
+  ASSERT_EQ(loop.kind, StmtKind::kFor);
+  EXPECT_EQ(loop.for_init->kind, StmtKind::kDecl);
+  ASSERT_NE(loop.cond, nullptr);
+  EXPECT_EQ(loop.for_step->kind, StmtKind::kAssign);
+  ASSERT_EQ(loop.body.size(), 1u);
+}
+
+TEST(Parser, PipelinePragmaAttaches) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      uint32 s;
+      #pragma HLS pipeline
+      for (uint32 i = 0; i < 10; i++) {
+        s = s + i;
+      }
+    }
+  )");
+  const Stmt& loop = *p->program->functions[0]->body[1];
+  EXPECT_TRUE(loop.pragmas.pipeline);
+}
+
+TEST(Parser, ReplicatePragmaAttaches) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      #pragma HLS replicate
+      uint16 buf[64];
+    }
+  )");
+  const Stmt& decl = *p->program->functions[0]->body[0];
+  EXPECT_TRUE(decl.pragmas.replicate);
+}
+
+TEST(Parser, ArrayDeclWithInitializer) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      const uint8 sbox[4] = {14, 4, 13, 1};
+    }
+  )");
+  const Stmt& d = *p->program->functions[0]->body[0];
+  ASSERT_EQ(d.kind, StmtKind::kDecl);
+  EXPECT_TRUE(d.decl_is_const);
+  EXPECT_TRUE(d.decl_type.is_array());
+  EXPECT_EQ(d.decl_type.array_size(), 4u);
+  ASSERT_EQ(d.decl_init.size(), 4u);
+  EXPECT_EQ(d.decl_init[2]->literal.to_u64(), 13u);
+}
+
+TEST(Parser, IfElseChain) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      uint32 x;
+      if (x > 1) { x = 0; } else if (x > 0) { x = 1; } else { x = 2; }
+    }
+  )");
+  const Stmt& s = *p->program->functions[0]->body[1];
+  ASSERT_EQ(s.kind, StmtKind::kIf);
+  ASSERT_EQ(s.else_body.size(), 1u);
+  EXPECT_EQ(s.else_body[0]->kind, StmtKind::kIf);
+}
+
+TEST(Parser, WhileAndBreakContinue) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      uint32 x;
+      while (1) {
+        x = x + 1;
+        if (x > 5) { break; }
+        continue;
+      }
+    }
+  )");
+  const Stmt& w = *p->program->functions[0]->body[1];
+  ASSERT_EQ(w.kind, StmtKind::kWhile);
+}
+
+TEST(Parser, TernaryRejected) {
+  auto p = parse("void f(stream_in<32> in) { uint32 x; x = x > 0 ? 1 : 2; }",
+                 /*expect_ok=*/false);
+  EXPECT_TRUE(p->diags.has_errors());
+}
+
+TEST(Parser, ErrorRecoveryFindsLaterFunctions) {
+  auto p = parse(R"(
+    void broken(stream_in<32> in) { uint32 x = ; }
+    void ok(stream_in<32> in) { uint32 y; }
+  )", /*expect_ok=*/false);
+  EXPECT_TRUE(p->diags.has_errors());
+  EXPECT_NE(p->program->find_function("ok"), nullptr);
+}
+
+TEST(Parser, StreamWidthValidated) {
+  auto p = parse("void f(stream_in<99> in) {}", /*expect_ok=*/false);
+  EXPECT_TRUE(p->diags.has_errors());
+}
+
+TEST(Parser, CloneRoundTrips) {
+  auto p = parse(R"(
+    void f(stream_in<32> in) {
+      uint32 a[4];
+      for (uint32 i = 0; i < 4; i++) {
+        a[i] = stream_read(in);
+        assert(a[i] > 0);
+      }
+    }
+  )");
+  const Function& f = *p->program->functions[0];
+  StmtPtr copy = f.body[1]->clone();
+  EXPECT_EQ(copy->kind, StmtKind::kFor);
+  EXPECT_EQ(copy->body.size(), f.body[1]->body.size());
+}
+
+}  // namespace
+}  // namespace hlsav::lang

@@ -1,0 +1,88 @@
+// Frontend robustness: arbitrary malformed input must produce
+// diagnostics, never crashes or hangs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "support/str.h"
+
+namespace hlsav::lang {
+namespace {
+
+void feed_frontend(const std::string& src) {
+  SourceManager sm;
+  DiagnosticEngine diags(&sm);
+  auto prog = parse_source(sm, diags, "fuzz.c", src);
+  ASSERT_NE(prog, nullptr);
+  if (!diags.has_errors()) {
+    (void)analyze(*prog, sm, diags);
+  }
+}
+
+TEST(Robustness, TokenSoupDoesNotCrash) {
+  const char* fragments[] = {
+      "void",  "uint32", "(",  ")",  "{",  "}",  "[",  "]",  ";",      "=",
+      "for",   "while",  "if", "+",  "<<", ">=", "&&", "!",  "assert", "stream_read",
+      "12345", "x",      ",",  "<",  ">",  "#pragma HLS pipeline\n",   "0xff",
+      "'a'",   "const",  "do", "break",
+  };
+  SplitMix64 rng(4242);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string src;
+    unsigned len = 1 + static_cast<unsigned>(rng.next_below(60));
+    for (unsigned i = 0; i < len; ++i) {
+      src += fragments[rng.next_below(std::size(fragments))];
+      src += ' ';
+    }
+    SCOPED_TRACE(src);
+    feed_frontend(src);
+  }
+}
+
+TEST(Robustness, TruncatedProgramsDoNotCrash) {
+  const std::string full = R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 buf[8];
+      for (uint32 i = 0; i < 8; i++) {
+        buf[i] = stream_read(in);
+        assert(buf[i] > 0);
+        stream_write(out, buf[i] + 1);
+      }
+    }
+  )";
+  for (std::size_t cut = 0; cut < full.size(); cut += 3) {
+    SCOPED_TRACE(cut);
+    feed_frontend(full.substr(0, cut));
+  }
+}
+
+TEST(Robustness, DeeplyNestedExpressions) {
+  std::string expr = "x";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  feed_frontend("void f(stream_in<32> in) { uint32 x; x = " + expr + "; }");
+}
+
+TEST(Robustness, DeeplyNestedBlocks) {
+  std::string body = "x = x + 1;";
+  for (int i = 0; i < 100; ++i) body = "if (x > 0) { " + body + " }";
+  feed_frontend("void f(stream_in<32> in) { uint32 x; x = stream_read(in); " + body + " }");
+}
+
+TEST(Robustness, UnterminatedConstructs) {
+  feed_frontend("void f(stream_in<32> in) { /* unterminated comment");
+  feed_frontend("void f(stream_in<32> in) { uint32 x; x = 'a");
+  feed_frontend("void f(stream_in<32> in) { uint32 a[");
+  feed_frontend("#pragma HLS");
+  feed_frontend("extern uint32");
+}
+
+TEST(Robustness, LongIdentifiersAndNumbers) {
+  std::string long_id(4096, 'a');
+  feed_frontend("void " + long_id + "(stream_in<32> in) {}");
+  feed_frontend("void f(stream_in<32> in) { uint64 x; x = 99999999999999999999999999; }");
+}
+
+}  // namespace
+}  // namespace hlsav::lang

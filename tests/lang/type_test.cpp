@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "lang/type.h"
+
+namespace hlsav::lang {
+namespace {
+
+TEST(Type, Constructors) {
+  Type v = Type::void_type();
+  EXPECT_TRUE(v.is_void());
+  Type i = Type::int_type(17, true);
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.width(), 17u);
+  EXPECT_TRUE(i.is_signed());
+  Type b = Type::bool_type();
+  EXPECT_EQ(b.width(), 1u);
+  EXPECT_FALSE(b.is_signed());
+}
+
+TEST(Type, ArrayType) {
+  Type a = Type::array_type(16, false, 64);
+  EXPECT_TRUE(a.is_array());
+  EXPECT_EQ(a.array_size(), 64u);
+  EXPECT_EQ(a.element_type(), Type::int_type(16, false));
+}
+
+TEST(Type, StreamType) {
+  Type s = Type::stream_type(32, StreamDir::kOut);
+  EXPECT_TRUE(s.is_stream());
+  EXPECT_EQ(s.stream_dir(), StreamDir::kOut);
+  EXPECT_EQ(s.element_type().width(), 32u);
+}
+
+TEST(Type, ToString) {
+  EXPECT_EQ(Type::void_type().to_string(), "void");
+  EXPECT_EQ(Type::int_type(8, true).to_string(), "int8");
+  EXPECT_EQ(Type::int_type(32, false).to_string(), "uint32");
+  EXPECT_EQ(Type::array_type(16, false, 4).to_string(), "uint16[4]");
+  EXPECT_EQ(Type::stream_type(8, StreamDir::kIn).to_string(), "stream_in<8>");
+  EXPECT_EQ(Type::stream_type(8, StreamDir::kOut).to_string(), "stream_out<8>");
+}
+
+TEST(Type, CommonTypeRules) {
+  // Width: the max. Signedness: only if both signed (hardware-style).
+  Type ss = common_type(Type::int_type(8, true), Type::int_type(16, true));
+  EXPECT_EQ(ss.width(), 16u);
+  EXPECT_TRUE(ss.is_signed());
+  Type mixed = common_type(Type::int_type(32, true), Type::int_type(8, false));
+  EXPECT_EQ(mixed.width(), 32u);
+  EXPECT_FALSE(mixed.is_signed());
+  Type uu = common_type(Type::int_type(5, false), Type::int_type(64, false));
+  EXPECT_EQ(uu.width(), 64u);
+  EXPECT_FALSE(uu.is_signed());
+}
+
+TEST(Type, Equality) {
+  EXPECT_EQ(Type::int_type(8, true), Type::int_type(8, true));
+  EXPECT_NE(Type::int_type(8, true), Type::int_type(8, false));
+  EXPECT_NE(Type::int_type(8, true), Type::int_type(9, true));
+  EXPECT_NE(Type::array_type(8, true, 4), Type::array_type(8, true, 5));
+}
+
+}  // namespace
+}  // namespace hlsav::lang

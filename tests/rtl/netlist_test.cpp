@@ -1,0 +1,173 @@
+// Netlist construction tests: FUs, register fan-in muxes, FSM sizing,
+// pipeline stage registers, memory/stream inventory.
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "rtl/netlist.h"
+
+namespace hlsav::rtl {
+namespace {
+
+using hlsav::testing::compile;
+
+Netlist netlist_of(hlsav::testing::Compiled& c,
+                   const assertions::Options& opt = assertions::Options::ndebug()) {
+  ir::Design d = c.design.clone();
+  assertions::synthesize(d, opt);
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  static ir::Design keep;  // keep the design alive for the netlist build
+  keep = std::move(d);
+  return build_netlist(keep, sch);
+}
+
+TEST(Netlist, CountsFunctionalUnits) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      stream_write(out, x + 1);
+    }
+  )");
+  Netlist n = netlist_of(*c);
+  const ProcessNetlist* p = n.find_process("f");
+  ASSERT_NE(p, nullptr);
+  // stream read + add + stream write (copies are wiring).
+  unsigned adds = 0;
+  unsigned stream_ops = 0;
+  for (const FuInst& fu : p->fus) {
+    if (fu.kind == ir::OpKind::kBin && fu.bin == ir::BinKind::kAdd) ++adds;
+    if (fu.kind == ir::OpKind::kStreamRead || fu.kind == ir::OpKind::kStreamWrite) ++stream_ops;
+  }
+  EXPECT_EQ(adds, 1u);
+  EXPECT_EQ(stream_ops, 2u);
+}
+
+TEST(Netlist, RegisterFaninCountsWriters) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      if (x > 5) {
+        x = 5;
+      }
+      stream_write(out, x);
+    }
+  )");
+  Netlist n = netlist_of(*c);
+  const ProcessNetlist* p = n.find_process("f");
+  ASSERT_NE(p, nullptr);
+  const RegInst* xreg = nullptr;
+  for (const RegInst& r : p->regs) {
+    if (r.name == "x") xreg = &r;
+  }
+  ASSERT_NE(xreg, nullptr);
+  EXPECT_EQ(xreg->fanin, 2u);  // two copy sites write x
+}
+
+TEST(Netlist, MemoriesAndRoles) {
+  auto c = compile(R"(
+    void f(stream_in<16> in, stream_out<16> out) {
+      const uint16 rom[4] = {1, 2, 3, 4};
+      uint16 buf[8];
+      uint16 k;
+      k = stream_read(in);
+      buf[0] = rom[k & 3];
+      stream_write(out, buf[0]);
+    }
+  )");
+  Netlist n = netlist_of(*c);
+  ASSERT_EQ(n.memories.size(), 2u);
+  EXPECT_TRUE(n.memories[0].is_rom);
+  EXPECT_EQ(n.memories[0].width, 16u);
+  EXPECT_EQ(n.memories[0].size, 4u);
+  EXPECT_FALSE(n.memories[1].is_rom);
+}
+
+TEST(Netlist, ReplicaMarked) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 acc;
+      acc = 0;
+      #pragma HLS replicate
+      uint32 b[16];
+      uint32 x;
+      x = stream_read(in);
+      #pragma HLS pipeline
+      for (uint32 i = 0; i < 16; i++) {
+        acc = acc + b[i];
+        b[i] = x;
+        assert(b[i] < 500);
+      }
+      stream_write(out, acc);
+    }
+  )");
+  Netlist n = netlist_of(*c, assertions::Options::optimized());
+  bool replica = false;
+  for (const MemInst& m : n.memories) replica |= m.is_replica;
+  EXPECT_TRUE(replica);
+}
+
+TEST(Netlist, PipelineStageRegistersAccounted) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 buf[32];
+      uint32 x;
+      x = stream_read(in);
+      uint32 acc;
+      acc = 0;
+      #pragma HLS pipeline
+      for (uint32 i = 0; i < 32; i++) {
+        acc = acc + buf[i];
+        buf[i] = x + i;
+      }
+      stream_write(out, acc);
+    }
+  )");
+  Netlist n = netlist_of(*c);
+  const ProcessNetlist* p = n.find_process("f");
+  ASSERT_NE(p, nullptr);
+  // The loaded value crosses a stage boundary (sync read): stage
+  // registers must be non-zero.
+  EXPECT_GT(p->pipeline_stage_reg_bits, 0u);
+}
+
+TEST(Netlist, DeadStreamsExcluded) {
+  auto c = compile(R"(
+    void p1(stream_in<32> in, stream_out<32> link) {
+      stream_write(link, stream_read(in));
+    }
+    void p2(stream_in<32> link, stream_out<32> out) {
+      stream_write(out, stream_read(link));
+    }
+  )");
+  ir::Design d = c->design.clone();
+  ir::StreamId link = d.find_process("p1")->find_port("link")->stream;
+  d.connect_consumer(link, "p2", "link");
+  assertions::synthesize(d, assertions::Options::ndebug());
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  Netlist n = build_netlist(d, sch);
+  // 4 streams were auto-created; one died in the rewire: 3 remain.
+  EXPECT_EQ(n.streams.size(), 3u);
+  for (const StreamInst& s : n.streams) {
+    EXPECT_NE(s.name, "p2.link");  // the dead placeholder
+  }
+}
+
+TEST(Netlist, DescribeListsProcesses) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      stream_write(out, stream_read(in));
+    }
+  )");
+  Netlist n = netlist_of(*c);
+  std::string s = describe(n);
+  EXPECT_NE(s.find("f:"), std::string::npos);
+  EXPECT_NE(s.find("states="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlsav::rtl

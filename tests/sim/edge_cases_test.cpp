@@ -1,0 +1,231 @@
+// Simulator edge cases: FIFO backpressure, cycle limits, wide values,
+// multi-process fairness, and feed/receive plumbing.
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "sim/simulator.h"
+
+namespace hlsav::sim {
+namespace {
+
+using hlsav::testing::compile;
+
+struct H {
+  ir::Design design;
+  sched::DesignSchedule schedule;
+  ExternRegistry externs;
+  SimOptions opts;
+};
+
+H make(const std::string& src, const assertions::Options& aopt = assertions::Options::ndebug()) {
+  auto c = compile(src);
+  H h;
+  h.design = c->design.clone();
+  assertions::synthesize(h.design, aopt);
+  ir::verify(h.design);
+  h.schedule = sched::schedule_design(h.design);
+  return h;
+}
+
+TEST(SimEdge, FifoBackpressureBlocksProducer) {
+  // The producer bursts 64 words into a depth-16 link before the
+  // consumer pops any; backpressure must stall it, not lose data.
+  auto c = compile(R"(
+    void producer(stream_in<32> in, stream_out<32> link) {
+      uint32 seed;
+      seed = stream_read(in);
+      for (uint32 i = 0; i < 64; i++) {
+        stream_write(link, seed + i);
+      }
+    }
+    void consumer(stream_in<32> link, stream_out<32> out) {
+      uint32 acc;
+      acc = 0;
+      for (uint32 i = 0; i < 64; i++) {
+        acc = acc + stream_read(link);
+      }
+      stream_write(out, acc);
+    }
+  )");
+  ir::Design d = c->design.clone();
+  ir::StreamId link = d.find_process("producer")->find_port("link")->stream;
+  d.connect_consumer(link, "consumer", "link");
+  assertions::synthesize(d, assertions::Options::ndebug());
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  ExternRegistry ext;
+  Simulator s(d, sch, ext, {});
+  s.feed("producer.in", {100});
+  RunResult r = s.run();
+  ASSERT_EQ(r.status, RunStatus::kCompleted) << r.hang_report;
+  // sum(100 + i) for i in 0..63 = 6400 + 2016.
+  EXPECT_EQ(s.received("consumer.out"), (std::vector<std::uint64_t>{8416}));
+}
+
+TEST(SimEdge, CycleLimitStopsRunawayLoop) {
+  H h = make(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      while (1) {
+        x = x + 1;
+      }
+    }
+  )");
+  h.opts.max_cycles = 10'000;
+  Simulator s(h.design, h.schedule, h.externs, h.opts);
+  s.feed("f.in", {1});
+  RunResult r = s.run();
+  EXPECT_EQ(r.status, RunStatus::kHung);
+  EXPECT_NE(r.hang_report.find("cycle limit"), std::string::npos);
+}
+
+TEST(SimEdge, SixtyFourBitValues) {
+  H h = make(R"(
+    void f(stream_in<64> in, stream_out<64> out) {
+      uint64 v;
+      v = stream_read(in);
+      stream_write(out, v + 1);
+    }
+  )");
+  Simulator s(h.design, h.schedule, h.externs, {});
+  s.feed("f.in", {0xfffffffffffffffeull});
+  RunResult r = s.run();
+  ASSERT_EQ(r.status, RunStatus::kCompleted);
+  EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{0xffffffffffffffffull}));
+}
+
+TEST(SimEdge, NarrowStreamTruncatesFeeds) {
+  H h = make(R"(
+    void f(stream_in<8> in, stream_out<8> out) {
+      stream_write(out, stream_read(in));
+    }
+  )");
+  Simulator s(h.design, h.schedule, h.externs, {});
+  s.feed("f.in", {0x1ff});  // 9 bits: truncated to 8
+  (void)s.run();
+  EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{0xff}));
+}
+
+TEST(SimEdge, ThreeStageChainOrdering) {
+  auto c = compile(R"(
+    void s0(stream_in<32> in, stream_out<32> l0) {
+      for (uint32 i = 0; i < 4; i++) { stream_write(l0, stream_read(in) + 1); }
+    }
+    void s1(stream_in<32> l0, stream_out<32> l1) {
+      for (uint32 i = 0; i < 4; i++) { stream_write(l1, stream_read(l0) * 2); }
+    }
+    void s2(stream_in<32> l1, stream_out<32> out) {
+      for (uint32 i = 0; i < 4; i++) { stream_write(out, stream_read(l1) + 10); }
+    }
+  )");
+  ir::Design d = c->design.clone();
+  d.connect_consumer(d.find_process("s0")->find_port("l0")->stream, "s1", "l0");
+  d.connect_consumer(d.find_process("s1")->find_port("l1")->stream, "s2", "l1");
+  assertions::synthesize(d, assertions::Options::ndebug());
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  ExternRegistry ext;
+  Simulator s(d, sch, ext, {});
+  s.feed("s0.in", {1, 2, 3, 4});
+  RunResult r = s.run();
+  ASSERT_EQ(r.status, RunStatus::kCompleted) << r.hang_report;
+  EXPECT_EQ(s.received("s2.out"), (std::vector<std::uint64_t>{14, 16, 18, 20}));
+}
+
+TEST(SimEdge, DownstreamTimestampsRespectProducerClock) {
+  // The consumer's completion time cannot precede the producer's send
+  // times: local clocks must couple through FIFO entry stamps.
+  auto c = compile(R"(
+    void slow(stream_in<32> in, stream_out<32> link) {
+      uint32 acc;
+      acc = stream_read(in);
+      for (uint32 i = 0; i < 50; i++) {
+        acc = acc + i;
+      }
+      stream_write(link, acc);
+    }
+    void fast(stream_in<32> link, stream_out<32> out) {
+      stream_write(out, stream_read(link));
+    }
+  )");
+  ir::Design d = c->design.clone();
+  d.connect_consumer(d.find_process("slow")->find_port("link")->stream, "fast", "link");
+  assertions::synthesize(d, assertions::Options::ndebug());
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  ExternRegistry ext;
+  Simulator s(d, sch, ext, {});
+  s.feed("slow.in", {1});
+  RunResult r = s.run();
+  ASSERT_EQ(r.status, RunStatus::kCompleted);
+  // The 50-iteration loop costs at least 50 cycles; `fast` cannot have
+  // finished earlier than that.
+  EXPECT_GE(r.cycles, 50u);
+}
+
+TEST(SimEdge, FeedUnknownStreamThrows) {
+  H h = make(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      stream_write(out, stream_read(in));
+    }
+  )");
+  Simulator s(h.design, h.schedule, h.externs, {});
+  EXPECT_THROW(s.feed("nope.in", {1}), InternalError);
+}
+
+TEST(SimEdge, UnboundExternThrows) {
+  H h = make(R"(
+    extern uint32 mystery(uint32 v);
+    void f(stream_in<32> in, stream_out<32> out) {
+      stream_write(out, mystery(stream_read(in)));
+    }
+  )");
+  Simulator s(h.design, h.schedule, h.externs, {});
+  s.feed("f.in", {1});
+  EXPECT_THROW((void)s.run(), InternalError);
+}
+
+TEST(SimEdge, ZeroIterationLoop) {
+  H h = make(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 n;
+      n = stream_read(in);
+      uint32 acc;
+      acc = 7;
+      #pragma HLS pipeline
+      for (uint32 i = 0; i < n; i++) {
+        acc = acc + 1;
+      }
+      stream_write(out, acc);
+    }
+  )");
+  Simulator s(h.design, h.schedule, h.externs, {});
+  s.feed("f.in", {0});
+  RunResult r = s.run();
+  ASSERT_EQ(r.status, RunStatus::kCompleted);
+  EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{7}));
+}
+
+TEST(SimEdge, SignedArithmetic) {
+  H h = make(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      int32 v;
+      v = stream_read(in);
+      int32 r;
+      r = 0 - v;
+      if (r < 0) {
+        r = 0 - r;
+      }
+      stream_write(out, r);
+    }
+  )");
+  Simulator s(h.design, h.schedule, h.externs, {});
+  s.feed("f.in", {5});
+  (void)s.run();
+  EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{5}));
+}
+
+}  // namespace
+}  // namespace hlsav::sim

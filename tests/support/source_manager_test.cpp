@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace hlsav {
+namespace {
+
+TEST(SourceManager, AddAndQuery) {
+  SourceManager sm;
+  FileId id = sm.add_buffer("test.c", "line one\nline two\nline three");
+  EXPECT_EQ(sm.name(id), "test.c");
+  EXPECT_EQ(sm.line_text(id, 1), "line one");
+  EXPECT_EQ(sm.line_text(id, 3), "line three");
+  EXPECT_EQ(sm.line_text(id, 4), "");
+  EXPECT_EQ(sm.line_text(id, 0), "");
+}
+
+TEST(SourceManager, InvalidIds) {
+  SourceManager sm;
+  EXPECT_EQ(sm.name(0), "<unknown>");
+  EXPECT_EQ(sm.name(99), "<unknown>");
+  EXPECT_TRUE(sm.text(99).empty());
+}
+
+TEST(SourceManager, StripsCrLf) {
+  SourceManager sm;
+  FileId id = sm.add_buffer("f", "a\r\nb\r\n");
+  EXPECT_EQ(sm.line_text(id, 1), "a");
+  EXPECT_EQ(sm.line_text(id, 2), "b");
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.warning({}, "w");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({}, "e1");
+  diags.error({}, "e2");
+  EXPECT_EQ(diags.error_count(), 2u);
+}
+
+TEST(Diagnostics, RendersWithCaret) {
+  SourceManager sm;
+  FileId id = sm.add_buffer("f.c", "int x = oops;\n");
+  DiagnosticEngine diags(&sm);
+  diags.error(SourceLoc{id, 1, 9}, "unknown identifier");
+  std::string out = diags.render();
+  EXPECT_NE(out.find("f.c:1:9: error: unknown identifier"), std::string::npos);
+  EXPECT_NE(out.find("int x = oops;"), std::string::npos);
+  EXPECT_NE(out.find("        ^"), std::string::npos);
+}
+
+TEST(Diagnostics, Clear) {
+  DiagnosticEngine diags;
+  diags.error({}, "e");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(Diagnostics, InternalErrorThrows) {
+  EXPECT_THROW(internal_error("file.cpp", 10, "boom"), InternalError);
+  try {
+    HLSAV_CHECK(false, "invariant");
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+    return;
+  }
+  FAIL() << "HLSAV_CHECK did not throw";
+}
+
+}  // namespace
+}  // namespace hlsav

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "support/table.h"
+
+namespace hlsav {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t("Demo");
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"long-name", "22"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(s.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"x"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("| x |   |   |"), std::string::npos);
+}
+
+TEST(TextTable, Separator) {
+  TextTable t;
+  t.row({"x"});
+  t.separator();
+  t.row({"y"});
+  std::string s = t.render();
+  // 4 separators total: top, bottom, and the explicit one (no header line).
+  int count = 0;
+  for (std::size_t p = s.find("+--"); p != std::string::npos; p = s.find("+--", p + 1)) ++count;
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Formatters, Doubles) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(Formatters, CountPct) {
+  EXPECT_EQ(fmt_count_pct(13677, 9.53), "13677 (9.53%)");
+}
+
+TEST(Formatters, Overhead) {
+  EXPECT_EQ(fmt_overhead(174, 0.12), "+174 (+0.12%)");
+  EXPECT_EQ(fmt_overhead(-5, -2.54), "-5 (-2.54%)");
+}
+
+}  // namespace
+}  // namespace hlsav

@@ -1,0 +1,140 @@
+// End-to-end tests of the hlsavc command-line driver (subprocess).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#ifndef HLSAVC_PATH
+#define HLSAVC_PATH "hlsavc"
+#endif
+
+namespace {
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+CmdResult run_cmd(const std::string& args) {
+  std::string cmd = std::string(HLSAVC_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buf{};
+  CmdResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  while (fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    r.output += buf.data();
+  }
+  int status = pclose(pipe);
+  r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+std::string write_temp(const std::string& name, const std::string& contents) {
+  std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+const char* kGoodSrc = R"(
+void f(stream_in<32> in, stream_out<32> out) {
+  for (uint32 i = 0; i < 3; i++) {
+    uint32 v;
+    v = stream_read(in);
+    assert(v < 50);
+    stream_write(out, v + 1);
+  }
+}
+)";
+
+TEST(Hlsavc, CompileReportsAreaAndFmax) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("compile " + f);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("area:"), std::string::npos);
+  EXPECT_NE(r.output.find("fmax:"), std::string::npos);
+  EXPECT_NE(r.output.find("assertions synthesized: 1"), std::string::npos);
+}
+
+TEST(Hlsavc, SimulatePassing) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("simulate " + f + " --feed f.in=1,2,3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("completed in"), std::string::npos);
+  EXPECT_NE(r.output.find("f.out: 2 3 4"), std::string::npos);
+}
+
+TEST(Hlsavc, SimulateFailingAssertionPrintsAnsiMessage) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("simulate " + f + " --feed f.in=1,99,3");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("Assertion `v < 50' failed."), std::string::npos);
+  EXPECT_NE(r.output.find("aborted"), std::string::npos);
+}
+
+TEST(Hlsavc, NabortContinues) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("simulate " + f + " --nabort --feed f.in=1,99,3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Assertion `v < 50' failed."), std::string::npos);
+  EXPECT_NE(r.output.find("f.out: 2 100 4"), std::string::npos);
+}
+
+TEST(Hlsavc, NdebugStripsAssertions) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("simulate " + f + " --assertions=ndebug --feed f.in=1,99,3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("Assertion"), std::string::npos);
+}
+
+TEST(Hlsavc, VerilogEmission) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("verilog " + f);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("module f ("), std::string::npos);
+  EXPECT_NE(r.output.find("endmodule"), std::string::npos);
+}
+
+TEST(Hlsavc, IrAndScheduleDumps) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  EXPECT_NE(run_cmd("ir " + f).output.find("process f("), std::string::npos);
+  EXPECT_NE(run_cmd("schedule " + f).output.find("schedule f"), std::string::npos);
+}
+
+TEST(Hlsavc, OptimizeFlagReports) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("compile " + f + " --optimize");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("optimizer:"), std::string::npos);
+}
+
+TEST(Hlsavc, SyntaxErrorHasDiagnostic) {
+  std::string f = write_temp("bad.c", "void f(stream_in<32> in) { uint32 x = ; }");
+  CmdResult r = run_cmd("compile " + f);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("bad.c:"), std::string::npos);
+}
+
+TEST(Hlsavc, MissingFile) {
+  CmdResult r = run_cmd("compile /nonexistent/nope.c");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+TEST(Hlsavc, UsageOnBadArgs) {
+  CmdResult r = run_cmd("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Hlsavc, SoftwareSimulationMode) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("simulate " + f + " --sw --feed f.in=1,2,3");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("f.out: 2 3 4"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// hlsavc -- command-line driver for the hlsav HLS flow.
+//
+//   hlsavc compile  file.c [options]   parse + synthesize, print a report
+//   hlsavc verilog  file.c [options]   emit generated Verilog to stdout
+//   hlsavc ir       file.c [options]   print the synthesized IR
+//   hlsavc schedule file.c [options]   print per-process schedules
+//   hlsavc simulate file.c [options] --feed stream=v1,v2,...
+//                                      run the cycle simulator
+//
+// Options:
+//   --assertions=ndebug|unoptimized|optimized   (default optimized)
+//   --no-parallelize --no-replicate --no-share  tweak individual passes
+//   --nabort                                    keep running on failure
+//   --chain-depth=N                             scheduler chaining budget
+//   --sw                                        software-simulation mode
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "fpga/area.h"
+#include "fpga/timing.h"
+#include "ir/lower.h"
+#include "ir/optimize.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "rtl/netlist.h"
+#include "rtl/verilog.h"
+#include "sched/schedule.h"
+#include "sim/simulator.h"
+#include "support/str.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace hlsav;
+
+struct Args {
+  std::string command;
+  std::string file;
+  assertions::Options assert_opts = assertions::Options::optimized();
+  sched::SchedOptions sched_opts;
+  bool software_mode = false;
+  bool optimize_ir = false;
+  bool trace = false;
+  std::map<std::string, std::vector<std::uint64_t>> feeds;
+};
+
+int usage() {
+  std::cerr << "usage: hlsavc <compile|verilog|ir|schedule|simulate> <file.c> [options]\n"
+               "  --assertions=ndebug|unoptimized|optimized\n"
+               "  --no-parallelize --no-replicate --no-share --nabort\n"
+               "  --chain-depth=N --sw --optimize --trace --feed stream=v1,v2,...\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 3) return false;
+  args.command = argv[1];
+  args.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--assertions=ndebug") {
+      args.assert_opts = assertions::Options::ndebug();
+    } else if (a == "--assertions=unoptimized") {
+      args.assert_opts = assertions::Options::unoptimized();
+    } else if (a == "--assertions=optimized") {
+      args.assert_opts = assertions::Options::optimized();
+    } else if (a == "--no-parallelize") {
+      args.assert_opts.parallelize = false;
+    } else if (a == "--no-replicate") {
+      args.assert_opts.replicate = false;
+    } else if (a == "--no-share") {
+      args.assert_opts.share_channels = false;
+    } else if (a == "--nabort") {
+      args.assert_opts.nabort = true;
+    } else if (a == "--sw") {
+      args.software_mode = true;
+    } else if (a == "--optimize" || a == "-O") {
+      args.optimize_ir = true;
+    } else if (a == "--trace") {
+      args.trace = true;
+    } else if (starts_with(a, "--chain-depth=")) {
+      args.sched_opts.chain_depth = static_cast<unsigned>(std::stoul(a.substr(14)));
+    } else if (a == "--feed" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) return false;
+      std::vector<std::uint64_t> values;
+      for (const std::string& v : split(spec.substr(eq + 1), ',')) {
+        if (!v.empty()) values.push_back(std::stoull(v));
+      }
+      args.feeds[spec.substr(0, eq)] = values;
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(const Args& args) {
+  SourceManager sm;
+  DiagnosticEngine diags(&sm);
+  FileId file = sm.load_file(args.file);
+  if (file == 0) {
+    std::cerr << "hlsavc: cannot open " << args.file << "\n";
+    return 1;
+  }
+  lang::Parser parser(sm, file, diags);
+  auto program = parser.parse_program();
+  if (diags.has_errors()) {
+    std::cerr << diags.render();
+    return 1;
+  }
+  lang::SemaResult sema = lang::analyze(*program, sm, diags);
+  if (!sema.ok) {
+    std::cerr << diags.render();
+    return 1;
+  }
+  ir::Design design;
+  design.name = args.file;
+  if (!ir::lower_all_processes(design, *program, sm, diags)) {
+    std::cerr << diags.render();
+    return 1;
+  }
+  std::cerr << diags.render();  // warnings, if any
+  if (args.optimize_ir) {
+    ir::OptReport opt = ir::optimize(design);
+    std::cerr << "optimizer: " << opt.to_string() << "\n";
+  }
+
+  // In software mode the design is simulated pre-synthesis (assert
+  // statements evaluated in place), as Impulse-C does.
+  assertions::SynthesisReport synth;
+  if (!(args.command == "simulate" && args.software_mode)) {
+    synth = assertions::synthesize(design, args.assert_opts);
+  }
+  ir::verify(design);
+  sched::DesignSchedule schedule = sched::schedule_design(design, args.sched_opts);
+
+  if (args.command == "ir") {
+    std::cout << ir::print_design(design);
+    return 0;
+  }
+  if (args.command == "verilog") {
+    std::cout << rtl::emit_verilog(design, schedule);
+    return 0;
+  }
+  if (args.command == "schedule") {
+    for (const auto& p : design.processes) {
+      std::cout << sched::print_schedule(design, *schedule.find(p->name));
+    }
+    return 0;
+  }
+  if (args.command == "compile") {
+    rtl::Netlist netlist = rtl::build_netlist(design, schedule);
+    fpga::Device dev = fpga::Device::ep2s180();
+    fpga::AreaReport area = fpga::estimate_area(netlist);
+    fpga::TimingReport timing = fpga::estimate_fmax(netlist, dev);
+    std::cout << "design: " << design.name << "\n"
+              << "assertion synthesis: " << synth.to_string() << "\n"
+              << rtl::describe(netlist) << "area: " << area.to_string(dev) << "\n"
+              << "fmax: " << fmt_double(timing.fmax_mhz, 1) << " MHz (critical process "
+              << timing.critical_process << ", " << fmt_double(timing.critical_path_ns, 2)
+              << " ns)\n";
+    return 0;
+  }
+  if (args.command == "simulate") {
+    sim::ExternRegistry externs;
+    sim::SimOptions so;
+    so.mode = args.software_mode ? sim::SimMode::kSoftware : sim::SimMode::kHardware;
+    so.trace = args.trace;
+    sim::Simulator simulator(design, schedule, externs, so);
+    simulator.set_failure_sink([](const assertions::Failure& f) {
+      std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
+    });
+    for (const auto& [stream, values] : args.feeds) simulator.feed(stream, values);
+    sim::RunResult r = simulator.run();
+    switch (r.status) {
+      case sim::RunStatus::kCompleted:
+        std::cout << "completed in " << r.cycles << " cycles\n";
+        break;
+      case sim::RunStatus::kAborted:
+        std::cout << "aborted by assertion failure at cycle "
+                  << (r.failures.empty() ? 0 : r.failures.back().cycle) << "\n";
+        break;
+      case sim::RunStatus::kHung:
+        std::cout << r.hang_report;
+        break;
+    }
+    for (const ir::Stream& s : design.streams) {
+      if (s.dead || s.consumer.kind != ir::StreamEndpoint::Kind::kCpu) continue;
+      if (s.role != ir::StreamRole::kData) continue;
+      std::vector<std::uint64_t> out = simulator.received(s.name);
+      if (out.empty()) continue;
+      std::cout << s.name << ":";
+      for (std::uint64_t v : out) std::cout << ' ' << v;
+      std::cout << '\n';
+    }
+    if (args.trace) std::cerr << simulator.render_trace(&sm);
+    return r.status == sim::RunStatus::kCompleted ? 0 : 1;
+  }
+  std::cerr << "unknown command: " << args.command << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  try {
+    return run(args);
+  } catch (const InternalError& e) {
+    std::cerr << "hlsavc: " << e.what() << "\n";
+    return 1;
+  }
+}
