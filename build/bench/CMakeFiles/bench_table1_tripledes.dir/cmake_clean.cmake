@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tripledes.dir/bench_table1_tripledes.cpp.o"
+  "CMakeFiles/bench_table1_tripledes.dir/bench_table1_tripledes.cpp.o.d"
+  "bench_table1_tripledes"
+  "bench_table1_tripledes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tripledes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_edgedetect.dir/bench_table2_edgedetect.cpp.o"
+  "CMakeFiles/bench_table2_edgedetect.dir/bench_table2_edgedetect.cpp.o.d"
+  "bench_table2_edgedetect"
+  "bench_table2_edgedetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_edgedetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nonpipelined.dir/bench_table3_nonpipelined.cpp.o"
+  "CMakeFiles/bench_table3_nonpipelined.dir/bench_table3_nonpipelined.cpp.o.d"
+  "bench_table3_nonpipelined"
+  "bench_table3_nonpipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nonpipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_pipelined.dir/bench_table4_pipelined.cpp.o"
+  "CMakeFiles/bench_table4_pipelined.dir/bench_table4_pipelined.cpp.o.d"
+  "bench_table4_pipelined"
+  "bench_table4_pipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_pipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

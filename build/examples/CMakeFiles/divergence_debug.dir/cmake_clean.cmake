@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divergence_debug.dir/divergence_debug.cpp.o"
+  "CMakeFiles/divergence_debug.dir/divergence_debug.cpp.o.d"
+  "divergence_debug"
+  "divergence_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divergence_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

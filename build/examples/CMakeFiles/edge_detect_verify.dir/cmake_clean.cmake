@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_detect_verify.dir/edge_detect_verify.cpp.o"
+  "CMakeFiles/edge_detect_verify.dir/edge_detect_verify.cpp.o.d"
+  "edge_detect_verify"
+  "edge_detect_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_detect_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/timing_assertions.cpp" "examples/CMakeFiles/timing_assertions.dir/timing_assertions.cpp.o" "gcc" "examples/CMakeFiles/timing_assertions.dir/timing_assertions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/hlsav_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/hlsav_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hlsav_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsav_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hlsav_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/assertions/CMakeFiles/hlsav_assert.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hlsav_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hlsav_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hlsav_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

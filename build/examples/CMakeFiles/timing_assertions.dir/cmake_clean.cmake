@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_assertions.dir/timing_assertions.cpp.o"
+  "CMakeFiles/timing_assertions.dir/timing_assertions.cpp.o.d"
+  "timing_assertions"
+  "timing_assertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_assertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

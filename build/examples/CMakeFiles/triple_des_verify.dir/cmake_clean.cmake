@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triple_des_verify.dir/triple_des_verify.cpp.o"
+  "CMakeFiles/triple_des_verify.dir/triple_des_verify.cpp.o.d"
+  "triple_des_verify"
+  "triple_des_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triple_des_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

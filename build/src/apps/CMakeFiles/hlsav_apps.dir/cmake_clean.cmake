@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsav_apps.dir/appbuild.cpp.o"
+  "CMakeFiles/hlsav_apps.dir/appbuild.cpp.o.d"
+  "CMakeFiles/hlsav_apps.dir/bmp.cpp.o"
+  "CMakeFiles/hlsav_apps.dir/bmp.cpp.o.d"
+  "CMakeFiles/hlsav_apps.dir/des.cpp.o"
+  "CMakeFiles/hlsav_apps.dir/des.cpp.o.d"
+  "CMakeFiles/hlsav_apps.dir/edge.cpp.o"
+  "CMakeFiles/hlsav_apps.dir/edge.cpp.o.d"
+  "CMakeFiles/hlsav_apps.dir/loopback.cpp.o"
+  "CMakeFiles/hlsav_apps.dir/loopback.cpp.o.d"
+  "libhlsav_apps.a"
+  "libhlsav_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsav_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

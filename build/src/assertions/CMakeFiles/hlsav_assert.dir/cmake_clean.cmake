@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsav_assert.dir/notify.cpp.o"
+  "CMakeFiles/hlsav_assert.dir/notify.cpp.o.d"
+  "CMakeFiles/hlsav_assert.dir/report.cpp.o"
+  "CMakeFiles/hlsav_assert.dir/report.cpp.o.d"
+  "CMakeFiles/hlsav_assert.dir/synthesize.cpp.o"
+  "CMakeFiles/hlsav_assert.dir/synthesize.cpp.o.d"
+  "libhlsav_assert.a"
+  "libhlsav_assert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsav_assert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

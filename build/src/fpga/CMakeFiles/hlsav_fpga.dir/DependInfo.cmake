@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/area.cpp" "src/fpga/CMakeFiles/hlsav_fpga.dir/area.cpp.o" "gcc" "src/fpga/CMakeFiles/hlsav_fpga.dir/area.cpp.o.d"
+  "/root/repo/src/fpga/timing.cpp" "src/fpga/CMakeFiles/hlsav_fpga.dir/timing.cpp.o" "gcc" "src/fpga/CMakeFiles/hlsav_fpga.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/hlsav_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hlsav_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hlsav_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hlsav_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hlsav_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsav_fpga.dir/area.cpp.o"
+  "CMakeFiles/hlsav_fpga.dir/area.cpp.o.d"
+  "CMakeFiles/hlsav_fpga.dir/timing.cpp.o"
+  "CMakeFiles/hlsav_fpga.dir/timing.cpp.o.d"
+  "libhlsav_fpga.a"
+  "libhlsav_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsav_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ir.cpp" "src/ir/CMakeFiles/hlsav_ir.dir/ir.cpp.o" "gcc" "src/ir/CMakeFiles/hlsav_ir.dir/ir.cpp.o.d"
+  "/root/repo/src/ir/lower.cpp" "src/ir/CMakeFiles/hlsav_ir.dir/lower.cpp.o" "gcc" "src/ir/CMakeFiles/hlsav_ir.dir/lower.cpp.o.d"
+  "/root/repo/src/ir/optimize.cpp" "src/ir/CMakeFiles/hlsav_ir.dir/optimize.cpp.o" "gcc" "src/ir/CMakeFiles/hlsav_ir.dir/optimize.cpp.o.d"
+  "/root/repo/src/ir/print.cpp" "src/ir/CMakeFiles/hlsav_ir.dir/print.cpp.o" "gcc" "src/ir/CMakeFiles/hlsav_ir.dir/print.cpp.o.d"
+  "/root/repo/src/ir/verify.cpp" "src/ir/CMakeFiles/hlsav_ir.dir/verify.cpp.o" "gcc" "src/ir/CMakeFiles/hlsav_ir.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/hlsav_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hlsav_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

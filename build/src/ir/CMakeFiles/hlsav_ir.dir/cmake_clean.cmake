@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsav_ir.dir/ir.cpp.o"
+  "CMakeFiles/hlsav_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/hlsav_ir.dir/lower.cpp.o"
+  "CMakeFiles/hlsav_ir.dir/lower.cpp.o.d"
+  "CMakeFiles/hlsav_ir.dir/optimize.cpp.o"
+  "CMakeFiles/hlsav_ir.dir/optimize.cpp.o.d"
+  "CMakeFiles/hlsav_ir.dir/print.cpp.o"
+  "CMakeFiles/hlsav_ir.dir/print.cpp.o.d"
+  "CMakeFiles/hlsav_ir.dir/verify.cpp.o"
+  "CMakeFiles/hlsav_ir.dir/verify.cpp.o.d"
+  "libhlsav_ir.a"
+  "libhlsav_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsav_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

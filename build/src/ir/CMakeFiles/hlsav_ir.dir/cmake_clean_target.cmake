@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhlsav_ir.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsav_lang.dir/ast.cpp.o"
+  "CMakeFiles/hlsav_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/hlsav_lang.dir/lexer.cpp.o"
+  "CMakeFiles/hlsav_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/hlsav_lang.dir/parser.cpp.o"
+  "CMakeFiles/hlsav_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/hlsav_lang.dir/sema.cpp.o"
+  "CMakeFiles/hlsav_lang.dir/sema.cpp.o.d"
+  "CMakeFiles/hlsav_lang.dir/type.cpp.o"
+  "CMakeFiles/hlsav_lang.dir/type.cpp.o.d"
+  "libhlsav_lang.a"
+  "libhlsav_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsav_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

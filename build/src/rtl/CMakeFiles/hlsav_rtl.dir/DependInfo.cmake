@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/netlist.cpp" "src/rtl/CMakeFiles/hlsav_rtl.dir/netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/hlsav_rtl.dir/netlist.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/rtl/CMakeFiles/hlsav_rtl.dir/verilog.cpp.o" "gcc" "src/rtl/CMakeFiles/hlsav_rtl.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/hlsav_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hlsav_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hlsav_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hlsav_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsav_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/hlsav_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/hlsav_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/hlsav_rtl.dir/verilog.cpp.o.d"
+  "libhlsav_rtl.a"
+  "libhlsav_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsav_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsav_sched.dir/pipeline.cpp.o"
+  "CMakeFiles/hlsav_sched.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hlsav_sched.dir/schedule.cpp.o"
+  "CMakeFiles/hlsav_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/hlsav_sched.dir/sequential.cpp.o"
+  "CMakeFiles/hlsav_sched.dir/sequential.cpp.o.d"
+  "libhlsav_sched.a"
+  "libhlsav_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsav_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

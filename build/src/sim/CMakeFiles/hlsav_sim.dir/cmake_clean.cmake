@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsav_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hlsav_sim.dir/simulator.cpp.o.d"
+  "libhlsav_sim.a"
+  "libhlsav_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsav_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsav_support.dir/bitvector.cpp.o"
+  "CMakeFiles/hlsav_support.dir/bitvector.cpp.o.d"
+  "CMakeFiles/hlsav_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/hlsav_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/hlsav_support.dir/source_manager.cpp.o"
+  "CMakeFiles/hlsav_support.dir/source_manager.cpp.o.d"
+  "CMakeFiles/hlsav_support.dir/str.cpp.o"
+  "CMakeFiles/hlsav_support.dir/str.cpp.o.d"
+  "CMakeFiles/hlsav_support.dir/table.cpp.o"
+  "CMakeFiles/hlsav_support.dir/table.cpp.o.d"
+  "libhlsav_support.a"
+  "libhlsav_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsav_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

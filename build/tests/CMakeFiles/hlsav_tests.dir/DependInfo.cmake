@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/des_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/apps/des_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/apps/des_test.cpp.o.d"
+  "/root/repo/tests/apps/edge_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/apps/edge_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/apps/edge_test.cpp.o.d"
+  "/root/repo/tests/apps/loopback_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/apps/loopback_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/apps/loopback_test.cpp.o.d"
+  "/root/repo/tests/apps/sweep_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/apps/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/apps/sweep_test.cpp.o.d"
+  "/root/repo/tests/assertions/grouped_checkers_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/assertions/grouped_checkers_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/assertions/grouped_checkers_test.cpp.o.d"
+  "/root/repo/tests/assertions/notify_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/assertions/notify_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/assertions/notify_test.cpp.o.d"
+  "/root/repo/tests/assertions/report_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/assertions/report_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/assertions/report_test.cpp.o.d"
+  "/root/repo/tests/assertions/synthesize_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/assertions/synthesize_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/assertions/synthesize_test.cpp.o.d"
+  "/root/repo/tests/assertions/timing_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/assertions/timing_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/assertions/timing_test.cpp.o.d"
+  "/root/repo/tests/fpga/area_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/fpga/area_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/fpga/area_test.cpp.o.d"
+  "/root/repo/tests/fpga/timing_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/fpga/timing_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/fpga/timing_test.cpp.o.d"
+  "/root/repo/tests/integration/equivalence_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/integration/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/integration/equivalence_test.cpp.o.d"
+  "/root/repo/tests/ir/lower_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/ir/lower_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/ir/lower_test.cpp.o.d"
+  "/root/repo/tests/ir/optimize_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/ir/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/ir/optimize_test.cpp.o.d"
+  "/root/repo/tests/ir/print_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/ir/print_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/ir/print_test.cpp.o.d"
+  "/root/repo/tests/ir/verify_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/ir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/ir/verify_test.cpp.o.d"
+  "/root/repo/tests/lang/lexer_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/lang/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/lang/lexer_test.cpp.o.d"
+  "/root/repo/tests/lang/parser_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/lang/parser_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/lang/parser_test.cpp.o.d"
+  "/root/repo/tests/lang/robustness_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/lang/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/lang/robustness_test.cpp.o.d"
+  "/root/repo/tests/lang/sema_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/lang/sema_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/lang/sema_test.cpp.o.d"
+  "/root/repo/tests/lang/type_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/lang/type_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/lang/type_test.cpp.o.d"
+  "/root/repo/tests/rtl/netlist_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/rtl/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/rtl/netlist_test.cpp.o.d"
+  "/root/repo/tests/rtl/verilog_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/rtl/verilog_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/rtl/verilog_test.cpp.o.d"
+  "/root/repo/tests/sched/pipeline_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/sched/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/sched/pipeline_test.cpp.o.d"
+  "/root/repo/tests/sched/sequential_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/sched/sequential_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/sched/sequential_test.cpp.o.d"
+  "/root/repo/tests/sim/edge_cases_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/sim/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/sim/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/support/bitvector_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/support/bitvector_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/support/bitvector_test.cpp.o.d"
+  "/root/repo/tests/support/source_manager_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/support/source_manager_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/support/source_manager_test.cpp.o.d"
+  "/root/repo/tests/support/str_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/support/str_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/support/str_test.cpp.o.d"
+  "/root/repo/tests/support/table_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/support/table_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/support/table_test.cpp.o.d"
+  "/root/repo/tests/tools/hlsavc_test.cpp" "tests/CMakeFiles/hlsav_tests.dir/tools/hlsavc_test.cpp.o" "gcc" "tests/CMakeFiles/hlsav_tests.dir/tools/hlsavc_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/hlsav_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/hlsav_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hlsav_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlsav_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hlsav_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/assertions/CMakeFiles/hlsav_assert.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hlsav_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hlsav_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hlsav_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsavc.dir/hlsavc.cpp.o"
+  "CMakeFiles/hlsavc.dir/hlsavc.cpp.o.d"
+  "hlsavc"
+  "hlsavc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsavc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
