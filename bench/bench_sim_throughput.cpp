@@ -1,0 +1,144 @@
+// Simulator throughput harness: measures cycles-simulated/sec of the
+// cycle-accurate FSMD simulator across the reproduction's workloads and
+// writes BENCH_sim.json so the perf trajectory is tracked across PRs.
+//
+// Workloads:
+//  * the Fig. 4/5 streaming-loopback chain at 1..128 processes
+//    (optimized assertion synthesis, the paper's recommended config,
+//    plus the unoptimized per-process-checker config at 128), and
+//  * the Table 1/2 application pipelines: Triple-DES decrypt and the
+//    5x5-window edge detector.
+//
+// Usage: bench_sim_throughput [--json <path>] [--quick]
+#include "bench/common.h"
+
+#include "apps/des.h"
+#include "apps/edge.h"
+#include "apps/loopback.h"
+
+namespace {
+
+using namespace hlsav;
+using bench::SimThroughput;
+
+struct PreparedSim {
+  ir::Design design;
+  sched::DesignSchedule schedule;
+};
+
+PreparedSim prepare(const ir::Design& lowered, const assertions::Options& opt,
+                    const sched::SchedOptions& sched_opts = {}) {
+  PreparedSim p{lowered.clone(), {}};
+  assertions::synthesize(p.design, opt);
+  ir::verify(p.design);
+  p.schedule = sched::schedule_design(p.design, sched_opts);
+  return p;
+}
+
+SimThroughput loopback_throughput(unsigned stages, unsigned words, const assertions::Options& opt,
+                                  const std::string& name, double min_seconds) {
+  auto app = apps::loopback::build(stages, words);
+  PreparedSim p = prepare(app->design, opt);
+  std::vector<std::uint64_t> data(words);
+  for (unsigned i = 0; i < words; ++i) data[i] = i + 1;  // all > 0: no failures
+  sim::ExternRegistry ext;
+  return bench::time_simulation(
+      name,
+      [&] {
+        sim::Simulator s(p.design, p.schedule, ext, {});
+        s.feed(apps::loopback::input_stream(stages), data);
+        sim::RunResult r = s.run();
+        HLSAV_CHECK(r.completed() && r.failures.empty(), "loopback bench run misbehaved");
+        return r.cycles;
+      },
+      min_seconds);
+}
+
+SimThroughput des_throughput(double min_seconds) {
+  const std::array<std::uint64_t, 3> keys = {0x0123456789ABCDEFull, 0x23456789ABCDEF01ull,
+                                             0x456789ABCDEF0123ull};
+  auto app = apps::compile_app("triple_des", "des3.c", apps::des::hlsc_decrypt_source(keys));
+  sched::SchedOptions sched_opts;
+  sched_opts.chain_depth = 6;
+  PreparedSim p = prepare(app->design, assertions::Options::optimized(), sched_opts);
+  std::string text = "In-circuit assertion-based verification throughput.";
+  std::vector<std::uint64_t> cipher;
+  for (std::uint64_t b : apps::des::pack_text(text)) {
+    cipher.push_back(apps::des::triple_des_encrypt(b, keys));
+  }
+  std::vector<std::uint64_t> feed_words = apps::des::to_word_stream(cipher);
+  sim::ExternRegistry ext;
+  return bench::time_simulation(
+      "tripledes_decrypt",
+      [&] {
+        sim::Simulator s(p.design, p.schedule, ext, {});
+        s.feed("des3.in", feed_words);
+        sim::RunResult r = s.run();
+        HLSAV_CHECK(r.completed() && r.failures.empty(), "3DES bench run misbehaved");
+        return r.cycles;
+      },
+      min_seconds);
+}
+
+SimThroughput edge_throughput(double min_seconds) {
+  constexpr unsigned kW = 64;
+  constexpr unsigned kH = 48;
+  auto app = apps::compile_app("edge_detect", "edge.c", apps::edge::hlsc_source(kW, kH));
+  sched::SchedOptions sched_opts;
+  sched_opts.chain_depth = 16;
+  PreparedSim p = prepare(app->design, assertions::Options::optimized(), sched_opts);
+  apps::img::Image input = apps::img::synthetic_image(kW, kH, 7);
+  std::vector<std::uint64_t> feed_words = apps::edge::to_word_stream(input);
+  sim::ExternRegistry ext;
+  return bench::time_simulation(
+      "edge_detect_64x48",
+      [&] {
+        sim::Simulator s(p.design, p.schedule, ext, {});
+        s.feed("edge.in", feed_words);
+        sim::RunResult r = s.run();
+        HLSAV_CHECK(r.completed() && r.failures.empty(), "edge bench run misbehaved");
+        return r.cycles;
+      },
+      min_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_sim.json";
+  double min_seconds = 0.5;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quick") {
+      min_seconds = 0.1;
+    } else {
+      std::cerr << "usage: bench_sim_throughput [--json <path>] [--quick]\n";
+      return 2;
+    }
+  }
+
+  std::vector<SimThroughput> results;
+  constexpr unsigned kWords = 64;
+  for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    results.push_back(loopback_throughput(n, kWords, assertions::Options::optimized(),
+                                          "loopback_opt_n" + std::to_string(n), min_seconds));
+  }
+  results.push_back(loopback_throughput(128, kWords, assertions::Options::unoptimized(),
+                                        "loopback_unopt_n128", min_seconds));
+  results.push_back(des_throughput(min_seconds));
+  results.push_back(edge_throughput(min_seconds));
+
+  TextTable t("Simulator throughput (cycles simulated per wall second)");
+  t.header({"workload", "runs", "cycles/run", "wall s", "cycles/sec"});
+  for (const SimThroughput& r : results) {
+    t.row({r.name, std::to_string(r.runs), std::to_string(r.cycles_per_run),
+           hlsav::fmt_double(r.wall_seconds, 3), hlsav::fmt_double(r.cycles_per_sec(), 0)});
+  }
+  std::cout << t.render();
+
+  hlsav::bench::write_bench_json(json_path, "sim_throughput", results);
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

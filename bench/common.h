@@ -8,8 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "apps/appbuild.h"
 #include "assertions/options.h"
@@ -76,6 +79,65 @@ inline std::string overhead_table(const std::string& title, const Characterized&
   t.row({"Frequency (MHz)", fmt_double(fa, 1), fmt_double(fb, 1),
          fmt_double(fb - fa, 1) + " (" + fmt_double(100.0 * (fb - fa) / fa, 2) + "%)"});
   return t.render();
+}
+
+// ------------------------------------------------- simulation timing --
+
+/// Wall-clock throughput of one simulated workload: how many FSMD cycles
+/// the simulator chews through per second of host time. This is the
+/// number the perf-trajectory tracking (BENCH_sim.json) records per PR.
+struct SimThroughput {
+  std::string name;
+  std::uint64_t runs = 0;
+  std::uint64_t cycles_per_run = 0;  // RunResult::cycles of one run
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double cycles_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(runs) * static_cast<double>(cycles_per_run) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Times `run_once` (which must return the RunResult::cycles of the run)
+/// until `min_seconds` of wall clock accumulate, with at least
+/// `min_runs` runs. The first call is a discarded warm-up.
+template <typename F>
+SimThroughput time_simulation(const std::string& name, F&& run_once, double min_seconds = 0.5,
+                              std::uint64_t min_runs = 3) {
+  using clock = std::chrono::steady_clock;
+  SimThroughput t;
+  t.name = name;
+  t.cycles_per_run = run_once();  // warm-up, also pins the cycle count
+  auto start = clock::now();
+  while (true) {
+    std::uint64_t cycles = run_once();
+    ++t.runs;
+    if (cycles != t.cycles_per_run) {
+      std::cerr << "WARNING: " << name << " cycle count not reproducible (" << cycles << " vs "
+                << t.cycles_per_run << ")\n";
+    }
+    t.wall_seconds = std::chrono::duration<double>(clock::now() - start).count();
+    if (t.wall_seconds >= min_seconds && t.runs >= min_runs) break;
+  }
+  return t;
+}
+
+/// Writes the per-workload throughput numbers as a small JSON document
+/// (schema documented in README.md, "Simulator throughput bench").
+inline void write_bench_json(const std::string& path, const std::string& bench_name,
+                             const std::vector<SimThroughput>& results) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"" << bench_name << "\",\n  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SimThroughput& t = results[i];
+    os << "    {\"name\": \"" << t.name << "\", \"runs\": " << t.runs
+       << ", \"cycles_per_run\": " << t.cycles_per_run << ", \"wall_seconds\": "
+       << fmt_double(t.wall_seconds, 4) << ", \"cycles_per_sec\": "
+       << fmt_double(t.cycles_per_sec(), 1) << "}" << (i + 1 < results.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ]\n}\n";
 }
 
 }  // namespace hlsav::bench

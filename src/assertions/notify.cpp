@@ -27,17 +27,48 @@ std::vector<std::uint32_t> decode_failure_word(const ir::Design& design, ir::Str
   return ids;
 }
 
+void NotificationFunction::build_index() {
+  index_built_ = true;
+  for (const ir::AssertionRecord& rec : design_->assertions) {
+    by_id_.emplace(rec.id, &rec);
+    if (rec.fail_stream != ir::kNoStream &&
+        design_->stream(rec.fail_stream).role == ir::StreamRole::kAssertPacked) {
+      packed_groups_[rec.fail_stream].push_back(&rec);
+    }
+  }
+}
+
 bool NotificationFunction::on_word(ir::StreamId stream, std::uint64_t word,
                                    std::uint64_t cycle) {
+  if (!index_built_) build_index();
   bool halt = false;
-  for (std::uint32_t id : decode_failure_word(*design_, stream, word)) {
-    halt |= on_direct(id, cycle);
+  switch (design_->stream(stream).role) {
+    case ir::StreamRole::kAssertFail:
+      // The word is the assertion id itself.
+      halt = on_direct(static_cast<std::uint32_t>(word), cycle);
+      break;
+    case ir::StreamRole::kAssertPacked: {
+      // One bit per assertion of this collector's group.
+      auto it = packed_groups_.find(stream);
+      if (it != packed_groups_.end()) {
+        for (const ir::AssertionRecord* rec : it->second) {
+          if ((word >> rec->fail_bit) & 1) halt |= on_direct(rec->id, cycle);
+        }
+      }
+      break;
+    }
+    default:
+      internal_error("assertions/notify", 0,
+                     "decode_failure_word on non-assertion stream '" +
+                         design_->stream(stream).name + "'");
   }
   return halt;
 }
 
 bool NotificationFunction::on_direct(std::uint32_t assertion_id, std::uint64_t cycle) {
-  const ir::AssertionRecord* rec = design_->find_assertion(assertion_id);
+  if (!index_built_) build_index();
+  auto it = by_id_.find(assertion_id);
+  const ir::AssertionRecord* rec = it == by_id_.end() ? nullptr : it->second;
   Failure f;
   f.assertion_id = assertion_id;
   f.cycle = cycle;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/ir.h"
@@ -57,10 +58,20 @@ class NotificationFunction {
   [[nodiscard]] std::string render() const;
 
  private:
+  /// Builds the id -> record and packed-stream -> group indices on first
+  /// use, so a notification storm (NABORT hang tracing) does not rescan
+  /// the whole assertion catalogue per delivered word.
+  void build_index();
+
   const ir::Design* design_;
   Sink sink_;
   std::vector<Failure> failures_;
   bool aborted_ = false;
+  bool index_built_ = false;
+  std::unordered_map<std::uint32_t, const ir::AssertionRecord*> by_id_;
+  /// Group members per kAssertPacked stream, in catalogue order (the
+  /// order decode_failure_word reports them).
+  std::unordered_map<ir::StreamId, std::vector<const ir::AssertionRecord*>> packed_groups_;
 };
 
 }  // namespace hlsav::assertions

@@ -1,6 +1,7 @@
 #include "ir/ir.h"
 
 #include <algorithm>
+#include <array>
 
 namespace hlsav::ir {
 
@@ -289,37 +290,31 @@ bool bin_is_comparison(BinKind k) {
 
 unsigned bin_result_width(BinKind k, unsigned w) { return bin_is_comparison(k) ? 1 : w; }
 
-BitVector eval_bin(BinKind k, const BitVector& a, const BitVector& b) {
-  switch (k) {
-    case BinKind::kAdd: return a.add(b);
-    case BinKind::kSub: return a.sub(b);
-    case BinKind::kMul: return a.mul(b);
-    case BinKind::kDivU: return a.udiv(b);
-    case BinKind::kDivS: return a.sdiv(b);
-    case BinKind::kRemU: return a.urem(b);
-    case BinKind::kRemS: return a.srem(b);
-    case BinKind::kAnd: return a.band(b);
-    case BinKind::kOr: return a.bor(b);
-    case BinKind::kXor: return a.bxor(b);
-    case BinKind::kShl: return a.shl(static_cast<unsigned>(std::min<std::uint64_t>(b.to_u64(), 256)));
-    case BinKind::kShrL: return a.lshr(static_cast<unsigned>(std::min<std::uint64_t>(b.to_u64(), 256)));
-    case BinKind::kShrA: return a.ashr(static_cast<unsigned>(std::min<std::uint64_t>(b.to_u64(), 256)));
-    case BinKind::kCmpEq: return BitVector::from_bool(a.eq(b));
-    case BinKind::kCmpNe: return BitVector::from_bool(!a.eq(b));
-    case BinKind::kCmpLtU: return BitVector::from_bool(a.ult(b));
-    case BinKind::kCmpLtS: return BitVector::from_bool(a.slt(b));
-    case BinKind::kCmpLeU: return BitVector::from_bool(a.ule(b));
-    case BinKind::kCmpLeS: return BitVector::from_bool(a.sle(b));
-  }
-  HLSAV_UNREACHABLE("bad BinKind");
+namespace {
+// Flat evaluator table indexed by BinKind: a stable function pointer
+// hot loops can cache per op (inline eval_bin covers the common path).
+constexpr std::size_t kNumBinKinds = static_cast<std::size_t>(BinKind::kCmpLeS) + 1;
+
+template <BinKind K>
+BitVector eval_one(const BitVector& a, const BitVector& b) {
+  return eval_bin(K, a, b);
 }
 
-BitVector eval_un(UnKind k, const BitVector& a) {
-  switch (k) {
-    case UnKind::kNeg: return a.neg();
-    case UnKind::kNot: return a.bnot();
-  }
-  HLSAV_UNREACHABLE("bad UnKind");
+const std::array<BinEvalFn, kNumBinKinds> kBinEvalTable = {
+    eval_one<BinKind::kAdd>,    eval_one<BinKind::kSub>,    eval_one<BinKind::kMul>,
+    eval_one<BinKind::kDivU>,   eval_one<BinKind::kDivS>,   eval_one<BinKind::kRemU>,
+    eval_one<BinKind::kRemS>,   eval_one<BinKind::kAnd>,    eval_one<BinKind::kOr>,
+    eval_one<BinKind::kXor>,    eval_one<BinKind::kShl>,    eval_one<BinKind::kShrL>,
+    eval_one<BinKind::kShrA>,   eval_one<BinKind::kCmpEq>,  eval_one<BinKind::kCmpNe>,
+    eval_one<BinKind::kCmpLtU>, eval_one<BinKind::kCmpLtS>, eval_one<BinKind::kCmpLeU>,
+    eval_one<BinKind::kCmpLeS>,
+};
+}  // namespace
+
+BinEvalFn bin_eval_fn(BinKind k) {
+  std::size_t i = static_cast<std::size_t>(k);
+  HLSAV_CHECK(i < kNumBinKinds, "bad BinKind");
+  return kBinEvalTable[i];
 }
 
 }  // namespace hlsav::ir

@@ -353,9 +353,53 @@ struct Design {
 [[nodiscard]] bool bin_is_comparison(BinKind k);
 /// Result width of a binary op given operand width w.
 [[nodiscard]] unsigned bin_result_width(BinKind k, unsigned w);
-/// Evaluates a binary op on values (widths must match).
-[[nodiscard]] BitVector eval_bin(BinKind k, const BitVector& a, const BitVector& b);
-[[nodiscard]] BitVector eval_un(UnKind k, const BitVector& a);
+/// Evaluator function for one BinKind, resolvable once per op via
+/// bin_eval_fn for loops that want a cached function pointer.
+using BinEvalFn = BitVector (*)(const BitVector&, const BitVector&);
+[[nodiscard]] BinEvalFn bin_eval_fn(BinKind k);
+
+/// Shift amounts saturate at 256 (any shift >= the operand width clears
+/// or sign-fills anyway, and BitVector caps at 256 bits).
+[[nodiscard]] inline unsigned shift_amount(const BitVector& b) {
+  std::uint64_t v = b.to_u64();
+  return v > 256 ? 256u : static_cast<unsigned>(v);
+}
+
+/// Evaluates a binary op on values (widths must match). Inline so
+/// interpreter hot loops fold the dispatch and the small-width BitVector
+/// fast paths into straight-line code instead of an indirect call.
+[[nodiscard]] inline BitVector eval_bin(BinKind k, const BitVector& a, const BitVector& b) {
+  switch (k) {
+    case BinKind::kAdd: return a.add(b);
+    case BinKind::kSub: return a.sub(b);
+    case BinKind::kMul: return a.mul(b);
+    case BinKind::kDivU: return a.udiv(b);
+    case BinKind::kDivS: return a.sdiv(b);
+    case BinKind::kRemU: return a.urem(b);
+    case BinKind::kRemS: return a.srem(b);
+    case BinKind::kAnd: return a.band(b);
+    case BinKind::kOr: return a.bor(b);
+    case BinKind::kXor: return a.bxor(b);
+    case BinKind::kShl: return a.shl(shift_amount(b));
+    case BinKind::kShrL: return a.lshr(shift_amount(b));
+    case BinKind::kShrA: return a.ashr(shift_amount(b));
+    case BinKind::kCmpEq: return BitVector::from_bool(a.eq(b));
+    case BinKind::kCmpNe: return BitVector::from_bool(!a.eq(b));
+    case BinKind::kCmpLtU: return BitVector::from_bool(a.ult(b));
+    case BinKind::kCmpLtS: return BitVector::from_bool(a.slt(b));
+    case BinKind::kCmpLeU: return BitVector::from_bool(a.ule(b));
+    case BinKind::kCmpLeS: return BitVector::from_bool(a.sle(b));
+  }
+  HLSAV_UNREACHABLE("bad BinKind");
+}
+
+[[nodiscard]] inline BitVector eval_un(UnKind k, const BitVector& a) {
+  switch (k) {
+    case UnKind::kNeg: return a.neg();
+    case UnKind::kNot: return a.bnot();
+  }
+  HLSAV_UNREACHABLE("bad UnKind");
+}
 
 /// Renders the whole design as human-readable text (tests, debugging).
 [[nodiscard]] std::string print_design(const Design& design);

@@ -17,24 +17,111 @@ Simulator::Simulator(const ir::Design& design, const sched::DesignSchedule& sche
 }
 
 void Simulator::init_state() {
+  tracing_ = opt_.trace;
+  inject_faults_ = opt_.mode == SimMode::kHardware && !opt_.faults.empty();
+
   streams_.resize(design_.streams.size());
+  stream_ids_.reserve(design_.streams.size());
   for (const ir::Stream& s : design_.streams) {
+    streams_[s.id].depth = s.depth;
     streams_[s.id].cpu_producer = s.producer.kind == ir::StreamEndpoint::Kind::kCpu;
     streams_[s.id].cpu_consumer = s.consumer.kind == ir::StreamEndpoint::Kind::kCpu;
+    stream_ids_.emplace(s.name, s.id);  // first name wins, as in a linear scan
   }
+  dirty_cpu_streams_.reserve(streams_.size());
+
   memories_.resize(design_.memories.size());
   for (const ir::Memory& m : design_.memories) {
     auto& mem = memories_[m.id];
     mem.assign(m.size, BitVector(m.width));
     for (std::size_t i = 0; i < m.init.size(); ++i) mem[i] = m.init[i];
   }
+
+  // Resolve every per-op linear lookup once: assertion-carrying ops map
+  // to their records, checker processes to a preallocated register file.
+  // Both indices below keep the first match, like the linear scans in
+  // Design::find_assertion / find_process.
+  std::unordered_map<std::uint32_t, const ir::AssertionRecord*> records_by_id;
+  records_by_id.reserve(design_.assertions.size());
+  for (const ir::AssertionRecord& rec : design_.assertions) {
+    records_by_id.emplace(rec.id, &rec);
+  }
+  std::unordered_map<std::string_view, const ir::Process*> procs_by_name;
+  procs_by_name.reserve(design_.processes.size());
+  for (const auto& p : design_.processes) procs_by_name.emplace(p->name, p.get());
+  std::unordered_map<std::string_view, const sched::ProcessSchedule*> scheds_by_name;
+  scheds_by_name.reserve(schedule_.processes.size());
+  for (const sched::ProcessSchedule& s : schedule_.processes) {
+    scheds_by_name.emplace(s.process, &s);
+  }
+
+  checkers_.reserve(design_.assertions.size());
+  for (const ir::AssertionRecord& rec : design_.assertions) {
+    if (rec.checker_process.empty()) continue;
+    auto pit = procs_by_name.find(rec.checker_process);
+    const ir::Process* chk = pit == procs_by_name.end() ? nullptr : pit->second;
+    if (chk == nullptr) continue;  // exec_op reports this if ever tapped
+    CheckerCache cc;
+    cc.proc = chk;
+    cc.block = &chk->block(rec.checker_block != ir::kNoBlock ? rec.checker_block : chk->entry);
+    cc.fresh.reserve(chk->regs.size());
+    for (const ir::Register& r : chk->regs) cc.fresh.emplace_back(r.width);
+    cc.scratch = cc.fresh;
+    cc.touched.assign(rec.checker_inputs.begin(), rec.checker_inputs.end());
+    for (const Op& op : cc.block->ops) {
+      switch (op.kind) {
+        case OpKind::kBin:
+        case OpKind::kUn:
+        case OpKind::kCopy:
+        case OpKind::kResize:
+        case OpKind::kLoad:
+        case OpKind::kCallExtern:
+          cc.touched.push_back(op.dest);
+          break;
+        default:
+          break;
+      }
+    }
+    std::sort(cc.touched.begin(), cc.touched.end());
+    cc.touched.erase(std::unique(cc.touched.begin(), cc.touched.end()), cc.touched.end());
+    checkers_.emplace(&rec, std::move(cc));
+  }
+  op_assertions_.reserve(design_.assertions.size() * 2);
+  for (const auto& p : design_.processes) {
+    for (const BasicBlock& b : p->blocks) {
+      for (const Op& op : b.ops) {
+        switch (op.kind) {
+          case OpKind::kAssertTap:
+          case OpKind::kAssertFailWire:
+          case OpKind::kAssertCycles: {
+            auto it = records_by_id.find(op.assert_id);
+            OpAssertInfo info;
+            info.rec = it == records_by_id.end() ? nullptr : it->second;
+            if (info.rec != nullptr) {
+              auto cit = checkers_.find(info.rec);
+              if (cit != checkers_.end()) info.checker = &cit->second;
+            }
+            op_assertions_.emplace(&op, info);
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  procs_.reserve(design_.processes.size());
   for (const auto& p : design_.processes) {
     if (p->role != ir::ProcessRole::kApplication) continue;
     ProcState ps;
     ps.proc = p.get();
-    ps.sched = schedule_.find(p->name);
+    auto sit = scheds_by_name.find(p->name);
+    ps.sched = sit == scheds_by_name.end() ? nullptr : sit->second;
     HLSAV_CHECK(ps.sched != nullptr, "no schedule for process " + p->name);
     ps.cur = p->entry;
+    ps.cur_block = &p->block(p->entry);
+    ps.cur_sched = &ps.sched->of(p->entry);
     ps.regs.reserve(p->regs.size());
     for (const ir::Register& r : p->regs) ps.regs.emplace_back(r.width);
     procs_.push_back(std::move(ps));
@@ -42,10 +129,16 @@ void Simulator::init_state() {
 }
 
 ir::StreamId Simulator::stream_by_name(std::string_view name) const {
-  for (const ir::Stream& s : design_.streams) {
-    if (s.name == name) return s.id;
+  auto it = stream_ids_.find(name);
+  if (it == stream_ids_.end()) {
+    internal_error("sim", 0, "unknown stream '" + std::string(name) + "'");
   }
-  internal_error("sim", 0, "unknown stream '" + std::string(name) + "'");
+  return it->second;
+}
+
+const ir::AssertionRecord* Simulator::assertion_of(const Op& op) const {
+  auto it = op_assertions_.find(&op);
+  return it == op_assertions_.end() ? design_.find_assertion(op.assert_id) : it->second.rec;
 }
 
 void Simulator::feed(std::string_view stream_name, const std::vector<std::uint64_t>& values) {
@@ -58,6 +151,7 @@ void Simulator::feed(ir::StreamId stream, const std::vector<std::uint64_t>& valu
   for (std::uint64_t v : values) {
     streams_[stream].fifo.push_back(FifoEntry{BitVector::from_u64(s.width, v), 0});
   }
+  mark_cpu_dirty(stream);  // a CPU->CPU stream delivers on the next drain
 }
 
 std::vector<std::uint64_t> Simulator::received(std::string_view stream_name) const {
@@ -69,7 +163,7 @@ std::vector<std::uint64_t> Simulator::received(std::string_view stream_name) con
 
 // ----------------------------------------------------------- operands --
 
-BitVector Simulator::value_of(const ProcState& ps, const Operand& o) const {
+const BitVector& Simulator::value_of(const ProcState& ps, const Operand& o) const {
   switch (o.kind) {
     case ir::OperandKind::kReg:
       return ps.regs[o.reg];
@@ -88,22 +182,22 @@ bool Simulator::pred_active(const ProcState& ps, const Op& op) const {
 }
 
 BitVector Simulator::eval_bin_op(const ProcState& ps, const Op& op) const {
-  BitVector a = value_of(ps, op.args[0]);
-  BitVector b = value_of(ps, op.args[1]);
-  if (opt_.mode == SimMode::kHardware) {
+  const BitVector& a = value_of(ps, op.args[0]);
+  const BitVector& b = value_of(ps, op.args[1]);
+  if (inject_faults_) {
     // Translation-fault injection: erroneously narrowed comparison
     // (unsigned, as in the Impulse-C bug the paper reports).
     unsigned w = opt_.faults.narrow_width(ps.proc->name, op);
     if (w != 0 && w < a.width()) {
-      a = a.trunc(w);
-      b = b.trunc(w);
+      BitVector na = a.trunc(w);
+      BitVector nb = b.trunc(w);
       ir::BinKind k = op.bin;
       switch (k) {  // signed compares degrade to unsigned at the narrow width
         case ir::BinKind::kCmpLtS: k = ir::BinKind::kCmpLtU; break;
         case ir::BinKind::kCmpLeS: k = ir::BinKind::kCmpLeU; break;
         default: break;
       }
-      return ir::eval_bin(k, a, b);
+      return ir::eval_bin(k, na, nb);
     }
   }
   return ir::eval_bin(op.bin, a, b);
@@ -116,7 +210,8 @@ bool Simulator::try_stream_read(ProcState& ps, const Op& op, std::uint64_t at) {
   if (st.fifo.empty()) {
     ps.blocked = true;
     ps.blocked_at = op.loc;
-    ps.blocked_why = "stream_read on '" + design_.stream(op.stream).name + "' (empty)";
+    ps.block_reason = BlockReason::kStreamEmpty;
+    ps.blocked_stream = op.stream;
     return false;
   }
   FifoEntry e = std::move(st.fifo.front());
@@ -133,20 +228,29 @@ bool Simulator::try_stream_read(ProcState& ps, const Op& op, std::uint64_t at) {
 
 bool Simulator::try_stream_write(ProcState& ps, const Op& op, std::uint64_t at) {
   StreamState& st = streams_[op.stream];
-  const ir::Stream& s = design_.stream(op.stream);
-  if (!st.cpu_consumer && st.fifo.size() >= s.depth) {
+  if (!st.cpu_consumer && st.fifo.size() >= st.depth) {
     ps.blocked = true;
     ps.blocked_at = op.loc;
-    ps.blocked_why = "stream_write on '" + s.name + "' (full)";
+    ps.block_reason = BlockReason::kStreamFull;
+    ps.blocked_stream = op.stream;
     return false;
   }
   // Data crosses the channel one cycle after the send issues.
   st.fifo.push_back(FifoEntry{value_of(ps, op.args[0]), at + 1});
+  mark_cpu_dirty(op.stream);
   return true;
 }
 
 void Simulator::push_stream(ir::StreamId id, BitVector value, std::uint64_t at) {
   streams_[id].fifo.push_back(FifoEntry{std::move(value), at});
+  mark_cpu_dirty(id);
+}
+
+void Simulator::mark_cpu_dirty(ir::StreamId id) {
+  StreamState& st = streams_[id];
+  if (!st.cpu_consumer || st.dirty) return;
+  st.dirty = true;
+  dirty_cpu_streams_.push_back(id);
 }
 
 // --------------------------------------------------------- assertions --
@@ -155,8 +259,7 @@ void Simulator::direct_assert_failure(std::uint32_t id, std::uint64_t at) {
   if (notify_.on_direct(id, at)) halt_ = true;
 }
 
-void Simulator::fail_wire(std::uint32_t id, std::uint64_t at) {
-  const ir::AssertionRecord* rec = design_.find_assertion(id);
+void Simulator::fail_wire(const ir::AssertionRecord* rec, std::uint64_t at) {
   HLSAV_CHECK(rec != nullptr && rec->fail_stream != ir::kNoStream,
               "fail wire without a collector stream");
   std::uint64_t word = std::uint64_t{1} << rec->fail_bit;
@@ -164,27 +267,26 @@ void Simulator::fail_wire(std::uint32_t id, std::uint64_t at) {
   push_stream(rec->fail_stream, BitVector::from_u64(s.width, word), at);
 }
 
-void Simulator::eval_checker(const ir::AssertionRecord& rec,
-                             const std::vector<BitVector>& inputs, std::uint64_t at) {
-  const ir::Process* chk = design_.find_process(rec.checker_process);
-  HLSAV_CHECK(chk != nullptr, "missing checker process " + rec.checker_process);
+void Simulator::eval_checker(const ir::AssertionRecord& rec, CheckerCache& cc,
+                             const ProcState& ps, const Op& tap, std::uint64_t at) {
+  const ir::Process* chk = cc.proc;
 
-  // Fresh register file per evaluation; set the tapped inputs.
-  std::vector<BitVector> regs;
-  regs.reserve(chk->regs.size());
-  for (const ir::Register& r : chk->regs) regs.emplace_back(r.width);
-  HLSAV_CHECK(inputs.size() == rec.checker_inputs.size(), "tap arity mismatch");
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    regs[rec.checker_inputs[i]] = inputs[i];
+  // Fresh register file per evaluation: scratch only ever diverges from
+  // the template at the touched registers, so restore just those, then
+  // wire in the tapped values straight from the application's registers.
+  std::vector<BitVector>& regs = cc.scratch;
+  for (ir::RegId r : cc.touched) regs[r] = cc.fresh[r];
+  HLSAV_CHECK(tap.args.size() == rec.checker_inputs.size(), "tap arity mismatch");
+  for (std::size_t i = 0; i < tap.args.size(); ++i) {
+    regs[rec.checker_inputs[i]] = value_of(ps, tap.args[i]);
   }
 
-  auto val = [&regs](const Operand& o) -> BitVector {
+  auto val = [&regs](const Operand& o) -> const BitVector& {
     return o.is_reg() ? regs[o.reg] : o.imm;
   };
 
   // Grouped checkers evaluate only this assertion's sub-block.
-  ir::BlockId block_id = rec.checker_block != ir::kNoBlock ? rec.checker_block : chk->entry;
-  const BasicBlock& b = chk->block(block_id);
+  const BasicBlock& b = *cc.block;
   for (const Op& op : b.ops) {
     switch (op.kind) {
       case OpKind::kBin:
@@ -210,9 +312,9 @@ void Simulator::eval_checker(const ir::AssertionRecord& rec,
       case OpKind::kCallExtern: {
         const ExternRegistry::Fn* fn = extern_fn(op.callee);
         HLSAV_CHECK(fn != nullptr, "unbound extern function '" + op.callee + "'");
-        std::vector<BitVector> args;
-        for (const Operand& a : op.args) args.push_back(val(a));
-        regs[op.dest] = (*fn)(args).resize(chk->reg(op.dest).width, false);
+        extern_args_.clear();
+        for (const Operand& a : op.args) extern_args_.push_back(val(a));
+        regs[op.dest] = (*fn)(extern_args_).resize(chk->reg(op.dest).width, false);
         break;
       }
       case OpKind::kStreamWrite: {
@@ -228,7 +330,7 @@ void Simulator::eval_checker(const ir::AssertionRecord& rec,
         break;
       }
       case OpKind::kAssertFailWire: {
-        if (!val(op.args[0]).any()) fail_wire(op.assert_id, at + 1);
+        if (!val(op.args[0]).any()) fail_wire(assertion_of(op), at + 1);
         break;
       }
       default:
@@ -239,11 +341,17 @@ void Simulator::eval_checker(const ir::AssertionRecord& rec,
 
 // ------------------------------------------------------------ op exec --
 
+void Simulator::record_trace(const ProcState& ps, const Op& op, std::uint64_t at) {
+  if (trace_.size() >= opt_.trace_limit) {
+    tracing_ = false;
+    return;
+  }
+  trace_.push_back(TraceEvent{at, ps.proc->name, op.kind, op.loc});
+}
+
 bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
   if (!pred_active(ps, op)) return true;
-  if (opt_.trace && trace_.size() < opt_.trace_limit) {
-    trace_.push_back(TraceEvent{at, ps.proc->name, op.kind, op.loc});
-  }
+  if (tracing_) record_trace(ps, op, at);
   switch (op.kind) {
     case OpKind::kBin:
       ps.regs[op.dest] = eval_bin_op(ps, op);
@@ -279,9 +387,9 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
     case OpKind::kCallExtern: {
       const ExternRegistry::Fn* fn = extern_fn(op.callee);
       HLSAV_CHECK(fn != nullptr, "unbound extern function '" + op.callee + "'");
-      std::vector<BitVector> args;
-      for (const Operand& a : op.args) args.push_back(value_of(ps, a));
-      ps.regs[op.dest] = (*fn)(args).resize(ps.proc->reg(op.dest).width, false);
+      extern_args_.clear();
+      for (const Operand& a : op.args) extern_args_.push_back(value_of(ps, a));
+      ps.regs[op.dest] = (*fn)(extern_args_).resize(ps.proc->reg(op.dest).width, false);
       return true;
     }
     case OpKind::kAssert: {
@@ -290,15 +398,17 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
       return true;
     }
     case OpKind::kAssertTap: {
-      const ir::AssertionRecord* rec = design_.find_assertion(op.assert_id);
+      auto it = op_assertions_.find(&op);
+      const ir::AssertionRecord* rec =
+          it != op_assertions_.end() ? it->second.rec : design_.find_assertion(op.assert_id);
       HLSAV_CHECK(rec != nullptr, "tap without assertion record");
-      std::vector<BitVector> inputs;
-      for (const Operand& a : op.args) inputs.push_back(value_of(ps, a));
-      eval_checker(*rec, inputs, at);
+      CheckerCache* cc = it != op_assertions_.end() ? it->second.checker : nullptr;
+      HLSAV_CHECK(cc != nullptr, "missing checker process " + rec->checker_process);
+      eval_checker(*rec, *cc, ps, op, at);
       return true;
     }
     case OpKind::kAssertFailWire: {
-      if (!value_of(ps, op.args[0]).any()) fail_wire(op.assert_id, at + 1);
+      if (!value_of(ps, op.args[0]).any()) fail_wire(assertion_of(op), at + 1);
       return true;
     }
     case OpKind::kAssertCycles: {
@@ -307,10 +417,10 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
       std::uint64_t elapsed = at >= ps.cycle_marker ? at - ps.cycle_marker : 0;
       ps.cycle_marker = at;
       if (elapsed > op.cycle_bound) {
-        const ir::AssertionRecord* rec = design_.find_assertion(op.assert_id);
+        const ir::AssertionRecord* rec = assertion_of(op);
         if (rec != nullptr && rec->fail_stream != ir::kNoStream &&
             design_.stream(rec->fail_stream).role == ir::StreamRole::kAssertPacked) {
-          fail_wire(op.assert_id, at + 1);
+          fail_wire(rec, at + 1);
         } else if (rec != nullptr && rec->fail_stream != ir::kNoStream) {
           push_stream(rec->fail_stream,
                       BitVector::from_u64(design_.stream(rec->fail_stream).width,
@@ -332,10 +442,17 @@ void Simulator::advance_to_block(ProcState& ps, ir::BlockId next) {
   ps.cur = next;
   ps.op_idx = 0;
   ps.block_entry_cycle = ps.cycle;
+  ps.cur_block = &ps.proc->block(next);
+  ps.cur_sched = &ps.sched->of(next);
   // Entering the header of a pipelined loop switches to pipeline mode.
   for (const ir::LoopInfo& l : ps.proc->loops) {
     if (l.pipelined && l.header == next) {
-      ps.pipe = PipeCtx{&l, 0, ps.cycle};
+      ps.pipe = PipeCtx{&l,
+                        0,
+                        ps.cycle,
+                        &ps.proc->block(l.header),
+                        &ps.proc->block(l.body),
+                        &ps.sched->of(l.body)};
       return;
     }
   }
@@ -343,11 +460,45 @@ void Simulator::advance_to_block(ProcState& ps, ir::BlockId next) {
 }
 
 bool Simulator::run_sequential_block(ProcState& ps) {
-  const BasicBlock& b = ps.proc->block(ps.cur);
-  const sched::BlockSchedule& bs = ps.sched->of(ps.cur);
+  const BasicBlock& b = *ps.cur_block;
+  const sched::BlockSchedule& bs = *ps.cur_sched;
+  // Pure register ops with no predicate need neither a timestamp nor the
+  // full dispatch; folding them here inlines the small-width BitVector
+  // fast paths into the loop. Tracing or fault injection disables the
+  // shortcut (both need the exec_op path); tracing_ can only flip *off*
+  // mid-run, so a stale false just keeps the slow-but-equivalent path.
+  const bool fast = !tracing_ && !inject_faults_;
   bool progress = false;
   while (ps.op_idx < b.ops.size()) {
     const Op& op = b.ops[ps.op_idx];
+    if (fast && op.pred.is_none()) {
+      bool took_fast = true;
+      switch (op.kind) {
+        case OpKind::kBin:
+          ps.regs[op.dest] = ir::eval_bin(op.bin, value_of(ps, op.args[0]),
+                                          value_of(ps, op.args[1]));
+          break;
+        case OpKind::kUn:
+          ps.regs[op.dest] = ir::eval_un(op.un, value_of(ps, op.args[0]));
+          break;
+        case OpKind::kCopy:
+          ps.regs[op.dest] = value_of(ps, op.args[0]);
+          break;
+        case OpKind::kResize:
+          ps.regs[op.dest] = value_of(ps, op.args[0])
+                                 .resize(ps.proc->reg(op.dest).width,
+                                         op.resize == ir::ResizeKind::kSext);
+          break;
+        default:
+          took_fast = false;
+          break;
+      }
+      if (took_fast) {
+        ++ps.op_idx;
+        progress = true;
+        continue;
+      }
+    }
     std::uint64_t at = ps.block_entry_cycle +
                        (ps.op_idx < bs.op_state.size() ? bs.op_state[ps.op_idx] : 0);
     if (!exec_op(ps, op, at)) return progress;
@@ -372,10 +523,11 @@ bool Simulator::run_sequential_block(ProcState& ps) {
 bool Simulator::run_pipelined_loop(ProcState& ps) {
   PipeCtx& pc = *ps.pipe;
   const ir::LoopInfo& loop = *pc.loop;
-  const BasicBlock& header = ps.proc->block(loop.header);
-  const BasicBlock& body = ps.proc->block(loop.body);
-  const sched::BlockSchedule& bs = ps.sched->of(loop.body);
+  const BasicBlock& header = *pc.header;
+  const BasicBlock& body = *pc.body;
+  const sched::BlockSchedule& bs = *pc.bs;
   const std::size_t h = header.ops.size();
+  const bool fast = !tracing_ && !inject_faults_;  // see run_sequential_block
   bool progress = false;
 
   while (true) {
@@ -383,7 +535,7 @@ bool Simulator::run_pipelined_loop(ProcState& ps) {
     if (iter_base > opt_.max_cycles) {
       ps.blocked = true;
       ps.blocked_at = loop.loc;
-      ps.blocked_why = "cycle limit exceeded in pipelined loop";
+      ps.block_reason = BlockReason::kCycleLimitPipelined;
       return progress;
     }
     // Header ops, then the loop test.
@@ -409,8 +561,19 @@ bool Simulator::run_pipelined_loop(ProcState& ps) {
     }
     while (ps.op_idx - h - 1 < body.ops.size()) {
       std::size_t j = ps.op_idx - h - 1;
+      const Op& op = body.ops[j];
+      if (fast && op.pred.is_none() &&
+          (op.kind == OpKind::kBin || op.kind == OpKind::kCopy)) {
+        ps.regs[op.dest] = op.kind == OpKind::kBin
+                               ? ir::eval_bin(op.bin, value_of(ps, op.args[0]),
+                                              value_of(ps, op.args[1]))
+                               : value_of(ps, op.args[0]);
+        ++ps.op_idx;
+        progress = true;
+        continue;
+      }
       std::uint64_t at = iter_base + (j < bs.op_state.size() ? bs.op_state[j] : 0);
-      if (!exec_op(ps, body.ops[j], at)) return progress;
+      if (!exec_op(ps, op, at)) return progress;
       ++ps.op_idx;
       progress = true;
     }
@@ -426,7 +589,7 @@ bool Simulator::step_process(ProcState& ps) {
     if (ps.cycle > opt_.max_cycles) {
       ps.blocked = true;
       ps.blocked_at = {};
-      ps.blocked_why = "cycle limit exceeded";
+      ps.block_reason = BlockReason::kCycleLimit;
       return progress;
     }
     bool p = ps.pipe ? run_pipelined_loop(ps) : run_sequential_block(ps);
@@ -436,14 +599,29 @@ bool Simulator::step_process(ProcState& ps) {
   return progress;
 }
 
+std::string Simulator::block_reason_text(const ProcState& ps) const {
+  switch (ps.block_reason) {
+    case BlockReason::kNone:
+      return {};
+    case BlockReason::kStreamEmpty:
+      return "stream_read on '" + design_.stream(ps.blocked_stream).name + "' (empty)";
+    case BlockReason::kStreamFull:
+      return "stream_write on '" + design_.stream(ps.blocked_stream).name + "' (full)";
+    case BlockReason::kCycleLimit:
+      return "cycle limit exceeded";
+    case BlockReason::kCycleLimitPipelined:
+      return "cycle limit exceeded in pipelined loop";
+  }
+  return {};
+}
+
 RunResult Simulator::run() {
   bool progress = true;
   while (progress && !halt_) {
     progress = false;
     for (ProcState& ps : procs_) {
       if (ps.done) continue;
-      bool was_limited = ps.blocked && ps.blocked_why.find("cycle limit") != std::string::npos;
-      if (was_limited) continue;
+      if (ps.cycle_limited()) continue;  // never re-step a limited process
       ps.blocked = false;
       progress |= step_process(ps);
       drain_cpu_streams();
@@ -472,7 +650,8 @@ RunResult Simulator::run() {
     if (ps.done) continue;
     os << "  process '" << ps.proc->name << "' stuck";
     if (ps.blocked_at.valid()) os << " at line " << ps.blocked_at.line;
-    if (!ps.blocked_why.empty()) os << ": " << ps.blocked_why;
+    std::string why = block_reason_text(ps);
+    if (!why.empty()) os << ": " << why;
     os << " (cycle " << ps.cycle << ")\n";
   }
   result.hang_report = os.str();
@@ -480,11 +659,22 @@ RunResult Simulator::run() {
 }
 
 void Simulator::drain_cpu_streams() {
-  for (const ir::Stream& s : design_.streams) {
-    StreamState& st = streams_[s.id];
-    if (!st.cpu_consumer) continue;
+  if (dirty_cpu_streams_.empty()) return;
+  // Deliver in stream-id order so the multiplexed-channel slots match a
+  // full scan over design_.streams exactly.
+  std::sort(dirty_cpu_streams_.begin(), dirty_cpu_streams_.end());
+  for (std::size_t i = 0; i < dirty_cpu_streams_.size(); ++i) {
+    ir::StreamId id = dirty_cpu_streams_[i];
+    StreamState& st = streams_[id];
+    const ir::Stream& s = design_.stream(id);
     while (!st.fifo.empty()) {
-      if (halt_) return;  // the abort stops the channel; later words are lost
+      if (halt_) {
+        // The abort stops the channel; later words stay queued (and the
+        // streams stay dirty) but are never delivered.
+        dirty_cpu_streams_.erase(dirty_cpu_streams_.begin(),
+                                 dirty_cpu_streams_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
       FifoEntry e = std::move(st.fifo.front());
       st.fifo.pop_front();
       // All CPU-bound words share one physical channel (paper §3):
@@ -502,7 +692,9 @@ void Simulator::drain_cpu_streams() {
         st.cpu_received.push_back(std::move(e.value));
       }
     }
+    st.dirty = false;
   }
+  dirty_cpu_streams_.clear();
 }
 
 std::string Simulator::render_trace(const SourceManager* sm) const {

@@ -27,12 +27,20 @@
 // executes their kAssertTap (their latency only delays notification,
 // exactly as the paper argues), and collector processes forward packed
 // failure words.
+//
+// Hot-path design: every linear lookup the execute loop would otherwise
+// perform (assertion records, checker processes, stream names) is
+// resolved once in init_state() into O(1) caches; checker evaluations
+// reuse a preallocated register scratch buffer; CPU-bound stream
+// draining is event-driven off a dirty list instead of scanning every
+// stream after every process step.
 #pragma once
 
 #include <deque>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "assertions/notify.h"
@@ -75,6 +83,17 @@ enum class RunStatus : std::uint8_t {
   kCompleted,  // every application process returned
   kAborted,    // halted by an assertion failure (NABORT off)
   kHung,       // deadlock or cycle limit: some process never finished
+};
+
+/// Why a process is suspended. The scheduler loop branches on this (a
+/// cycle-limited process is never re-stepped); the human-readable text
+/// is rendered lazily, only for hang reports.
+enum class BlockReason : std::uint8_t {
+  kNone,
+  kStreamEmpty,          // stream_read on an empty FIFO
+  kStreamFull,           // stream_write on a full FIFO
+  kCycleLimit,           // local clock passed SimOptions::max_cycles
+  kCycleLimitPipelined,  // ditto, inside a pipelined loop
 };
 
 struct RunResult {
@@ -121,20 +140,30 @@ class Simulator {
   struct StreamState {
     std::deque<FifoEntry> fifo;
     std::vector<BitVector> cpu_received;
+    unsigned depth = 0;  // cached ir::Stream::depth (writer backpressure)
     bool cpu_producer = false;
     bool cpu_consumer = false;
+    bool dirty = false;  // on the dirty-drain list (cpu_consumer only)
   };
 
   struct PipeCtx {
     const ir::LoopInfo* loop = nullptr;
     std::uint64_t iter = 0;
     std::uint64_t start_cycle = 0;
+    // Resolved once on loop entry (advance_to_block).
+    const ir::BasicBlock* header = nullptr;
+    const ir::BasicBlock* body = nullptr;
+    const sched::BlockSchedule* bs = nullptr;
   };
 
   struct ProcState {
     const ir::Process* proc = nullptr;
     const sched::ProcessSchedule* sched = nullptr;
     ir::BlockId cur = ir::kNoBlock;
+    // Current block and its schedule, resolved at each block transition
+    // so the execute loop never re-fetches them per retry.
+    const ir::BasicBlock* cur_block = nullptr;
+    const sched::BlockSchedule* cur_sched = nullptr;
     std::size_t op_idx = 0;
     std::uint64_t cycle = 0;             // local clock
     std::uint64_t block_entry_cycle = 0; // local clock at block entry
@@ -145,7 +174,43 @@ class Simulator {
     bool done = false;
     bool blocked = false;
     SourceLoc blocked_at;
-    std::string blocked_why;
+    BlockReason block_reason = BlockReason::kNone;
+    ir::StreamId blocked_stream = ir::kNoStream;  // for the kStream* reasons
+
+    [[nodiscard]] bool cycle_limited() const {
+      return blocked && (block_reason == BlockReason::kCycleLimit ||
+                         block_reason == BlockReason::kCycleLimitPipelined);
+    }
+  };
+
+  /// Per-checker evaluation cache: the resolved process/block and a
+  /// preallocated register file. `fresh` holds the zero values at the
+  /// declared widths; `scratch` is the live file, equal to `fresh`
+  /// everywhere except the `touched` registers (inputs and block
+  /// destinations), which each evaluation restores -- no per-tap heap
+  /// allocation and no full-file copy.
+  struct CheckerCache {
+    const ir::Process* proc = nullptr;
+    const ir::BasicBlock* block = nullptr;
+    std::vector<BitVector> fresh;
+    std::vector<BitVector> scratch;
+    std::vector<ir::RegId> touched;
+  };
+
+  /// What an assertion-carrying op resolves to: its record, plus (for
+  /// kAssertTap) the checker evaluation cache, so a tap costs a single
+  /// hash lookup. Checker pointers stay valid across rehashing because
+  /// unordered_map is node-based.
+  struct OpAssertInfo {
+    const ir::AssertionRecord* rec = nullptr;
+    CheckerCache* checker = nullptr;
+  };
+
+  struct TransparentStringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
   };
 
   const ir::Design& design_;
@@ -162,8 +227,26 @@ class Simulator {
   std::uint64_t channel_busy_until_ = 0;
   std::vector<TraceEvent> trace_;
 
+  // ---- init_state() resolution caches (the design is immutable while
+  // ---- the simulator lives, so raw pointers into it are stable).
+  std::unordered_map<std::string, ir::StreamId, TransparentStringHash, std::equal_to<>>
+      stream_ids_;
+  std::unordered_map<const ir::Op*, OpAssertInfo> op_assertions_;
+  std::unordered_map<const ir::AssertionRecord*, CheckerCache> checkers_;
+  /// CPU-consumer streams with undelivered words, drained in id order.
+  std::vector<ir::StreamId> dirty_cpu_streams_;
+  /// Reusable argument buffer (externs cannot nest).
+  std::vector<BitVector> extern_args_;
+  bool tracing_ = false;        // flips off once trace_limit is reached
+  bool inject_faults_ = false;  // kHardware with a non-empty fault list
+
   [[nodiscard]] ir::StreamId stream_by_name(std::string_view name) const;
   void init_state();
+
+  /// Cached design_.find_assertion(op.assert_id) for assertion-carrying ops.
+  [[nodiscard]] const ir::AssertionRecord* assertion_of(const ir::Op& op) const;
+  /// Renders the human-readable blocked reason (hang reports only).
+  [[nodiscard]] std::string block_reason_text(const ProcState& ps) const;
 
   /// Runs one process until it blocks, finishes or the design halts.
   /// Returns true if it made progress.
@@ -177,19 +260,26 @@ class Simulator {
   /// Executes one op functionally at local time `at`. Returns false if
   /// blocked on a stream (state untouched).
   bool exec_op(ProcState& ps, const ir::Op& op, std::uint64_t at);
+  void record_trace(const ProcState& ps, const ir::Op& op, std::uint64_t at);
 
-  [[nodiscard]] BitVector value_of(const ProcState& ps, const ir::Operand& o) const;
+  /// Operand value as a reference into the register file (kReg) or the
+  /// op's stored immediate (kImm) -- no BitVector copy on the hot path.
+  [[nodiscard]] const BitVector& value_of(const ProcState& ps, const ir::Operand& o) const;
   [[nodiscard]] bool pred_active(const ProcState& ps, const ir::Op& op) const;
   [[nodiscard]] BitVector eval_bin_op(const ProcState& ps, const ir::Op& op) const;
 
   bool try_stream_read(ProcState& ps, const ir::Op& op, std::uint64_t at);
   bool try_stream_write(ProcState& ps, const ir::Op& op, std::uint64_t at);
   void push_stream(ir::StreamId id, BitVector value, std::uint64_t at);
+  /// Flags a CPU-bound stream for the next drain_cpu_streams() pass.
+  void mark_cpu_dirty(ir::StreamId id);
 
   void direct_assert_failure(std::uint32_t id, std::uint64_t at);
-  void eval_checker(const ir::AssertionRecord& rec, const std::vector<BitVector>& inputs,
-                    std::uint64_t at);
-  void fail_wire(std::uint32_t id, std::uint64_t at);
+  /// Evaluates rec's checker block in `cc`, wiring the tap op's operand
+  /// values (read from `ps`) into the checker input registers.
+  void eval_checker(const ir::AssertionRecord& rec, CheckerCache& cc, const ProcState& ps,
+                    const ir::Op& tap, std::uint64_t at);
+  void fail_wire(const ir::AssertionRecord* rec, std::uint64_t at);
   void drain_cpu_streams();
 
   [[nodiscard]] const ExternRegistry::Fn* extern_fn(const std::string& name) const;

@@ -2,19 +2,7 @@
 
 #include <algorithm>
 
-#include "support/diagnostics.h"
-
 namespace hlsav {
-
-void BitVector::check_width(unsigned w) {
-  HLSAV_CHECK(w >= 1 && w <= kMaxWidth, "BitVector width out of range");
-}
-
-void BitVector::check_same(const BitVector& rhs) const {
-  HLSAV_CHECK(width_ == rhs.width_, "BitVector width mismatch");
-}
-
-BitVector::BitVector(unsigned width) : width_(width) { check_width(width); }
 
 void BitVector::mask_top() {
   unsigned full = width_ / 64;
@@ -26,16 +14,13 @@ void BitVector::mask_top() {
   for (unsigned i = full; i < kWords; ++i) words_[i] = 0;
 }
 
-BitVector BitVector::from_u64(unsigned width, std::uint64_t value) {
-  BitVector v(width);
-  v.words_[0] = value;
-  v.mask_top();
-  return v;
-}
-
 BitVector BitVector::from_i64(unsigned width, std::int64_t value) {
   BitVector v(width);
   std::uint64_t u = static_cast<std::uint64_t>(value);
+  if (width <= 64) {
+    v.words_[0] = u & v.small_mask();
+    return v;
+  }
   v.words_[0] = u;
   std::uint64_t fill = value < 0 ? ~std::uint64_t{0} : 0;
   for (unsigned i = 1; i < kWords; ++i) v.words_[i] = fill;
@@ -45,6 +30,10 @@ BitVector BitVector::from_i64(unsigned width, std::int64_t value) {
 
 BitVector BitVector::all_ones(unsigned width) {
   BitVector v(width);
+  if (width <= 64) {
+    v.words_[0] = v.small_mask();
+    return v;
+  }
   v.words_.fill(~std::uint64_t{0});
   v.mask_top();
   return v;
@@ -57,14 +46,13 @@ std::int64_t BitVector::to_i64() const {
   return static_cast<std::int64_t>(u);
 }
 
-bool BitVector::any() const {
-  for (std::uint64_t w : words_) {
-    if (w != 0) return true;
+bool BitVector::any_wide() const {
+  const unsigned n = nwords();
+  for (unsigned i = 0; i < n; ++i) {
+    if (words_[i] != 0) return true;
   }
   return false;
 }
-
-bool BitVector::sign_bit() const { return bit(width_ - 1); }
 
 bool BitVector::bit(unsigned i) const {
   HLSAV_CHECK(i < width_, "bit index out of range");
@@ -81,8 +69,7 @@ void BitVector::set_bit(unsigned i, bool v) {
   }
 }
 
-BitVector BitVector::add(const BitVector& rhs) const {
-  check_same(rhs);
+BitVector BitVector::add_wide(const BitVector& rhs) const {
   BitVector out(width_);
   unsigned __int128 carry = 0;
   for (unsigned i = 0; i < kWords; ++i) {
@@ -94,12 +81,9 @@ BitVector BitVector::add(const BitVector& rhs) const {
   return out;
 }
 
-BitVector BitVector::sub(const BitVector& rhs) const { return add(rhs.neg()); }
+BitVector BitVector::neg_wide() const { return bnot_wide().add_wide(from_u64(width_, 1)); }
 
-BitVector BitVector::neg() const { return bnot().add(from_u64(width_, 1)); }
-
-BitVector BitVector::mul(const BitVector& rhs) const {
-  check_same(rhs);
+BitVector BitVector::mul_wide(const BitVector& rhs) const {
   BitVector out(width_);
   // Schoolbook multiply over 64-bit limbs, truncated to the result width.
   for (unsigned i = 0; i < kWords; ++i) {
@@ -118,6 +102,7 @@ BitVector BitVector::mul(const BitVector& rhs) const {
 
 namespace {
 // Long division on masked word arrays; quotient/remainder via shift-subtract.
+// Only the wide (> 64-bit) path pays for this; small widths divide natively.
 struct DivResult {
   BitVector quot;
   BitVector rem;
@@ -142,12 +127,14 @@ DivResult udivmod(const BitVector& num, const BitVector& den) {
 BitVector BitVector::udiv(const BitVector& rhs) const {
   check_same(rhs);
   if (rhs.is_zero()) return all_ones(width_);
+  if (is_small()) return small(width_, words_[0] / rhs.words_[0]);
   return udivmod(*this, rhs).quot;
 }
 
 BitVector BitVector::urem(const BitVector& rhs) const {
   check_same(rhs);
   if (rhs.is_zero()) return *this;
+  if (is_small()) return small(width_, words_[0] % rhs.words_[0]);
   return udivmod(*this, rhs).rem;
 }
 
@@ -156,6 +143,16 @@ BitVector BitVector::sdiv(const BitVector& rhs) const {
   if (rhs.is_zero()) return all_ones(width_);
   bool neg_n = sign_bit();
   bool neg_d = rhs.sign_bit();
+  if (is_small()) {
+    // Unsigned magnitudes at width, then reapply the sign: this wraps
+    // INT_MIN / -1 to INT_MIN exactly like the hardware divider (and
+    // avoids the native signed-overflow UB at width 64).
+    std::uint64_t m = small_mask();
+    std::uint64_t n = neg_n ? (0 - words_[0]) & m : words_[0];
+    std::uint64_t d = neg_d ? (0 - rhs.words_[0]) & m : rhs.words_[0];
+    std::uint64_t q = n / d;
+    return small(width_, neg_n != neg_d ? (0 - q) & m : q);
+  }
   BitVector n = neg_n ? neg() : *this;
   BitVector d = neg_d ? rhs.neg() : rhs;
   BitVector q = udivmod(n, d).quot;
@@ -166,43 +163,46 @@ BitVector BitVector::srem(const BitVector& rhs) const {
   check_same(rhs);
   if (rhs.is_zero()) return *this;
   bool neg_n = sign_bit();
+  if (is_small()) {
+    std::uint64_t m = small_mask();
+    std::uint64_t n = neg_n ? (0 - words_[0]) & m : words_[0];
+    std::uint64_t d = rhs.sign_bit() ? (0 - rhs.words_[0]) & m : rhs.words_[0];
+    std::uint64_t r = n % d;
+    return small(width_, neg_n ? (0 - r) & m : r);
+  }
   BitVector n = neg_n ? neg() : *this;
   BitVector d = rhs.sign_bit() ? rhs.neg() : rhs;
   BitVector r = udivmod(n, d).rem;
   return neg_n ? r.neg() : r;
 }
 
-BitVector BitVector::band(const BitVector& rhs) const {
-  check_same(rhs);
+BitVector BitVector::band_wide(const BitVector& rhs) const {
   BitVector out(width_);
   for (unsigned i = 0; i < kWords; ++i) out.words_[i] = words_[i] & rhs.words_[i];
   return out;
 }
 
-BitVector BitVector::bor(const BitVector& rhs) const {
-  check_same(rhs);
+BitVector BitVector::bor_wide(const BitVector& rhs) const {
   BitVector out(width_);
   for (unsigned i = 0; i < kWords; ++i) out.words_[i] = words_[i] | rhs.words_[i];
   return out;
 }
 
-BitVector BitVector::bxor(const BitVector& rhs) const {
-  check_same(rhs);
+BitVector BitVector::bxor_wide(const BitVector& rhs) const {
   BitVector out(width_);
   for (unsigned i = 0; i < kWords; ++i) out.words_[i] = words_[i] ^ rhs.words_[i];
   return out;
 }
 
-BitVector BitVector::bnot() const {
+BitVector BitVector::bnot_wide() const {
   BitVector out(width_);
   for (unsigned i = 0; i < kWords; ++i) out.words_[i] = ~words_[i];
   out.mask_top();
   return out;
 }
 
-BitVector BitVector::shl(unsigned amount) const {
+BitVector BitVector::shl_wide(unsigned amount) const {
   BitVector out(width_);
-  if (amount >= width_) return out;
   unsigned word_shift = amount / 64;
   unsigned bit_shift = amount % 64;
   for (int i = kWords - 1; i >= 0; --i) {
@@ -218,9 +218,8 @@ BitVector BitVector::shl(unsigned amount) const {
   return out;
 }
 
-BitVector BitVector::lshr(unsigned amount) const {
+BitVector BitVector::lshr_wide(unsigned amount) const {
   BitVector out(width_);
-  if (amount >= width_) return out;
   unsigned word_shift = amount / 64;
   unsigned bit_shift = amount % 64;
   for (unsigned i = 0; i < kWords; ++i) {
@@ -238,33 +237,24 @@ BitVector BitVector::lshr(unsigned amount) const {
 BitVector BitVector::ashr(unsigned amount) const {
   bool s = sign_bit();
   if (amount >= width_) return s ? all_ones(width_) : BitVector(width_);
-  BitVector out = lshr(amount);
+  if (is_small()) {
+    std::uint64_t m = small_mask();
+    std::uint64_t v = words_[0] >> amount;
+    if (s && amount != 0) v |= m ^ (m >> amount);  // sign-fill the vacated bits
+    return small(width_, v);
+  }
+  BitVector out = lshr_wide(amount);
   if (s) {
-    // Fill the vacated high bits with the sign.
     for (unsigned i = width_ - amount; i < width_; ++i) out.set_bit(i, true);
   }
   return out;
 }
 
-bool BitVector::eq(const BitVector& rhs) const {
-  check_same(rhs);
-  return words_ == rhs.words_;
-}
-
-bool BitVector::ult(const BitVector& rhs) const {
-  check_same(rhs);
-  for (int i = kWords - 1; i >= 0; --i) {
-    if (words_[i] != rhs.words_[i]) return words_[i] < rhs.words_[i];
+int BitVector::ucmp_wide(const BitVector& rhs) const {
+  for (int i = static_cast<int>(nwords()) - 1; i >= 0; --i) {
+    if (words_[i] != rhs.words_[i]) return words_[i] < rhs.words_[i] ? -1 : 1;
   }
-  return false;
-}
-
-bool BitVector::slt(const BitVector& rhs) const {
-  check_same(rhs);
-  bool sa = sign_bit();
-  bool sb = rhs.sign_bit();
-  if (sa != sb) return sa;
-  return ult(rhs);
+  return 0;
 }
 
 BitVector BitVector::zext(unsigned new_width) const {

@@ -8,11 +8,20 @@
 //
 // Widths of the two operands must match for binary operations; width
 // adaptation is explicit via zext/sext/trunc, mirroring the IR.
+//
+// Performance: almost every signal in the case studies is <= 64 bits
+// (the 3DES subkey schedule is the notable exception), so each operation
+// has an inline single-word fast path -- one uint64_t plus one mask --
+// and falls back to the out-of-line 4-word implementation only for wide
+// values. The two paths must agree bit-exactly; a property test in
+// tests/support/bitvector_test.cpp pins them against each other.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
+
+#include "support/diagnostics.h"
 
 namespace hlsav {
 
@@ -20,12 +29,17 @@ class BitVector {
  public:
   static constexpr unsigned kMaxWidth = 256;
   static constexpr unsigned kWords = kMaxWidth / 64;
+  static constexpr unsigned kSmallWidth = 64;  // widths <= this take the fast path
 
   /// Zero value of the given width.
-  explicit BitVector(unsigned width = 1);
+  explicit BitVector(unsigned width = 1) : width_(width) { check_width(width); }
 
   /// Builds from a 64-bit unsigned value, truncating/zero-extending to width.
-  static BitVector from_u64(unsigned width, std::uint64_t value);
+  static BitVector from_u64(unsigned width, std::uint64_t value) {
+    BitVector v(width);
+    v.words_[0] = width >= 64 ? value : (value & v.small_mask());
+    return v;
+  }
   /// Builds from a 64-bit signed value, truncating/sign-extending to width.
   static BitVector from_i64(unsigned width, std::int64_t value);
   /// Builds from a boolean as a width-1 vector.
@@ -40,41 +54,109 @@ class BitVector {
   /// Value sign-extended to 64 bits (for widths <= 64 this is exact).
   [[nodiscard]] std::int64_t to_i64() const;
   /// True iff any bit is set.
-  [[nodiscard]] bool any() const;
+  [[nodiscard]] bool any() const {
+    if (is_small()) return words_[0] != 0;
+    return any_wide();
+  }
   [[nodiscard]] bool is_zero() const { return !any(); }
   /// Most significant (sign) bit.
-  [[nodiscard]] bool sign_bit() const;
+  [[nodiscard]] bool sign_bit() const { return (words_[(width_ - 1) / 64] >> ((width_ - 1) % 64)) & 1; }
   [[nodiscard]] bool bit(unsigned i) const;
   void set_bit(unsigned i, bool v);
 
   // Arithmetic (operand widths must match; result has the same width).
-  [[nodiscard]] BitVector add(const BitVector& rhs) const;
-  [[nodiscard]] BitVector sub(const BitVector& rhs) const;
-  [[nodiscard]] BitVector mul(const BitVector& rhs) const;
+  [[nodiscard]] BitVector add(const BitVector& rhs) const {
+    check_same(rhs);
+    if (is_small()) return small(width_, (words_[0] + rhs.words_[0]) & small_mask());
+    return add_wide(rhs);
+  }
+  [[nodiscard]] BitVector sub(const BitVector& rhs) const {
+    check_same(rhs);
+    if (is_small()) return small(width_, (words_[0] - rhs.words_[0]) & small_mask());
+    return add_wide(rhs.neg());
+  }
+  [[nodiscard]] BitVector mul(const BitVector& rhs) const {
+    check_same(rhs);
+    if (is_small()) return small(width_, (words_[0] * rhs.words_[0]) & small_mask());
+    return mul_wide(rhs);
+  }
   [[nodiscard]] BitVector udiv(const BitVector& rhs) const;  // x/0 == all ones
   [[nodiscard]] BitVector urem(const BitVector& rhs) const;  // x%0 == x
   [[nodiscard]] BitVector sdiv(const BitVector& rhs) const;
   [[nodiscard]] BitVector srem(const BitVector& rhs) const;
-  [[nodiscard]] BitVector neg() const;
+  [[nodiscard]] BitVector neg() const {
+    if (is_small()) return small(width_, (0 - words_[0]) & small_mask());
+    return neg_wide();
+  }
 
   // Bitwise.
-  [[nodiscard]] BitVector band(const BitVector& rhs) const;
-  [[nodiscard]] BitVector bor(const BitVector& rhs) const;
-  [[nodiscard]] BitVector bxor(const BitVector& rhs) const;
-  [[nodiscard]] BitVector bnot() const;
+  [[nodiscard]] BitVector band(const BitVector& rhs) const {
+    check_same(rhs);
+    if (is_small()) return small(width_, words_[0] & rhs.words_[0]);
+    return band_wide(rhs);
+  }
+  [[nodiscard]] BitVector bor(const BitVector& rhs) const {
+    check_same(rhs);
+    if (is_small()) return small(width_, words_[0] | rhs.words_[0]);
+    return bor_wide(rhs);
+  }
+  [[nodiscard]] BitVector bxor(const BitVector& rhs) const {
+    check_same(rhs);
+    if (is_small()) return small(width_, words_[0] ^ rhs.words_[0]);
+    return bxor_wide(rhs);
+  }
+  [[nodiscard]] BitVector bnot() const {
+    if (is_small()) return small(width_, ~words_[0] & small_mask());
+    return bnot_wide();
+  }
 
   // Shifts; the shift amount is taken modulo nothing: amounts >= width
   // yield 0 (or all-sign for ashr), matching hardware barrel shifters.
-  [[nodiscard]] BitVector shl(unsigned amount) const;
-  [[nodiscard]] BitVector lshr(unsigned amount) const;
+  [[nodiscard]] BitVector shl(unsigned amount) const {
+    if (amount >= width_) return BitVector(width_);
+    if (is_small()) return small(width_, (words_[0] << amount) & small_mask());
+    return shl_wide(amount);
+  }
+  [[nodiscard]] BitVector lshr(unsigned amount) const {
+    if (amount >= width_) return BitVector(width_);
+    if (is_small()) return small(width_, words_[0] >> amount);
+    return lshr_wide(amount);
+  }
   [[nodiscard]] BitVector ashr(unsigned amount) const;
 
-  // Comparisons at operand width.
-  [[nodiscard]] bool eq(const BitVector& rhs) const;
-  [[nodiscard]] bool ult(const BitVector& rhs) const;
-  [[nodiscard]] bool ule(const BitVector& rhs) const { return ult(rhs) || eq(rhs); }
-  [[nodiscard]] bool slt(const BitVector& rhs) const;
-  [[nodiscard]] bool sle(const BitVector& rhs) const { return slt(rhs) || eq(rhs); }
+  // Comparisons at operand width. Each is a single pass over the words;
+  // in particular ule/sle do NOT decompose into (ult || eq) double scans.
+  [[nodiscard]] bool eq(const BitVector& rhs) const {
+    check_same(rhs);
+    if (is_small()) return words_[0] == rhs.words_[0];
+    return words_ == rhs.words_;
+  }
+  [[nodiscard]] bool ult(const BitVector& rhs) const {
+    check_same(rhs);
+    if (is_small()) return words_[0] < rhs.words_[0];
+    return ucmp_wide(rhs) < 0;
+  }
+  [[nodiscard]] bool ule(const BitVector& rhs) const {
+    check_same(rhs);
+    if (is_small()) return words_[0] <= rhs.words_[0];
+    return ucmp_wide(rhs) <= 0;
+  }
+  [[nodiscard]] bool slt(const BitVector& rhs) const {
+    check_same(rhs);
+    bool sa = sign_bit();
+    bool sb = rhs.sign_bit();
+    if (sa != sb) return sa;
+    if (is_small()) return words_[0] < rhs.words_[0];
+    return ucmp_wide(rhs) < 0;
+  }
+  [[nodiscard]] bool sle(const BitVector& rhs) const {
+    check_same(rhs);
+    bool sa = sign_bit();
+    bool sb = rhs.sign_bit();
+    if (sa != sb) return sa;
+    if (is_small()) return words_[0] <= rhs.words_[0];
+    return ucmp_wide(rhs) <= 0;
+  }
 
   // Width adaptation.
   [[nodiscard]] BitVector zext(unsigned new_width) const;
@@ -97,9 +179,41 @@ class BitVector {
   unsigned width_;
   std::array<std::uint64_t, kWords> words_{};  // excess bits always zero
 
+  [[nodiscard]] bool is_small() const { return width_ <= kSmallWidth; }
+  /// Mask of the valid bits of a <= 64-bit value.
+  [[nodiscard]] std::uint64_t small_mask() const {
+    return width_ == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width_) - 1;
+  }
+  /// Wraps an already-masked word as a small value.
+  static BitVector small(unsigned width, std::uint64_t masked) {
+    BitVector v(width);
+    v.words_[0] = masked;
+    return v;
+  }
+  /// Number of 64-bit words holding valid bits.
+  [[nodiscard]] unsigned nwords() const { return (width_ + 63) / 64; }
+
+  // Out-of-line multi-word implementations (widths > 64).
+  [[nodiscard]] bool any_wide() const;
+  [[nodiscard]] BitVector add_wide(const BitVector& rhs) const;
+  [[nodiscard]] BitVector mul_wide(const BitVector& rhs) const;
+  [[nodiscard]] BitVector neg_wide() const;
+  [[nodiscard]] BitVector band_wide(const BitVector& rhs) const;
+  [[nodiscard]] BitVector bor_wide(const BitVector& rhs) const;
+  [[nodiscard]] BitVector bxor_wide(const BitVector& rhs) const;
+  [[nodiscard]] BitVector bnot_wide() const;
+  [[nodiscard]] BitVector shl_wide(unsigned amount) const;
+  [[nodiscard]] BitVector lshr_wide(unsigned amount) const;
+  /// Three-way unsigned compare: <0, 0, >0 -- one scan for ult/ule.
+  [[nodiscard]] int ucmp_wide(const BitVector& rhs) const;
+
   void mask_top();
-  static void check_width(unsigned w);
-  void check_same(const BitVector& rhs) const;
+  static void check_width(unsigned w) {
+    HLSAV_CHECK(w >= 1 && w <= kMaxWidth, "BitVector width out of range");
+  }
+  void check_same(const BitVector& rhs) const {
+    HLSAV_CHECK(width_ == rhs.width_, "BitVector width mismatch");
+  }
 };
 
 }  // namespace hlsav
