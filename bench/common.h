@@ -25,7 +25,29 @@
 #include "sim/simulator.h"
 #include "support/table.h"
 
+// Build provenance stamped into every BENCH_*.json so perf-trajectory
+// points are attributable to a commit and build flavour. The macros are
+// injected by bench/CMakeLists.txt; the fallbacks keep non-CMake builds
+// compiling.
+#ifndef HLSAV_GIT_SHA
+#define HLSAV_GIT_SHA "unknown"
+#endif
+#ifndef HLSAV_BUILD_TYPE
+#define HLSAV_BUILD_TYPE "unspecified"
+#endif
+
 namespace hlsav::bench {
+
+/// The `"git_sha": ..., "build_type": ...` JSON fragment shared by all
+/// bench JSON writers.
+inline std::string json_provenance() {
+  std::string s = "\"git_sha\": \"";
+  s += HLSAV_GIT_SHA;
+  s += "\", \"build_type\": \"";
+  s += HLSAV_BUILD_TYPE;
+  s += "\"";
+  return s;
+}
 
 /// One synthesized + characterized configuration of a design.
 struct Characterized {
@@ -128,7 +150,8 @@ SimThroughput time_simulation(const std::string& name, F&& run_once, double min_
 inline void write_bench_json(const std::string& path, const std::string& bench_name,
                              const std::vector<SimThroughput>& results) {
   std::ofstream os(path);
-  os << "{\n  \"bench\": \"" << bench_name << "\",\n  \"workloads\": [\n";
+  os << "{\n  \"bench\": \"" << bench_name << "\",\n  " << json_provenance()
+     << ",\n  \"workloads\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SimThroughput& t = results[i];
     os << "    {\"name\": \"" << t.name << "\", \"runs\": " << t.runs

@@ -1,0 +1,63 @@
+#include "assertions/coverage.h"
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace hlsav::assertions {
+
+void CoverageTable::record_detection(std::uint32_t assertion_id, const std::string& kind) {
+  ++per_assertion_[assertion_id][kind];
+}
+
+void CoverageTable::record_fault(const std::string& kind, bool detected) {
+  KindTally& t = per_kind_[kind];
+  ++t.injected;
+  if (detected) ++t.detected;
+}
+
+unsigned CoverageTable::detections(std::uint32_t assertion_id) const {
+  auto it = per_assertion_.find(assertion_id);
+  if (it == per_assertion_.end()) return 0;
+  unsigned n = 0;
+  for (const auto& [kind, count] : it->second) n += count;
+  return n;
+}
+
+std::string CoverageTable::render() const {
+  std::ostringstream os;
+
+  TextTable per_assert("Per-assertion fault coverage");
+  per_assert.header({"assertion", "location", "condition", "faults detected", "kinds"});
+  for (const ir::AssertionRecord& rec : design_->assertions) {
+    std::string kinds;
+    unsigned total = 0;
+    auto it = per_assertion_.find(rec.id);
+    if (it != per_assertion_.end()) {
+      for (const auto& [kind, count] : it->second) {
+        if (!kinds.empty()) kinds += ", ";
+        kinds += kind + " x" + std::to_string(count);
+        total += count;
+      }
+    }
+    std::string label = "#";
+    label += std::to_string(rec.id);
+    per_assert.row({label, rec.process + ":" + std::to_string(rec.line), rec.condition_text,
+                    std::to_string(total), kinds});
+  }
+  os << per_assert.render();
+
+  TextTable per_kind("Fault-kind detection rates");
+  per_kind.header({"fault kind", "injected", "detected", "coverage"});
+  for (const auto& [kind, tally] : per_kind_) {
+    double pct =
+        tally.injected == 0 ? 0.0 : 100.0 * static_cast<double>(tally.detected) /
+                                        static_cast<double>(tally.injected);
+    per_kind.row({kind, std::to_string(tally.injected), std::to_string(tally.detected),
+                  fmt_double(pct, 1) + "%"});
+  }
+  os << per_kind.render();
+  return os.str();
+}
+
+}  // namespace hlsav::assertions

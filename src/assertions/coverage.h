@@ -1,0 +1,51 @@
+// Per-assertion fault-coverage attribution.
+//
+// The paper argues (§5) that in-circuit assertions catch fault classes
+// software simulation cannot; a fault-injection campaign turns that
+// claim into a measurement. This table answers the follow-on question:
+// *which* assertion caught *which* faults -- i.e. whether assertion
+// placement (not just presence) determines what gets detected. The
+// campaign runner records one entry per (assertion, fault-kind)
+// detection; rendering walks the design's assertion catalogue in order,
+// so the output is deterministic and includes assertions that never
+// fired (coverage holes are the interesting rows).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace hlsav::assertions {
+
+class CoverageTable {
+ public:
+  explicit CoverageTable(const ir::Design& design) : design_(&design) {}
+
+  /// Records that `assertion_id` detected one injected fault of `kind`.
+  void record_detection(std::uint32_t assertion_id, const std::string& kind);
+  /// Records one injected fault of `kind` and whether any assertion
+  /// detected it (feeds the per-kind coverage rows).
+  void record_fault(const std::string& kind, bool detected);
+
+  /// Total faults detected by one assertion.
+  [[nodiscard]] unsigned detections(std::uint32_t assertion_id) const;
+
+  /// Renders the per-assertion table followed by per-kind coverage, in
+  /// catalogue / lexicographic order (byte-stable across runs).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct KindTally {
+    unsigned injected = 0;
+    unsigned detected = 0;
+  };
+
+  const ir::Design* design_;
+  /// assertion id -> fault kind -> detections.
+  std::map<std::uint32_t, std::map<std::string, unsigned>> per_assertion_;
+  std::map<std::string, KindTally> per_kind_;
+};
+
+}  // namespace hlsav::assertions

@@ -157,6 +157,24 @@ const AssertionRecord* Design::find_assertion(std::uint32_t id) const {
   return nullptr;
 }
 
+std::vector<StreamId> Design::live_stream_ids() const {
+  std::vector<StreamId> ids;
+  ids.reserve(streams.size());
+  for (const Stream& s : streams) {
+    if (!s.dead) ids.push_back(s.id);
+  }
+  return ids;
+}
+
+std::vector<const Process*> Design::application_processes() const {
+  std::vector<const Process*> out;
+  out.reserve(processes.size());
+  for (const auto& p : processes) {
+    if (p->role == ProcessRole::kApplication) out.push_back(p.get());
+  }
+  return out;
+}
+
 namespace {
 // Detaches the stream previously bound to the port: the auto-created
 // placeholder dies; ops referencing it are retargeted to the new stream.

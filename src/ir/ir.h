@@ -335,6 +335,12 @@ struct Design {
   [[nodiscard]] const Memory& memory(MemId id) const;
   [[nodiscard]] const ExternFunc* find_extern(std::string_view name) const;
   [[nodiscard]] const AssertionRecord* find_assertion(std::uint32_t id) const;
+  /// Ids of all non-dead streams, in id order (fault-site enumeration,
+  /// output collection).
+  [[nodiscard]] std::vector<StreamId> live_stream_ids() const;
+  /// Application processes in declaration order (assertion-synthesis
+  /// helpers skip checkers/collectors the same way).
+  [[nodiscard]] std::vector<const Process*> application_processes() const;
 
   /// Binds a process port to a stream and records the endpoint.
   void connect_producer(StreamId s, std::string_view process, std::string_view port);

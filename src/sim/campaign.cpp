@@ -1,0 +1,193 @@
+#include "sim/campaign.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "assertions/coverage.h"
+#include "support/table.h"
+
+namespace hlsav::sim {
+
+const char* fault_outcome_name(FaultOutcome o) {
+  switch (o) {
+    case FaultOutcome::kBenign: return "benign";
+    case FaultOutcome::kDetected: return "detected";
+    case FaultOutcome::kSilentCorruption: return "silent-corruption";
+    case FaultOutcome::kHangDetected: return "hang-detected";
+    case FaultOutcome::kHangTimeout: return "hang-timeout";
+  }
+  HLSAV_UNREACHABLE("bad FaultOutcome");
+}
+
+namespace {
+
+/// CPU-visible data outputs in stream-id order (the comparison basis
+/// for silent-corruption classification).
+std::vector<std::pair<std::string, std::vector<std::uint64_t>>> collect_outputs(
+    const ir::Design& design, const Simulator& sim) {
+  std::vector<std::pair<std::string, std::vector<std::uint64_t>>> out;
+  for (ir::StreamId id : design.live_stream_ids()) {
+    const ir::Stream& s = design.stream(id);
+    if (s.consumer.kind != ir::StreamEndpoint::Kind::kCpu) continue;
+    if (s.role != ir::StreamRole::kData) continue;
+    out.emplace_back(s.name, sim.received(s.name));
+  }
+  return out;
+}
+
+}  // namespace
+
+GoldenRef golden_run(const ir::Design& design, const sched::DesignSchedule& schedule,
+                     const ExternRegistry& externs,
+                     const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                     const SimOptions& base) {
+  SimOptions opts = base;
+  opts.faults = FaultEngine{};
+  Simulator sim(design, schedule, externs, opts);
+  for (const auto& [name, values] : feeds) sim.feed(name, values);
+  RunResult r = sim.run();
+  HLSAV_CHECK(r.completed() && r.failures.empty(),
+              "campaign golden run did not complete cleanly on design '" + design.name + "'");
+  GoldenRef g;
+  g.cycles = r.cycles;
+  g.outputs = collect_outputs(design, sim);
+  return g;
+}
+
+FaultResult run_fault(const ir::Design& design, const sched::DesignSchedule& schedule,
+                      const ExternRegistry& externs,
+                      const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                      const GoldenRef& golden, const FaultSpec& fault, const SimOptions& base,
+                      std::uint64_t max_cycles) {
+  SimOptions opts = base;
+  opts.mode = SimMode::kHardware;  // faults model circuit behaviour
+  opts.max_cycles = max_cycles;
+  opts.faults = FaultEngine{};
+  opts.faults.add(fault);
+
+  Simulator sim(design, schedule, externs, opts);
+  for (const auto& [name, values] : feeds) sim.feed(name, values);
+  RunResult r = sim.run();
+
+  FaultResult res;
+  res.site = fault;
+  res.cycles = r.cycles;
+  for (const assertions::Failure& f : r.failures) res.detected_by.push_back(f.assertion_id);
+  std::sort(res.detected_by.begin(), res.detected_by.end());
+  res.detected_by.erase(std::unique(res.detected_by.begin(), res.detected_by.end()),
+                        res.detected_by.end());
+
+  switch (r.status) {
+    case RunStatus::kAborted:
+      res.outcome = FaultOutcome::kDetected;
+      break;
+    case RunStatus::kHung:
+      res.outcome = r.hang && r.hang->kind == HangKind::kCycleLimit
+                        ? FaultOutcome::kHangTimeout
+                        : FaultOutcome::kHangDetected;
+      break;
+    case RunStatus::kCompleted:
+      if (!r.failures.empty()) {
+        res.outcome = FaultOutcome::kDetected;  // NABORT: reported, kept running
+      } else if (collect_outputs(design, sim) == golden.outputs) {
+        res.outcome = FaultOutcome::kBenign;
+      } else {
+        res.outcome = FaultOutcome::kSilentCorruption;
+      }
+      break;
+  }
+  return res;
+}
+
+CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedule& schedule,
+                            const ExternRegistry& externs,
+                            const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                            const CampaignOptions& opt) {
+  GoldenRef golden = golden_run(design, schedule, externs, feeds, opt.sim);
+  std::uint64_t max_cycles =
+      opt.max_cycles != 0 ? opt.max_cycles : std::max<std::uint64_t>(10'000, 16 * golden.cycles);
+
+  std::vector<FaultSpec> sites = enumerate_fault_sites(design, schedule);
+
+  CampaignReport report;
+  report.seed = opt.seed;
+  report.sites_total = sites.size();
+  report.golden_cycles = golden.cycles;
+
+  // Sampling only chooses *which* sites run; the list and the ids are
+  // seed-independent, so campaigns stay comparable across seeds.
+  std::vector<std::size_t> order(sites.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (opt.max_faults != 0 && opt.max_faults < sites.size()) {
+    std::mt19937_64 rng(opt.seed);
+    std::shuffle(order.begin(), order.end(), rng);
+    order.resize(opt.max_faults);
+    std::sort(order.begin(), order.end());
+  }
+
+  report.results.reserve(order.size());
+  for (std::size_t idx : order) {
+    report.results.push_back(
+        run_fault(design, schedule, externs, feeds, golden, sites[idx], opt.sim, max_cycles));
+  }
+  return report;
+}
+
+std::size_t CampaignReport::count(FaultOutcome o) const {
+  std::size_t n = 0;
+  for (const FaultResult& r : results) {
+    if (r.outcome == o) ++n;
+  }
+  return n;
+}
+
+double CampaignReport::detection_rate() const {
+  std::size_t effectual = results.size() - count(FaultOutcome::kBenign);
+  if (effectual == 0) return 0.0;
+  return static_cast<double>(count(FaultOutcome::kDetected)) /
+         static_cast<double>(effectual);
+}
+
+std::string CampaignReport::render(const ir::Design& design) const {
+  std::ostringstream os;
+
+  TextTable t("Fault-injection campaign: " + design.name + " (" + std::to_string(results.size()) +
+              "/" + std::to_string(sites_total) + " sites, seed " + std::to_string(seed) + ")");
+  t.header({"site", "fault", "outcome", "detected by", "cycles"});
+  for (const FaultResult& r : results) {
+    std::string by;
+    for (std::uint32_t id : r.detected_by) {
+      if (!by.empty()) by += ' ';
+      by += '#';
+      by += std::to_string(id);
+    }
+    std::string site = "s";
+    site += std::to_string(r.site.id);
+    t.row({site, r.site.describe(design), fault_outcome_name(r.outcome), by,
+           std::to_string(r.cycles)});
+  }
+  os << t.render();
+
+  os << "summary: benign " << count(FaultOutcome::kBenign) << ", detected "
+     << count(FaultOutcome::kDetected) << ", silent-corruption "
+     << count(FaultOutcome::kSilentCorruption) << ", hang-detected "
+     << count(FaultOutcome::kHangDetected) << ", hang-timeout "
+     << count(FaultOutcome::kHangTimeout) << " (golden run: " << golden_cycles << " cycles)\n";
+  os << "assertion detection rate over effectual faults: "
+     << fmt_double(100.0 * detection_rate(), 1) << "%\n";
+
+  assertions::CoverageTable coverage(design);
+  for (const FaultResult& r : results) {
+    if (r.outcome == FaultOutcome::kBenign) continue;
+    coverage.record_fault(fault_kind_name(r.site.kind),
+                          r.outcome == FaultOutcome::kDetected);
+    for (std::uint32_t id : r.detected_by) {
+      coverage.record_detection(id, fault_kind_name(r.site.kind));
+    }
+  }
+  os << coverage.render();
+  return os.str();
+}
+
+}  // namespace hlsav::sim

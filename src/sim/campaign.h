@@ -1,0 +1,107 @@
+// Fault-injection campaign runner.
+//
+// Sweeps the enumerated fault-site list of a design (sim/fault.h), runs
+// each single-fault variant against the golden un-faulted run, and
+// classifies the outcome:
+//
+//   benign            -- same outputs, no assertion fired (the fault was
+//                        masked: e.g. a flipped bit the application never
+//                        reads back).
+//   detected          -- an assertion failure reached the notification
+//                        function (attributed to the AssertionRecord).
+//   silent-corruption -- the run completed with different CPU-visible
+//                        outputs and no assertion noticed: the paper's
+//                        argument for *more* in-circuit assertions.
+//   hang-detected     -- the wait-for-graph detector proved a deadlock
+//                        (or starvation) the moment progress stopped.
+//   hang-timeout      -- only the max_cycles livelock backstop fired.
+//
+// Determinism: the site list depends only on the design; the seed only
+// chooses which sites a sampled campaign runs. Same seed + same design
+// => byte-identical report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "sched/schedule.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+
+namespace hlsav::sim {
+
+enum class FaultOutcome : std::uint8_t {
+  kBenign,
+  kDetected,
+  kSilentCorruption,
+  kHangDetected,
+  kHangTimeout,
+};
+
+[[nodiscard]] const char* fault_outcome_name(FaultOutcome o);
+
+struct FaultResult {
+  FaultSpec site;
+  FaultOutcome outcome = FaultOutcome::kBenign;
+  std::vector<std::uint32_t> detected_by;  // assertion ids, sorted, deduped
+  std::uint64_t cycles = 0;                // RunResult::cycles of the faulted run
+};
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  /// 0 = run every enumerated site; otherwise a seeded sample.
+  std::size_t max_faults = 0;
+  /// Livelock backstop per faulted run; 0 = max(10'000, 16 * golden).
+  std::uint64_t max_cycles = 0;
+  /// Base simulation options (mode, channel mux) shared by every run.
+  SimOptions sim;
+};
+
+/// The golden (un-faulted) reference: completion cycles plus every
+/// CPU-visible data word, per output stream in id order.
+struct GoldenRef {
+  std::uint64_t cycles = 0;
+  std::vector<std::pair<std::string, std::vector<std::uint64_t>>> outputs;
+};
+
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  std::size_t sites_total = 0;  // enumerated, before sampling
+  std::uint64_t golden_cycles = 0;
+  std::vector<FaultResult> results;  // in site-id order
+
+  [[nodiscard]] std::size_t count(FaultOutcome o) const;
+  /// Detected / (everything that was not benign).
+  [[nodiscard]] double detection_rate() const;
+  /// Full campaign table + summary + per-assertion coverage attribution.
+  [[nodiscard]] std::string render(const ir::Design& design) const;
+};
+
+/// Runs the design un-faulted and records the reference outputs. Throws
+/// InternalError if the golden run itself does not complete cleanly.
+[[nodiscard]] GoldenRef golden_run(const ir::Design& design,
+                                   const sched::DesignSchedule& schedule,
+                                   const ExternRegistry& externs,
+                                   const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                                   const SimOptions& base);
+
+/// Runs one fault variant and classifies it against `golden`.
+[[nodiscard]] FaultResult run_fault(const ir::Design& design,
+                                    const sched::DesignSchedule& schedule,
+                                    const ExternRegistry& externs,
+                                    const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                                    const GoldenRef& golden, const FaultSpec& fault,
+                                    const SimOptions& base, std::uint64_t max_cycles);
+
+/// The full campaign: enumerate sites, (optionally sample,) run each,
+/// classify every one -- no fault is ever left unclassified.
+[[nodiscard]] CampaignReport run_campaign(
+    const ir::Design& design, const sched::DesignSchedule& schedule,
+    const ExternRegistry& externs,
+    const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+    const CampaignOptions& opt = {});
+
+}  // namespace hlsav::sim

@@ -19,6 +19,7 @@ Simulator::Simulator(const ir::Design& design, const sched::DesignSchedule& sche
 void Simulator::init_state() {
   tracing_ = opt_.trace;
   inject_faults_ = opt_.mode == SimMode::kHardware && !opt_.faults.empty();
+  if (inject_faults_) stream_write_seq_.assign(design_.streams.size(), 0);
 
   streams_.resize(design_.streams.size());
   stream_ids_.reserve(design_.streams.size());
@@ -149,6 +150,11 @@ void Simulator::feed(ir::StreamId stream, const std::vector<std::uint64_t>& valu
   const ir::Stream& s = design_.stream(stream);
   HLSAV_CHECK(streams_[stream].cpu_producer, "feed into a non-CPU-fed stream");
   for (std::uint64_t v : values) {
+    // Silent truncation here would make a bad harness input look exactly
+    // like an injected hardware fault; reject it loudly instead.
+    HLSAV_CHECK(s.width >= 64 || (v >> s.width) == 0,
+                "feed value " + std::to_string(v) + " does not fit stream '" + s.name + "' (" +
+                    std::to_string(s.width) + " bits)");
     streams_[stream].fifo.push_back(FifoEntry{BitVector::from_u64(s.width, v), 0});
   }
   mark_cpu_dirty(stream);  // a CPU->CPU stream delivers on the next drain
@@ -234,6 +240,18 @@ bool Simulator::try_stream_write(ProcState& ps, const Op& op, std::uint64_t at) 
     ps.block_reason = BlockReason::kStreamFull;
     ps.blocked_stream = op.stream;
     return false;
+  }
+  if (inject_faults_) {
+    // Handshake faults: the word is counted as sent by the process even
+    // when the FIFO drops it (that is the fault being modelled).
+    BitVector v = value_of(ps, op.args[0]);
+    FaultEngine::StreamAction act =
+        opt_.faults.on_stream_write(op.stream, stream_write_seq_[op.stream]++, v);
+    if (act == FaultEngine::StreamAction::kDrop) return true;
+    st.fifo.push_back(FifoEntry{v, at + 1});
+    if (act == FaultEngine::StreamAction::kDup) st.fifo.push_back(FifoEntry{std::move(v), at + 1});
+    mark_cpu_dirty(op.stream);
+    return true;
   }
   // Data crosses the channel one cycle after the send issues.
   st.fifo.push_back(FifoEntry{value_of(ps, op.args[0]), at + 1});
@@ -377,7 +395,15 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
     case OpKind::kStore: {
       std::uint64_t idx = value_of(ps, op.args[0]).to_u64();
       auto& mem = memories_[op.mem];
-      if (idx < mem.size()) mem[idx] = value_of(ps, op.args[1]);
+      if (idx < mem.size()) {
+        if (inject_faults_) {
+          BitVector v = value_of(ps, op.args[1]);
+          opt_.faults.on_bram_write(op.mem, idx, v);
+          mem[idx] = std::move(v);
+        } else {
+          mem[idx] = value_of(ps, op.args[1]);
+        }
+      }
       return true;
     }
     case OpKind::kStreamRead:
@@ -390,6 +416,7 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
       extern_args_.clear();
       for (const Operand& a : op.args) extern_args_.push_back(value_of(ps, a));
       ps.regs[op.dest] = (*fn)(extern_args_).resize(ps.proc->reg(op.dest).width, false);
+      if (inject_faults_) opt_.faults.on_extern_result(op.callee, ps.regs[op.dest]);
       return true;
     }
     case OpKind::kAssert: {
@@ -462,6 +489,11 @@ void Simulator::advance_to_block(ProcState& ps, ir::BlockId next) {
 bool Simulator::run_sequential_block(ProcState& ps) {
   const BasicBlock& b = *ps.cur_block;
   const sched::BlockSchedule& bs = *ps.cur_sched;
+  // FSM skip fault: the block's datapath ops never execute; control
+  // falls straight through to the terminator on stale register values.
+  if (inject_faults_ && ps.op_idx == 0 && opt_.faults.skip_block(ps.proc->name, ps.cur)) {
+    ps.op_idx = b.ops.size();
+  }
   // Pure register ops with no predicate need neither a timestamp nor the
   // full dispatch; folding them here inlines the small-width BitVector
   // fast paths into the loop. Tracing or fault injection disables the
@@ -510,9 +542,17 @@ bool Simulator::run_sequential_block(ProcState& ps) {
     case ir::TermKind::kJump:
       advance_to_block(ps, b.term.on_true);
       break;
-    case ir::TermKind::kBranch:
-      advance_to_block(ps, value_of(ps, b.term.cond).any() ? b.term.on_true : b.term.on_false);
+    case ir::TermKind::kBranch: {
+      bool taken = value_of(ps, b.term.cond).any();
+      if (inject_faults_) {
+        // FSM stuck-branch fault: a corrupted next-state register always
+        // selects one successor, regardless of the condition.
+        const bool* forced = opt_.faults.forced_branch(ps.proc->name, ps.cur);
+        if (forced != nullptr) taken = *forced;
+      }
+      advance_to_block(ps, taken ? b.term.on_true : b.term.on_false);
       break;
+    }
     case ir::TermKind::kReturn:
       ps.done = true;
       break;
@@ -549,6 +589,10 @@ bool Simulator::run_pipelined_loop(ProcState& ps) {
     }
     if (ps.op_idx == h) {
       bool taken = value_of(ps, header.term.cond).any();
+      if (inject_faults_) {
+        const bool* forced = opt_.faults.forced_branch(ps.proc->name, loop.header);
+        if (forced != nullptr) taken = *forced;
+      }
       if (!taken) {
         std::uint64_t n = pc.iter;
         ps.cycle = n == 0 ? pc.start_cycle + 1 : pc.start_cycle + bs.latency + (n - 1) * bs.ii;
@@ -599,20 +643,123 @@ bool Simulator::step_process(ProcState& ps) {
   return progress;
 }
 
-std::string Simulator::block_reason_text(const ProcState& ps) const {
-  switch (ps.block_reason) {
+namespace {
+
+std::string reason_text(BlockReason reason, const std::string& stream) {
+  switch (reason) {
     case BlockReason::kNone:
       return {};
     case BlockReason::kStreamEmpty:
-      return "stream_read on '" + design_.stream(ps.blocked_stream).name + "' (empty)";
+      return "stream_read on '" + stream + "' (empty)";
     case BlockReason::kStreamFull:
-      return "stream_write on '" + design_.stream(ps.blocked_stream).name + "' (full)";
+      return "stream_write on '" + stream + "' (full)";
     case BlockReason::kCycleLimit:
       return "cycle limit exceeded";
     case BlockReason::kCycleLimitPipelined:
       return "cycle limit exceeded in pipelined loop";
   }
   return {};
+}
+
+}  // namespace
+
+std::string HangInfo::render() const {
+  std::ostringstream os;
+  os << "application hang: no process can make progress\n";
+  for (const HangWaiter& w : waiters) {
+    os << "  process '" << w.process << "' stuck";
+    if (w.loc.valid()) os << " at line " << w.loc.line;
+    std::string why = reason_text(w.reason, w.stream);
+    if (!why.empty()) os << ": " << why;
+    os << " (cycle " << w.cycle << ")\n";
+  }
+  if (kind == HangKind::kDeadlockCycle && !cycle.empty()) {
+    os << "  deadlock cycle: ";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      const HangWaiter& w = waiters[cycle[i]];
+      if (i != 0) os << " <- ";
+      os << w.process << " waits "
+         << (w.reason == BlockReason::kStreamEmpty ? "read" : "write") << "('" << w.stream
+         << "')";
+    }
+    os << " <- " << waiters[cycle.front()].process << "\n";
+  }
+  return os.str();
+}
+
+HangInfo Simulator::diagnose_hang() const {
+  HangInfo info;
+  // Waiter list in process order (matches the scheduler's step order).
+  std::vector<std::size_t> proc_to_waiter(procs_.size(), SIZE_MAX);
+  std::unordered_map<std::string_view, std::size_t> waiter_by_name;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const ProcState& ps = procs_[i];
+    if (ps.done) continue;
+    HangWaiter w;
+    w.process = ps.proc->name;
+    w.reason = ps.block_reason;
+    if (ps.blocked_stream != ir::kNoStream &&
+        (w.reason == BlockReason::kStreamEmpty || w.reason == BlockReason::kStreamFull)) {
+      w.stream = design_.stream(ps.blocked_stream).name;
+    }
+    w.loc = ps.blocked_at;
+    w.cycle = ps.cycle;
+    proc_to_waiter[i] = info.waiters.size();
+    waiter_by_name.emplace(ps.proc->name, info.waiters.size());
+    info.waiters.push_back(std::move(w));
+  }
+
+  // Wait-for edges: a reader waits on the blocked stream's producer, a
+  // writer on its consumer. Edges only exist between stuck hardware
+  // processes -- a finished peer or the CPU means starvation, not
+  // deadlock.
+  bool any_cycle_limited = false;
+  std::vector<std::size_t> succ(info.waiters.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const ProcState& ps = procs_[i];
+    if (ps.done) continue;
+    std::size_t wi = proc_to_waiter[i];
+    if (ps.cycle_limited()) {
+      any_cycle_limited = true;
+      continue;
+    }
+    if (ps.blocked_stream == ir::kNoStream) continue;
+    const ir::Stream& s = design_.stream(ps.blocked_stream);
+    const ir::StreamEndpoint& peer =
+        ps.block_reason == BlockReason::kStreamEmpty ? s.producer : s.consumer;
+    if (peer.kind != ir::StreamEndpoint::Kind::kProcess) continue;
+    auto it = waiter_by_name.find(peer.process);
+    if (it == waiter_by_name.end()) continue;  // peer finished (or is not stepped)
+    succ[wi] = it->second;
+    info.waiters[wi].waits_on = peer.process;
+  }
+
+  // Cycle detection in the functional wait-for graph (each node has at
+  // most one outgoing edge): walk successors until a repeat.
+  std::vector<std::uint8_t> color(info.waiters.size(), 0);  // 0 white, 1 on path, 2 done
+  for (std::size_t start = 0; start < succ.size() && info.cycle.empty(); ++start) {
+    std::vector<std::size_t> path;
+    std::size_t v = start;
+    while (v != SIZE_MAX && color[v] == 0) {
+      color[v] = 1;
+      path.push_back(v);
+      v = succ[v];
+    }
+    if (v != SIZE_MAX && color[v] == 1) {
+      auto cyc_start = std::find(path.begin(), path.end(), v);
+      info.cycle.assign(cyc_start, path.end());
+    }
+    for (std::size_t n : path) color[n] = 2;
+  }
+
+  if (any_cycle_limited) {
+    info.kind = HangKind::kCycleLimit;
+  } else if (!info.cycle.empty()) {
+    info.kind = HangKind::kDeadlockCycle;
+  } else {
+    info.kind = HangKind::kStarvation;
+  }
+  return info;
 }
 
 RunResult Simulator::run() {
@@ -644,17 +791,8 @@ RunResult Simulator::run() {
     return result;
   }
   result.status = RunStatus::kHung;
-  std::ostringstream os;
-  os << "application hang: no process can make progress\n";
-  for (const ProcState& ps : procs_) {
-    if (ps.done) continue;
-    os << "  process '" << ps.proc->name << "' stuck";
-    if (ps.blocked_at.valid()) os << " at line " << ps.blocked_at.line;
-    std::string why = block_reason_text(ps);
-    if (!why.empty()) os << ": " << why;
-    os << " (cycle " << ps.cycle << ")\n";
-  }
-  result.hang_report = os.str();
+  result.hang = diagnose_hang();
+  result.hang_report = result.hang->render();
   return result;
 }
 
@@ -677,6 +815,9 @@ void Simulator::drain_cpu_streams() {
       }
       FifoEntry e = std::move(st.fifo.front());
       st.fifo.pop_front();
+      // Channel corruption faults hit the word in flight, whatever it
+      // carries -- data or an assertion failure notification.
+      if (inject_faults_) opt_.faults.on_channel_word(channel_word_seq_++, e.value);
       // All CPU-bound words share one physical channel (paper §3):
       // serialize delivery slots.
       std::uint64_t delivered = e.time;

@@ -66,7 +66,7 @@ struct SimOptions {
   /// Record an execution trace (per-op events, capped at trace_limit).
   bool trace = false;
   std::size_t trace_limit = 100'000;
-  FaultInjection faults;
+  FaultEngine faults;
 };
 
 /// One traced op execution (trace mode). The closest thing the flow has
@@ -96,11 +96,49 @@ enum class BlockReason : std::uint8_t {
   kCycleLimitPipelined,  // ditto, inside a pipelined loop
 };
 
+/// How a hang was diagnosed. A deadlock cycle and starvation are both
+/// *proven* the moment no process can step (O(cycles-to-block)); the
+/// cycle limit is only the livelock backstop for processes that never
+/// stop making local progress.
+enum class HangKind : std::uint8_t {
+  kDeadlockCycle,  // circular wait over stream empty/full edges
+  kStarvation,     // blocked on a peer that finished / CPU data that never came
+  kCycleLimit,     // SimOptions::max_cycles backstop (livelock)
+};
+
+/// One stuck process in a hang diagnosis.
+struct HangWaiter {
+  std::string process;
+  BlockReason reason = BlockReason::kNone;
+  std::string stream;  // blocked stream's name (kStream* reasons only)
+  SourceLoc loc;
+  std::uint64_t cycle = 0;
+  /// The process this one waits on (the blocked stream's peer endpoint);
+  /// empty when the peer is the CPU or already finished.
+  std::string waits_on;
+};
+
+/// Structured hang diagnosis: every stuck process, plus -- when a
+/// circular wait exists -- the proven cycle. This is what the paper's
+/// §5.1 assert(0)/NABORT tracing had to reconstruct by hand.
+struct HangInfo {
+  HangKind kind = HangKind::kStarvation;
+  std::vector<HangWaiter> waiters;
+  /// Indices into `waiters` forming the deadlock cycle in wait order
+  /// (cycle[i] waits on cycle[i+1], the last waits on the first). Empty
+  /// unless kind == kDeadlockCycle.
+  std::vector<std::size_t> cycle;
+
+  /// Renders the report (the RunResult::hang_report text).
+  [[nodiscard]] std::string render() const;
+};
+
 struct RunResult {
   RunStatus status = RunStatus::kCompleted;
   std::uint64_t cycles = 0;  // max local clock over application processes
   std::vector<assertions::Failure> failures;
-  std::string hang_report;  // per-process stuck positions when kHung
+  std::string hang_report;  // rendered from `hang` when kHung
+  std::optional<HangInfo> hang;
 
   [[nodiscard]] bool completed() const { return status == RunStatus::kCompleted; }
 };
@@ -110,8 +148,9 @@ class Simulator {
   Simulator(const ir::Design& design, const sched::DesignSchedule& schedule,
             const ExternRegistry& externs, SimOptions options = {});
 
-  /// Feeds CPU-producer data into the named stream (values are truncated
-  /// to the stream width).
+  /// Feeds CPU-producer data into the named stream. Values must fit the
+  /// stream width: a harness bug that silently truncated its input would
+  /// masquerade as a hardware fault, so it throws InternalError instead.
   void feed(std::string_view stream_name, const std::vector<std::uint64_t>& values);
   void feed(ir::StreamId stream, const std::vector<std::uint64_t>& values);
 
@@ -225,6 +264,11 @@ class Simulator {
   bool halt_ = false;
   /// Last delivery slot used on the multiplexed physical CPU channel.
   std::uint64_t channel_busy_until_ = 0;
+  /// Per-stream count of process-issued writes (fault injection only;
+  /// left empty when the FaultEngine is, so no-fault runs pay nothing).
+  std::vector<std::uint64_t> stream_write_seq_;
+  /// Count of words delivered over the CPU channel (fault injection only).
+  std::uint64_t channel_word_seq_ = 0;
   std::vector<TraceEvent> trace_;
 
   // ---- init_state() resolution caches (the design is immutable while
@@ -245,8 +289,10 @@ class Simulator {
 
   /// Cached design_.find_assertion(op.assert_id) for assertion-carrying ops.
   [[nodiscard]] const ir::AssertionRecord* assertion_of(const ir::Op& op) const;
-  /// Renders the human-readable blocked reason (hang reports only).
-  [[nodiscard]] std::string block_reason_text(const ProcState& ps) const;
+  /// Builds the structured hang diagnosis: every stuck process, the
+  /// wait-for edges over BlockReason::kStreamEmpty/kStreamFull, and the
+  /// proven deadlock cycle if one exists.
+  [[nodiscard]] HangInfo diagnose_hang() const;
 
   /// Runs one process until it blocks, finishes or the design halts.
   /// Returns true if it made progress.

@@ -1,0 +1,130 @@
+// Campaign runner: deterministic reports, seed-independent site lists,
+// and sane outcome classification against the golden run.
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "sim/campaign.h"
+
+namespace hlsav::sim {
+namespace {
+
+using hlsav::testing::compile;
+
+struct H {
+  ir::Design design;
+  sched::DesignSchedule schedule;
+  ExternRegistry externs;
+  std::map<std::string, std::vector<std::uint64_t>> feeds;
+};
+
+H make_clamp(const assertions::Options& aopt) {
+  auto c = compile(R"(
+    void clamp(stream_in<32> in, stream_out<32> out) {
+      for (uint32 i = 0; i < 6; i++) {
+        uint32 v = stream_read(in);
+        uint32 y = v;
+        if (y > 255) { y = 255; }
+        assert(y <= 255);
+        stream_write(out, y);
+      }
+    }
+  )");
+  H h;
+  h.design = c->design.clone();
+  assertions::synthesize(h.design, aopt);
+  ir::verify(h.design);
+  h.schedule = sched::schedule_design(h.design);
+  h.feeds = {{"clamp.in", {1, 2, 3, 300, 5, 6}}};
+  return h;
+}
+
+TEST(Campaign, EverySiteIsClassified) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignReport r = run_campaign(h.design, h.schedule, h.externs, h.feeds, {});
+  EXPECT_GT(r.sites_total, 0u);
+  // max_faults = 0 runs the whole site list: nothing left unclassified.
+  EXPECT_EQ(r.results.size(), r.sites_total);
+  for (std::size_t i = 0; i < r.results.size(); ++i) {
+    EXPECT_EQ(r.results[i].site.id, i);
+  }
+}
+
+TEST(Campaign, SameSeedGivesByteIdenticalReport) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignOptions opt;
+  opt.seed = 42;
+  opt.max_faults = 5;  // force the sampling path
+  CampaignReport a = run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  CampaignReport b = run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  EXPECT_EQ(a.render(h.design), b.render(h.design));
+}
+
+TEST(Campaign, SeedOnlySelectsSitesNeverRenumbersThem) {
+  H h = make_clamp(assertions::Options::optimized());
+  std::vector<FaultSpec> sites = enumerate_fault_sites(h.design, h.schedule);
+
+  CampaignOptions a_opt, b_opt;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  a_opt.max_faults = b_opt.max_faults = 4;
+  CampaignReport a = run_campaign(h.design, h.schedule, h.externs, h.feeds, a_opt);
+  CampaignReport b = run_campaign(h.design, h.schedule, h.externs, h.feeds, b_opt);
+
+  // Different seeds may pick different subsets...
+  EXPECT_EQ(a.results.size(), 4u);
+  EXPECT_EQ(b.results.size(), 4u);
+  // ...but both draw from the identical enumerated list: every sampled
+  // site id resolves to the same FaultSpec description.
+  for (const CampaignReport* rep : {&a, &b}) {
+    EXPECT_EQ(rep->sites_total, sites.size());
+    for (const FaultResult& f : rep->results) {
+      ASSERT_LT(f.site.id, sites.size());
+      EXPECT_EQ(f.site.describe(h.design), sites[f.site.id].describe(h.design));
+    }
+  }
+}
+
+TEST(Campaign, ClassifiesDetectionAndAttributesAssertion) {
+  H h = make_clamp(assertions::Options::optimized());
+  // Skipping the clamp's 'then' block leaves y == 300 at the assert:
+  // the campaign must classify it detected and name the assertion.
+  std::vector<FaultSpec> sites = enumerate_fault_sites(h.design, h.schedule);
+  const FaultSpec* skip_then = nullptr;
+  for (const FaultSpec& f : sites) {
+    if (f.kind == FaultKind::kFsmSkipBlock &&
+        f.describe(h.design).find("then") != std::string::npos) {
+      skip_then = &f;
+    }
+  }
+  ASSERT_NE(skip_then, nullptr);
+
+  GoldenRef golden = golden_run(h.design, h.schedule, h.externs, h.feeds, {});
+  FaultResult r =
+      run_fault(h.design, h.schedule, h.externs, h.feeds, golden, *skip_then, {}, 100'000);
+  EXPECT_EQ(r.outcome, FaultOutcome::kDetected);
+  ASSERT_EQ(r.detected_by.size(), 1u);
+  EXPECT_FALSE(h.design.assertions.empty());
+}
+
+TEST(Campaign, ClassifiesSilentCorruption) {
+  // With assertions stripped (ndebug) the same output-corrupting fault
+  // has nothing to catch it: silent corruption.
+  H h = make_clamp(assertions::Options::ndebug());
+  ir::StreamId out = h.design.find_process("clamp")->find_port("out")->stream;
+  GoldenRef golden = golden_run(h.design, h.schedule, h.externs, h.feeds, {});
+  FaultResult r = run_fault(h.design, h.schedule, h.externs, h.feeds, golden,
+                            FaultSpec::stream_stuck(out, 0, 99), {}, 100'000);
+  EXPECT_EQ(r.outcome, FaultOutcome::kSilentCorruption);
+  EXPECT_TRUE(r.detected_by.empty());
+}
+
+TEST(Campaign, GoldenRunMustBeClean) {
+  H h = make_clamp(assertions::Options::optimized());
+  h.feeds["clamp.in"] = {1, 2, 3};  // starves the loop: golden hangs
+  EXPECT_THROW(golden_run(h.design, h.schedule, h.externs, h.feeds, {}), InternalError);
+}
+
+}  // namespace
+}  // namespace hlsav::sim

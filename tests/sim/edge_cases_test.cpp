@@ -97,14 +97,17 @@ TEST(SimEdge, SixtyFourBitValues) {
   EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{0xffffffffffffffffull}));
 }
 
-TEST(SimEdge, NarrowStreamTruncatesFeeds) {
+TEST(SimEdge, OverWideFeedIsRejected) {
+  // Silent truncation would let a bad harness input masquerade as a
+  // hardware fault; feed() must reject values that do not fit.
   H h = make(R"(
     void f(stream_in<8> in, stream_out<8> out) {
       stream_write(out, stream_read(in));
     }
   )");
   Simulator s(h.design, h.schedule, h.externs, {});
-  s.feed("f.in", {0x1ff});  // 9 bits: truncated to 8
+  EXPECT_THROW(s.feed("f.in", {0x1ff}), InternalError);  // 9 bits into 8
+  s.feed("f.in", {0xff});  // exact width still fits
   (void)s.run();
   EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{0xff}));
 }

@@ -1,0 +1,161 @@
+// FaultEngine: site enumeration determinism and the observable effect
+// of each fault kind, both at the query-hook level and end-to-end
+// through the simulator.
+#include <gtest/gtest.h>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+
+namespace hlsav::sim {
+namespace {
+
+using hlsav::testing::compile;
+
+struct H {
+  ir::Design design;
+  sched::DesignSchedule schedule;
+  ExternRegistry externs;
+};
+
+H make(const std::string& src, const assertions::Options& aopt = assertions::Options::ndebug()) {
+  auto c = compile(src);
+  H h;
+  h.design = c->design.clone();
+  assertions::synthesize(h.design, aopt);
+  ir::verify(h.design);
+  h.schedule = sched::schedule_design(h.design);
+  return h;
+}
+
+const char* kEchoSrc = R"(
+  void f(stream_in<32> in, stream_out<32> out) {
+    uint32 ram[8];
+    for (uint32 i = 0; i < 4; i++) {
+      uint32 v = stream_read(in);
+      ram[i] = v;
+      stream_write(out, ram[i]);
+    }
+  }
+)";
+
+TEST(FaultEngine, EnumerationIsDeterministicAndDenselyNumbered) {
+  H h = make(kEchoSrc, assertions::Options::optimized());
+  std::vector<FaultSpec> a = enumerate_fault_sites(h.design, h.schedule);
+  std::vector<FaultSpec> b = enumerate_fault_sites(h.design, h.schedule);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].describe(h.design), b[i].describe(h.design));
+  }
+}
+
+TEST(FaultEngine, StreamHookDropDupAndStuck) {
+  FaultEngine e;
+  e.add(FaultSpec::stream_drop(ir::StreamId{2}, 1));
+  BitVector v = BitVector::from_u64(32, 7);
+  EXPECT_EQ(e.on_stream_write(ir::StreamId{2}, 0, v), FaultEngine::StreamAction::kPass);
+  EXPECT_EQ(e.on_stream_write(ir::StreamId{2}, 1, v), FaultEngine::StreamAction::kDrop);
+  EXPECT_EQ(e.on_stream_write(ir::StreamId{3}, 1, v), FaultEngine::StreamAction::kPass);
+
+  FaultEngine dup;
+  dup.add(FaultSpec::stream_dup(ir::StreamId{2}, 0));
+  EXPECT_EQ(dup.on_stream_write(ir::StreamId{2}, 0, v), FaultEngine::StreamAction::kDup);
+
+  FaultEngine stuck;
+  stuck.add(FaultSpec::stream_stuck(ir::StreamId{2}, 1, 0xAB));
+  BitVector w = BitVector::from_u64(32, 7);
+  EXPECT_EQ(stuck.on_stream_write(ir::StreamId{2}, 0, w), FaultEngine::StreamAction::kPass);
+  EXPECT_EQ(w.to_u64(), 7u);  // before the fault window: untouched
+  EXPECT_EQ(stuck.on_stream_write(ir::StreamId{2}, 5, w), FaultEngine::StreamAction::kPass);
+  EXPECT_EQ(w.to_u64(), 0xABu);  // from word 1 on: replaced
+}
+
+TEST(FaultEngine, BramHooksFlipAndStick) {
+  FaultEngine e;
+  e.add(FaultSpec::bram_bit_flip(ir::MemId{0}, 3));
+  BitVector v = BitVector::from_u64(32, 0);
+  e.on_bram_write(ir::MemId{0}, 5, v);
+  EXPECT_EQ(v.to_u64(), 8u);
+  e.on_bram_write(ir::MemId{1}, 5, v);  // other memory: untouched
+  EXPECT_EQ(v.to_u64(), 8u);
+
+  FaultEngine stuck;
+  FaultSpec f = FaultSpec::bram_stuck_at(ir::MemId{0}, 0, true);
+  f.addr_lo = 2;
+  f.addr_hi = 3;
+  stuck.add(f);
+  BitVector w = BitVector::from_u64(32, 0);
+  stuck.on_bram_write(ir::MemId{0}, 1, w);  // outside the address range
+  EXPECT_EQ(w.to_u64(), 0u);
+  stuck.on_bram_write(ir::MemId{0}, 2, w);
+  EXPECT_EQ(w.to_u64(), 1u);
+}
+
+TEST(FaultEngine, FsmAndChannelHooks) {
+  FaultEngine e;
+  e.add(FaultSpec::fsm_skip_block("p", ir::BlockId{2}));
+  e.add(FaultSpec::fsm_stuck_branch("p", ir::BlockId{3}, false));
+  e.add(FaultSpec::channel_corrupt(1, 4));
+  EXPECT_TRUE(e.skip_block("p", ir::BlockId{2}));
+  EXPECT_FALSE(e.skip_block("p", ir::BlockId{3}));
+  EXPECT_FALSE(e.skip_block("q", ir::BlockId{2}));
+  const bool* forced = e.forced_branch("p", ir::BlockId{3});
+  ASSERT_NE(forced, nullptr);
+  EXPECT_FALSE(*forced);
+  EXPECT_EQ(e.forced_branch("p", ir::BlockId{2}), nullptr);
+
+  BitVector v = BitVector::from_u64(32, 0);
+  e.on_channel_word(0, v);
+  EXPECT_EQ(v.to_u64(), 0u);
+  e.on_channel_word(1, v);
+  EXPECT_EQ(v.to_u64(), 16u);
+}
+
+TEST(FaultEngine, StreamDropChangesReceivedWords) {
+  H h = make(kEchoSrc);
+  ir::StreamId out = h.design.find_process("f")->find_port("out")->stream;
+
+  SimOptions so;
+  so.faults.add(FaultSpec::stream_drop(out, 1));
+  Simulator s(h.design, h.schedule, h.externs, so);
+  s.feed("f.in", {10, 20, 30, 40});
+  RunResult r = s.run();
+  ASSERT_EQ(r.status, RunStatus::kCompleted) << r.hang_report;
+  EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{10, 30, 40}));
+}
+
+TEST(FaultEngine, BramFaultCorruptsReadBack) {
+  H h = make(kEchoSrc);
+  ASSERT_FALSE(h.design.memories.empty());
+
+  SimOptions so;
+  so.faults.add(FaultSpec::bram_bit_flip(ir::MemId{0}, 7));
+  Simulator s(h.design, h.schedule, h.externs, so);
+  s.feed("f.in", {1, 2, 3, 4});
+  RunResult r = s.run();
+  ASSERT_EQ(r.status, RunStatus::kCompleted) << r.hang_report;
+  EXPECT_EQ(s.received("f.out"), (std::vector<std::uint64_t>{129, 130, 131, 132}));
+}
+
+TEST(FaultEngine, EmptyEngineLeavesRunIdentical) {
+  H h = make(kEchoSrc);
+  auto run = [&](SimOptions so) {
+    Simulator s(h.design, h.schedule, h.externs, so);
+    s.feed("f.in", {10, 20, 30, 40});
+    RunResult r = s.run();
+    EXPECT_EQ(r.status, RunStatus::kCompleted);
+    return std::make_pair(r.cycles, s.received("f.out"));
+  };
+  auto base = run({});
+  SimOptions with_engine;  // engine constructed but empty: must cost nothing
+  auto faulted = run(with_engine);
+  EXPECT_EQ(base, faulted);
+}
+
+}  // namespace
+}  // namespace hlsav::sim

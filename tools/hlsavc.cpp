@@ -6,6 +6,9 @@
 //   hlsavc schedule file.c [options]   print per-process schedules
 //   hlsavc simulate file.c [options] --feed stream=v1,v2,...
 //                                      run the cycle simulator
+//   hlsavc faultsim file.c [options] --feed stream=v1,v2,...
+//                                      list fault sites; --site=N runs one
+//                                      fault, --campaign sweeps them all
 //
 // Options:
 //   --assertions=ndebug|unoptimized|optimized   (default optimized)
@@ -13,6 +16,8 @@
 //   --nabort                                    keep running on failure
 //   --chain-depth=N                             scheduler chaining budget
 //   --sw                                        software-simulation mode
+//   --site=N --campaign --seed=N --max-faults=N --max-cycles=N
+//                                               faultsim controls
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -30,6 +35,8 @@
 #include "rtl/netlist.h"
 #include "rtl/verilog.h"
 #include "sched/schedule.h"
+#include "sim/campaign.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "support/str.h"
 #include "support/table.h"
@@ -47,13 +54,18 @@ struct Args {
   bool optimize_ir = false;
   bool trace = false;
   std::map<std::string, std::vector<std::uint64_t>> feeds;
+  // faultsim controls
+  bool campaign = false;
+  std::uint32_t site = sim::FaultSpec::kNoSite;
+  sim::CampaignOptions campaign_opts;
 };
 
 int usage() {
-  std::cerr << "usage: hlsavc <compile|verilog|ir|schedule|simulate> <file.c> [options]\n"
+  std::cerr << "usage: hlsavc <compile|verilog|ir|schedule|simulate|faultsim> <file.c> [options]\n"
                "  --assertions=ndebug|unoptimized|optimized\n"
                "  --no-parallelize --no-replicate --no-share --nabort\n"
-               "  --chain-depth=N --sw --optimize --trace --feed stream=v1,v2,...\n";
+               "  --chain-depth=N --sw --optimize --trace --feed stream=v1,v2,...\n"
+               "  faultsim: --site=N | --campaign [--seed=N --max-faults=N --max-cycles=N]\n";
   return 2;
 }
 
@@ -83,6 +95,16 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.optimize_ir = true;
     } else if (a == "--trace") {
       args.trace = true;
+    } else if (a == "--campaign") {
+      args.campaign = true;
+    } else if (starts_with(a, "--site=")) {
+      args.site = static_cast<std::uint32_t>(std::stoul(a.substr(7)));
+    } else if (starts_with(a, "--seed=")) {
+      args.campaign_opts.seed = std::stoull(a.substr(7));
+    } else if (starts_with(a, "--max-faults=")) {
+      args.campaign_opts.max_faults = std::stoull(a.substr(13));
+    } else if (starts_with(a, "--max-cycles=")) {
+      args.campaign_opts.max_cycles = std::stoull(a.substr(13));
     } else if (starts_with(a, "--chain-depth=")) {
       args.sched_opts.chain_depth = static_cast<unsigned>(std::stoul(a.substr(14)));
     } else if (a == "--feed" && i + 1 < argc) {
@@ -203,6 +225,71 @@ int run(const Args& args) {
     }
     if (args.trace) std::cerr << simulator.render_trace(&sm);
     return r.status == sim::RunStatus::kCompleted ? 0 : 1;
+  }
+  if (args.command == "faultsim") {
+    sim::ExternRegistry externs;
+    std::vector<sim::FaultSpec> sites = sim::enumerate_fault_sites(design, schedule);
+
+    if (args.campaign) {
+      sim::CampaignOptions copt = args.campaign_opts;
+      sim::CampaignReport rep = sim::run_campaign(design, schedule, externs, args.feeds, copt);
+      std::cout << rep.render(design);
+      return 0;
+    }
+
+    if (args.site != sim::FaultSpec::kNoSite) {
+      if (args.site >= sites.size()) {
+        std::cerr << "hlsavc: site " << args.site << " out of range (design has " << sites.size()
+                  << " fault sites)\n";
+        return 1;
+      }
+      const sim::FaultSpec& fault = sites[args.site];
+      std::cout << "injecting s" << fault.id << ": " << fault.describe(design) << "\n";
+      sim::SimOptions so;
+      so.mode = sim::SimMode::kHardware;  // faults model circuit behaviour
+      so.trace = args.trace;
+      if (args.campaign_opts.max_cycles != 0) so.max_cycles = args.campaign_opts.max_cycles;
+      so.faults.add(fault);
+      sim::Simulator simulator(design, schedule, externs, so);
+      simulator.set_failure_sink([](const assertions::Failure& f) {
+        std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
+      });
+      for (const auto& [stream, values] : args.feeds) simulator.feed(stream, values);
+      sim::RunResult r = simulator.run();
+      switch (r.status) {
+        case sim::RunStatus::kCompleted:
+          std::cout << "completed in " << r.cycles << " cycles\n";
+          break;
+        case sim::RunStatus::kAborted:
+          std::cout << "aborted by assertion failure at cycle "
+                    << (r.failures.empty() ? 0 : r.failures.back().cycle) << "\n";
+          break;
+        case sim::RunStatus::kHung:
+          std::cout << r.hang_report;
+          break;
+      }
+      for (const ir::Stream& s : design.streams) {
+        if (s.dead || s.consumer.kind != ir::StreamEndpoint::Kind::kCpu) continue;
+        if (s.role != ir::StreamRole::kData) continue;
+        std::vector<std::uint64_t> out = simulator.received(s.name);
+        if (out.empty()) continue;
+        std::cout << s.name << ":";
+        for (std::uint64_t v : out) std::cout << ' ' << v;
+        std::cout << '\n';
+      }
+      if (args.trace) std::cerr << simulator.render_trace(&sm);
+      return r.status == sim::RunStatus::kCompleted ? 0 : 1;
+    }
+
+    TextTable t("fault sites: " + design.name + " (" + std::to_string(sites.size()) + ")");
+    t.header({"site", "kind", "description"});
+    for (const sim::FaultSpec& f : sites) {
+      std::string site = "s";
+      site += std::to_string(f.id);
+      t.row({site, sim::fault_kind_name(f.kind), f.describe(design)});
+    }
+    std::cout << t.render();
+    return 0;
   }
   std::cerr << "unknown command: " << args.command << "\n";
   return 2;
