@@ -13,7 +13,7 @@
 // hang to the blocked process and stream immediately (NABORT keeps any
 // assertion reports flowing while the design is stuck).
 //
-// Usage: bench_fault_campaign [--json <path>] [--quick]
+// Usage: bench_fault_campaign [--json <path>] [--quick] [--threads N]
 #include "bench/common.h"
 
 #include "apps/des.h"
@@ -117,7 +117,8 @@ void write_campaign_json(const std::string& path, const std::vector<CampaignRow>
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const CampaignRow& r = rows[i];
     os << "    {\"name\": \"" << r.name << "\", \"config\": \"" << r.config
-       << "\", \"sites\": " << r.report.sites_total << ", \"run\": " << r.report.results.size()
+       << "\", \"threads\": " << r.report.threads << ", \"sites\": " << r.report.sites_total
+       << ", \"run\": " << r.report.results.size()
        << ", \"benign\": " << r.report.count(sim::FaultOutcome::kBenign)
        << ", \"detected\": " << r.report.count(sim::FaultOutcome::kDetected)
        << ", \"silent_corruption\": " << r.report.count(sim::FaultOutcome::kSilentCorruption)
@@ -134,14 +135,17 @@ void write_campaign_json(const std::string& path, const std::vector<CampaignRow>
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_fault_campaign.json";
   bool quick = false;
+  unsigned threads = 0;  // 0 = one worker per hardware thread
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else {
-      std::cerr << "usage: bench_fault_campaign [--json <path>] [--quick]\n";
+      std::cerr << "usage: bench_fault_campaign [--json <path>] [--quick] [--threads N]\n";
       return 2;
     }
   }
@@ -151,9 +155,13 @@ int main(int argc, char** argv) {
   std::vector<CampaignRow> rows;
   for (const PreparedSim& p : ws) {
     sim::CampaignOptions copt;
+    copt.threads = threads;
     if (quick) copt.max_faults = 12;  // seeded sample, site ids stay stable
     rows.push_back(
         {p.name, p.config, sim::run_campaign(p.design, p.schedule, ext, p.feeds, copt)});
+  }
+  if (!rows.empty()) {
+    std::cout << "campaign workers: " << rows.front().report.threads << "\n";
   }
 
   TextTable t("Fault-injection campaigns (assertion coverage per synthesis config)");

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "support/diagnostics.h"
 #include "support/table.h"
 
 namespace hlsav::assertions {
@@ -58,6 +59,50 @@ std::string CoverageTable::render() const {
   }
   os << per_kind.render();
   return os.str();
+}
+
+std::string CoverageTable::serialize() const {
+  // std::map iteration is already sorted, so the block is byte-stable.
+  std::ostringstream os;
+  for (const auto& [id, kinds] : per_assertion_) {
+    for (const auto& [kind, count] : kinds) {
+      os << "detection " << id << " " << kind << " " << count << "\n";
+    }
+  }
+  for (const auto& [kind, tally] : per_kind_) {
+    os << "fault " << kind << " " << tally.injected << " " << tally.detected << "\n";
+  }
+  return os.str();
+}
+
+void CoverageTable::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "detection") {
+      std::uint32_t id = 0;
+      std::string kind;
+      unsigned count = 0;
+      ls >> id >> kind >> count;
+      HLSAV_CHECK(!ls.fail() && !kind.empty(),
+                  "malformed coverage detection line: '" + line + "'");
+      per_assertion_[id][kind] += count;
+    } else if (tag == "fault") {
+      std::string kind;
+      KindTally t;
+      ls >> kind >> t.injected >> t.detected;
+      HLSAV_CHECK(!ls.fail() && !kind.empty(), "malformed coverage fault line: '" + line + "'");
+      KindTally& dst = per_kind_[kind];
+      dst.injected += t.injected;
+      dst.detected += t.detected;
+    } else {
+      internal_error("coverage", 0, "unknown coverage line tag '" + tag + "'");
+    }
+  }
 }
 
 }  // namespace hlsav::assertions

@@ -36,6 +36,16 @@ class CoverageTable {
   /// catalogue / lexicographic order (byte-stable across runs).
   [[nodiscard]] std::string render() const;
 
+  /// Serializes the tallies as a line-oriented text block
+  /// ("detection <id> <kind> <count>" / "fault <kind> <injected>
+  /// <detected>", sorted), suitable for persisting a campaign's
+  /// attribution next to its BENCH json.
+  [[nodiscard]] std::string serialize() const;
+  /// Merges a serialize() block into this table. Throws InternalError on
+  /// a malformed line. serialize() of a fresh table after deserialize()
+  /// round-trips byte-exactly.
+  void deserialize(const std::string& text);
+
  private:
   struct KindTally {
     unsigned injected = 0;

@@ -1,0 +1,43 @@
+#include "fpga/ela.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "fpga/area.h"
+
+namespace hlsav::fpga {
+
+ElaReport estimate_ela(const trace::TraceEngine& engine, const ElaCostModel& model) {
+  ElaReport r;
+  r.buffers = engine.num_buffers();
+  r.capacity = engine.config().capacity;
+  r.entry_bits = engine.record_bits();
+  r.entry_bits_m4k = m4k_width(r.entry_bits);
+  r.bram_bits = static_cast<std::uint64_t>(r.buffers) * r.capacity * r.entry_bits_m4k;
+
+  double aluts = 0.0;
+  double regs = 0.0;
+  aluts += model.alut_buffer_base * static_cast<double>(r.buffers);
+  regs += model.reg_buffer_base * static_cast<double>(r.buffers);
+  aluts += model.alut_mux_per_bit * engine.max_value_width() * static_cast<double>(r.buffers);
+  aluts += model.alut_per_trigger * engine.trigger_count();
+  regs += model.reg_per_record_bit * r.entry_bits * static_cast<double>(r.buffers);
+  r.aluts = static_cast<std::uint64_t>(aluts);
+  r.registers = static_cast<std::uint64_t>(regs);
+  return r;
+}
+
+double ElaReport::bram_pct(const Device& d) const {
+  return 100.0 * static_cast<double>(bram_bits) / static_cast<double>(d.bram_bits);
+}
+
+std::string ElaReport::to_string(const Device& d) const {
+  std::ostringstream os;
+  os << "ela: " << buffers << " buffer(s) x " << capacity << " entries x " << entry_bits
+     << " bits (" << entry_bits_m4k << " after M4K rounding)\n";
+  os << "  bram " << bram_bits << " bits (" << std::fixed << std::setprecision(2) << bram_pct(d)
+     << "% of " << d.name << "), aluts " << aluts << ", regs " << registers << "\n";
+  return os.str();
+}
+
+}  // namespace hlsav::fpga

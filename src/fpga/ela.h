@@ -1,0 +1,55 @@
+// ELA overhead model: what the trace subsystem costs on the FPGA.
+//
+// The trace engine (src/trace) models an embedded logic analyzer: one
+// BRAM ring buffer per traced process plus trigger comparators on the
+// assertion failure wires and a signal-selection mux in front of each
+// buffer. This file prices that debug overlay in the same Stratix-II
+// terms as fpga/area.h, so a user can weigh "always-on tracing" against
+// the paper's assertion overhead numbers:
+//
+//  * BRAM: capacity * record_bits per buffer, with the record width
+//    rounded up to the M4K 9-bit column granularity like any other RAM.
+//  * ALUTs: trigger comparators (one per traced assertion failure wire),
+//    the capture mux (proportional to the widest captured value), and a
+//    fixed control core per buffer (write pointer FSM, trigger arm/fire).
+//  * Registers: write/trigger pointers and the capture pipeline stage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fpga/device.h"
+#include "trace/trace.h"
+
+namespace hlsav::fpga {
+
+struct ElaCostModel {
+  // Per-buffer control core: write-pointer FSM, trigger arm/fire logic.
+  double alut_buffer_base = 18.0;
+  double reg_buffer_base = 12.0;
+  // Capture mux in front of a buffer, per captured value bit.
+  double alut_mux_per_bit = 0.5;
+  // One trigger comparator per traced assertion failure wire.
+  double alut_per_trigger = 2.0;
+  // Capture pipeline register, per record bit (timestamp + payload).
+  double reg_per_record_bit = 1.0;
+};
+
+struct ElaReport {
+  std::size_t buffers = 0;       // instantiated ring buffers
+  std::size_t capacity = 0;      // entries per buffer
+  unsigned entry_bits = 0;       // raw record width
+  unsigned entry_bits_m4k = 0;   // record width after 9-bit column rounding
+  std::uint64_t bram_bits = 0;
+  std::uint64_t aluts = 0;
+  std::uint64_t registers = 0;
+
+  [[nodiscard]] double bram_pct(const Device& d) const;
+  [[nodiscard]] std::string to_string(const Device& d) const;
+};
+
+/// Prices the ELA configuration an armed TraceEngine represents.
+[[nodiscard]] ElaReport estimate_ela(const trace::TraceEngine& engine,
+                                     const ElaCostModel& model = {});
+
+}  // namespace hlsav::fpga

@@ -1,0 +1,41 @@
+#include "rtl/names.h"
+
+#include <cctype>
+
+namespace hlsav::rtl {
+
+std::string sanitize_net_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    out.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') ? c : '_');
+  }
+  if (out.empty() || (std::isdigit(static_cast<unsigned char>(out.front())) != 0)) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string vcd_identifier(std::size_t index) {
+  // Identifier codes are any string of printable ASCII 33..126 (IEEE
+  // 1364-2005 §18.2.1); enumerate shortest-first in base 94.
+  constexpr std::size_t kBase = 94;
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % kBase));
+    index /= kBase;
+  } while (index-- > 0);  // the -- makes longer codes start at "!!", not "\"!"
+  return id;
+}
+
+std::string hierarchical_name(std::string_view scope, std::string_view local) {
+  return sanitize_net_name(scope) + "." + sanitize_net_name(local);
+}
+
+unsigned bits_for(std::size_t n) {
+  unsigned bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+}  // namespace hlsav::rtl

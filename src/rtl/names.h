@@ -1,0 +1,33 @@
+// Net-name metadata shared by the RTL emitters and the trace subsystem.
+//
+// Everything that prints a hardware view of the design -- the Verilog
+// emitter, the VCD waveform writer, the ELA trace decoder -- needs the
+// same two facts about a signal: a sanitized net name (HLS-C identifiers
+// may collide with HDL/VCD lexical rules) and, for VCD, a compact
+// identifier code. Keeping both here guarantees the waveform a user
+// opens next to the generated Verilog names the same nets.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace hlsav::rtl {
+
+/// Replaces every character outside [A-Za-z0-9_] with '_' and prefixes
+/// a '_' if the name would start with a digit (or is empty). The result
+/// is a legal Verilog identifier and a legal VCD reference name.
+[[nodiscard]] std::string sanitize_net_name(std::string_view name);
+
+/// The nth VCD identifier code: a base-94 string over the printable
+/// ASCII range '!'..'~', shortest-first ("!", "\"", ..., "~", "!!", ...).
+/// Deterministic; index 0 is "!".
+[[nodiscard]] std::string vcd_identifier(std::size_t index);
+
+/// "<scope>.<local>" hierarchical display name (both parts sanitized).
+[[nodiscard]] std::string hierarchical_name(std::string_view scope, std::string_view local);
+
+/// Bits needed to represent values 0..n-1 (>= 1).
+[[nodiscard]] unsigned bits_for(std::size_t n);
+
+}  // namespace hlsav::rtl

@@ -5,15 +5,13 @@
 #include <sstream>
 #include <vector>
 
+#include "rtl/names.h"
+
 namespace hlsav::rtl {
 
 namespace {
 
-std::string sanitize(std::string_view name) {
-  std::string out;
-  for (char c : name) out.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_');
-  return out;
-}
+std::string sanitize(std::string_view name) { return sanitize_net_name(name); }
 
 std::string operand_v(const ir::Process& p, const ir::Operand& o) {
   switch (o.kind) {

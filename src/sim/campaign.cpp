@@ -1,11 +1,18 @@
 #include "sim/campaign.h"
 
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <mutex>
 #include <random>
 #include <sstream>
+#include <thread>
 
 #include "assertions/coverage.h"
 #include "support/table.h"
+#include "trace/binary.h"
+#include "trace/replay.h"
+#include "trace/vcd.h"
 
 namespace hlsav::sim {
 
@@ -126,11 +133,51 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
     std::sort(order.begin(), order.end());
   }
 
-  report.results.reserve(order.size());
-  for (std::size_t idx : order) {
-    report.results.push_back(
-        run_fault(design, schedule, externs, feeds, golden, sites[idx], opt.sim, max_cycles));
+  unsigned threads = opt.threads != 0 ? opt.threads
+                                      : std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(std::min<std::size_t>(threads, std::max<std::size_t>(
+                                                                     order.size(), 1)));
+  report.threads = threads;
+
+  if (threads <= 1) {
+    report.results.reserve(order.size());
+    for (std::size_t idx : order) {
+      report.results.push_back(
+          run_fault(design, schedule, externs, feeds, golden, sites[idx], opt.sim, max_cycles));
+    }
+    return report;
   }
+
+  // Parallel sweep: every worker owns its Simulators (one fresh instance
+  // per fault run); the shared design/schedule/externs/feeds/golden are
+  // read-only. Results land in preallocated site-order slots, so the
+  // report is byte-identical to the serial loop's.
+  report.results.assign(order.size(), FaultResult{});
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= order.size()) return;
+      try {
+        report.results[i] =
+            run_fault(design, schedule, externs, feeds, golden, sites[order[i]], opt.sim,
+                      max_cycles);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
   return report;
 }
 
@@ -188,6 +235,75 @@ std::string CampaignReport::render(const ir::Design& design) const {
   }
   os << coverage.render();
   return os.str();
+}
+
+std::vector<TraceArtifact> trace_nonbenign_sites(
+    const ir::Design& design, const sched::DesignSchedule& schedule,
+    const ExternRegistry& externs,
+    const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+    const CampaignReport& report, const CampaignOptions& opt,
+    const TraceRerunOptions& trace_opt) {
+  std::vector<TraceArtifact> out;
+  GoldenRef golden = golden_run(design, schedule, externs, feeds, opt.sim);
+  std::uint64_t max_cycles =
+      opt.max_cycles != 0 ? opt.max_cycles : std::max<std::uint64_t>(10'000, 16 * golden.cycles);
+  std::filesystem::create_directories(trace_opt.dir);
+
+  for (const FaultResult& r : report.results) {
+    if (r.outcome == FaultOutcome::kBenign) continue;
+    if (trace_opt.max_sites != 0 && out.size() >= trace_opt.max_sites) break;
+
+    // Same deterministic run as the sweep, this time with capture armed
+    // (the engine only observes; outcomes cannot shift).
+    trace::TraceEngine engine(design, trace_opt.config);
+    SimOptions opts = opt.sim;
+    opts.mode = SimMode::kHardware;
+    opts.max_cycles = max_cycles;
+    opts.faults = FaultEngine{};
+    opts.faults.add(r.site);
+    opts.ela = &engine;
+    Simulator sim(design, schedule, externs, opts);
+    for (const auto& [name, values] : feeds) sim.feed(name, values);
+    RunResult rr = sim.run();
+    std::vector<trace::TraceRecord> window = engine.window();
+
+    TraceArtifact art;
+    art.site = r.site;
+    art.outcome = r.outcome;
+    std::string base = (std::filesystem::path(trace_opt.dir) /
+                        (trace_opt.stem + "_s" + std::to_string(r.site.id)))
+                           .string();
+    art.vcd_path = base + ".vcd";
+    trace::VcdWriter writer(design, trace_opt.config.filter);
+    writer.write_file(art.vcd_path, window);
+    if (trace_opt.write_binary) {
+      art.bin_path = base + ".bin";
+      trace::write_binary_trace_file(art.bin_path, window);
+    }
+
+    std::ostringstream os;
+    os << "site s" << r.site.id << " (" << r.site.describe(design)
+       << "): " << fault_outcome_name(r.outcome) << "\n";
+    trace::ReplayOptions ro;
+    ro.last_cycles = trace_opt.last_cycles;
+    ro.sm = trace_opt.sm;
+    os << trace::render_replay(design, window, ro);
+    if (r.outcome == FaultOutcome::kSilentCorruption) {
+      auto outputs = collect_outputs(design, sim);
+      for (std::size_t i = 0; i < outputs.size() && i < golden.outputs.size(); ++i) {
+        if (outputs[i] != golden.outputs[i]) {
+          os << "first divergent output stream: '" << outputs[i].first << "' ("
+             << outputs[i].second.size() << " words vs golden "
+             << golden.outputs[i].second.size() << ")\n";
+          break;
+        }
+      }
+    }
+    if (rr.status == RunStatus::kHung) os << rr.hang_report;
+    art.replay = os.str();
+    out.push_back(std::move(art));
+  }
+  return out;
 }
 
 }  // namespace hlsav::sim

@@ -30,6 +30,7 @@
 #include "sched/schedule.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace hlsav::sim {
 
@@ -56,6 +57,10 @@ struct CampaignOptions {
   std::size_t max_faults = 0;
   /// Livelock backstop per faulted run; 0 = max(10'000, 16 * golden).
   std::uint64_t max_cycles = 0;
+  /// Worker threads running fault sites concurrently (one Simulator per
+  /// worker; results land in site order either way). 0 = one per
+  /// hardware thread; 1 = the serial loop.
+  unsigned threads = 1;
   /// Base simulation options (mode, channel mux) shared by every run.
   SimOptions sim;
 };
@@ -71,6 +76,7 @@ struct CampaignReport {
   std::uint64_t seed = 0;
   std::size_t sites_total = 0;  // enumerated, before sampling
   std::uint64_t golden_cycles = 0;
+  unsigned threads = 1;              // workers the campaign actually used
   std::vector<FaultResult> results;  // in site-id order
 
   [[nodiscard]] std::size_t count(FaultOutcome o) const;
@@ -103,5 +109,47 @@ struct CampaignReport {
     const ExternRegistry& externs,
     const std::map<std::string, std::vector<std::uint64_t>>& feeds,
     const CampaignOptions& opt = {});
+
+// ------------------------------------------------- trace & replay reruns --
+
+/// How to re-run non-benign sites with the ELA armed (see
+/// trace_nonbenign_sites).
+struct TraceRerunOptions {
+  trace::TraceConfig config;
+  /// Output directory for .vcd/.bin artifacts (must already exist, or be
+  /// creatable); files are named "<stem>_s<site>.vcd".
+  std::string dir = ".";
+  std::string stem = "fault";
+  /// Cycles of the window the replay narrates.
+  std::size_t last_cycles = 16;
+  /// Cap on re-traced sites, in site order; 0 = every non-benign site.
+  std::size_t max_sites = 0;
+  /// Also write the compact binary trace next to each VCD.
+  bool write_binary = false;
+  /// Resolves source file ids in the replay text; may be null.
+  const SourceManager* sm = nullptr;
+};
+
+/// One re-traced site: where its artifacts went and the rendered
+/// source-level replay (which names the implicated assertion/stream,
+/// the first divergent output stream for silent corruption, and the
+/// hang diagnosis for hangs).
+struct TraceArtifact {
+  FaultSpec site;
+  FaultOutcome outcome = FaultOutcome::kBenign;
+  std::string vcd_path;
+  std::string bin_path;  // empty unless write_binary
+  std::string replay;
+};
+
+/// Re-runs every non-benign site of `report` with a TraceEngine armed
+/// and exports the surviving capture window: the campaign sweep stays
+/// cheap (tracing off), and only the interesting sites pay for capture.
+[[nodiscard]] std::vector<TraceArtifact> trace_nonbenign_sites(
+    const ir::Design& design, const sched::DesignSchedule& schedule,
+    const ExternRegistry& externs,
+    const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+    const CampaignReport& report, const CampaignOptions& opt,
+    const TraceRerunOptions& trace_opt = {});
 
 }  // namespace hlsav::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "trace/trace.h"
+
 namespace hlsav::sim {
 
 using ir::BasicBlock;
@@ -18,6 +20,7 @@ Simulator::Simulator(const ir::Design& design, const sched::DesignSchedule& sche
 
 void Simulator::init_state() {
   tracing_ = opt_.trace;
+  ela_ = opt_.ela;
   inject_faults_ = opt_.mode == SimMode::kHardware && !opt_.faults.empty();
   if (inject_faults_) stream_write_seq_.assign(design_.streams.size(), 0);
 
@@ -229,6 +232,7 @@ bool Simulator::try_stream_read(ProcState& ps, const Op& op, std::uint64_t at) {
     if (ps.pipe) ps.pipe->start_cycle += stall;
   }
   ps.regs[op.dest] = std::move(e.value);
+  if (ela_ != nullptr) ela_->stream_pop(ps.proc, op.stream, ps.regs[op.dest], at, op.loc);
   return true;
 }
 
@@ -247,6 +251,9 @@ bool Simulator::try_stream_write(ProcState& ps, const Op& op, std::uint64_t at) 
     BitVector v = value_of(ps, op.args[0]);
     FaultEngine::StreamAction act =
         opt_.faults.on_stream_write(op.stream, stream_write_seq_[op.stream]++, v);
+    // The process-side handshake happens even for a dropped word; the
+    // trace records the (possibly corrupted) value the FIFO saw.
+    if (ela_ != nullptr) ela_->stream_push(ps.proc, op.stream, v, at, op.loc);
     if (act == FaultEngine::StreamAction::kDrop) return true;
     st.fifo.push_back(FifoEntry{v, at + 1});
     if (act == FaultEngine::StreamAction::kDup) st.fifo.push_back(FifoEntry{std::move(v), at + 1});
@@ -255,6 +262,7 @@ bool Simulator::try_stream_write(ProcState& ps, const Op& op, std::uint64_t at) 
   }
   // Data crosses the channel one cycle after the send issues.
   st.fifo.push_back(FifoEntry{value_of(ps, op.args[0]), at + 1});
+  if (ela_ != nullptr) ela_->stream_push(ps.proc, op.stream, st.fifo.back().value, at, op.loc);
   mark_cpu_dirty(op.stream);
   return true;
 }
@@ -304,6 +312,7 @@ void Simulator::eval_checker(const ir::AssertionRecord& rec, CheckerCache& cc,
   };
 
   // Grouped checkers evaluate only this assertion's sub-block.
+  bool failed = false;
   const BasicBlock& b = *cc.block;
   for (const Op& op : b.ops) {
     switch (op.kind) {
@@ -344,17 +353,26 @@ void Simulator::eval_checker(const ir::AssertionRecord& rec, CheckerCache& cc,
           bool v = val(op.pred).any();
           active = op.pred_negated ? !v : v;
         }
-        if (active) push_stream(op.stream, val(op.args[0]), at + 1);
+        if (active) {
+          push_stream(op.stream, val(op.args[0]), at + 1);
+          failed = true;
+        }
         break;
       }
       case OpKind::kAssertFailWire: {
-        if (!val(op.args[0]).any()) fail_wire(assertion_of(op), at + 1);
+        if (!val(op.args[0]).any()) {
+          fail_wire(assertion_of(op), at + 1);
+          failed = true;
+        }
         break;
       }
       default:
         internal_error("sim", 0, "unexpected op in checker process");
     }
   }
+  // The checker's verdict, attributed to the checker process (it owns
+  // the failure wire) at the tap's source position.
+  if (ela_ != nullptr) ela_->assert_verdict(chk, rec.id, failed, at, tap.loc);
 }
 
 // ------------------------------------------------------------ op exec --
@@ -373,16 +391,20 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
   switch (op.kind) {
     case OpKind::kBin:
       ps.regs[op.dest] = eval_bin_op(ps, op);
+      if (ela_ != nullptr) ela_->reg_write(ps.proc, op.dest, ps.regs[op.dest], at, op.loc);
       return true;
     case OpKind::kUn:
       ps.regs[op.dest] = ir::eval_un(op.un, value_of(ps, op.args[0]));
+      if (ela_ != nullptr) ela_->reg_write(ps.proc, op.dest, ps.regs[op.dest], at, op.loc);
       return true;
     case OpKind::kCopy:
       ps.regs[op.dest] = value_of(ps, op.args[0]);
+      if (ela_ != nullptr) ela_->reg_write(ps.proc, op.dest, ps.regs[op.dest], at, op.loc);
       return true;
     case OpKind::kResize: {
       bool sgn = op.resize == ir::ResizeKind::kSext;
       ps.regs[op.dest] = value_of(ps, op.args[0]).resize(ps.proc->reg(op.dest).width, sgn);
+      if (ela_ != nullptr) ela_->reg_write(ps.proc, op.dest, ps.regs[op.dest], at, op.loc);
       return true;
     }
     case OpKind::kLoad: {
@@ -390,6 +412,10 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
       const auto& mem = memories_[op.mem];
       // Out-of-range addresses read X in hardware; model as zero.
       ps.regs[op.dest] = idx < mem.size() ? mem[idx] : BitVector(design_.memory(op.mem).width);
+      if (ela_ != nullptr) {
+        ela_->bram_read(ps.proc, op.mem, idx, ps.regs[op.dest], at, op.loc);
+        ela_->reg_write(ps.proc, op.dest, ps.regs[op.dest], at, op.loc);
+      }
       return true;
     }
     case OpKind::kStore: {
@@ -403,6 +429,8 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
         } else {
           mem[idx] = value_of(ps, op.args[1]);
         }
+        // mem[idx] holds what the port actually wrote, faults included.
+        if (ela_ != nullptr) ela_->bram_write(ps.proc, op.mem, idx, mem[idx], at, op.loc);
       }
       return true;
     }
@@ -417,11 +445,14 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
       for (const Operand& a : op.args) extern_args_.push_back(value_of(ps, a));
       ps.regs[op.dest] = (*fn)(extern_args_).resize(ps.proc->reg(op.dest).width, false);
       if (inject_faults_) opt_.faults.on_extern_result(op.callee, ps.regs[op.dest]);
+      if (ela_ != nullptr) ela_->reg_write(ps.proc, op.dest, ps.regs[op.dest], at, op.loc);
       return true;
     }
     case OpKind::kAssert: {
       // Direct evaluation: software simulation / pre-synthesis designs.
-      if (!value_of(ps, op.args[0]).any()) direct_assert_failure(op.assert_id, at);
+      bool failed = !value_of(ps, op.args[0]).any();
+      if (ela_ != nullptr) ela_->assert_verdict(ps.proc, op.assert_id, failed, at, op.loc);
+      if (failed) direct_assert_failure(op.assert_id, at);
       return true;
     }
     case OpKind::kAssertTap: {
@@ -435,7 +466,9 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
       return true;
     }
     case OpKind::kAssertFailWire: {
-      if (!value_of(ps, op.args[0]).any()) fail_wire(assertion_of(op), at + 1);
+      bool failed = !value_of(ps, op.args[0]).any();
+      if (ela_ != nullptr) ela_->assert_verdict(ps.proc, op.assert_id, failed, at, op.loc);
+      if (failed) fail_wire(assertion_of(op), at + 1);
       return true;
     }
     case OpKind::kAssertCycles: {
@@ -443,6 +476,9 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
       // this process (or process start) must not exceed the budget.
       std::uint64_t elapsed = at >= ps.cycle_marker ? at - ps.cycle_marker : 0;
       ps.cycle_marker = at;
+      if (ela_ != nullptr) {
+        ela_->assert_verdict(ps.proc, op.assert_id, elapsed > op.cycle_bound, at, op.loc);
+      }
       if (elapsed > op.cycle_bound) {
         const ir::AssertionRecord* rec = assertion_of(op);
         if (rec != nullptr && rec->fail_stream != ir::kNoStream &&
@@ -466,6 +502,7 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
 // -------------------------------------------------------- block stepping --
 
 void Simulator::advance_to_block(ProcState& ps, ir::BlockId next) {
+  if (ela_ != nullptr) ela_->fsm_state(ps.proc, next, ps.cycle);
   ps.cur = next;
   ps.op_idx = 0;
   ps.block_entry_cycle = ps.cycle;
@@ -499,7 +536,8 @@ bool Simulator::run_sequential_block(ProcState& ps) {
   // fast paths into the loop. Tracing or fault injection disables the
   // shortcut (both need the exec_op path); tracing_ can only flip *off*
   // mid-run, so a stale false just keeps the slow-but-equivalent path.
-  const bool fast = !tracing_ && !inject_faults_;
+  // An armed ELA needs every register write, so it too takes exec_op.
+  const bool fast = !tracing_ && !inject_faults_ && ela_ == nullptr;
   bool progress = false;
   while (ps.op_idx < b.ops.size()) {
     const Op& op = b.ops[ps.op_idx];
@@ -567,7 +605,8 @@ bool Simulator::run_pipelined_loop(ProcState& ps) {
   const BasicBlock& body = *pc.body;
   const sched::BlockSchedule& bs = *pc.bs;
   const std::size_t h = header.ops.size();
-  const bool fast = !tracing_ && !inject_faults_;  // see run_sequential_block
+  const bool fast =
+      !tracing_ && !inject_faults_ && ela_ == nullptr;  // see run_sequential_block
   bool progress = false;
 
   while (true) {
@@ -763,6 +802,11 @@ HangInfo Simulator::diagnose_hang() const {
 }
 
 RunResult Simulator::run() {
+  if (ela_ != nullptr) {
+    // Initial FSM states: every process sits in its entry block at t=0
+    // (advance_to_block only fires on transitions).
+    for (const ProcState& ps : procs_) ela_->fsm_state(ps.proc, ps.cur, 0);
+  }
   bool progress = true;
   while (progress && !halt_) {
     progress = false;

@@ -49,6 +49,10 @@
 #include "sim/extern_registry.h"
 #include "sim/fault.h"
 
+namespace hlsav::trace {
+class TraceEngine;
+}
+
 namespace hlsav::sim {
 
 enum class SimMode { kSoftware, kHardware };
@@ -66,6 +70,11 @@ struct SimOptions {
   /// Record an execution trace (per-op events, capped at trace_limit).
   bool trace = false;
   std::size_t trace_limit = 100'000;
+  /// Armed ELA capture engine (borrowed; may be null). When set, the
+  /// simulator feeds per-cycle events -- FSM transitions, register
+  /// writes, stream handshakes, BRAM ports, assertion verdicts -- into
+  /// its ring buffers. Disabled costs one pointer test per block run.
+  trace::TraceEngine* ela = nullptr;
   FaultEngine faults;
 };
 
@@ -283,6 +292,7 @@ class Simulator {
   std::vector<BitVector> extern_args_;
   bool tracing_ = false;        // flips off once trace_limit is reached
   bool inject_faults_ = false;  // kHardware with a non-empty fault list
+  trace::TraceEngine* ela_ = nullptr;  // cached opt_.ela
 
   [[nodiscard]] ir::StreamId stream_by_name(std::string_view name) const;
   void init_state();

@@ -1,0 +1,149 @@
+#include "trace/replay.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace hlsav::trace {
+
+namespace {
+
+std::string loc_text(const SourceLoc& loc, const SourceManager* sm) {
+  if (!loc.valid()) return {};
+  std::string s = "[";
+  if (sm != nullptr) {
+    std::string_view name = sm->name(loc.file);
+    std::size_t slash = name.rfind('/');
+    s += slash == std::string_view::npos ? name : name.substr(slash + 1);
+    s += ":";
+  } else {
+    s += "line ";
+  }
+  s += std::to_string(loc.line);
+  s += "]";
+  return s;
+}
+
+std::string value_text(const BitVector& v) {
+  // Small values read best in decimal; wide ones in hex.
+  if (v.width() <= 64) return v.to_string_dec(false);
+  return v.to_string_hex();
+}
+
+}  // namespace
+
+std::uint32_t implicated_assertion(const std::vector<TraceRecord>& window) {
+  for (auto it = window.rbegin(); it != window.rend(); ++it) {
+    if (it->kind == TraceEventKind::kAssertVerdict && it->aux != 0) return it->subject;
+  }
+  return std::numeric_limits<std::uint32_t>::max();
+}
+
+ir::StreamId implicated_stream(const std::vector<TraceRecord>& window) {
+  for (auto it = window.rbegin(); it != window.rend(); ++it) {
+    if (it->kind == TraceEventKind::kStreamPush || it->kind == TraceEventKind::kStreamPop) {
+      return it->subject;
+    }
+  }
+  return ir::kNoStream;
+}
+
+std::string render_replay(const ir::Design& design, const std::vector<TraceRecord>& window,
+                          const ReplayOptions& opt) {
+  std::ostringstream os;
+  if (window.empty()) {
+    os << "trace replay: no events captured\n";
+    return os.str();
+  }
+
+  const std::uint64_t last_cycle = window.back().cycle;
+  const std::uint64_t lo =
+      opt.last_cycles != 0 && last_cycle >= opt.last_cycles ? last_cycle - opt.last_cycles + 1 : 0;
+  auto first =
+      std::find_if(window.begin(), window.end(),
+                   [lo](const TraceRecord& r) { return r.cycle >= lo; });
+  const std::size_t shown = static_cast<std::size_t>(window.end() - first);
+
+  os << "source-level replay: cycles " << lo << ".." << last_cycle << " (" << shown << " of "
+     << window.size() << " captured events)\n";
+
+  auto proc_name = [&design](std::uint16_t pi) -> std::string {
+    return pi < design.processes.size() ? design.processes[pi]->name : "?";
+  };
+
+  std::uint64_t current = std::numeric_limits<std::uint64_t>::max();
+  for (auto it = first; it != window.end(); ++it) {
+    const TraceRecord& r = *it;
+    if (r.cycle != current) {
+      current = r.cycle;
+      os << "cycle " << current << ":\n";
+    }
+    os << "  " << proc_name(r.proc) << ": ";
+    switch (r.kind) {
+      case TraceEventKind::kFsmState: {
+        const ir::Process* p =
+            r.proc < design.processes.size() ? design.processes[r.proc].get() : nullptr;
+        std::string bname = p != nullptr && r.subject < p->blocks.size()
+                                ? p->blocks[r.subject].name
+                                : std::to_string(r.subject);
+        os << "enter state '" << bname << "'";
+        break;
+      }
+      case TraceEventKind::kRegWrite: {
+        const ir::Process* p =
+            r.proc < design.processes.size() ? design.processes[r.proc].get() : nullptr;
+        std::string rname = p != nullptr && r.subject < p->regs.size()
+                                ? p->regs[r.subject].name
+                                : "r" + std::to_string(r.subject);
+        if (rname.empty()) rname = "r" + std::to_string(r.subject);
+        os << rname << " <= " << value_text(r.value);
+        break;
+      }
+      case TraceEventKind::kStreamPush:
+        os << "write '" << design.stream(r.subject).name << "' <- " << value_text(r.value);
+        break;
+      case TraceEventKind::kStreamPop:
+        os << "read '" << design.stream(r.subject).name << "' -> " << value_text(r.value);
+        break;
+      case TraceEventKind::kBramRead:
+        os << design.memory(r.subject).name << "[" << r.aux << "] -> " << value_text(r.value);
+        break;
+      case TraceEventKind::kBramWrite:
+        os << design.memory(r.subject).name << "[" << r.aux << "] <= " << value_text(r.value);
+        break;
+      case TraceEventKind::kAssertVerdict: {
+        const ir::AssertionRecord* rec = design.find_assertion(r.subject);
+        os << "assertion #" << r.subject;
+        if (rec != nullptr && !rec->condition_text.empty()) {
+          os << " `" << rec->condition_text << "'";
+        }
+        os << (r.aux != 0 ? " FAILED" : " passed");
+        break;
+      }
+    }
+    std::string lt = loc_text(r.loc, opt.sm);
+    if (!lt.empty()) os << "  " << lt;
+    os << "\n";
+  }
+
+  // ---- implication summary ----
+  std::uint32_t aid = implicated_assertion(window);
+  if (aid != std::numeric_limits<std::uint32_t>::max()) {
+    const ir::AssertionRecord* rec = design.find_assertion(aid);
+    os << "implicated assertion: #" << aid;
+    if (rec != nullptr) {
+      if (!rec->condition_text.empty()) os << " `" << rec->condition_text << "'";
+      os << " (process " << rec->process;
+      if (rec->line != 0) os << ", " << rec->file << ":" << rec->line;
+      os << ")";
+    }
+    os << "\n";
+  }
+  ir::StreamId sid = implicated_stream(window);
+  if (sid != ir::kNoStream) {
+    os << "implicated stream: '" << design.stream(sid).name << "' (last handshake in window)\n";
+  }
+  return os.str();
+}
+
+}  // namespace hlsav::trace

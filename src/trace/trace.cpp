@@ -1,0 +1,232 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace hlsav::trace {
+
+const char* trace_event_kind_name(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kFsmState: return "fsm-state";
+    case TraceEventKind::kRegWrite: return "reg-write";
+    case TraceEventKind::kStreamPush: return "stream-push";
+    case TraceEventKind::kStreamPop: return "stream-pop";
+    case TraceEventKind::kBramRead: return "bram-read";
+    case TraceEventKind::kBramWrite: return "bram-write";
+    case TraceEventKind::kAssertVerdict: return "assert-verdict";
+  }
+  HLSAV_UNREACHABLE("bad TraceEventKind");
+}
+
+bool TraceFilter::allows_process(std::string_view name) const {
+  if (processes.empty()) return true;
+  return std::find(processes.begin(), processes.end(), name) != processes.end();
+}
+
+TraceEngine::TraceEngine(const ir::Design& design, TraceConfig cfg)
+    : design_(&design), cfg_(std::move(cfg)) {
+  HLSAV_CHECK(cfg_.capacity > 0, "trace ring-buffer capacity must be positive");
+  ring_of_proc_.assign(design.processes.size(), -1);
+  proc_index_.reserve(design.processes.size());
+  for (std::size_t i = 0; i < design.processes.size(); ++i) {
+    const ir::Process& p = *design.processes[i];
+    proc_index_.emplace(&p, static_cast<std::uint16_t>(i));
+    if (!cfg_.filter.allows_process(p.name)) continue;
+    ring_of_proc_[i] = static_cast<int>(rings_.size());
+    rings_.emplace_back();
+    // The widest value this process's buffer may have to latch decides
+    // the ELA entry width (registers, plus stream/BRAM data it touches).
+    if (cfg_.filter.regs || cfg_.filter.fsm) {
+      for (const ir::Register& r : p.regs) max_value_width_ = std::max(max_value_width_, r.width);
+    }
+  }
+  if (cfg_.filter.streams) {
+    for (const ir::Stream& s : design.streams) {
+      if (!s.dead) max_value_width_ = std::max(max_value_width_, s.width);
+    }
+  }
+  if (cfg_.filter.bram) {
+    for (const ir::Memory& m : design.memories) {
+      max_value_width_ = std::max(max_value_width_, m.width);
+    }
+  }
+  if (cfg_.filter.asserts) {
+    trigger_count_ = static_cast<unsigned>(design.assertions.size());
+  }
+}
+
+TraceEngine::Ring* TraceEngine::ring_for(const ir::Process* p, std::uint16_t& proc_out) {
+  auto it = proc_index_.find(p);
+  if (it == proc_index_.end()) return nullptr;
+  proc_out = it->second;
+  int r = ring_of_proc_[it->second];
+  return r < 0 ? nullptr : &rings_[static_cast<std::size_t>(r)];
+}
+
+void TraceEngine::push(Ring& ring, TraceRecord rec) {
+  rec.seq = seq_++;
+  ++captured_;
+  if (ring.slots.size() < cfg_.capacity) {
+    ring.slots.push_back(std::move(rec));
+  } else {
+    ring.slots[ring.head] = std::move(rec);
+    ring.head = (ring.head + 1) % cfg_.capacity;
+  }
+  ++ring.written;
+}
+
+void TraceEngine::fsm_state(const ir::Process* p, ir::BlockId block, std::uint64_t cycle) {
+  if (!cfg_.filter.fsm) return;
+  std::uint16_t pi = 0;
+  Ring* ring = ring_for(p, pi);
+  if (ring == nullptr) return;
+  TraceRecord rec;
+  rec.cycle = cycle;
+  rec.kind = TraceEventKind::kFsmState;
+  rec.proc = pi;
+  rec.subject = block;
+  rec.value = BitVector::from_u64(32, block);
+  push(*ring, std::move(rec));
+}
+
+void TraceEngine::reg_write(const ir::Process* p, ir::RegId reg, const BitVector& v,
+                            std::uint64_t cycle, SourceLoc loc) {
+  if (!cfg_.filter.regs) return;
+  std::uint16_t pi = 0;
+  Ring* ring = ring_for(p, pi);
+  if (ring == nullptr) return;
+  TraceRecord rec;
+  rec.cycle = cycle;
+  rec.kind = TraceEventKind::kRegWrite;
+  rec.proc = pi;
+  rec.subject = reg;
+  rec.value = v;
+  rec.loc = loc;
+  push(*ring, std::move(rec));
+}
+
+void TraceEngine::stream_push(const ir::Process* p, ir::StreamId s, const BitVector& v,
+                              std::uint64_t cycle, SourceLoc loc) {
+  if (!cfg_.filter.streams) return;
+  std::uint16_t pi = 0;
+  Ring* ring = ring_for(p, pi);
+  if (ring == nullptr) return;
+  TraceRecord rec;
+  rec.cycle = cycle;
+  rec.kind = TraceEventKind::kStreamPush;
+  rec.proc = pi;
+  rec.subject = s;
+  rec.value = v;
+  rec.loc = loc;
+  push(*ring, std::move(rec));
+}
+
+void TraceEngine::stream_pop(const ir::Process* p, ir::StreamId s, const BitVector& v,
+                             std::uint64_t cycle, SourceLoc loc) {
+  if (!cfg_.filter.streams) return;
+  std::uint16_t pi = 0;
+  Ring* ring = ring_for(p, pi);
+  if (ring == nullptr) return;
+  TraceRecord rec;
+  rec.cycle = cycle;
+  rec.kind = TraceEventKind::kStreamPop;
+  rec.proc = pi;
+  rec.subject = s;
+  rec.value = v;
+  rec.loc = loc;
+  push(*ring, std::move(rec));
+}
+
+void TraceEngine::bram_read(const ir::Process* p, ir::MemId m, std::uint64_t addr,
+                            const BitVector& v, std::uint64_t cycle, SourceLoc loc) {
+  if (!cfg_.filter.bram) return;
+  std::uint16_t pi = 0;
+  Ring* ring = ring_for(p, pi);
+  if (ring == nullptr) return;
+  TraceRecord rec;
+  rec.cycle = cycle;
+  rec.kind = TraceEventKind::kBramRead;
+  rec.proc = pi;
+  rec.subject = m;
+  rec.aux = addr;
+  rec.value = v;
+  rec.loc = loc;
+  push(*ring, std::move(rec));
+}
+
+void TraceEngine::bram_write(const ir::Process* p, ir::MemId m, std::uint64_t addr,
+                             const BitVector& v, std::uint64_t cycle, SourceLoc loc) {
+  if (!cfg_.filter.bram) return;
+  std::uint16_t pi = 0;
+  Ring* ring = ring_for(p, pi);
+  if (ring == nullptr) return;
+  TraceRecord rec;
+  rec.cycle = cycle;
+  rec.kind = TraceEventKind::kBramWrite;
+  rec.proc = pi;
+  rec.subject = m;
+  rec.aux = addr;
+  rec.value = v;
+  rec.loc = loc;
+  push(*ring, std::move(rec));
+}
+
+void TraceEngine::assert_verdict(const ir::Process* p, std::uint32_t assertion_id, bool failed,
+                                 std::uint64_t cycle, SourceLoc loc) {
+  if (!cfg_.filter.asserts) return;
+  std::uint16_t pi = 0;
+  Ring* ring = ring_for(p, pi);
+  if (ring == nullptr) return;
+  TraceRecord rec;
+  rec.cycle = cycle;
+  rec.kind = TraceEventKind::kAssertVerdict;
+  rec.proc = pi;
+  rec.subject = assertion_id;
+  rec.aux = failed ? 1 : 0;
+  rec.value = BitVector::from_bool(failed);
+  rec.loc = loc;
+  push(*ring, std::move(rec));
+}
+
+std::vector<TraceRecord> TraceEngine::window() const {
+  std::vector<TraceRecord> out;
+  std::size_t total = 0;
+  for (const Ring& r : rings_) total += r.slots.size();
+  out.reserve(total);
+  for (const Ring& r : rings_) {
+    // head..end are the oldest retained entries once the ring wrapped.
+    for (std::size_t i = 0; i < r.slots.size(); ++i) {
+      out.push_back(r.slots[(r.head + i) % r.slots.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceRecord& a, const TraceRecord& b) {
+    return a.cycle != b.cycle ? a.cycle < b.cycle : a.seq < b.seq;
+  });
+  return out;
+}
+
+std::uint64_t TraceEngine::dropped() const {
+  std::uint64_t d = 0;
+  for (const Ring& r : rings_) d += r.written - r.slots.size();
+  return d;
+}
+
+std::size_t TraceEngine::num_buffers() const { return rings_.size(); }
+
+unsigned TraceEngine::record_bits() const {
+  // timestamp + 3-bit kind tag + 16-bit subject id + 16-bit aux
+  // (address / verdict) + widest captured value. This is what one ring
+  // entry costs in ELA BRAM before M4K column rounding.
+  return cfg_.timestamp_bits + 3 + 16 + 16 + max_value_width_;
+}
+
+void TraceEngine::clear() {
+  for (Ring& r : rings_) {
+    r.slots.clear();
+    r.head = 0;
+    r.written = 0;
+  }
+  seq_ = 0;
+  captured_ = 0;
+}
+
+}  // namespace hlsav::trace

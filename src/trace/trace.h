@@ -1,0 +1,162 @@
+// In-circuit trace capture: embedded-logic-analyzer (ELA) style ring
+// buffers recording per-cycle design events.
+//
+// The paper observes assertion failures *in circuit*, where visibility
+// is scarce: the notification function reports that an assertion fired,
+// but nothing shows how the design reached the failing state. Debug
+// overlays for HLS (Goeders & Wilton) answer this with on-chip trace
+// buffers -- fixed-capacity BRAMs that continuously record selected
+// signals and retain the last N entries when a trigger fires. This
+// module models exactly that layer on top of the cycle simulator:
+//
+//  * One ring buffer per hardware process (the per-FSM ELA core),
+//    `TraceConfig::capacity` entries deep. When a buffer is full the
+//    oldest entries are overwritten -- what survives a run is always
+//    the *last* window, which is the window that explains a failure.
+//  * A TraceRecord is one captured event: FSM state transition,
+//    register write, stream handshake (push/pop), BRAM port access, or
+//    assertion checker verdict.
+//  * TraceFilter is the ELA's signal-selection mux: capture cost (and
+//    the modeled BRAM cost, fpga/ela.h) is opt-in per event class and
+//    per process.
+//
+// The engine is passive: the simulator invokes the hook methods when a
+// TraceEngine is armed via SimOptions::ela; with no engine armed the
+// simulator's hot loop pays a single pointer test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.h"
+#include "support/bitvector.h"
+#include "support/source_manager.h"
+
+namespace hlsav::trace {
+
+enum class TraceEventKind : std::uint8_t {
+  kFsmState,       // process entered a block: subject = BlockId
+  kRegWrite,       // subject = RegId, value = new contents
+  kStreamPush,     // subject = StreamId, value = word written
+  kStreamPop,      // subject = StreamId, value = word read
+  kBramRead,       // subject = MemId, aux = address, value = data
+  kBramWrite,      // subject = MemId, aux = address, value = data
+  kAssertVerdict,  // subject = assertion id, aux = 1 if failed
+};
+
+[[nodiscard]] const char* trace_event_kind_name(TraceEventKind k);
+
+/// One captured event. `proc` indexes ir::Design::processes; `seq` is
+/// the global arrival order, which makes the merged window a stable
+/// sort even when several events share a cycle.
+struct TraceRecord {
+  std::uint64_t cycle = 0;
+  TraceEventKind kind = TraceEventKind::kFsmState;
+  std::uint16_t proc = 0;
+  std::uint32_t subject = 0;
+  std::uint64_t aux = 0;
+  BitVector value{1};
+  SourceLoc loc;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// The ELA's signal-selection mux: which event classes and which
+/// processes are wired into the capture buffers.
+struct TraceFilter {
+  bool fsm = true;
+  bool regs = true;
+  bool streams = true;
+  bool bram = true;
+  bool asserts = true;
+  /// Empty = every process; otherwise only the named ones.
+  std::vector<std::string> processes;
+
+  [[nodiscard]] bool allows_process(std::string_view name) const;
+};
+
+struct TraceConfig {
+  /// Ring-buffer depth, entries per process buffer. This is the ELA
+  /// BRAM the area model (fpga/ela.h) costs.
+  std::size_t capacity = 1024;
+  /// Width of the cycle-counter field stored per entry (the hardware
+  /// timestamp; 32 bits covers ~4G cycles before wrap).
+  unsigned timestamp_bits = 32;
+  TraceFilter filter;
+};
+
+/// The capture engine. Construct, arm via sim::SimOptions::ela, run,
+/// then read `window()` back.
+class TraceEngine {
+ public:
+  explicit TraceEngine(const ir::Design& design, TraceConfig cfg = {});
+
+  // ---- simulator hooks (only called while armed) ----
+  void fsm_state(const ir::Process* p, ir::BlockId block, std::uint64_t cycle);
+  void reg_write(const ir::Process* p, ir::RegId reg, const BitVector& v, std::uint64_t cycle,
+                 SourceLoc loc);
+  void stream_push(const ir::Process* p, ir::StreamId s, const BitVector& v, std::uint64_t cycle,
+                   SourceLoc loc);
+  void stream_pop(const ir::Process* p, ir::StreamId s, const BitVector& v, std::uint64_t cycle,
+                  SourceLoc loc);
+  void bram_read(const ir::Process* p, ir::MemId m, std::uint64_t addr, const BitVector& v,
+                 std::uint64_t cycle, SourceLoc loc);
+  void bram_write(const ir::Process* p, ir::MemId m, std::uint64_t addr, const BitVector& v,
+                  std::uint64_t cycle, SourceLoc loc);
+  void assert_verdict(const ir::Process* p, std::uint32_t assertion_id, bool failed,
+                      std::uint64_t cycle, SourceLoc loc);
+
+  /// The surviving capture window: every buffer's retained records,
+  /// merged and ordered by (cycle, seq) -- oldest first.
+  [[nodiscard]] std::vector<TraceRecord> window() const;
+
+  /// Events offered to the buffers (and accepted by the filter).
+  [[nodiscard]] std::uint64_t captured() const { return captured_; }
+  /// Events overwritten by ring wrap-around (captured - retained).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  [[nodiscard]] const TraceConfig& config() const { return cfg_; }
+  [[nodiscard]] const ir::Design& design() const { return *design_; }
+
+  // ---- ELA geometry, consumed by the fpga area model ----
+  /// Buffers actually instantiated (traced processes).
+  [[nodiscard]] std::size_t num_buffers() const;
+  /// Widest data value any traced signal can carry.
+  [[nodiscard]] unsigned max_value_width() const { return max_value_width_; }
+  /// Raw bits per ring-buffer entry: timestamp + kind tag + subject id
+  /// + address/aux + the widest captured value.
+  [[nodiscard]] unsigned record_bits() const;
+  /// Distinct trigger comparators (one per traced assertion).
+  [[nodiscard]] unsigned trigger_count() const { return trigger_count_; }
+
+  /// Drops every captured record (buffers keep their geometry).
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<TraceRecord> slots;  // grows up to capacity, then wraps
+    std::size_t head = 0;            // next slot to overwrite once full
+    std::uint64_t written = 0;       // total records ever pushed
+  };
+
+  const ir::Design* design_;
+  TraceConfig cfg_;
+  std::vector<Ring> rings_;  // parallel to traced processes
+  /// Design process index -> ring index, or -1 for filtered-out procs.
+  std::vector<int> ring_of_proc_;
+  std::unordered_map<const ir::Process*, std::uint16_t> proc_index_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t captured_ = 0;
+  unsigned max_value_width_ = 1;
+  unsigned trigger_count_ = 0;
+
+  /// Ring for this process, or nullptr when the filter excludes it.
+  Ring* ring_for(const ir::Process* p, std::uint16_t& proc_out);
+  void push(Ring& ring, TraceRecord rec);
+};
+
+}  // namespace hlsav::trace

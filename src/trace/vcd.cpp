@@ -1,0 +1,263 @@
+#include "trace/vcd.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "rtl/names.h"
+
+namespace hlsav::trace {
+
+namespace {
+
+/// Four-state vector literal: "b<bits>" MSB-first, no leading-zero
+/// compression beyond the VCD-permitted one (we keep full width so the
+/// parser test can check widths exactly; spec allows both).
+std::string vector_literal(const BitVector& v) {
+  std::string s = "b";
+  for (unsigned i = v.width(); i-- > 0;) s.push_back(v.bit(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace
+
+int VcdWriter::add_signal(std::string scope, std::string name, unsigned width) {
+  Signal s;
+  s.scope = std::move(scope);
+  s.name = rtl::sanitize_net_name(name);
+  s.id = rtl::vcd_identifier(signals_.size());
+  s.width = width;
+  signals_.push_back(std::move(s));
+  return static_cast<int>(signals_.size()) - 1;
+}
+
+VcdWriter::VcdWriter(const ir::Design& design, const TraceFilter& filter)
+    : design_(&design), filter_(filter) {
+  const std::size_t nprocs = design.processes.size();
+  fsm_of_proc_.assign(nprocs, -1);
+  reg_of_proc_.resize(nprocs);
+
+  for (std::size_t pi = 0; pi < nprocs; ++pi) {
+    const ir::Process& p = *design.processes[pi];
+    if (!filter_.allows_process(p.name)) continue;
+    if (filter_.fsm) {
+      fsm_of_proc_[pi] =
+          add_signal(p.name, "fsm_state", rtl::bits_for(std::max<std::size_t>(p.blocks.size(), 2)));
+    }
+    if (filter_.regs) {
+      reg_of_proc_[pi].assign(p.regs.size(), -1);
+      for (const ir::Register& r : p.regs) {
+        std::string name = r.name.empty() ? "r" + std::to_string(r.id) : r.name;
+        reg_of_proc_[pi][r.id] = add_signal(p.name, name, r.width);
+      }
+    }
+  }
+
+  if (filter_.bram) {
+    mem_read_sig_.assign(design.memories.size(), {});
+    mem_write_sig_.assign(design.memories.size(), {});
+    for (const ir::Memory& m : design.memories) {
+      if (!filter_.allows_process(m.owner_process)) continue;
+      unsigned abits = rtl::bits_for(std::max<std::uint64_t>(m.size, 2));
+      int addr = add_signal(m.owner_process, m.name + "_addr", abits);
+      SignalRef rd;
+      rd.addr = addr;
+      rd.data = add_signal(m.owner_process, m.name + "_rdata", m.width);
+      rd.strobe = add_signal(m.owner_process, m.name + "_re", 1);
+      mem_read_sig_[m.id] = rd;
+      SignalRef wr;
+      wr.addr = addr;
+      wr.data = add_signal(m.owner_process, m.name + "_wdata", m.width);
+      wr.strobe = add_signal(m.owner_process, m.name + "_we", 1);
+      mem_write_sig_[m.id] = wr;
+    }
+  }
+
+  if (filter_.streams) {
+    stream_sig_.assign(design.streams.size(), {});
+    for (const ir::Stream& s : design.streams) {
+      if (s.dead) continue;
+      SignalRef sr;
+      sr.data = add_signal("streams", s.name + "_data", s.width);
+      sr.strobe = add_signal("streams", s.name + "_push", 1);
+      sr.addr = add_signal("streams", s.name + "_pop", 1);  // pop strobe
+      stream_sig_[s.id] = sr;
+    }
+  }
+
+  if (filter_.asserts) {
+    for (const ir::AssertionRecord& rec : design.assertions) {
+      assert_ids_.push_back(rec.id);
+      assert_sig_.push_back(
+          add_signal("assertions", "assert_" + std::to_string(rec.id) + "_fail", 1));
+    }
+  }
+}
+
+int VcdWriter::find_assert_signal(std::uint32_t assertion_id) const {
+  for (std::size_t i = 0; i < assert_ids_.size(); ++i) {
+    if (assert_ids_[i] == assertion_id) return assert_sig_[i];
+  }
+  return -1;
+}
+
+void VcdWriter::write(std::ostream& os, const std::vector<TraceRecord>& window,
+                      const VcdOptions& opt) const {
+  // ---- header & variable definitions ----
+  os << "$date\n  (deterministic build)\n$end\n";
+  os << "$version\n  " << opt.version << "\n$end\n";
+  os << "$timescale " << opt.timescale << " $end\n";
+  os << "$scope module " << rtl::sanitize_net_name(design_->name.empty() ? "design"
+                                                                         : design_->name)
+     << " $end\n";
+  // Group signals by scope, preserving first-seen scope order.
+  std::vector<std::string> scope_order;
+  for (const Signal& s : signals_) {
+    if (std::find(scope_order.begin(), scope_order.end(), s.scope) == scope_order.end()) {
+      scope_order.push_back(s.scope);
+    }
+  }
+  for (const std::string& scope : scope_order) {
+    os << "$scope module " << rtl::sanitize_net_name(scope) << " $end\n";
+    for (const Signal& s : signals_) {
+      if (s.scope != scope) continue;
+      os << "$var wire " << s.width << " " << s.id << " " << s.name;
+      if (s.width > 1) os << " [" << (s.width - 1) << ":0]";
+      os << " $end\n";
+    }
+    os << "$upscope $end\n";
+  }
+  os << "$upscope $end\n";
+  os << "$enddefinitions $end\n";
+
+  // ---- change list: per-timestamp ordered value changes ----
+  // Strobes (push/pop/we/re/fail) are one-cycle pulses: set at the event
+  // cycle, cleared one cycle later. Later writes to the same signal at
+  // the same timestamp win (map insertion order preserved per cycle).
+  std::map<std::uint64_t, std::vector<std::pair<int, std::string>>> changes;
+  auto emit = [&changes, this](std::uint64_t cycle, int sig, std::string value) {
+    if (sig < 0) return;
+    const Signal& s = signals_[static_cast<std::size_t>(sig)];
+    std::string text =
+        s.width == 1 ? value + s.id : value + " " + s.id;  // scalar: no space before id
+    changes[cycle].emplace_back(sig, std::move(text));
+  };
+  auto emit_vec = [&emit, this](std::uint64_t cycle, int sig, const BitVector& v) {
+    if (sig < 0) return;
+    const Signal& s = signals_[static_cast<std::size_t>(sig)];
+    if (s.width == 1) {
+      emit(cycle, sig, v.any() ? "1" : "0");
+    } else {
+      // Adapt to the declared net width (subjects always match, but a
+      // defensive resize keeps the document well-formed regardless).
+      emit(cycle, sig, vector_literal(v.width() == s.width ? v : v.resize(s.width, false)) + "");
+    }
+  };
+  auto pulse = [&emit](std::uint64_t cycle, int sig) {
+    if (sig < 0) return;
+    emit(cycle, sig, "1");
+    emit(cycle + 1, sig, "0");
+  };
+
+  for (const TraceRecord& r : window) {
+    switch (r.kind) {
+      case TraceEventKind::kFsmState: {
+        int sig = r.proc < fsm_of_proc_.size() ? fsm_of_proc_[r.proc] : -1;
+        if (sig >= 0) {
+          unsigned w = signals_[static_cast<std::size_t>(sig)].width;
+          emit_vec(r.cycle, sig, BitVector::from_u64(w, r.subject));
+        }
+        break;
+      }
+      case TraceEventKind::kRegWrite: {
+        const auto& regs = r.proc < reg_of_proc_.size() ? reg_of_proc_[r.proc] : std::vector<int>{};
+        int sig = r.subject < regs.size() ? regs[r.subject] : -1;
+        emit_vec(r.cycle, sig, r.value);
+        break;
+      }
+      case TraceEventKind::kStreamPush: {
+        if (r.subject >= stream_sig_.size()) break;
+        const SignalRef& sr = stream_sig_[r.subject];
+        emit_vec(r.cycle, sr.data, r.value);
+        pulse(r.cycle, sr.strobe);
+        break;
+      }
+      case TraceEventKind::kStreamPop: {
+        if (r.subject >= stream_sig_.size()) break;
+        const SignalRef& sr = stream_sig_[r.subject];
+        emit_vec(r.cycle, sr.data, r.value);
+        pulse(r.cycle, sr.addr);  // pop strobe
+        break;
+      }
+      case TraceEventKind::kBramRead: {
+        if (r.subject >= mem_read_sig_.size()) break;
+        const SignalRef& sr = mem_read_sig_[r.subject];
+        if (sr.addr >= 0) {
+          unsigned w = signals_[static_cast<std::size_t>(sr.addr)].width;
+          emit_vec(r.cycle, sr.addr, BitVector::from_u64(w, r.aux));
+        }
+        emit_vec(r.cycle, sr.data, r.value);
+        pulse(r.cycle, sr.strobe);
+        break;
+      }
+      case TraceEventKind::kBramWrite: {
+        if (r.subject >= mem_write_sig_.size()) break;
+        const SignalRef& sr = mem_write_sig_[r.subject];
+        if (sr.addr >= 0) {
+          unsigned w = signals_[static_cast<std::size_t>(sr.addr)].width;
+          emit_vec(r.cycle, sr.addr, BitVector::from_u64(w, r.aux));
+        }
+        emit_vec(r.cycle, sr.data, r.value);
+        pulse(r.cycle, sr.strobe);
+        break;
+      }
+      case TraceEventKind::kAssertVerdict: {
+        int sig = find_assert_signal(r.subject);
+        if (r.aux != 0) {
+          pulse(r.cycle, sig);
+        } else {
+          emit(r.cycle, sig, "0");
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- initial values: everything unknown until first captured change.
+  os << "$dumpvars\n";
+  for (const Signal& s : signals_) {
+    if (s.width == 1) {
+      os << "x" << s.id << "\n";
+    } else {
+      os << "bx " << s.id << "\n";
+    }
+  }
+  os << "$end\n";
+
+  // ---- timestamped changes; later same-cycle writes override earlier
+  // ones for the same signal (keep only the last per (cycle, signal)).
+  std::vector<int> last_index(signals_.size(), -1);
+  for (const auto& [cycle, list] : changes) {
+    os << "#" << cycle << "\n";
+    last_index.assign(signals_.size(), -1);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      last_index[static_cast<std::size_t>(list[i].first)] = static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (last_index[static_cast<std::size_t>(list[i].first)] != static_cast<int>(i)) continue;
+      os << list[i].second << "\n";
+    }
+  }
+}
+
+void VcdWriter::write_file(const std::string& path, const std::vector<TraceRecord>& window,
+                           const VcdOptions& opt) const {
+  std::ofstream os(path);
+  HLSAV_CHECK(os.good(), "cannot open VCD output file '" + path + "'");
+  write(os, window, opt);
+  HLSAV_CHECK(os.good(), "error writing VCD output file '" + path + "'");
+}
+
+}  // namespace hlsav::trace

@@ -1,0 +1,90 @@
+// VCD (Value Change Dump) export of a captured trace window.
+//
+// Emits IEEE 1364-2005 §18 four-state VCD so any off-the-shelf waveform
+// viewer (GTKWave, Surfer) can open an in-circuit capture. The signal
+// map mirrors the generated RTL hierarchy:
+//
+//   $scope module <design>
+//     $scope module <process>          one per traced process
+//       fsm_state                      FSM state register
+//       <reg>...                       traced datapath registers
+//       <mem>_addr/_wdata/_rdata/_we/_re   BRAM port (owner process)
+//     $upscope
+//     $scope module streams            stream handshakes
+//       <stream>_data/_push/_pop
+//     $upscope
+//     $scope module assertions         checker verdicts
+//       assert_<id>_fail
+//     $upscope
+//   $upscope
+//
+// Net names and identifier codes come from rtl/names.h, so the waveform
+// names match the emitted Verilog. Signals with no captured event hold
+// 'x' for the whole dump (exactly what a real ELA that never latched
+// the net would show). Handshake/verdict strobes pulse for one cycle.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "trace/trace.h"
+
+namespace hlsav::trace {
+
+struct VcdOptions {
+  std::string timescale = "1 ns";
+  /// Comment recorded in the $version section.
+  std::string version = "hlsav in-circuit trace";
+};
+
+class VcdWriter {
+ public:
+  /// Builds the signal map for every net the filter admits.
+  VcdWriter(const ir::Design& design, const TraceFilter& filter);
+
+  /// Writes one complete VCD document for a captured window.
+  void write(std::ostream& os, const std::vector<TraceRecord>& window,
+             const VcdOptions& opt = {}) const;
+
+  /// Convenience: write() to a file. Throws InternalError on I/O failure.
+  void write_file(const std::string& path, const std::vector<TraceRecord>& window,
+                  const VcdOptions& opt = {}) const;
+
+  /// Number of nets in the signal map (tests, ELA reporting).
+  [[nodiscard]] std::size_t signal_count() const { return signals_.size(); }
+
+ private:
+  struct Signal {
+    std::string scope;  // process name, "streams", or "assertions"
+    std::string name;   // sanitized net name
+    std::string id;     // VCD identifier code
+    unsigned width = 1;
+  };
+
+  /// Key for event -> signal lookup: (kind-class, proc, subject, port).
+  struct SignalRef {
+    int data = -1;    // value-carrying net
+    int strobe = -1;  // 1-bit pulse net (push/pop/we/re/fail)
+    int addr = -1;    // BRAM address net
+  };
+
+  const ir::Design* design_;
+  TraceFilter filter_;
+  std::vector<Signal> signals_;
+  // Lookup tables, indexed the same way the trace records refer to
+  // subjects. Missing entries stay {-1,-1,-1} (filtered out).
+  std::vector<int> fsm_of_proc_;                 // proc index -> signal
+  std::vector<std::vector<int>> reg_of_proc_;    // proc index -> reg id -> signal
+  std::vector<SignalRef> stream_sig_;            // stream id -> data/push/pop
+  std::vector<SignalRef> mem_read_sig_;          // mem id -> rdata/re/addr
+  std::vector<SignalRef> mem_write_sig_;         // mem id -> wdata/we/addr
+  std::vector<int> assert_sig_;                  // dense index -> signal
+  std::vector<std::uint32_t> assert_ids_;        // dense index -> assertion id
+
+  int add_signal(std::string scope, std::string name, unsigned width);
+  [[nodiscard]] int find_assert_signal(std::uint32_t assertion_id) const;
+};
+
+}  // namespace hlsav::trace

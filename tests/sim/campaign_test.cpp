@@ -2,6 +2,8 @@
 // and sane outcome classification against the golden run.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "assertions/options.h"
 #include "assertions/synthesize.h"
 #include "common/test_util.h"
@@ -124,6 +126,73 @@ TEST(Campaign, GoldenRunMustBeClean) {
   H h = make_clamp(assertions::Options::optimized());
   h.feeds["clamp.in"] = {1, 2, 3};  // starves the loop: golden hangs
   EXPECT_THROW(golden_run(h.design, h.schedule, h.externs, h.feeds, {}), InternalError);
+}
+
+TEST(Campaign, ParallelWorkersMatchSerialByteForByte) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions par;
+  par.threads = 4;
+  CampaignReport a = run_campaign(h.design, h.schedule, h.externs, h.feeds, serial);
+  CampaignReport b = run_campaign(h.design, h.schedule, h.externs, h.feeds, par);
+  EXPECT_EQ(a.threads, 1u);
+  EXPECT_GT(b.threads, 1u);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].site.id, b.results[i].site.id);
+    EXPECT_EQ(a.results[i].outcome, b.results[i].outcome) << "site " << i;
+    EXPECT_EQ(a.results[i].detected_by, b.results[i].detected_by) << "site " << i;
+    EXPECT_EQ(a.results[i].cycles, b.results[i].cycles) << "site " << i;
+  }
+  // The rendered report only differs in the worker count, so renders
+  // compare equal once that is held fixed.
+  b.threads = a.threads;
+  EXPECT_EQ(a.render(h.design), b.render(h.design));
+}
+
+TEST(Campaign, ZeroThreadsMeansHardwareConcurrency) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignOptions opt;
+  opt.threads = 0;
+  opt.max_faults = 3;
+  CampaignReport r = run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  EXPECT_GE(r.threads, 1u);
+  EXPECT_EQ(r.results.size(), 3u);
+}
+
+TEST(Campaign, TraceRerunsProduceArtifactsForNonBenignSites) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignReport report = run_campaign(h.design, h.schedule, h.externs, h.feeds, {});
+  std::size_t nonbenign = report.results.size() - report.count(FaultOutcome::kBenign);
+  ASSERT_GT(nonbenign, 0u);
+
+  TraceRerunOptions topt;
+  topt.dir = ::testing::TempDir() + "campaign_traces";
+  topt.stem = "clamp";
+  topt.write_binary = true;
+  std::vector<TraceArtifact> arts =
+      trace_nonbenign_sites(h.design, h.schedule, h.externs, h.feeds, report, {}, topt);
+  ASSERT_EQ(arts.size(), nonbenign);
+  for (const TraceArtifact& a : arts) {
+    EXPECT_NE(a.outcome, FaultOutcome::kBenign);
+    EXPECT_TRUE(std::filesystem::exists(a.vcd_path)) << a.vcd_path;
+    EXPECT_TRUE(std::filesystem::exists(a.bin_path)) << a.bin_path;
+    // The replay names the site, its outcome, and the capture story.
+    EXPECT_NE(a.replay.find("s" + std::to_string(a.site.id)), std::string::npos);
+    EXPECT_NE(a.replay.find(fault_outcome_name(a.outcome)), std::string::npos);
+    EXPECT_NE(a.replay.find("source-level replay:"), std::string::npos);
+    // Detected sites implicate the assertion that caught them.
+    if (a.outcome == FaultOutcome::kDetected) {
+      EXPECT_NE(a.replay.find("implicated assertion:"), std::string::npos);
+    }
+  }
+  // max_sites caps the rerun list in site order.
+  topt.max_sites = 1;
+  std::vector<TraceArtifact> one =
+      trace_nonbenign_sites(h.design, h.schedule, h.externs, h.feeds, report, {}, topt);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].site.id, arts[0].site.id);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #ifndef HLSAVC_PATH
@@ -135,6 +136,80 @@ TEST(Hlsavc, SoftwareSimulationMode) {
   CmdResult r = run_cmd("simulate " + f + " --sw --feed f.in=1,2,3");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("f.out: 2 3 4"), std::string::npos);
+}
+
+// ---- exit-code contract: 0 ok, 2 usage, 3 assertion abort, 4 hang ----
+
+TEST(Hlsavc, HelpExitsZeroAndDocumentsTrace) {
+  CmdResult r = run_cmd("--help");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+  EXPECT_NE(r.output.find("trace"), std::string::npos);
+  EXPECT_NE(r.output.find("--trace-nonbenign"), std::string::npos);
+  EXPECT_NE(r.output.find("exit codes"), std::string::npos);
+}
+
+TEST(Hlsavc, AssertionAbortExitsThree) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("simulate " + f + " --feed f.in=1,99,3");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+}
+
+TEST(Hlsavc, HangExitsFour) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  // Two words for a three-iteration loop: the read starves.
+  CmdResult r = run_cmd("simulate " + f + " --feed f.in=1,2");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("hang"), std::string::npos);
+}
+
+TEST(Hlsavc, UnknownOptionExitsTwo) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("simulate " + f + " --no-such-flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+// ---- trace command ----
+
+TEST(Hlsavc, TraceWritesVcdReplayAndElaReport) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  std::string vcd = ::testing::TempDir() + "good_trace.vcd";
+  CmdResult r = run_cmd("trace " + f + " --feed f.in=1,99,3 --vcd=" + vcd);
+  EXPECT_EQ(r.exit_code, 3) << r.output;  // run aborted on the assertion
+  EXPECT_NE(r.output.find("vcd: " + vcd), std::string::npos);
+  EXPECT_NE(r.output.find("source-level replay:"), std::string::npos);
+  EXPECT_NE(r.output.find("implicated assertion: #0 `v < 50'"), std::string::npos);
+  EXPECT_NE(r.output.find("ela:"), std::string::npos);
+  EXPECT_NE(r.output.find("bram"), std::string::npos);
+
+  std::ifstream in(vcd);
+  ASSERT_TRUE(in.good()) << "trace did not write " << vcd;
+  std::string doc((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(doc.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(doc.find("assert_0_fail"), std::string::npos);
+}
+
+TEST(Hlsavc, FaultsimTraceSiteEmitsArtifactsForNonBenignSite) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  std::string dir = ::testing::TempDir() + "hlsavc_traces";
+  // Site s1 (stream-drop on f.out) is silent corruption in this design.
+  CmdResult r = run_cmd("faultsim " + f + " --feed f.in=1,2,3 --trace-site=1 --trace-dir=" + dir);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("source-level replay:"), std::string::npos);
+  EXPECT_NE(r.output.find(".vcd"), std::string::npos);
+}
+
+TEST(Hlsavc, CampaignTraceNonbenignListsTracedSites) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  std::string dir = ::testing::TempDir() + "hlsavc_campaign_traces";
+  CmdResult r = run_cmd("faultsim " + f +
+                        " --feed f.in=1,2,3 --campaign --trace-nonbenign --threads=2 "
+                        "--trace-max-sites=2 --trace-dir=" +
+                        dir);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("traced 2 non-benign site(s)"), std::string::npos);
+  EXPECT_NE(r.output.find("source-level replay:"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,144 @@
+// TraceEngine: ring wrap-around, filter selection, window merge order
+// and the ELA geometry the fpga area model consumes.
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace hlsav::trace {
+namespace {
+
+/// Two-process design with enough signal variety to exercise every
+/// event class: a 32-bit and a 128-bit register, one stream, one BRAM.
+struct Rig {
+  ir::Design design;
+  ir::Process* a = nullptr;
+  ir::Process* b = nullptr;
+  ir::RegId ra = ir::kNoReg;
+  ir::RegId rwide = ir::kNoReg;
+  ir::StreamId s = ir::kNoStream;
+  ir::MemId m = ir::kNoMem;
+
+  Rig() {
+    design.name = "rig";
+    a = &design.add_process("a");
+    b = &design.add_process("b");
+    ra = a->add_reg("x", 32, false);
+    rwide = a->add_reg("wide", 128, false);
+    s = design.add_stream("a.out", 32);
+    m = design.add_memory("buf", "b", 16, false, 8);
+    ir::AssertionRecord rec;
+    rec.id = 0;
+    rec.process = "a";
+    rec.condition_text = "x < 10";
+    design.assertions.push_back(rec);
+  }
+};
+
+TEST(TraceEngine, WindowMergesBuffersInCycleSeqOrder) {
+  Rig rig;
+  TraceEngine eng(rig.design);
+  // Interleave events across both processes out of per-buffer order.
+  eng.fsm_state(rig.a, 0, 0);
+  eng.fsm_state(rig.b, 0, 0);
+  eng.reg_write(rig.a, rig.ra, BitVector::from_u64(32, 7), 3, {});
+  eng.bram_write(rig.b, rig.m, 2, BitVector::from_u64(16, 9), 1, {});
+  eng.stream_push(rig.a, rig.s, BitVector::from_u64(32, 5), 2, {});
+
+  std::vector<TraceRecord> w = eng.window();
+  ASSERT_EQ(w.size(), 5u);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_TRUE(w[i - 1].cycle < w[i].cycle ||
+                (w[i - 1].cycle == w[i].cycle && w[i - 1].seq < w[i].seq));
+  }
+  // Same-cycle events keep arrival order via seq.
+  EXPECT_EQ(w[0].kind, TraceEventKind::kFsmState);
+  EXPECT_EQ(w[0].proc, 0u);
+  EXPECT_EQ(w[1].kind, TraceEventKind::kFsmState);
+  EXPECT_EQ(w[1].proc, 1u);
+  EXPECT_EQ(w[2].kind, TraceEventKind::kBramWrite);
+  EXPECT_EQ(w[2].aux, 2u);
+  EXPECT_EQ(w[4].kind, TraceEventKind::kRegWrite);
+  EXPECT_EQ(w[4].value.to_u64(), 7u);
+}
+
+TEST(TraceEngine, RingWrapKeepsOnlyTheLastWindow) {
+  Rig rig;
+  TraceConfig cfg;
+  cfg.capacity = 4;
+  TraceEngine eng(rig.design, cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    eng.reg_write(rig.a, rig.ra, BitVector::from_u64(32, i), i, {});
+  }
+  EXPECT_EQ(eng.captured(), 10u);
+  EXPECT_EQ(eng.dropped(), 6u);
+  std::vector<TraceRecord> w = eng.window();
+  ASSERT_EQ(w.size(), 4u);
+  // The survivors are the *last* four events, oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(w[i].cycle, 6u + i);
+    EXPECT_EQ(w[i].value.to_u64(), 6u + i);
+  }
+}
+
+TEST(TraceEngine, EventClassFilterDropsAtCapture) {
+  Rig rig;
+  TraceConfig cfg;
+  cfg.filter.regs = false;
+  cfg.filter.bram = false;
+  TraceEngine eng(rig.design, cfg);
+  eng.reg_write(rig.a, rig.ra, BitVector::from_u64(32, 1), 0, {});
+  eng.bram_read(rig.b, rig.m, 0, BitVector::from_u64(16, 1), 0, {});
+  eng.assert_verdict(rig.a, 0, true, 1, {});
+  EXPECT_EQ(eng.captured(), 1u);
+  std::vector<TraceRecord> w = eng.window();
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].kind, TraceEventKind::kAssertVerdict);
+  EXPECT_EQ(w[0].aux, 1u);  // failed
+}
+
+TEST(TraceEngine, ProcessFilterInstantiatesFewerBuffers) {
+  Rig rig;
+  TraceConfig cfg;
+  cfg.filter.processes = {"b"};
+  TraceEngine eng(rig.design, cfg);
+  EXPECT_EQ(eng.num_buffers(), 1u);
+  eng.reg_write(rig.a, rig.ra, BitVector::from_u64(32, 1), 0, {});  // filtered out
+  eng.fsm_state(rig.b, 0, 0);
+  EXPECT_EQ(eng.captured(), 1u);
+  ASSERT_EQ(eng.window().size(), 1u);
+  EXPECT_EQ(eng.window()[0].proc, 1u);
+}
+
+TEST(TraceEngine, GeometryReflectsWidestTracedSignal) {
+  Rig rig;
+  TraceEngine all(rig.design);
+  EXPECT_EQ(all.num_buffers(), 2u);
+  EXPECT_EQ(all.max_value_width(), 128u);  // the wide register
+  EXPECT_EQ(all.trigger_count(), 1u);      // one assertion comparator
+  // timestamp + kind tag + subject + aux + widest value
+  EXPECT_GT(all.record_bits(), 128u);
+
+  // Excluding process "a" removes the 128-bit register from the entry.
+  TraceConfig cfg;
+  cfg.filter.processes = {"b"};
+  cfg.filter.streams = false;
+  TraceEngine narrow(rig.design, cfg);
+  EXPECT_EQ(narrow.max_value_width(), 16u);  // BRAM word is the widest left
+}
+
+TEST(TraceEngine, ClearDropsRecordsButKeepsGeometry) {
+  Rig rig;
+  TraceEngine eng(rig.design);
+  eng.reg_write(rig.a, rig.ra, BitVector::from_u64(32, 1), 0, {});
+  ASSERT_EQ(eng.window().size(), 1u);
+  eng.clear();
+  EXPECT_TRUE(eng.window().empty());
+  EXPECT_EQ(eng.num_buffers(), 2u);
+  EXPECT_EQ(eng.max_value_width(), 128u);
+  // Capture works again after clear.
+  eng.fsm_state(rig.a, 0, 0);
+  EXPECT_EQ(eng.window().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hlsav::trace

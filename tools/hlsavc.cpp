@@ -9,6 +9,9 @@
 //   hlsavc faultsim file.c [options] --feed stream=v1,v2,...
 //                                      list fault sites; --site=N runs one
 //                                      fault, --campaign sweeps them all
+//   hlsavc trace    file.c [options] --feed stream=v1,v2,...
+//                                      run with the ELA armed, export a VCD
+//                                      and a source-level replay
 //
 // Options:
 //   --assertions=ndebug|unoptimized|optimized   (default optimized)
@@ -16,8 +19,15 @@
 //   --nabort                                    keep running on failure
 //   --chain-depth=N                             scheduler chaining budget
 //   --sw                                        software-simulation mode
-//   --site=N --campaign --seed=N --max-faults=N --max-cycles=N
+//   --site=N --campaign --seed=N --max-faults=N --max-cycles=N --threads=N
 //                                               faultsim controls
+//   --trace-site=N --trace-nonbenign --trace-dir=DIR
+//                                               faultsim trace reruns
+//   --vcd=FILE --bin=FILE --last-cycles=N --trace-capacity=N
+//   --trace-procs=p1,p2 --trace-max-sites=N     trace controls
+//
+// Exit codes: 0 success, 1 compile/internal error, 2 bad usage,
+//             3 halted by an assertion failure, 4 hang.
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -27,6 +37,7 @@
 #include "assertions/options.h"
 #include "assertions/synthesize.h"
 #include "fpga/area.h"
+#include "fpga/ela.h"
 #include "fpga/timing.h"
 #include "ir/lower.h"
 #include "ir/optimize.h"
@@ -40,6 +51,10 @@
 #include "sim/simulator.h"
 #include "support/str.h"
 #include "support/table.h"
+#include "trace/binary.h"
+#include "trace/replay.h"
+#include "trace/trace.h"
+#include "trace/vcd.h"
 
 namespace {
 
@@ -58,15 +73,50 @@ struct Args {
   bool campaign = false;
   std::uint32_t site = sim::FaultSpec::kNoSite;
   sim::CampaignOptions campaign_opts;
+  // trace controls (the `trace` command and faultsim trace reruns)
+  std::uint32_t trace_site = sim::FaultSpec::kNoSite;
+  bool trace_nonbenign = false;
+  std::string vcd_path;
+  std::string bin_path;
+  std::string trace_dir = "traces";
+  std::size_t last_cycles = 16;
+  std::size_t trace_capacity = 1024;
+  std::vector<std::string> trace_procs;
+  std::size_t trace_max_sites = 0;
 };
 
+void print_usage(std::ostream& os) {
+  os << "usage: hlsavc <compile|verilog|ir|schedule|simulate|faultsim|trace> <file.c> "
+        "[options]\n"
+        "  --assertions=ndebug|unoptimized|optimized\n"
+        "  --no-parallelize --no-replicate --no-share --nabort\n"
+        "  --chain-depth=N --sw --optimize --trace --feed stream=v1,v2,...\n"
+        "  faultsim: --site=N | --trace-site=N |\n"
+        "            --campaign [--seed=N --max-faults=N --max-cycles=N --threads=N\n"
+        "                        --trace-nonbenign]\n"
+        "  trace:    run with the embedded-logic-analyzer capture armed, write a VCD\n"
+        "            (--vcd=FILE, default trace.vcd) plus a source-level replay of the\n"
+        "            last captured cycles; --site=N injects one fault first\n"
+        "  trace options: --vcd=FILE --bin=FILE --last-cycles=N --trace-capacity=N\n"
+        "                 --trace-procs=p1,p2 --trace-dir=DIR --trace-max-sites=N\n"
+        "exit codes: 0 ok, 1 compile/internal error, 2 bad usage,\n"
+        "            3 assertion failure halted the run, 4 hang\n";
+}
+
 int usage() {
-  std::cerr << "usage: hlsavc <compile|verilog|ir|schedule|simulate|faultsim> <file.c> [options]\n"
-               "  --assertions=ndebug|unoptimized|optimized\n"
-               "  --no-parallelize --no-replicate --no-share --nabort\n"
-               "  --chain-depth=N --sw --optimize --trace --feed stream=v1,v2,...\n"
-               "  faultsim: --site=N | --campaign [--seed=N --max-faults=N --max-cycles=N]\n";
+  print_usage(std::cerr);
   return 2;
+}
+
+/// Maps a finished run onto the documented exit codes. A completed run
+/// is 0 even with NABORT-reported failures (the design ran to the end).
+int run_exit_code(const sim::RunResult& r) {
+  switch (r.status) {
+    case sim::RunStatus::kCompleted: return 0;
+    case sim::RunStatus::kAborted: return 3;
+    case sim::RunStatus::kHung: return 4;
+  }
+  return 1;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -97,14 +147,36 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.trace = true;
     } else if (a == "--campaign") {
       args.campaign = true;
+    } else if (a == "--trace-nonbenign") {
+      args.trace_nonbenign = true;
     } else if (starts_with(a, "--site=")) {
       args.site = static_cast<std::uint32_t>(std::stoul(a.substr(7)));
+    } else if (starts_with(a, "--trace-site=")) {
+      args.trace_site = static_cast<std::uint32_t>(std::stoul(a.substr(13)));
     } else if (starts_with(a, "--seed=")) {
       args.campaign_opts.seed = std::stoull(a.substr(7));
     } else if (starts_with(a, "--max-faults=")) {
       args.campaign_opts.max_faults = std::stoull(a.substr(13));
     } else if (starts_with(a, "--max-cycles=")) {
       args.campaign_opts.max_cycles = std::stoull(a.substr(13));
+    } else if (starts_with(a, "--threads=")) {
+      args.campaign_opts.threads = static_cast<unsigned>(std::stoul(a.substr(10)));
+    } else if (starts_with(a, "--vcd=")) {
+      args.vcd_path = a.substr(6);
+    } else if (starts_with(a, "--bin=")) {
+      args.bin_path = a.substr(6);
+    } else if (starts_with(a, "--trace-dir=")) {
+      args.trace_dir = a.substr(12);
+    } else if (starts_with(a, "--last-cycles=")) {
+      args.last_cycles = std::stoull(a.substr(14));
+    } else if (starts_with(a, "--trace-capacity=")) {
+      args.trace_capacity = std::stoull(a.substr(17));
+    } else if (starts_with(a, "--trace-max-sites=")) {
+      args.trace_max_sites = std::stoull(a.substr(18));
+    } else if (starts_with(a, "--trace-procs=")) {
+      for (const std::string& p : split(a.substr(14), ',')) {
+        if (!p.empty()) args.trace_procs.push_back(p);
+      }
     } else if (starts_with(a, "--chain-depth=")) {
       args.sched_opts.chain_depth = static_cast<unsigned>(std::stoul(a.substr(14)));
     } else if (a == "--feed" && i + 1 < argc) {
@@ -224,16 +296,128 @@ int run(const Args& args) {
       std::cout << '\n';
     }
     if (args.trace) std::cerr << simulator.render_trace(&sm);
-    return r.status == sim::RunStatus::kCompleted ? 0 : 1;
+    return run_exit_code(r);
+  }
+  if (args.command == "trace") {
+    sim::ExternRegistry externs;
+    trace::TraceConfig tc;
+    tc.capacity = args.trace_capacity;
+    tc.filter.processes = args.trace_procs;
+    trace::TraceEngine engine(design, tc);
+
+    sim::SimOptions so;
+    so.mode = args.software_mode ? sim::SimMode::kSoftware : sim::SimMode::kHardware;
+    so.ela = &engine;
+    if (args.campaign_opts.max_cycles != 0) so.max_cycles = args.campaign_opts.max_cycles;
+    if (args.site != sim::FaultSpec::kNoSite) {
+      std::vector<sim::FaultSpec> sites = sim::enumerate_fault_sites(design, schedule);
+      if (args.site >= sites.size()) {
+        std::cerr << "hlsavc: site " << args.site << " out of range (design has " << sites.size()
+                  << " fault sites)\n";
+        return 1;
+      }
+      so.mode = sim::SimMode::kHardware;
+      so.faults.add(sites[args.site]);
+      std::cout << "injecting s" << sites[args.site].id << ": "
+                << sites[args.site].describe(design) << "\n";
+    }
+    sim::Simulator simulator(design, schedule, externs, so);
+    simulator.set_failure_sink([](const assertions::Failure& f) {
+      std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
+    });
+    for (const auto& [stream, values] : args.feeds) simulator.feed(stream, values);
+    sim::RunResult r = simulator.run();
+    switch (r.status) {
+      case sim::RunStatus::kCompleted:
+        std::cout << "completed in " << r.cycles << " cycles\n";
+        break;
+      case sim::RunStatus::kAborted:
+        std::cout << "aborted by assertion failure at cycle "
+                  << (r.failures.empty() ? 0 : r.failures.back().cycle) << "\n";
+        break;
+      case sim::RunStatus::kHung:
+        std::cout << r.hang_report;
+        break;
+    }
+
+    std::vector<trace::TraceRecord> window = engine.window();
+    std::string vcd = args.vcd_path.empty() ? "trace.vcd" : args.vcd_path;
+    trace::VcdWriter writer(design, tc.filter);
+    writer.write_file(vcd, window);
+    std::cout << "vcd: " << vcd << " (" << writer.signal_count() << " signals, " << window.size()
+              << " events retained, " << engine.dropped() << " overwritten)\n";
+    if (!args.bin_path.empty()) {
+      trace::write_binary_trace_file(args.bin_path, window);
+      std::cout << "binary trace: " << args.bin_path << "\n";
+    }
+    trace::ReplayOptions ro;
+    ro.last_cycles = args.last_cycles;
+    ro.sm = &sm;
+    std::cout << trace::render_replay(design, window, ro);
+    std::cout << fpga::estimate_ela(engine).to_string(fpga::Device::ep2s180());
+    return run_exit_code(r);
   }
   if (args.command == "faultsim") {
     sim::ExternRegistry externs;
     std::vector<sim::FaultSpec> sites = sim::enumerate_fault_sites(design, schedule);
 
+    sim::TraceRerunOptions topt;
+    topt.config.capacity = args.trace_capacity;
+    topt.config.filter.processes = args.trace_procs;
+    topt.dir = args.trace_dir;
+    topt.last_cycles = args.last_cycles;
+    topt.max_sites = args.trace_max_sites;
+    topt.write_binary = true;
+    topt.sm = &sm;
+
     if (args.campaign) {
       sim::CampaignOptions copt = args.campaign_opts;
       sim::CampaignReport rep = sim::run_campaign(design, schedule, externs, args.feeds, copt);
       std::cout << rep.render(design);
+      if (args.trace_nonbenign) {
+        std::vector<sim::TraceArtifact> arts =
+            sim::trace_nonbenign_sites(design, schedule, externs, args.feeds, rep, copt, topt);
+        std::cout << "traced " << arts.size() << " non-benign site(s) into " << args.trace_dir
+                  << "/\n";
+        for (const sim::TraceArtifact& art : arts) {
+          std::cout << "--- " << art.vcd_path << " ---\n" << art.replay;
+        }
+      }
+      return 0;
+    }
+
+    if (args.trace_site != sim::FaultSpec::kNoSite) {
+      if (args.trace_site >= sites.size()) {
+        std::cerr << "hlsavc: site " << args.trace_site << " out of range (design has "
+                  << sites.size() << " fault sites)\n";
+        return 1;
+      }
+      // Classify the one site against the golden run, then re-run it
+      // with the ELA armed -- the same path --campaign --trace-nonbenign
+      // takes, for a single site.
+      sim::CampaignOptions copt = args.campaign_opts;
+      sim::GoldenRef golden =
+          sim::golden_run(design, schedule, externs, args.feeds, copt.sim);
+      std::uint64_t max_cycles = copt.max_cycles != 0
+                                     ? copt.max_cycles
+                                     : std::max<std::uint64_t>(10'000, 16 * golden.cycles);
+      sim::CampaignReport rep;
+      rep.results.push_back(sim::run_fault(design, schedule, externs, args.feeds, golden,
+                                           sites[args.trace_site], copt.sim, max_cycles));
+      std::cout << "injecting s" << sites[args.trace_site].id << ": "
+                << sites[args.trace_site].describe(design) << "\n";
+      std::vector<sim::TraceArtifact> arts =
+          sim::trace_nonbenign_sites(design, schedule, externs, args.feeds, rep, copt, topt);
+      if (arts.empty()) {
+        std::cout << "site s" << sites[args.trace_site].id
+                  << " is benign (outputs match golden); no trace emitted\n";
+        return 0;
+      }
+      for (const sim::TraceArtifact& art : arts) {
+        std::cout << "vcd: " << art.vcd_path << "\n";
+        if (!art.bin_path.empty()) std::cout << "binary trace: " << art.bin_path << "\n";
+        std::cout << art.replay;
+      }
       return 0;
     }
 
@@ -278,7 +462,7 @@ int run(const Args& args) {
         std::cout << '\n';
       }
       if (args.trace) std::cerr << simulator.render_trace(&sm);
-      return r.status == sim::RunStatus::kCompleted ? 0 : 1;
+      return run_exit_code(r);
     }
 
     TextTable t("fault sites: " + design.name + " (" + std::to_string(sites.size()) + ")");
@@ -298,6 +482,10 @@ int run(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h")) {
+    print_usage(std::cout);
+    return 0;
+  }
   Args args;
   if (!parse_args(argc, argv, args)) return usage();
   try {
