@@ -14,7 +14,10 @@
 // assertion reports flowing while the design is stuck).
 //
 // Usage: bench_fault_campaign [--json <path>] [--quick] [--threads N]
+//                             [--progress] [--profile]
 #include "bench/common.h"
+
+#include <sstream>
 
 #include "apps/des.h"
 #include "apps/edge.h"
@@ -111,12 +114,10 @@ void show_hang_localization(const PreparedSim& p, const sim::FaultSpec& fault) {
 }
 
 void write_campaign_json(const std::string& path, const std::vector<CampaignRow>& rows) {
-  std::ofstream os(path);
-  os << "{\n  \"bench\": \"fault_campaign\",\n  " << bench::json_provenance()
-     << ",\n  \"campaigns\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const CampaignRow& r = rows[i];
-    os << "    {\"name\": \"" << r.name << "\", \"config\": \"" << r.config
+  bench::BenchJsonDoc doc(path, "fault_campaign", "campaigns");
+  for (const CampaignRow& r : rows) {
+    std::ostringstream os;
+    os << "{\"name\": \"" << r.name << "\", \"config\": \"" << r.config
        << "\", \"threads\": " << r.report.threads << ", \"sites\": " << r.report.sites_total
        << ", \"run\": " << r.report.results.size()
        << ", \"benign\": " << r.report.count(sim::FaultOutcome::kBenign)
@@ -124,10 +125,9 @@ void write_campaign_json(const std::string& path, const std::vector<CampaignRow>
        << ", \"silent_corruption\": " << r.report.count(sim::FaultOutcome::kSilentCorruption)
        << ", \"hang_detected\": " << r.report.count(sim::FaultOutcome::kHangDetected)
        << ", \"hang_timeout\": " << r.report.count(sim::FaultOutcome::kHangTimeout)
-       << ", \"detection_rate\": " << fmt_double(r.report.detection_rate(), 4) << "}"
-       << (i + 1 < rows.size() ? "," : "") << "\n";
+       << ", \"detection_rate\": " << fmt_double(r.report.detection_rate(), 4) << "}";
+    doc.item(os.str());
   }
-  os << "  ]\n}\n";
 }
 
 }  // namespace
@@ -135,6 +135,8 @@ void write_campaign_json(const std::string& path, const std::vector<CampaignRow>
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_fault_campaign.json";
   bool quick = false;
+  bool progress = false;
+  bool profile = false;
   unsigned threads = 0;  // 0 = one worker per hardware thread
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -142,13 +144,19 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--progress") {
+      progress = true;  // heartbeat to stderr; stdout stays machine-clean
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else {
-      std::cerr << "usage: bench_fault_campaign [--json <path>] [--quick] [--threads N]\n";
+      std::cerr << "usage: bench_fault_campaign [--json <path>] [--quick] [--threads N]\n"
+                   "                            [--progress] [--profile]\n";
       return 2;
     }
   }
+  bench::print_provenance_banner("bench_fault_campaign");
 
   sim::ExternRegistry ext;
   std::vector<PreparedSim> ws = workloads(quick);
@@ -156,6 +164,8 @@ int main(int argc, char** argv) {
   for (const PreparedSim& p : ws) {
     sim::CampaignOptions copt;
     copt.threads = threads;
+    copt.progress = progress;
+    copt.profile = profile;
     if (quick) copt.max_faults = 12;  // seeded sample, site ids stay stable
     rows.push_back(
         {p.name, p.config, sim::run_campaign(p.design, p.schedule, ext, p.feeds, copt)});

@@ -52,6 +52,7 @@ BENCHMARK(BM_CharacterizeLoopback)->Arg(8)->Arg(32)->Arg(128)->Complexity();
 }  // namespace
 
 int main(int argc, char** argv) {
+  hlsav::bench::print_provenance_banner("bench_fig4_freq_scalability");
   print_fig4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -82,6 +82,7 @@ BENCHMARK(BM_BuildLoopbackDesign)->Arg(8)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hlsav::bench::print_provenance_banner("bench_fig5_resource_scalability");
   print_fig5();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -173,6 +173,7 @@ BENCHMARK(BM_DivergenceCase);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hlsav::bench::print_provenance_banner("bench_sec51_divergence");
   case_a_narrow_compare();
   case_b_extern_divergence();
   case_c_hang_trace();

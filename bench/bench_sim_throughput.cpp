@@ -9,17 +9,31 @@
 //  * the Table 1/2 application pipelines: Triple-DES decrypt and the
 //    5x5-window edge detector.
 //
-// Usage: bench_sim_throughput [--json <path>] [--quick]
+// The "_prof" rows re-run a workload with the cycle-attribution
+// profiler armed, so the armed overhead is measured alongside; the
+// disabled-profiler rows are the ones --compare guards.
+//
+// Usage: bench_sim_throughput [--json <path>] [--quick] [--best-of N]
+//                             [--compare <baseline.json> [--tolerance <pct>]]
 #include "bench/common.h"
+
+#include <cmath>
+#include <optional>
 
 #include "apps/des.h"
 #include "apps/edge.h"
 #include "apps/loopback.h"
+#include "metrics/profile.h"
 
 namespace {
 
 using namespace hlsav;
 using bench::SimThroughput;
+
+/// Timing windows per workload; the fastest wins (see time_simulation).
+/// The CI guard runs --best-of 3 so host-load noise cannot trip the
+/// throughput tolerance.
+unsigned g_best_of = 1;
 
 struct PreparedSim {
   ir::Design design;
@@ -35,8 +49,21 @@ PreparedSim prepare(const ir::Design& lowered, const assertions::Options& opt,
   return p;
 }
 
+/// A fresh armed Profiler per run when `profiled` (the same lifetime
+/// `hlsavc profile` gives it), no profiler at all otherwise.
+sim::SimOptions sim_options(const PreparedSim& p, bool profiled,
+                            std::optional<metrics::Profiler>& prof) {
+  sim::SimOptions so;
+  if (profiled) {
+    prof.emplace(p.design, p.schedule);
+    so.profile = &*prof;
+  }
+  return so;
+}
+
 SimThroughput loopback_throughput(unsigned stages, unsigned words, const assertions::Options& opt,
-                                  const std::string& name, double min_seconds) {
+                                  const std::string& name, double min_seconds,
+                                  bool profiled = false) {
   auto app = apps::loopback::build(stages, words);
   PreparedSim p = prepare(app->design, opt);
   std::vector<std::uint64_t> data(words);
@@ -45,16 +72,17 @@ SimThroughput loopback_throughput(unsigned stages, unsigned words, const asserti
   return bench::time_simulation(
       name,
       [&] {
-        sim::Simulator s(p.design, p.schedule, ext, {});
+        std::optional<metrics::Profiler> prof;
+        sim::Simulator s(p.design, p.schedule, ext, sim_options(p, profiled, prof));
         s.feed(apps::loopback::input_stream(stages), data);
         sim::RunResult r = s.run();
         HLSAV_CHECK(r.completed() && r.failures.empty(), "loopback bench run misbehaved");
         return r.cycles;
       },
-      min_seconds);
+      min_seconds, 3, g_best_of);
 }
 
-SimThroughput des_throughput(double min_seconds) {
+SimThroughput des_throughput(double min_seconds, bool profiled = false) {
   const std::array<std::uint64_t, 3> keys = {0x0123456789ABCDEFull, 0x23456789ABCDEF01ull,
                                              0x456789ABCDEF0123ull};
   auto app = apps::compile_app("triple_des", "des3.c", apps::des::hlsc_decrypt_source(keys));
@@ -69,18 +97,19 @@ SimThroughput des_throughput(double min_seconds) {
   std::vector<std::uint64_t> feed_words = apps::des::to_word_stream(cipher);
   sim::ExternRegistry ext;
   return bench::time_simulation(
-      "tripledes_decrypt",
+      profiled ? "tripledes_decrypt_prof" : "tripledes_decrypt",
       [&] {
-        sim::Simulator s(p.design, p.schedule, ext, {});
+        std::optional<metrics::Profiler> prof;
+        sim::Simulator s(p.design, p.schedule, ext, sim_options(p, profiled, prof));
         s.feed("des3.in", feed_words);
         sim::RunResult r = s.run();
         HLSAV_CHECK(r.completed() && r.failures.empty(), "3DES bench run misbehaved");
         return r.cycles;
       },
-      min_seconds);
+      min_seconds, 3, g_best_of);
 }
 
-SimThroughput edge_throughput(double min_seconds) {
+SimThroughput edge_throughput(double min_seconds, bool profiled = false) {
   constexpr unsigned kW = 64;
   constexpr unsigned kH = 48;
   auto app = apps::compile_app("edge_detect", "edge.c", apps::edge::hlsc_source(kW, kH));
@@ -91,33 +120,100 @@ SimThroughput edge_throughput(double min_seconds) {
   std::vector<std::uint64_t> feed_words = apps::edge::to_word_stream(input);
   sim::ExternRegistry ext;
   return bench::time_simulation(
-      "edge_detect_64x48",
+      profiled ? "edge_detect_64x48_prof" : "edge_detect_64x48",
       [&] {
-        sim::Simulator s(p.design, p.schedule, ext, {});
+        std::optional<metrics::Profiler> prof;
+        sim::Simulator s(p.design, p.schedule, ext, sim_options(p, profiled, prof));
         s.feed("edge.in", feed_words);
         sim::RunResult r = s.run();
         HLSAV_CHECK(r.completed() && r.failures.empty(), "edge bench run misbehaved");
         return r.cycles;
       },
-      min_seconds);
+      min_seconds, 3, g_best_of);
+}
+
+/// One fully profiled loopback run whose report JSON is embedded in
+/// BENCH_sim.json: the trajectory records where the cycles go, not just
+/// how fast they pass.
+std::string embedded_profile_json(unsigned words) {
+  auto app = apps::loopback::build(4, words);
+  PreparedSim p = prepare(app->design, assertions::Options::optimized());
+  std::vector<std::uint64_t> data(words);
+  for (unsigned i = 0; i < words; ++i) data[i] = i + 1;
+  metrics::Profiler prof(p.design, p.schedule);
+  sim::SimOptions so;
+  so.profile = &prof;
+  sim::ExternRegistry ext;
+  sim::Simulator s(p.design, p.schedule, ext, so);
+  s.feed(apps::loopback::input_stream(4), data);
+  sim::RunResult r = s.run();
+  HLSAV_CHECK(r.completed(), "profiled loopback run misbehaved");
+  return prof.report().to_json();
+}
+
+/// The disabled-profiler throughput guard: geomean of current/baseline
+/// over the workloads both files measured, excluding the armed "_prof"
+/// rows (those measure armed overhead, not disabled cost).
+int compare_against_baseline(const std::string& json_path, const std::string& baseline_path,
+                             double tolerance_pct) {
+  std::map<std::string, double> baseline = bench::read_bench_workloads(baseline_path);
+  std::map<std::string, double> current = bench::read_bench_workloads(json_path);
+  double log_sum = 0.0;
+  unsigned n = 0;
+  for (const auto& [name, cps] : current) {
+    if (name.size() >= 5 && name.compare(name.size() - 5, 5, "_prof") == 0) continue;
+    auto it = baseline.find(name);
+    if (it == baseline.end() || it->second <= 0.0 || cps <= 0.0) continue;
+    double ratio = cps / it->second;
+    std::cout << "compare " << name << ": " << hlsav::fmt_double(100.0 * (ratio - 1.0), 2)
+              << "%\n";
+    log_sum += std::log(ratio);
+    ++n;
+  }
+  if (n == 0) {
+    std::cerr << "compare: no common workloads between " << json_path << " and "
+              << baseline_path << "\n";
+    return 1;
+  }
+  double geomean = std::exp(log_sum / n);
+  std::cout << "geomean throughput vs baseline: "
+            << hlsav::fmt_double(100.0 * (geomean - 1.0), 2) << "% (" << n
+            << " workloads, tolerance -" << hlsav::fmt_double(tolerance_pct, 1) << "%)\n";
+  if (geomean < 1.0 - tolerance_pct / 100.0) {
+    std::cerr << "FAIL: throughput regressed beyond the " << hlsav::fmt_double(tolerance_pct, 1)
+              << "% tolerance\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_sim.json";
+  std::string baseline_path;
   double min_seconds = 0.5;
+  double tolerance_pct = 2.0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--compare" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance_pct = std::stod(argv[++i]);
+    } else if (arg == "--best-of" && i + 1 < argc) {
+      g_best_of = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (arg == "--quick") {
       min_seconds = 0.1;
     } else {
-      std::cerr << "usage: bench_sim_throughput [--json <path>] [--quick]\n";
+      std::cerr << "usage: bench_sim_throughput [--json <path>] [--quick] [--best-of N]\n"
+                   "                            [--compare <baseline.json> [--tolerance <pct>]]\n";
       return 2;
     }
   }
+  hlsav::bench::print_provenance_banner("bench_sim_throughput");
 
   std::vector<SimThroughput> results;
   constexpr unsigned kWords = 64;
@@ -129,6 +225,12 @@ int main(int argc, char** argv) {
                                         "loopback_unopt_n128", min_seconds));
   results.push_back(des_throughput(min_seconds));
   results.push_back(edge_throughput(min_seconds));
+  // Armed-overhead rows: the same workloads with the profiler running.
+  results.push_back(loopback_throughput(8, kWords, assertions::Options::optimized(),
+                                        "loopback_opt_n8_prof", min_seconds,
+                                        /*profiled=*/true));
+  results.push_back(des_throughput(min_seconds, /*profiled=*/true));
+  results.push_back(edge_throughput(min_seconds, /*profiled=*/true));
 
   TextTable t("Simulator throughput (cycles simulated per wall second)");
   t.header({"workload", "runs", "cycles/run", "wall s", "cycles/sec"});
@@ -138,7 +240,12 @@ int main(int argc, char** argv) {
   }
   std::cout << t.render();
 
-  hlsav::bench::write_bench_json(json_path, "sim_throughput", results);
+  hlsav::bench::write_bench_json(json_path, "sim_throughput", results,
+                                 embedded_profile_json(kWords));
   std::cout << "wrote " << json_path << "\n";
+
+  if (!baseline_path.empty()) {
+    return compare_against_baseline(json_path, baseline_path, tolerance_pct);
+  }
   return 0;
 }

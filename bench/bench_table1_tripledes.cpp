@@ -108,6 +108,7 @@ BENCHMARK(BM_SimulateDecryptBlock);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hlsav::bench::print_provenance_banner("bench_table1_tripledes");
   print_table1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -99,6 +99,7 @@ BENCHMARK(BM_SimulateEdgeRow);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hlsav::bench::print_provenance_banner("bench_table2_edgedetect");
   print_table2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -109,6 +109,7 @@ BENCHMARK(BM_MeasureKernel)->Arg(0)->Arg(1)->Arg(2);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hlsav::bench::print_provenance_banner("bench_table3_nonpipelined");
   print_table3();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

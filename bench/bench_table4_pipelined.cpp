@@ -137,6 +137,7 @@ BENCHMARK(BM_ModuloScheduleArray);
 }  // namespace
 
 int main(int argc, char** argv) {
+  hlsav::bench::print_provenance_banner("bench_table4_pipelined");
   print_table4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,44 @@
+// Chrome trace-event export of a ProfileReport, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping: one trace process (pid 1) per run; each simulated process
+// gets two tracks -- a compute track (tid 2i+1) with block/pipeline
+// spans and a stall track (tid 2i+2) with per-channel read-stall spans.
+// Cycles map 1:1 to microseconds of trace time (ts/dur), so the
+// Perfetto ruler reads directly in cycles. Assertion failures are
+// thread-scoped instant events on the compute track.
+//
+// A minimal in-tree validator (no third-party JSON dependency) checks
+// the structural contract CI relies on: parseable JSON, a traceEvents
+// array, and per-event field requirements by phase.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "metrics/profile.h"
+
+namespace hlsav::metrics {
+
+/// Writes `report`'s timeline as trace-event JSON to `os`.
+void write_chrome_trace(const ProfileReport& report, std::ostream& os);
+/// Same, to a file; returns false (and fills `error`) on I/O failure.
+bool write_chrome_trace_file(const ProfileReport& report, const std::string& path,
+                             std::string* error = nullptr);
+
+struct ChromeTraceCheck {
+  bool ok = false;
+  std::string error;     // first violation, "" when ok
+  std::size_t events = 0;  // traceEvents entries seen
+};
+
+/// Validates trace-event JSON: well-formed, top-level object with a
+/// "traceEvents" array, every event an object with a one-char "ph" in
+/// {X, i, M} and the fields that phase requires (ts+dur+pid+tid+name
+/// for X, ts+pid+tid+name for i, name+pid for M).
+[[nodiscard]] ChromeTraceCheck validate_chrome_trace(std::string_view json);
+[[nodiscard]] ChromeTraceCheck validate_chrome_trace_file(const std::string& path);
+
+}  // namespace hlsav::metrics

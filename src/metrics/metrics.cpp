@@ -1,0 +1,68 @@
+#include "metrics/metrics.h"
+
+#include <sstream>
+
+namespace hlsav::metrics {
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return it->second;
+  counters_.push_back(Counter{std::string(name), 0});
+  Counter* c = &counters_.back();
+  counter_index_.emplace(c->name, c);
+  return c;
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) return it->second;
+  histograms_.push_back(Histogram{});
+  Histogram* h = &histograms_.back();
+  h->name = std::string(name);
+  histogram_index_.emplace(h->name, h);
+  return h;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "\"counters\": {";
+  bool first = true;
+  for (const Counter& c : counters_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << c.name << "\": " << c.value;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const Histogram& h : histograms_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << h.name << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"max\": " << h.max << ", \"buckets\": [";
+    bool bfirst = true;
+    for (unsigned i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!bfirst) os << ", ";
+      bfirst = false;
+      os << "{\"le\": " << Histogram::bucket_le(i) << ", \"n\": " << h.buckets[i] << "}";
+    }
+    os << "]}";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string MetricsRegistry::render() const {
+  std::ostringstream os;
+  for (const Counter& c : counters_) os << c.name << " = " << c.value << "\n";
+  for (const Histogram& h : histograms_) {
+    os << h.name << ": count " << h.count << ", sum " << h.sum << ", max " << h.max;
+    if (h.count != 0) {
+      os << ", mean " << static_cast<std::uint64_t>(h.mean() + 0.5);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hlsav::metrics

@@ -1,0 +1,99 @@
+// Runtime metrics registry: named monotonic counters and log2-bucketed
+// histograms.
+//
+// The profiler (metrics/profile.h) and any future runtime surface share
+// one cost model, mirroring SimOptions::ela:
+//
+//  * disabled: the instrumented component holds a null pointer, so the
+//    hot path pays exactly one pointer test;
+//  * armed hot path: a counter increment is `++counter->value` through a
+//    pointer resolved *once* at init (the registry hands out stable
+//    Counter*/Histogram* -- storage is a deque, so registration never
+//    moves existing metrics), O(1) with no hashing and no branching;
+//  * registration (counter()/histogram()) hashes the name and may
+//    allocate -- init-time only, never per event.
+//
+// Counters are monotonic by construction (add() takes an unsigned
+// delta). Histograms bucket by floor(log2(value)): wide enough for
+// cycle counts, cheap enough for the hot path, and lossless for the
+// count/sum/max summary stats the reports print.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hlsav::metrics {
+
+struct Counter {
+  std::string name;
+  std::uint64_t value = 0;
+
+  void add(std::uint64_t delta = 1) { value += delta; }
+};
+
+/// Log2-bucketed histogram: bucket i counts values whose bit width is i,
+/// i.e. bucket 0 holds value 0, bucket 1 holds 1, bucket 2 holds 2-3,
+/// bucket 3 holds 4-7, ... Upper bound of bucket i is 2^i - 1.
+struct Histogram {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  /// buckets[i] = samples with bit_width(value) == i (64 covers uint64).
+  std::vector<std::uint64_t> buckets = std::vector<std::uint64_t>(65, 0);
+
+  void record(std::uint64_t value) {
+    ++count;
+    sum += value;
+    if (value > max) max = value;
+    ++buckets[bucket_of(value)];
+  }
+
+  [[nodiscard]] static unsigned bucket_of(std::uint64_t value) {
+    unsigned w = 0;
+    while (value != 0) {
+      ++w;
+      value >>= 1;
+    }
+    return w;
+  }
+  /// Inclusive upper bound of bucket i ("le" in the rendered output).
+  [[nodiscard]] static std::uint64_t bucket_le(unsigned i) {
+    return i >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << i) - 1;
+  }
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named counter. The returned pointer is stable
+  /// for the registry's lifetime -- resolve once, increment forever.
+  Counter* counter(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Registration order (deterministic render / serialization order).
+  [[nodiscard]] const std::deque<Counter>& counters() const { return counters_; }
+  [[nodiscard]] const std::deque<Histogram>& histograms() const { return histograms_; }
+
+  /// `"counters": {...}, "histograms": {...}` JSON fragment (no braces
+  /// around the pair; histogram buckets serialized sparsely as
+  /// {"le": bound, "n": count} for non-empty buckets only).
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable dump, one metric per line.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  // Deques: stable element addresses across growth.
+  std::deque<Counter> counters_;
+  std::deque<Histogram> histograms_;
+  std::unordered_map<std::string, Counter*> counter_index_;
+  std::unordered_map<std::string, Histogram*> histogram_index_;
+};
+
+}  // namespace hlsav::metrics

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <thread>
@@ -43,17 +46,87 @@ std::vector<std::pair<std::string, std::vector<std::uint64_t>>> collect_outputs(
   return out;
 }
 
+/// Campaign runs keep only the attribution totals: timelines would cost
+/// memory per site and nobody loads a thousand traces.
+metrics::ProfileConfig campaign_profile_config() {
+  metrics::ProfileConfig pc;
+  pc.timeline = false;
+  return pc;
+}
+
+/// Shared heartbeat state for the serial and parallel sweeps. Emission
+/// is mutex-serialized; tallies update under the same lock, so a line
+/// never reports a torn classification count.
+class Heartbeat {
+ public:
+  Heartbeat(const CampaignOptions& opt, std::size_t total)
+      : opt_(opt), total_(total), start_(std::chrono::steady_clock::now()),
+        last_emit_(start_) {}
+
+  void site_done(FaultOutcome o) {
+    if (!opt_.progress) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    ++tally_[static_cast<std::size_t>(o)];
+    auto now = std::chrono::steady_clock::now();
+    double since_last = std::chrono::duration<double>(now - last_emit_).count();
+    if (opt_.progress_interval_s > 0 && since_last < opt_.progress_interval_s &&
+        done_ != total_) {
+      return;
+    }
+    last_emit_ = now;
+    emit(now);
+  }
+
+ private:
+  void emit(std::chrono::steady_clock::time_point now) {
+    double elapsed = std::chrono::duration<double>(now - start_).count();
+    double rate = elapsed > 0 ? static_cast<double>(done_) / elapsed : 0.0;
+    std::ostringstream os;
+    os << "campaign: " << done_ << "/" << total_ << " sites";
+    if (rate > 0) {
+      os << ", " << fmt_double(rate, 1) << " sites/s, ETA "
+         << fmt_double(static_cast<double>(total_ - done_) / rate, 0) << "s";
+    }
+    os << "; benign " << tally_[static_cast<std::size_t>(FaultOutcome::kBenign)]
+       << ", detected " << tally_[static_cast<std::size_t>(FaultOutcome::kDetected)]
+       << ", silent " << tally_[static_cast<std::size_t>(FaultOutcome::kSilentCorruption)]
+       << ", hang "
+       << tally_[static_cast<std::size_t>(FaultOutcome::kHangDetected)] +
+              tally_[static_cast<std::size_t>(FaultOutcome::kHangTimeout)];
+    if (opt_.progress_sink) {
+      opt_.progress_sink(os.str());
+    } else {
+      std::fprintf(stderr, "%s\n", os.str().c_str());
+    }
+  }
+
+  const CampaignOptions& opt_;
+  std::size_t total_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_emit_;
+  std::mutex mu_;
+  std::size_t done_ = 0;
+  std::size_t tally_[5] = {0, 0, 0, 0, 0};
+};
+
 }  // namespace
 
 GoldenRef golden_run(const ir::Design& design, const sched::DesignSchedule& schedule,
                      const ExternRegistry& externs,
                      const std::map<std::string, std::vector<std::uint64_t>>& feeds,
-                     const SimOptions& base) {
+                     const SimOptions& base, metrics::ProfileSummary* profile_out) {
   SimOptions opts = base;
   opts.faults = FaultEngine{};
+  std::optional<metrics::Profiler> prof;
+  if (profile_out != nullptr) {
+    prof.emplace(design, schedule, campaign_profile_config());
+    opts.profile = &*prof;
+  }
   Simulator sim(design, schedule, externs, opts);
   for (const auto& [name, values] : feeds) sim.feed(name, values);
   RunResult r = sim.run();
+  if (profile_out != nullptr) *profile_out = prof->summary();
   HLSAV_CHECK(r.completed() && r.failures.empty(),
               "campaign golden run did not complete cleanly on design '" + design.name + "'");
   GoldenRef g;
@@ -66,12 +139,18 @@ FaultResult run_fault(const ir::Design& design, const sched::DesignSchedule& sch
                       const ExternRegistry& externs,
                       const std::map<std::string, std::vector<std::uint64_t>>& feeds,
                       const GoldenRef& golden, const FaultSpec& fault, const SimOptions& base,
-                      std::uint64_t max_cycles) {
+                      std::uint64_t max_cycles, metrics::ProfileSummary* profile_out) {
   SimOptions opts = base;
   opts.mode = SimMode::kHardware;  // faults model circuit behaviour
   opts.max_cycles = max_cycles;
   opts.faults = FaultEngine{};
   opts.faults.add(fault);
+  // Each call owns its Profiler, so parallel workers never share one.
+  std::optional<metrics::Profiler> prof;
+  if (profile_out != nullptr) {
+    prof.emplace(design, schedule, campaign_profile_config());
+    opts.profile = &*prof;
+  }
 
   Simulator sim(design, schedule, externs, opts);
   for (const auto& [name, values] : feeds) sim.feed(name, values);
@@ -80,6 +159,10 @@ FaultResult run_fault(const ir::Design& design, const sched::DesignSchedule& sch
   FaultResult res;
   res.site = fault;
   res.cycles = r.cycles;
+  if (profile_out != nullptr) {
+    *profile_out = prof->summary();
+    res.profile = *profile_out;
+  }
   for (const assertions::Failure& f : r.failures) res.detected_by.push_back(f.assertion_id);
   std::sort(res.detected_by.begin(), res.detected_by.end());
   res.detected_by.erase(std::unique(res.detected_by.begin(), res.detected_by.end()),
@@ -111,7 +194,9 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
                             const ExternRegistry& externs,
                             const std::map<std::string, std::vector<std::uint64_t>>& feeds,
                             const CampaignOptions& opt) {
-  GoldenRef golden = golden_run(design, schedule, externs, feeds, opt.sim);
+  metrics::ProfileSummary golden_profile;
+  GoldenRef golden = golden_run(design, schedule, externs, feeds, opt.sim,
+                                opt.profile ? &golden_profile : nullptr);
   std::uint64_t max_cycles =
       opt.max_cycles != 0 ? opt.max_cycles : std::max<std::uint64_t>(10'000, 16 * golden.cycles);
 
@@ -121,6 +206,7 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
   report.seed = opt.seed;
   report.sites_total = sites.size();
   report.golden_cycles = golden.cycles;
+  if (opt.profile) report.golden_profile = golden_profile;
 
   // Sampling only chooses *which* sites run; the list and the ids are
   // seed-independent, so campaigns stay comparable across seeds.
@@ -139,11 +225,16 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
                                                                      order.size(), 1)));
   report.threads = threads;
 
+  Heartbeat heartbeat(opt, order.size());
+  metrics::ProfileSummary site_profile;
+  metrics::ProfileSummary* site_profile_ptr = opt.profile ? &site_profile : nullptr;
+
   if (threads <= 1) {
     report.results.reserve(order.size());
     for (std::size_t idx : order) {
-      report.results.push_back(
-          run_fault(design, schedule, externs, feeds, golden, sites[idx], opt.sim, max_cycles));
+      report.results.push_back(run_fault(design, schedule, externs, feeds, golden, sites[idx],
+                                         opt.sim, max_cycles, site_profile_ptr));
+      heartbeat.site_done(report.results.back().outcome);
     }
     return report;
   }
@@ -158,13 +249,17 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
   std::exception_ptr first_error;
   std::mutex error_mu;
   auto worker = [&] {
+    // Worker-local summary slot; run_fault also copies it into the
+    // FaultResult, which is all the report keeps.
+    metrics::ProfileSummary local_profile;
     while (!failed.load(std::memory_order_relaxed)) {
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= order.size()) return;
       try {
         report.results[i] =
             run_fault(design, schedule, externs, feeds, golden, sites[order[i]], opt.sim,
-                      max_cycles);
+                      max_cycles, opt.profile ? &local_profile : nullptr);
+        heartbeat.site_done(report.results[i].outcome);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -234,6 +329,21 @@ std::string CampaignReport::render(const ir::Design& design) const {
     }
   }
   os << coverage.render();
+
+  // Where did the faulted cycles go? Benign sites track the golden run
+  // by construction, so only the interesting sites get a delta line.
+  if (golden_profile.has_value()) {
+    bool any = false;
+    for (const FaultResult& r : results) {
+      if (r.outcome == FaultOutcome::kBenign || !r.profile.has_value()) continue;
+      if (!any) {
+        os << "profile deltas vs golden (non-benign sites):\n";
+        any = true;
+      }
+      os << "  s" << r.site.id << " (" << fault_outcome_name(r.outcome)
+         << "): " << metrics::render_profile_delta(*golden_profile, *r.profile) << "\n";
+    }
+  }
   return os.str();
 }
 

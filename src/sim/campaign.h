@@ -22,11 +22,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ir/ir.h"
+#include "metrics/profile.h"
 #include "sched/schedule.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
@@ -49,6 +52,9 @@ struct FaultResult {
   FaultOutcome outcome = FaultOutcome::kBenign;
   std::vector<std::uint32_t> detected_by;  // assertion ids, sorted, deduped
   std::uint64_t cycles = 0;                // RunResult::cycles of the faulted run
+  /// Cycle-attribution totals of the faulted run; only populated when
+  /// CampaignOptions::profile is set (timelines stay off in campaigns).
+  std::optional<metrics::ProfileSummary> profile;
 };
 
 struct CampaignOptions {
@@ -61,6 +67,19 @@ struct CampaignOptions {
   /// worker; results land in site order either way). 0 = one per
   /// hardware thread; 1 = the serial loop.
   unsigned threads = 1;
+  /// Emit a stderr heartbeat while the sweep runs (sites/sec, ETA,
+  /// classification tallies). Off by default so machine-readable output
+  /// and tests stay quiet.
+  bool progress = false;
+  /// Seconds between heartbeats; <= 0 emits one line per completed site
+  /// (deterministic, used by tests).
+  double progress_interval_s = 2.0;
+  /// Where heartbeat lines go; null means stderr.
+  std::function<void(const std::string&)> progress_sink;
+  /// Attribute every faulted run's cycles (compute / assert / stall /
+  /// tail) and report per-site deltas vs the golden profile. Each run
+  /// owns its Profiler, so the parallel sweep stays race-free.
+  bool profile = false;
   /// Base simulation options (mode, channel mux) shared by every run.
   SimOptions sim;
 };
@@ -78,6 +97,9 @@ struct CampaignReport {
   std::uint64_t golden_cycles = 0;
   unsigned threads = 1;              // workers the campaign actually used
   std::vector<FaultResult> results;  // in site-id order
+  /// Attribution of the un-faulted reference run; set iff
+  /// CampaignOptions::profile was on.
+  std::optional<metrics::ProfileSummary> golden_profile;
 
   [[nodiscard]] std::size_t count(FaultOutcome o) const;
   /// Detected / (everything that was not benign).
@@ -88,19 +110,25 @@ struct CampaignReport {
 
 /// Runs the design un-faulted and records the reference outputs. Throws
 /// InternalError if the golden run itself does not complete cleanly.
+/// When `profile_out` is non-null the run is profiled (timeline off)
+/// and its attribution summary stored there.
 [[nodiscard]] GoldenRef golden_run(const ir::Design& design,
                                    const sched::DesignSchedule& schedule,
                                    const ExternRegistry& externs,
                                    const std::map<std::string, std::vector<std::uint64_t>>& feeds,
-                                   const SimOptions& base);
+                                   const SimOptions& base,
+                                   metrics::ProfileSummary* profile_out = nullptr);
 
-/// Runs one fault variant and classifies it against `golden`.
+/// Runs one fault variant and classifies it against `golden`. When
+/// `profile_out` is non-null the run is profiled (timeline off) and its
+/// attribution summary stored there.
 [[nodiscard]] FaultResult run_fault(const ir::Design& design,
                                     const sched::DesignSchedule& schedule,
                                     const ExternRegistry& externs,
                                     const std::map<std::string, std::vector<std::uint64_t>>& feeds,
                                     const GoldenRef& golden, const FaultSpec& fault,
-                                    const SimOptions& base, std::uint64_t max_cycles);
+                                    const SimOptions& base, std::uint64_t max_cycles,
+                                    metrics::ProfileSummary* profile_out = nullptr);
 
 /// The full campaign: enumerate sites, (optionally sample,) run each,
 /// classify every one -- no fault is ever left unclassified.

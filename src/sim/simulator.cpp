@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "metrics/profile.h"
 #include "trace/trace.h"
 
 namespace hlsav::sim {
@@ -21,6 +22,7 @@ Simulator::Simulator(const ir::Design& design, const sched::DesignSchedule& sche
 void Simulator::init_state() {
   tracing_ = opt_.trace;
   ela_ = opt_.ela;
+  prof_ = opt_.profile;
   inject_faults_ = opt_.mode == SimMode::kHardware && !opt_.faults.empty();
   if (inject_faults_) stream_write_seq_.assign(design_.streams.size(), 0);
 
@@ -128,6 +130,7 @@ void Simulator::init_state() {
     ps.cur_sched = &ps.sched->of(p->entry);
     ps.regs.reserve(p->regs.size());
     for (const ir::Register& r : p->regs) ps.regs.emplace_back(r.width);
+    if (prof_ != nullptr) ps.prof_idx = prof_->index_of(p.get());
     procs_.push_back(std::move(ps));
   }
 }
@@ -221,6 +224,7 @@ bool Simulator::try_stream_read(ProcState& ps, const Op& op, std::uint64_t at) {
     ps.blocked_at = op.loc;
     ps.block_reason = BlockReason::kStreamEmpty;
     ps.blocked_stream = op.stream;
+    if (prof_ != nullptr) prof_->blocked_poll(ps.prof_idx, op.stream, /*write=*/false);
     return false;
   }
   FifoEntry e = std::move(st.fifo.front());
@@ -228,6 +232,15 @@ bool Simulator::try_stream_read(ProcState& ps, const Op& op, std::uint64_t at) {
   if (e.time > at) {
     // The producer delivered later than this process's clock: stall.
     std::uint64_t stall = e.time - at;
+    if (prof_ != nullptr) {
+      // Charge the stall to the FSM state issuing the read (its offset
+      // from the block/iteration entry, pre-bump).
+      ir::BlockId pb = ps.pipe ? ps.pipe->loop->body : ps.cur;
+      std::uint64_t base = ps.pipe ? ps.pipe->start_cycle + ps.pipe->iter * ps.pipe->bs->ii
+                                   : ps.block_entry_cycle;
+      prof_->read_stall(ps.prof_idx, pb, static_cast<unsigned>(at - base), op.stream, at,
+                        stall);
+    }
     ps.block_entry_cycle += stall;
     if (ps.pipe) ps.pipe->start_cycle += stall;
   }
@@ -243,6 +256,7 @@ bool Simulator::try_stream_write(ProcState& ps, const Op& op, std::uint64_t at) 
     ps.blocked_at = op.loc;
     ps.block_reason = BlockReason::kStreamFull;
     ps.blocked_stream = op.stream;
+    if (prof_ != nullptr) prof_->blocked_poll(ps.prof_idx, op.stream, /*write=*/true);
     return false;
   }
   if (inject_faults_) {
@@ -373,6 +387,7 @@ void Simulator::eval_checker(const ir::AssertionRecord& rec, CheckerCache& cc,
   // The checker's verdict, attributed to the checker process (it owns
   // the failure wire) at the tap's source position.
   if (ela_ != nullptr) ela_->assert_verdict(chk, rec.id, failed, at, tap.loc);
+  if (prof_ != nullptr) prof_->assert_eval(ps.prof_idx, rec.id, failed, at);
 }
 
 // ------------------------------------------------------------ op exec --
@@ -452,6 +467,7 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
       // Direct evaluation: software simulation / pre-synthesis designs.
       bool failed = !value_of(ps, op.args[0]).any();
       if (ela_ != nullptr) ela_->assert_verdict(ps.proc, op.assert_id, failed, at, op.loc);
+      if (prof_ != nullptr) prof_->assert_eval(ps.prof_idx, op.assert_id, failed, at);
       if (failed) direct_assert_failure(op.assert_id, at);
       return true;
     }
@@ -468,6 +484,7 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
     case OpKind::kAssertFailWire: {
       bool failed = !value_of(ps, op.args[0]).any();
       if (ela_ != nullptr) ela_->assert_verdict(ps.proc, op.assert_id, failed, at, op.loc);
+      if (prof_ != nullptr) prof_->assert_eval(ps.prof_idx, op.assert_id, failed, at);
       if (failed) fail_wire(assertion_of(op), at + 1);
       return true;
     }
@@ -478,6 +495,9 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
       ps.cycle_marker = at;
       if (ela_ != nullptr) {
         ela_->assert_verdict(ps.proc, op.assert_id, elapsed > op.cycle_bound, at, op.loc);
+      }
+      if (prof_ != nullptr) {
+        prof_->assert_eval(ps.prof_idx, op.assert_id, elapsed > op.cycle_bound, at);
       }
       if (elapsed > op.cycle_bound) {
         const ir::AssertionRecord* rec = assertion_of(op);
@@ -576,6 +596,9 @@ bool Simulator::run_sequential_block(ProcState& ps) {
     progress = true;
   }
   ps.cycle = ps.block_entry_cycle + bs.num_states;
+  // Retire hook before the terminator switch: advance_to_block rewrites
+  // ps.cur, and the profiler's timing check wants the block that ran.
+  if (prof_ != nullptr) prof_->block_retired(ps.prof_idx, ps.cur, ps.cycle);
   switch (b.term.kind) {
     case ir::TermKind::kJump:
       advance_to_block(ps, b.term.on_true);
@@ -635,6 +658,7 @@ bool Simulator::run_pipelined_loop(ProcState& ps) {
       if (!taken) {
         std::uint64_t n = pc.iter;
         ps.cycle = n == 0 ? pc.start_cycle + 1 : pc.start_cycle + bs.latency + (n - 1) * bs.ii;
+        if (prof_ != nullptr) prof_->pipe_retired(ps.prof_idx, loop.body, ps.cycle, n);
         ps.pipe.reset();
         advance_to_block(ps, loop.exit);
         return true;
@@ -824,19 +848,38 @@ RunResult Simulator::run() {
   RunResult result;
   result.failures = notify_.failures();
   for (const ProcState& ps : procs_) result.cycles = std::max(result.cycles, ps.cycle);
-  if (halt_) {
-    result.status = RunStatus::kAborted;
-    return result;
-  }
   bool all_done = std::all_of(procs_.begin(), procs_.end(),
                               [](const ProcState& p) { return p.done; });
-  if (all_done) {
+  if (halt_) {
+    result.status = RunStatus::kAborted;
+  } else if (all_done) {
     result.status = RunStatus::kCompleted;
-    return result;
+  } else {
+    result.status = RunStatus::kHung;
+    result.hang = diagnose_hang();
+    result.hang_report = result.hang->render();
   }
-  result.status = RunStatus::kHung;
-  result.hang = diagnose_hang();
-  result.hang_report = result.hang->render();
+
+  if (prof_ != nullptr) {
+    for (const ProcState& ps : procs_) {
+      metrics::EndKind ek = metrics::EndKind::kHalted;
+      if (ps.done) {
+        ek = metrics::EndKind::kFinished;
+      } else if (ps.blocked && ps.block_reason == BlockReason::kStreamEmpty) {
+        ek = metrics::EndKind::kBlockedRead;
+      } else if (ps.blocked && ps.block_reason == BlockReason::kStreamFull) {
+        ek = metrics::EndKind::kBlockedWrite;
+      } else if (ps.cycle_limited()) {
+        ek = metrics::EndKind::kCycleLimit;
+      }
+      ir::StreamId blocked = ek == metrics::EndKind::kBlockedRead ||
+                                     ek == metrics::EndKind::kBlockedWrite
+                                 ? ps.blocked_stream
+                                 : ir::kNoStream;
+      prof_->process_end(ps.prof_idx, ps.cycle, ek, blocked);
+    }
+    prof_->run_end(result.cycles, result.status == RunStatus::kCompleted);
+  }
   return result;
 }
 

@@ -53,6 +53,10 @@ namespace hlsav::trace {
 class TraceEngine;
 }
 
+namespace hlsav::metrics {
+class Profiler;
+}
+
 namespace hlsav::sim {
 
 enum class SimMode { kSoftware, kHardware };
@@ -75,6 +79,11 @@ struct SimOptions {
   /// writes, stream handshakes, BRAM ports, assertion verdicts -- into
   /// its ring buffers. Disabled costs one pointer test per block run.
   trace::TraceEngine* ela = nullptr;
+  /// Armed cycle-attribution profiler (borrowed; may be null). Fed at
+  /// block/pipeline retire, stream stalls and assertion evaluations --
+  /// never per op, so the fast path stays on. Disabled costs one
+  /// pointer test per hook site.
+  metrics::Profiler* profile = nullptr;
   FaultEngine faults;
 };
 
@@ -219,6 +228,8 @@ class Simulator {
     std::optional<PipeCtx> pipe;
     /// Local time of the last assert_cycles marker (timing assertions).
     std::uint64_t cycle_marker = 0;
+    /// Profiler slot (metrics::Profiler::index_of), 0 when unarmed.
+    std::size_t prof_idx = 0;
     bool done = false;
     bool blocked = false;
     SourceLoc blocked_at;
@@ -293,6 +304,7 @@ class Simulator {
   bool tracing_ = false;        // flips off once trace_limit is reached
   bool inject_faults_ = false;  // kHardware with a non-empty fault list
   trace::TraceEngine* ela_ = nullptr;  // cached opt_.ela
+  metrics::Profiler* prof_ = nullptr;  // cached opt_.profile
 
   [[nodiscard]] ir::StreamId stream_by_name(std::string_view name) const;
   void init_state();

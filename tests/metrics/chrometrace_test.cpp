@@ -1,0 +1,137 @@
+// Chrome trace-event export: a profiled run round-trips through the
+// in-tree validator, and the validator rejects the malformed shapes CI
+// must catch.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "apps/loopback.h"
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "metrics/chrometrace.h"
+#include "sim/simulator.h"
+
+namespace hlsav::metrics {
+namespace {
+
+ProfileReport profiled_loopback(unsigned stages, std::vector<std::uint64_t> data) {
+  auto app = apps::loopback::build(stages, static_cast<unsigned>(data.size()));
+  ir::Design d = app->design.clone();
+  assertions::synthesize(d, assertions::Options::unoptimized());
+  ir::verify(d);
+  sched::DesignSchedule sch = sched::schedule_design(d);
+  Profiler prof(d, sch);
+  sim::SimOptions opt;
+  opt.profile = &prof;
+  sim::ExternRegistry ext;
+  sim::Simulator s(d, sch, ext, opt);
+  s.feed(apps::loopback::input_stream(stages), data);
+  (void)s.run();
+  return prof.report();
+}
+
+TEST(ChromeTrace, ProfiledRunValidates) {
+  ProfileReport rep = profiled_loopback(3, {1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_FALSE(rep.spans.empty());
+  std::ostringstream os;
+  write_chrome_trace(rep, os);
+  ChromeTraceCheck check = validate_chrome_trace(os.str());
+  EXPECT_TRUE(check.ok) << check.error;
+  // Metadata names both tracks of every process, plus one span per
+  // recorded Span at minimum.
+  EXPECT_GE(check.events, rep.processes.size() * 2 + rep.spans.size());
+}
+
+TEST(ChromeTrace, FailureInstantsAppear) {
+  // The zero fails stage0's w > 0 assertion: an instant event must land.
+  ProfileReport rep = profiled_loopback(2, {3, 0, 4, 5});
+  ASSERT_FALSE(rep.instants.empty());
+  std::ostringstream os;
+  write_chrome_trace(rep, os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("FAIL"), std::string::npos);
+  EXPECT_TRUE(validate_chrome_trace(json).ok);
+}
+
+TEST(ChromeTrace, FileRoundTrip) {
+  ProfileReport rep = profiled_loopback(2, {1, 2, 3, 4});
+  std::string path = ::testing::TempDir() + "/hlsav_chrometrace_test.trace.json";
+  std::string error;
+  ASSERT_TRUE(write_chrome_trace_file(rep, path, &error)) << error;
+  ChromeTraceCheck check = validate_chrome_trace_file(path);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.events, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, StallSpansLandOnStallTrack) {
+  ProfileReport rep;
+  rep.run_cycles = 10;
+  ProfileReport::ProcRow row;
+  row.process = "p";
+  rep.processes.push_back(row);
+  rep.spans.push_back(ProfileReport::Span{"p", /*stall=*/true, "stall 'chan'", 2, 5});
+  rep.spans.push_back(ProfileReport::Span{"p", /*stall=*/false, "b0", 0, 2});
+  std::ostringstream os;
+  write_chrome_trace(rep, os);
+  std::string json = os.str();
+  ASSERT_TRUE(validate_chrome_trace(json).ok);
+  // Compute track tid 1, stall track tid 2 (pid 1 throughout).
+  EXPECT_NE(json.find("\"tid\": 2, \"name\": \"stall 'chan'\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 1, \"name\": \"b0\""), std::string::npos);
+}
+
+// ---- validator rejections ----
+
+TEST(ChromeTrace, ValidatorRejectsMalformedJson) {
+  EXPECT_FALSE(validate_chrome_trace("{\"traceEvents\": [").ok);
+  EXPECT_FALSE(validate_chrome_trace("not json at all").ok);
+  EXPECT_FALSE(validate_chrome_trace("{\"traceEvents\": []} trailing").ok);
+}
+
+TEST(ChromeTrace, ValidatorRejectsMissingTraceEvents) {
+  ChromeTraceCheck check = validate_chrome_trace("{\"events\": []}");
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("traceEvents"), std::string::npos);
+}
+
+TEST(ChromeTrace, ValidatorRejectsBadEvents) {
+  // X event without dur.
+  EXPECT_FALSE(validate_chrome_trace(
+                   R"({"traceEvents": [{"ph": "X", "name": "a", "ts": 0, "pid": 1, "tid": 1}]})")
+                   .ok);
+  // Unknown phase.
+  EXPECT_FALSE(validate_chrome_trace(
+                   R"({"traceEvents": [{"ph": "Q", "name": "a", "ts": 0, "pid": 1, "tid": 1}]})")
+                   .ok);
+  // Missing name.
+  EXPECT_FALSE(
+      validate_chrome_trace(R"({"traceEvents": [{"ph": "M", "pid": 1}]})").ok);
+  // Negative duration.
+  EXPECT_FALSE(validate_chrome_trace(
+                   R"({"traceEvents": [{"ph": "X", "name": "a", "ts": 0, "dur": -1,)"
+                   R"( "pid": 1, "tid": 1}]})")
+                   .ok);
+}
+
+TEST(ChromeTrace, ValidatorAcceptsMinimalWellFormed) {
+  ChromeTraceCheck check = validate_chrome_trace(
+      R"({"traceEvents": [)"
+      R"({"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "x"}},)"
+      R"({"ph": "X", "name": "blk", "ts": 0, "dur": 4, "pid": 1, "tid": 1},)"
+      R"({"ph": "i", "s": "t", "name": "boom", "ts": 2, "pid": 1, "tid": 1}]})");
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.events, 3u);
+}
+
+TEST(ChromeTrace, MissingFileReportsError) {
+  ChromeTraceCheck check = validate_chrome_trace_file("/nonexistent/definitely.trace.json");
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlsav::metrics

@@ -1,0 +1,83 @@
+// Metrics registry units: pointer stability, log2 histogram bucketing,
+// and the JSON / text render formats.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace hlsav::metrics {
+namespace {
+
+TEST(Metrics, CounterFindOrCreateIsStable) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("a");
+  Counter* b = reg.counter("b");
+  a->add();
+  a->add(41);
+  EXPECT_EQ(reg.counter("a"), a);  // same name, same pointer
+  // Force growth past typical small-buffer sizes; earlier pointers must
+  // survive (the hot path caches them).
+  for (int i = 0; i < 200; ++i) reg.counter("c" + std::to_string(i));
+  EXPECT_EQ(a->value, 42u);
+  EXPECT_EQ(b->value, 0u);
+  EXPECT_EQ(reg.counter("a"), a);
+}
+
+TEST(Metrics, RegistrationOrderIsPreserved) {
+  MetricsRegistry reg;
+  reg.counter("z");
+  reg.counter("a");
+  reg.counter("m");
+  std::vector<std::string> names;
+  for (const Counter& c : reg.counters()) names.push_back(c.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(Histogram::bucket_le(0), 0u);
+  EXPECT_EQ(Histogram::bucket_le(3), 7u);
+  EXPECT_EQ(Histogram::bucket_le(64), ~std::uint64_t{0});
+}
+
+TEST(Metrics, HistogramSummaryStats) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat");
+  for (std::uint64_t v : {1u, 2u, 3u, 10u}) h->record(v);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->sum, 16u);
+  EXPECT_EQ(h->max, 10u);
+  EXPECT_DOUBLE_EQ(h->mean(), 4.0);
+  EXPECT_EQ(h->buckets[1], 1u);  // value 1
+  EXPECT_EQ(h->buckets[2], 2u);  // values 2, 3
+  EXPECT_EQ(h->buckets[4], 1u);  // value 10
+}
+
+TEST(Metrics, JsonFragmentShape) {
+  MetricsRegistry reg;
+  reg.counter("hits")->add(3);
+  reg.histogram("lat")->record(5);
+  std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\": {\"hits\": 3}"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\": {\"count\": 1, \"sum\": 5, \"max\": 5"), std::string::npos);
+  // Sparse buckets: exactly one entry, for bit width 3 (le 7).
+  EXPECT_NE(json.find("{\"le\": 7, \"n\": 1}"), std::string::npos);
+}
+
+TEST(Metrics, RenderListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("hits")->add(2);
+  reg.histogram("lat")->record(4);
+  std::string text = reg.render();
+  EXPECT_NE(text.find("hits = 2"), std::string::npos);
+  EXPECT_NE(text.find("lat: count 1, sum 4, max 4, mean 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hlsav::metrics

@@ -1,0 +1,328 @@
+// Cycle-attribution profiler: the per-process attribution invariant
+// (compute + assertion + stall + tail == RunResult::cycles, exactly) on
+// the real applications in both assertion configurations, plus fault /
+// NABORT / hang runs, occupancy consistency, and the report surfaces.
+#include <gtest/gtest.h>
+
+#include "apps/appbuild.h"
+#include "apps/des.h"
+#include "apps/edge.h"
+#include "apps/loopback.h"
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "metrics/profile.h"
+#include "sim/simulator.h"
+
+namespace hlsav::metrics {
+namespace {
+
+struct Profiled {
+  sim::RunResult result;
+  ProfileReport report;
+  ProfileSummary summary;
+};
+
+struct Prepared {
+  ir::Design design;
+  sched::DesignSchedule schedule;
+};
+
+Prepared prepare(const ir::Design& lowered, const assertions::Options& aopt,
+                 const sched::SchedOptions& sopt = {}) {
+  Prepared p{lowered.clone(), {}};
+  assertions::synthesize(p.design, aopt);
+  ir::verify(p.design);
+  p.schedule = sched::schedule_design(p.design, sopt);
+  return p;
+}
+
+Profiled profiled_run(const Prepared& p,
+                 const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                 sim::SimOptions opt = {}, sim::FaultEngine faults = {}) {
+  Profiler prof(p.design, p.schedule);
+  opt.profile = &prof;
+  opt.faults = std::move(faults);
+  sim::ExternRegistry ext;
+  sim::Simulator s(p.design, p.schedule, ext, opt);
+  for (const auto& [name, values] : feeds) s.feed(name, values);
+  Profiled r;
+  r.result = s.run();
+  r.report = prof.report();
+  r.summary = prof.summary();
+  return r;
+}
+
+void expect_exact(const Profiled& r) {
+  EXPECT_EQ(r.report.run_cycles, r.result.cycles);
+  EXPECT_TRUE(r.report.attribution_exact());
+  for (const ProfileReport::ProcRow& p : r.report.processes) {
+    EXPECT_EQ(p.attributed(), r.result.cycles) << "process " << p.process;
+    // Occupancy consistency: the state/pipeline cycle counts re-derive
+    // the compute + assertion split from an independent tally.
+    EXPECT_EQ(p.seq_state_cycles + p.pipe_cycles, p.compute_cycles + p.assert_cycles)
+        << "process " << p.process;
+  }
+  // Cross-check the two summary paths (live profiler vs report).
+  EXPECT_EQ(r.summary.compute_cycles, r.report.summary().compute_cycles);
+  EXPECT_EQ(r.summary.stall_cycles, r.report.summary().stall_cycles);
+  EXPECT_EQ(r.summary.tail_cycles, r.report.summary().tail_cycles);
+  EXPECT_EQ(r.summary.assert_failures, r.report.summary().assert_failures);
+}
+
+std::vector<std::uint64_t> loopback_data(unsigned words) {
+  std::vector<std::uint64_t> data(words);
+  for (unsigned i = 0; i < words; ++i) data[i] = i + 1;  // all > 0: no failures
+  return data;
+}
+
+// ---- the three applications, unoptimized and parallelized ----
+
+class ProfileApps : public ::testing::TestWithParam<bool> {
+ protected:
+  assertions::Options aopt() const {
+    return GetParam() ? assertions::Options::optimized() : assertions::Options::unoptimized();
+  }
+};
+
+TEST_P(ProfileApps, LoopbackAttributionIsExact) {
+  auto app = apps::loopback::build(4, 16);
+  Prepared p = prepare(app->design, aopt());
+  Profiled r = profiled_run(p, {{apps::loopback::input_stream(4), loopback_data(16)}});
+  ASSERT_EQ(r.result.status, sim::RunStatus::kCompleted) << r.result.hang_report;
+  expect_exact(r);
+  EXPECT_TRUE(r.report.completed);
+  EXPECT_EQ(r.summary.discarded_stall_cycles, 0u);
+  EXPECT_GT(r.summary.compute_cycles, 0u);
+  // The chain's downstream stages start behind the producer: some stall
+  // or tail must exist somewhere.
+  EXPECT_GT(r.summary.stall_cycles + r.summary.tail_cycles, 0u);
+  EXPECT_GT(r.summary.assert_evals, 0u);
+  EXPECT_EQ(r.summary.assert_failures, 0u);
+}
+
+TEST_P(ProfileApps, TripleDesAttributionIsExact) {
+  const std::array<std::uint64_t, 3> keys = {0x0123456789ABCDEFull, 0x23456789ABCDEF01ull,
+                                             0x456789ABCDEF0123ull};
+  auto app = apps::compile_app("triple_des", "des3.c", apps::des::hlsc_decrypt_source(keys));
+  sched::SchedOptions sopt;
+  sopt.chain_depth = 6;
+  Prepared p = prepare(app->design, aopt(), sopt);
+  std::vector<std::uint64_t> cipher;
+  for (std::uint64_t b : apps::des::pack_text("profile me")) {
+    cipher.push_back(apps::des::triple_des_encrypt(b, keys));
+  }
+  Profiled r = profiled_run(p, {{"des3.in", apps::des::to_word_stream(cipher)}});
+  ASSERT_EQ(r.result.status, sim::RunStatus::kCompleted) << r.result.hang_report;
+  expect_exact(r);
+  EXPECT_EQ(r.summary.discarded_stall_cycles, 0u);
+  EXPECT_GT(r.summary.assert_evals, 0u);
+}
+
+TEST_P(ProfileApps, EdgeDetectAttributionIsExact) {
+  constexpr unsigned kW = 16;
+  constexpr unsigned kH = 12;
+  auto app = apps::compile_app("edge_detect", "edge.c", apps::edge::hlsc_source(kW, kH));
+  sched::SchedOptions sopt;
+  sopt.chain_depth = 16;
+  Prepared p = prepare(app->design, aopt(), sopt);
+  apps::img::Image input = apps::img::synthetic_image(kW, kH, 7);
+  Profiled r = profiled_run(p, {{"edge.in", apps::edge::to_word_stream(input)}});
+  ASSERT_EQ(r.result.status, sim::RunStatus::kCompleted) << r.result.hang_report;
+  expect_exact(r);
+  EXPECT_EQ(r.summary.discarded_stall_cycles, 0u);
+  // The edge kernel's main loop is pipelined: pipeline cycles must show.
+  std::uint64_t pipe = 0;
+  for (const ProfileReport::ProcRow& pr : r.report.processes) pipe += pr.pipe_cycles;
+  EXPECT_GT(pipe, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ProfileApps, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "parallelized" : "unoptimized";
+                         });
+
+// ---- degenerate run modes ----
+
+TEST(Profile, AbortedRunStaysExact) {
+  auto app = apps::loopback::build(3, 8);
+  Prepared p = prepare(app->design, assertions::Options::unoptimized());
+  // The zero violates the per-stage w > 0 assertion and aborts the run.
+  Profiled r = profiled_run(p, {{apps::loopback::input_stream(3), {4, 0, 5, 6, 7, 8, 9, 10}}});
+  ASSERT_EQ(r.result.status, sim::RunStatus::kAborted);
+  expect_exact(r);
+  EXPECT_FALSE(r.report.completed);
+  EXPECT_GE(r.summary.assert_failures, 1u);
+  // At least one failure instant lands on the timeline.
+  EXPECT_FALSE(r.report.instants.empty());
+}
+
+TEST(Profile, NabortRunCompletesAndCountsFailures) {
+  auto app = apps::loopback::build(3, 8);
+  assertions::Options aopt = assertions::Options::unoptimized();
+  aopt.nabort = true;
+  Prepared p = prepare(app->design, aopt);
+  Profiled r = profiled_run(p, {{apps::loopback::input_stream(3), {4, 0, 5, 6, 7, 8, 9, 10}}});
+  ASSERT_EQ(r.result.status, sim::RunStatus::kCompleted) << r.result.hang_report;
+  expect_exact(r);
+  EXPECT_EQ(r.summary.discarded_stall_cycles, 0u);
+  EXPECT_GE(r.summary.assert_failures, 1u);
+}
+
+TEST(Profile, InjectedFaultRunStaysExact) {
+  auto app = apps::loopback::build(3, 8);
+  Prepared p = prepare(app->design, assertions::Options::optimized());
+  // Drop the first word a stage writes downstream: the chain starves.
+  ir::StreamId victim = ir::kNoStream;
+  for (const ir::Stream& s : p.design.streams) {
+    if (s.role == ir::StreamRole::kData &&
+        s.producer.kind == ir::StreamEndpoint::Kind::kProcess &&
+        s.consumer.kind == ir::StreamEndpoint::Kind::kProcess) {
+      victim = s.id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, ir::kNoStream);
+  sim::FaultEngine faults;
+  faults.add(sim::FaultSpec::stream_drop(victim, 0));
+  sim::SimOptions opt;
+  opt.max_cycles = 20'000;
+  Profiled r = profiled_run(p, {{apps::loopback::input_stream(3), loopback_data(8)}}, opt,
+                       std::move(faults));
+  EXPECT_NE(r.result.status, sim::RunStatus::kCompleted);
+  expect_exact(r);
+  // Someone must end blocked on a stream (the starvation shows as tail).
+  bool any_blocked = false;
+  for (const ProfileReport::ProcRow& pr : r.report.processes) {
+    any_blocked |= pr.end == EndKind::kBlockedRead || pr.end == EndKind::kBlockedWrite;
+  }
+  EXPECT_TRUE(any_blocked);
+}
+
+TEST(Profile, HungRunAttributesTailToBlockedReaders) {
+  // Feed fewer words than the chain expects: every stage eventually
+  // starves on its input stream.
+  auto app = apps::loopback::build(2, 8);
+  Prepared p = prepare(app->design, assertions::Options::unoptimized());
+  Profiled r = profiled_run(p, {{apps::loopback::input_stream(2), loopback_data(3)}});
+  ASSERT_EQ(r.result.status, sim::RunStatus::kHung);
+  expect_exact(r);
+  for (const ProfileReport::ProcRow& pr : r.report.processes) {
+    if (pr.end == EndKind::kBlockedRead) {
+      EXPECT_FALSE(pr.end_stream.empty());
+    }
+  }
+}
+
+// ---- report surfaces ----
+
+TEST(Profile, HottestStatesAreSortedAndCapped) {
+  auto app = apps::loopback::build(4, 32);
+  Prepared p = prepare(app->design, assertions::Options::unoptimized());
+  ProfileConfig cfg;
+  cfg.max_hot_states = 5;
+  Profiler prof(p.design, p.schedule, cfg);
+  sim::SimOptions opt;
+  opt.profile = &prof;
+  sim::ExternRegistry ext;
+  sim::Simulator s(p.design, p.schedule, ext, opt);
+  s.feed(apps::loopback::input_stream(4), loopback_data(32));
+  ASSERT_EQ(s.run().status, sim::RunStatus::kCompleted);
+  ProfileReport rep = prof.report();
+  ASSERT_LE(rep.hottest_states.size(), 5u);
+  ASSERT_FALSE(rep.hottest_states.empty());
+  for (std::size_t i = 1; i < rep.hottest_states.size(); ++i) {
+    EXPECT_GE(rep.hottest_states[i - 1].cost(), rep.hottest_states[i].cost());
+  }
+  for (const ProfileReport::StateRow& sr : rep.hottest_states) {
+    EXPECT_GT(sr.occupancy + sr.stall_cycles, 0u);
+  }
+}
+
+TEST(Profile, UnoptimizedAssertStatesAreAttributed) {
+  // Unoptimized synthesis inlines the assertion condition into the
+  // application FSM: assertion-only states must show up in the assert
+  // bucket. Parallelized synthesis moves the work to checker processes.
+  auto app = apps::loopback::build(2, 16);
+  Prepared unopt = prepare(app->design, assertions::Options::unoptimized());
+  Profiled r = profiled_run(unopt, {{apps::loopback::input_stream(2), loopback_data(16)}});
+  ASSERT_EQ(r.result.status, sim::RunStatus::kCompleted);
+  EXPECT_GT(r.summary.assert_cycles, 0u);
+}
+
+TEST(Profile, TablesAndJsonRender) {
+  auto app = apps::loopback::build(2, 8);
+  Prepared p = prepare(app->design, assertions::Options::unoptimized());
+  Profiled r = profiled_run(p, {{apps::loopback::input_stream(2), loopback_data(8)}});
+  std::string table = r.report.render_table();
+  EXPECT_NE(table.find("Cycle attribution"), std::string::npos);
+  EXPECT_NE(table.find("Hottest FSM states"), std::string::npos);
+  std::string json = r.report.to_json();
+  EXPECT_NE(json.find("\"attribution_exact\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"processes\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+}
+
+TEST(Profile, RegistryCountsHookTraffic) {
+  auto app = apps::loopback::build(2, 8);
+  Prepared p = prepare(app->design, assertions::Options::unoptimized());
+  Profiler prof(p.design, p.schedule);
+  sim::SimOptions opt;
+  opt.profile = &prof;
+  sim::ExternRegistry ext;
+  sim::Simulator s(p.design, p.schedule, ext, opt);
+  s.feed(apps::loopback::input_stream(2), loopback_data(8));
+  ASSERT_EQ(s.run().status, sim::RunStatus::kCompleted);
+  const MetricsRegistry& reg = prof.registry();
+  std::uint64_t blocks = 0;
+  for (const Counter& c : reg.counters()) {
+    if (c.name == "sim.blocks_retired") blocks = c.value;
+  }
+  EXPECT_GT(blocks, 0u);
+}
+
+TEST(Profile, DeltaRendersSignedChanges) {
+  ProfileSummary golden;
+  golden.run_cycles = 100;
+  golden.compute_cycles = 80;
+  golden.stall_cycles = 20;
+  ProfileSummary faulted = golden;
+  faulted.run_cycles = 150;
+  faulted.stall_cycles = 60;
+  faulted.tail_cycles = 10;
+  faulted.hottest_stall_stream = "chan";
+  faulted.hottest_stall_cycles = 60;
+  std::string delta = render_profile_delta(golden, faulted);
+  EXPECT_NE(delta.find("cycles +50"), std::string::npos);
+  EXPECT_NE(delta.find("stall +40"), std::string::npos);
+  EXPECT_NE(delta.find("'chan'"), std::string::npos);
+}
+
+TEST(Profile, SourceLevelHotStatesUseFileNames) {
+  auto c = hlsav::testing::compile(R"(
+    void hot(stream_in<32> in, stream_out<32> out) {
+      for (uint32 i = 0; i < 8; i++) {
+        uint32 v = stream_read(in);
+        assert(v < 1000);
+        stream_write(out, v + 1);
+      }
+    }
+  )");
+  Prepared p = prepare(c->design, assertions::Options::unoptimized());
+  Profiler prof(p.design, p.schedule);
+  sim::SimOptions opt;
+  opt.profile = &prof;
+  sim::ExternRegistry ext;
+  sim::Simulator s(p.design, p.schedule, ext, opt);
+  s.feed("hot.in", {1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_EQ(s.run().status, sim::RunStatus::kCompleted);
+  ProfileReport rep = prof.report(&c->sm);
+  bool any_source = false;
+  for (const ProfileReport::StateRow& sr : rep.hottest_states) {
+    any_source |= sr.source.find("test.c:") != std::string::npos;
+  }
+  EXPECT_TRUE(any_source);
+}
+
+}  // namespace
+}  // namespace hlsav::metrics

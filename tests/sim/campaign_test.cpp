@@ -161,6 +161,112 @@ TEST(Campaign, ZeroThreadsMeansHardwareConcurrency) {
   EXPECT_EQ(r.results.size(), 3u);
 }
 
+TEST(Campaign, ProgressHeartbeatIsOffByDefault) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignOptions opt;
+  std::vector<std::string> lines;
+  // A sink alone must not enable the heartbeat: progress gates it.
+  opt.progress_sink = [&](const std::string& s) { lines.push_back(s); };
+  (void)run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  EXPECT_TRUE(lines.empty());
+}
+
+TEST(Campaign, ProgressHeartbeatReportsEverySiteWhenIntervalIsZero) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignOptions opt;
+  opt.progress = true;
+  opt.progress_interval_s = 0;  // deterministic: one line per site
+  std::vector<std::string> lines;
+  opt.progress_sink = [&](const std::string& s) { lines.push_back(s); };
+  CampaignReport r = run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  ASSERT_EQ(lines.size(), r.results.size());
+  std::string total = "/" + std::to_string(r.results.size()) + " sites";
+  for (const std::string& l : lines) {
+    EXPECT_NE(l.find("campaign: "), std::string::npos) << l;
+    EXPECT_NE(l.find(total), std::string::npos) << l;
+  }
+  // The last line carries the final classification tallies.
+  const std::string& last = lines.back();
+  EXPECT_NE(last.find("benign " + std::to_string(r.count(FaultOutcome::kBenign))),
+            std::string::npos)
+      << last;
+  EXPECT_NE(last.find("detected " + std::to_string(r.count(FaultOutcome::kDetected))),
+            std::string::npos)
+      << last;
+}
+
+TEST(Campaign, ProgressHeartbeatCoversParallelSweep) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignOptions opt;
+  opt.threads = 4;
+  opt.progress = true;
+  opt.progress_interval_s = 0;
+  std::vector<std::string> lines;
+  opt.progress_sink = [&](const std::string& s) { lines.push_back(s); };
+  CampaignReport r = run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  EXPECT_EQ(lines.size(), r.results.size());
+}
+
+TEST(Campaign, ProfiledCampaignAnnotatesNonBenignSites) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignOptions opt;
+  opt.profile = true;
+  CampaignReport r = run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  ASSERT_TRUE(r.golden_profile.has_value());
+  EXPECT_EQ(r.golden_profile->run_cycles, r.golden_cycles);
+  EXPECT_GT(r.golden_profile->compute_cycles, 0u);
+  std::size_t nonbenign = 0;
+  for (const FaultResult& f : r.results) {
+    ASSERT_TRUE(f.profile.has_value()) << "site " << f.site.id;
+    EXPECT_EQ(f.profile->run_cycles, f.cycles) << "site " << f.site.id;
+    if (f.outcome != FaultOutcome::kBenign) ++nonbenign;
+  }
+  ASSERT_GT(nonbenign, 0u);
+  std::string rendered = r.render(h.design);
+  EXPECT_NE(rendered.find("profile deltas vs golden"), std::string::npos);
+  // Every non-benign site gets exactly one delta line.
+  std::size_t delta_lines = 0;
+  for (std::size_t pos = rendered.find("): cycles "); pos != std::string::npos;
+       pos = rendered.find("): cycles ", pos + 1)) {
+    ++delta_lines;
+  }
+  EXPECT_EQ(delta_lines, nonbenign);
+}
+
+TEST(Campaign, UnprofiledCampaignCarriesNoProfiles) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignOptions opt;
+  opt.max_faults = 3;
+  CampaignReport r = run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  EXPECT_FALSE(r.golden_profile.has_value());
+  for (const FaultResult& f : r.results) EXPECT_FALSE(f.profile.has_value());
+  EXPECT_EQ(r.render(h.design).find("profile deltas"), std::string::npos);
+}
+
+TEST(Campaign, ProfiledParallelMatchesSerial) {
+  H h = make_clamp(assertions::Options::optimized());
+  CampaignOptions serial;
+  serial.profile = true;
+  serial.threads = 1;
+  CampaignOptions par = serial;
+  par.threads = 4;
+  CampaignReport a = run_campaign(h.design, h.schedule, h.externs, h.feeds, serial);
+  CampaignReport b = run_campaign(h.design, h.schedule, h.externs, h.feeds, par);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_TRUE(a.results[i].profile.has_value());
+    ASSERT_TRUE(b.results[i].profile.has_value());
+    EXPECT_EQ(a.results[i].profile->compute_cycles, b.results[i].profile->compute_cycles)
+        << "site " << i;
+    EXPECT_EQ(a.results[i].profile->stall_cycles, b.results[i].profile->stall_cycles)
+        << "site " << i;
+    EXPECT_EQ(a.results[i].profile->tail_cycles, b.results[i].profile->tail_cycles)
+        << "site " << i;
+  }
+  b.threads = a.threads;
+  EXPECT_EQ(a.render(h.design), b.render(h.design));
+}
+
 TEST(Campaign, TraceRerunsProduceArtifactsForNonBenignSites) {
   H h = make_clamp(assertions::Options::optimized());
   CampaignReport report = run_campaign(h.design, h.schedule, h.externs, h.feeds, {});

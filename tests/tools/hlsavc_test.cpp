@@ -1,6 +1,8 @@
 // End-to-end tests of the hlsavc command-line driver (subprocess).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -32,8 +34,15 @@ CmdResult run_cmd(const std::string& args) {
   return r;
 }
 
+/// Pid-unique path in the shared TempDir. ctest runs every test as its
+/// own process in parallel; a fixed name would let one process read a
+/// file another is mid-truncating.
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + std::to_string(::getpid()) + "_" + name;
+}
+
 std::string write_temp(const std::string& name, const std::string& contents) {
-  std::string path = ::testing::TempDir() + name;
+  std::string path = temp_path(name);
   std::ofstream out(path);
   out << contents;
   return path;
@@ -174,7 +183,7 @@ TEST(Hlsavc, UnknownOptionExitsTwo) {
 
 TEST(Hlsavc, TraceWritesVcdReplayAndElaReport) {
   std::string f = write_temp("good.c", kGoodSrc);
-  std::string vcd = ::testing::TempDir() + "good_trace.vcd";
+  std::string vcd = temp_path("good_trace.vcd");
   CmdResult r = run_cmd("trace " + f + " --feed f.in=1,99,3 --vcd=" + vcd);
   EXPECT_EQ(r.exit_code, 3) << r.output;  // run aborted on the assertion
   EXPECT_NE(r.output.find("vcd: " + vcd), std::string::npos);
@@ -192,7 +201,7 @@ TEST(Hlsavc, TraceWritesVcdReplayAndElaReport) {
 
 TEST(Hlsavc, FaultsimTraceSiteEmitsArtifactsForNonBenignSite) {
   std::string f = write_temp("good.c", kGoodSrc);
-  std::string dir = ::testing::TempDir() + "hlsavc_traces";
+  std::string dir = temp_path("hlsavc_traces");
   // Site s1 (stream-drop on f.out) is silent corruption in this design.
   CmdResult r = run_cmd("faultsim " + f + " --feed f.in=1,2,3 --trace-site=1 --trace-dir=" + dir);
   EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -202,7 +211,7 @@ TEST(Hlsavc, FaultsimTraceSiteEmitsArtifactsForNonBenignSite) {
 
 TEST(Hlsavc, CampaignTraceNonbenignListsTracedSites) {
   std::string f = write_temp("good.c", kGoodSrc);
-  std::string dir = ::testing::TempDir() + "hlsavc_campaign_traces";
+  std::string dir = temp_path("hlsavc_campaign_traces");
   CmdResult r = run_cmd("faultsim " + f +
                         " --feed f.in=1,2,3 --campaign --trace-nonbenign --threads=2 "
                         "--trace-max-sites=2 --trace-dir=" +
@@ -210,6 +219,92 @@ TEST(Hlsavc, CampaignTraceNonbenignListsTracedSites) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("traced 2 non-benign site(s)"), std::string::npos);
   EXPECT_NE(r.output.find("source-level replay:"), std::string::npos);
+}
+
+// ---- provenance ----
+
+TEST(Hlsavc, VersionPrintsShaAndBuildType) {
+  CmdResult r = run_cmd("--version");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // One line: "hlsavc <sha> (<build type>)".
+  EXPECT_EQ(r.output.rfind("hlsavc ", 0), 0u) << r.output;
+  EXPECT_NE(r.output.find('('), std::string::npos);
+  EXPECT_NE(r.output.find(')'), std::string::npos);
+  EXPECT_EQ(r.output.find('\n'), r.output.size() - 1) << r.output;
+}
+
+// ---- profile command ----
+
+TEST(Hlsavc, ProfilePrintsTablesAndWritesValidTrace) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  std::string trace = temp_path("profile.trace.json");
+  CmdResult r = run_cmd("profile " + f + " --feed f.in=1,2,3 --trace-out=" + trace);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Cycle attribution"), std::string::npos);
+  EXPECT_NE(r.output.find("Hottest FSM states"), std::string::npos);
+  EXPECT_NE(r.output.find("Assertion activity"), std::string::npos);
+  // Hottest states resolve to the HLS-C source, assertions to their text.
+  EXPECT_NE(r.output.find("good.c:"), std::string::npos);
+  EXPECT_NE(r.output.find("'v < 50'"), std::string::npos);
+  // The emitted trace passes the driver's own validator round-trip.
+  CmdResult check = run_cmd("checktrace " + trace);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  EXPECT_NE(check.output.find("valid Chrome trace"), std::string::npos);
+}
+
+TEST(Hlsavc, ProfileJsonDumpContainsAttribution) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  std::string trace = temp_path("pj.trace.json");
+  std::string json = temp_path("pj.profile.json");
+  CmdResult r = run_cmd("profile " + f + " --feed f.in=1,2,3 --trace-out=" + trace +
+                        " --profile-json=" + json);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(json);
+  ASSERT_TRUE(in.good()) << "profile did not write " << json;
+  std::string doc((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(doc.find("\"run_cycles\""), std::string::npos);
+  EXPECT_NE(doc.find("\"attribution_exact\": true"), std::string::npos);
+}
+
+TEST(Hlsavc, ProfileKeepsExitCodeContractOnAbort) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  std::string trace = temp_path("abort.trace.json");
+  CmdResult r = run_cmd("profile " + f + " --feed f.in=1,99,3 --trace-out=" + trace);
+  EXPECT_EQ(r.exit_code, 3) << r.output;  // aborted run still profiles
+  EXPECT_NE(r.output.find("Cycle attribution"), std::string::npos);
+  EXPECT_EQ(run_cmd("checktrace " + trace).exit_code, 0);
+}
+
+// ---- checktrace command ----
+
+TEST(Hlsavc, ChecktraceRejectsMalformedFile) {
+  std::string bad = write_temp("bad.trace.json", "{\"traceEvents\": [");
+  CmdResult r = run_cmd("checktrace " + bad);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+}
+
+TEST(Hlsavc, ChecktraceMissingFileExitsOne) {
+  CmdResult r = run_cmd("checktrace /nonexistent/nope.trace.json");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+// ---- campaign progress & profile flags ----
+
+TEST(Hlsavc, CampaignProgressEmitsHeartbeat) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("faultsim " + f + " --feed f.in=1,2,3 --campaign --progress");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // The final site always emits, whatever the interval.
+  EXPECT_NE(r.output.find("campaign: "), std::string::npos);
+  EXPECT_NE(r.output.find("benign"), std::string::npos);
+}
+
+TEST(Hlsavc, CampaignProfileShowsDeltas) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("faultsim " + f + " --feed f.in=1,2,3 --campaign --profile");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("profile deltas vs golden"), std::string::npos);
 }
 
 }  // namespace

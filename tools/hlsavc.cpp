@@ -12,6 +12,12 @@
 //   hlsavc trace    file.c [options] --feed stream=v1,v2,...
 //                                      run with the ELA armed, export a VCD
 //                                      and a source-level replay
+//   hlsavc profile  file.c [options] --feed stream=v1,v2,...
+//                                      run with the cycle-attribution profiler
+//                                      armed: source-level tables to stdout
+//                                      plus a Perfetto-loadable Chrome trace
+//   hlsavc checktrace trace.json       validate a Chrome trace-event file
+//   hlsavc --version                   print git sha + build type
 //
 // Options:
 //   --assertions=ndebug|unoptimized|optimized   (default optimized)
@@ -25,9 +31,12 @@
 //                                               faultsim trace reruns
 //   --vcd=FILE --bin=FILE --last-cycles=N --trace-capacity=N
 //   --trace-procs=p1,p2 --trace-max-sites=N     trace controls
+//   --trace-out=FILE --profile-json=FILE        profile outputs
+//   --progress --profile                        faultsim campaign extras
 //
 // Exit codes: 0 success, 1 compile/internal error, 2 bad usage,
 //             3 halted by an assertion failure, 4 hang.
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -43,6 +52,8 @@
 #include "ir/optimize.h"
 #include "lang/parser.h"
 #include "lang/sema.h"
+#include "metrics/chrometrace.h"
+#include "metrics/profile.h"
 #include "rtl/netlist.h"
 #include "rtl/verilog.h"
 #include "sched/schedule.h"
@@ -55,6 +66,15 @@
 #include "trace/replay.h"
 #include "trace/trace.h"
 #include "trace/vcd.h"
+
+// Provenance injected by the build (tools/CMakeLists.txt); the
+// fallbacks keep ad-hoc compiles working.
+#ifndef HLSAV_GIT_SHA
+#define HLSAV_GIT_SHA "unknown"
+#endif
+#ifndef HLSAV_BUILD_TYPE
+#define HLSAV_BUILD_TYPE "unspecified"
+#endif
 
 namespace {
 
@@ -83,22 +103,32 @@ struct Args {
   std::size_t trace_capacity = 1024;
   std::vector<std::string> trace_procs;
   std::size_t trace_max_sites = 0;
+  // profile outputs
+  std::string trace_out = "profile.trace.json";
+  std::string profile_json;
 };
 
 void print_usage(std::ostream& os) {
-  os << "usage: hlsavc <compile|verilog|ir|schedule|simulate|faultsim|trace> <file.c> "
+  os << "usage: hlsavc <compile|verilog|ir|schedule|simulate|faultsim|trace|profile> <file.c> "
         "[options]\n"
+        "       hlsavc checktrace <trace.json>\n"
+        "       hlsavc --version\n"
         "  --assertions=ndebug|unoptimized|optimized\n"
         "  --no-parallelize --no-replicate --no-share --nabort\n"
         "  --chain-depth=N --sw --optimize --trace --feed stream=v1,v2,...\n"
         "  faultsim: --site=N | --trace-site=N |\n"
         "            --campaign [--seed=N --max-faults=N --max-cycles=N --threads=N\n"
-        "                        --trace-nonbenign]\n"
+        "                        --trace-nonbenign --progress --profile]\n"
         "  trace:    run with the embedded-logic-analyzer capture armed, write a VCD\n"
         "            (--vcd=FILE, default trace.vcd) plus a source-level replay of the\n"
         "            last captured cycles; --site=N injects one fault first\n"
         "  trace options: --vcd=FILE --bin=FILE --last-cycles=N --trace-capacity=N\n"
         "                 --trace-procs=p1,p2 --trace-dir=DIR --trace-max-sites=N\n"
+        "  profile:  run with the cycle-attribution profiler armed, print source-level\n"
+        "            tables and write a Chrome trace (--trace-out=FILE, default\n"
+        "            profile.trace.json; load it in Perfetto or chrome://tracing);\n"
+        "            --profile-json=FILE also dumps the full report as JSON\n"
+        "  checktrace: validate a Chrome trace-event JSON file (exit 0 valid, 1 not)\n"
         "exit codes: 0 ok, 1 compile/internal error, 2 bad usage,\n"
         "            3 assertion failure halted the run, 4 hang\n";
 }
@@ -149,6 +179,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.campaign = true;
     } else if (a == "--trace-nonbenign") {
       args.trace_nonbenign = true;
+    } else if (a == "--progress") {
+      args.campaign_opts.progress = true;
+    } else if (a == "--profile") {
+      args.campaign_opts.profile = true;
+    } else if (starts_with(a, "--trace-out=")) {
+      args.trace_out = a.substr(12);
+    } else if (starts_with(a, "--profile-json=")) {
+      args.profile_json = a.substr(15);
     } else if (starts_with(a, "--site=")) {
       args.site = static_cast<std::uint32_t>(std::stoul(a.substr(7)));
     } else if (starts_with(a, "--trace-site=")) {
@@ -197,6 +235,18 @@ bool parse_args(int argc, char** argv, Args& args) {
 }
 
 int run(const Args& args) {
+  if (args.command == "checktrace") {
+    // The operand is a trace file, not a source file: validate and stop
+    // before any source loading happens.
+    metrics::ChromeTraceCheck check = metrics::validate_chrome_trace_file(args.file);
+    if (!check.ok) {
+      std::cerr << "hlsavc: " << args.file << ": " << check.error << "\n";
+      return 1;
+    }
+    std::cout << args.file << ": valid Chrome trace (" << check.events << " events)\n";
+    return 0;
+  }
+
   SourceManager sm;
   DiagnosticEngine diags(&sm);
   FileId file = sm.load_file(args.file);
@@ -296,6 +346,51 @@ int run(const Args& args) {
       std::cout << '\n';
     }
     if (args.trace) std::cerr << simulator.render_trace(&sm);
+    return run_exit_code(r);
+  }
+  if (args.command == "profile") {
+    sim::ExternRegistry externs;
+    metrics::Profiler prof(design, schedule);
+    sim::SimOptions so;
+    so.mode = args.software_mode ? sim::SimMode::kSoftware : sim::SimMode::kHardware;
+    so.profile = &prof;
+    if (args.campaign_opts.max_cycles != 0) so.max_cycles = args.campaign_opts.max_cycles;
+    sim::Simulator simulator(design, schedule, externs, so);
+    simulator.set_failure_sink([](const assertions::Failure& f) {
+      std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
+    });
+    for (const auto& [stream, values] : args.feeds) simulator.feed(stream, values);
+    sim::RunResult r = simulator.run();
+    switch (r.status) {
+      case sim::RunStatus::kCompleted:
+        std::cout << "completed in " << r.cycles << " cycles\n";
+        break;
+      case sim::RunStatus::kAborted:
+        std::cout << "aborted by assertion failure at cycle "
+                  << (r.failures.empty() ? 0 : r.failures.back().cycle) << "\n";
+        break;
+      case sim::RunStatus::kHung:
+        std::cout << r.hang_report;
+        break;
+    }
+    metrics::ProfileReport rep = prof.report(&sm);
+    std::cout << rep.render_table();
+    std::string error;
+    if (!metrics::write_chrome_trace_file(rep, args.trace_out, &error)) {
+      std::cerr << "hlsavc: " << error << "\n";
+      return 1;
+    }
+    std::cout << "chrome trace: " << args.trace_out
+              << " (load in Perfetto or chrome://tracing)\n";
+    if (!args.profile_json.empty()) {
+      std::ofstream os(args.profile_json);
+      if (!os) {
+        std::cerr << "hlsavc: cannot write " << args.profile_json << "\n";
+        return 1;
+      }
+      os << rep.to_json() << "\n";
+      std::cout << "profile json: " << args.profile_json << "\n";
+    }
     return run_exit_code(r);
   }
   if (args.command == "trace") {
@@ -484,6 +579,10 @@ int run(const Args& args) {
 int main(int argc, char** argv) {
   if (argc >= 2 && (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h")) {
     print_usage(std::cout);
+    return 0;
+  }
+  if (argc >= 2 && std::string(argv[1]) == "--version") {
+    std::cout << "hlsavc " << HLSAV_GIT_SHA << " (" << HLSAV_BUILD_TYPE << ")\n";
     return 0;
   }
   Args args;
