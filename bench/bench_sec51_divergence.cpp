@@ -59,6 +59,7 @@ Outcome run_case(const ir::Design& lowered, sim::SimMode mode, bool inject,
     case sim::RunStatus::kCompleted: o.status = "completed"; break;
     case sim::RunStatus::kAborted: o.status = "ABORTED"; break;
     case sim::RunStatus::kHung: o.status = "HUNG"; break;
+    case sim::RunStatus::kDeadline: o.status = "BUDGET"; break;
   }
   if (!r.failures.empty()) o.detail = r.failures[0].message;
   return o;

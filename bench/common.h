@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "rtl/netlist.h"
 #include "sched/schedule.h"
 #include "sim/simulator.h"
+#include "support/io.h"
 #include "support/table.h"
 
 // Build provenance stamped into every BENCH_*.json so perf-trajectory
@@ -60,11 +62,15 @@ inline void print_provenance_banner(const std::string& bench_name) {
 ///   { "bench": <name>, <provenance>, "<array>": [ <items>... ], <fields>... }
 /// Items and field values are preformatted JSON; the writer owns only
 /// the commas, indentation, and braces every harness used to hand-roll.
+///
+/// The document is buffered in memory and written atomically (temp
+/// sibling + rename, support/io.h) when the writer goes out of scope: a
+/// bench process killed mid-run leaves the previous BENCH_*.json, never
+/// half a document.
 class BenchJsonDoc {
  public:
-  BenchJsonDoc(const std::string& path, const std::string& bench_name,
-               const std::string& array_name)
-      : os_(path) {
+  BenchJsonDoc(std::string path, const std::string& bench_name, const std::string& array_name)
+      : path_(std::move(path)) {
     os_ << "{\n  \"bench\": \"" << bench_name << "\",\n  " << json_provenance() << ",\n  \""
         << array_name << "\": [\n";
   }
@@ -73,6 +79,8 @@ class BenchJsonDoc {
   ~BenchJsonDoc() {
     close_array();
     os_ << "\n}\n";
+    Status st = write_file_atomic(path_, os_.str());
+    if (!st.ok()) std::cerr << "bench json write failed: " << st.to_string() << "\n";
   }
 
   /// One element of the main array (a complete JSON value).
@@ -93,7 +101,8 @@ class BenchJsonDoc {
     array_closed_ = true;
   }
 
-  std::ofstream os_;
+  std::string path_;
+  std::ostringstream os_;
   bool first_item_ = true;
   bool array_closed_ = false;
 };

@@ -19,7 +19,7 @@ std::unique_ptr<CompiledApp> compile_app(const std::string& design_name,
   if (!app->sema.ok) {
     internal_error("apps", 0, "generated source failed sema:\n" + app->diags.render());
   }
-  if (!ir::lower_all_processes(app->design, *app->program, app->sm, app->diags)) {
+  if (!ir::lower_all_processes(app->design, *app->program, app->sm, app->diags).ok()) {
     internal_error("apps", 0, "generated source failed lowering:\n" + app->diags.render());
   }
   ir::verify(app->design);

@@ -762,14 +762,15 @@ Process* lower_process(Design& design, const lang::Program& program, const lang:
   return lowerer.run();
 }
 
-bool lower_all_processes(Design& design, const lang::Program& program, const SourceManager& sm,
-                         DiagnosticEngine& diags) {
+Status lower_all_processes(Design& design, const lang::Program& program, const SourceManager& sm,
+                           DiagnosticEngine& diags) {
   bool ok = true;
   for (const auto& fn : program.functions) {
     if (fn->is_extern_hdl || !fn->is_process()) continue;
     ok &= lower_process(design, program, *fn, sm, diags) != nullptr;
   }
-  return ok;
+  if (!ok) return Status::from_diagnostics(StatusCode::kLowerError, diags, "IR lowering");
+  return Status::ok_status();
 }
 
 }  // namespace hlsav::ir

@@ -15,6 +15,7 @@
 #include "lang/ast.h"
 #include "support/diagnostics.h"
 #include "support/source_manager.h"
+#include "support/status.h"
 
 namespace hlsav::ir {
 
@@ -26,10 +27,10 @@ void register_externs(Design& design, const lang::Program& program);
 Process* lower_process(Design& design, const lang::Program& program, const lang::Function& fn,
                        const SourceManager& sm, DiagnosticEngine& diags);
 
-/// Lowers every process function in the program.
-/// Returns false if any lowering failed.
-bool lower_all_processes(Design& design, const lang::Program& program, const SourceManager& sm,
-                         DiagnosticEngine& diags);
+/// Lowers every process function in the program. On failure returns a
+/// kLowerError Status summarizing the diagnostics reported into `diags`.
+[[nodiscard]] Status lower_all_processes(Design& design, const lang::Program& program,
+                                         const SourceManager& sm, DiagnosticEngine& diags);
 
 /// Evaluates a constant expression (literals, unary/binary ops); returns
 /// std::nullopt if the expression references variables, streams or calls.

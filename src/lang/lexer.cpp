@@ -1,6 +1,7 @@
 #include "lang/lexer.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -214,6 +215,17 @@ Token Lexer::lex_identifier_or_keyword(SourceLoc start) {
 Token Lexer::lex_number(SourceLoc start) {
   std::size_t begin = pos_;
   std::uint64_t value = 0;
+  bool overflow = false;
+  // Accumulate with explicit overflow detection: an over-wide literal
+  // must surface as a diagnostic, never wrap silently into a different
+  // (valid-looking) constant.
+  auto accumulate = [&](std::uint64_t base, std::uint64_t digit) {
+    if (value > (UINT64_MAX - digit) / base) {
+      overflow = true;
+      return;
+    }
+    value = value * base + digit;
+  };
   if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
     advance();
     advance();
@@ -222,11 +234,11 @@ Token Lexer::lex_number(SourceLoc start) {
       std::uint64_t digit = std::isdigit(static_cast<unsigned char>(c))
                                 ? static_cast<std::uint64_t>(c - '0')
                                 : static_cast<std::uint64_t>(std::tolower(c) - 'a' + 10);
-      value = value * 16 + digit;
+      accumulate(16, digit);
     }
   } else {
     while (std::isdigit(static_cast<unsigned char>(peek()))) {
-      value = value * 10 + static_cast<std::uint64_t>(advance() - '0');
+      accumulate(10, static_cast<std::uint64_t>(advance() - '0'));
     }
   }
   Token t = make(TokKind::kIntLiteral, start);
@@ -238,6 +250,11 @@ Token Lexer::lex_number(SourceLoc start) {
     if (c == 'u' || c == 'U') t.value_signed = false;
   }
   t.text = std::string(text_.substr(begin, pos_ - begin));
+  if (overflow) {
+    diags_.error_range(start, static_cast<std::uint32_t>(t.text.size()),
+                       "integer literal '" + t.text + "' does not fit in 64 bits");
+    t.value = 0;
+  }
   return t;
 }
 
@@ -273,14 +290,17 @@ Token Lexer::lex_pragma(SourceLoc start) {
 }
 
 Token Lexer::next() {
-  skip_whitespace_and_comments();
-  std::size_t start_offset = pos_;
-  Token t = next_impl();
-  t.offset = start_offset;
-  return t;
+  while (true) {
+    skip_whitespace_and_comments();
+    std::size_t start_offset = pos_;
+    std::optional<Token> t = next_impl();
+    if (!t.has_value()) continue;  // bad character: reported, skipped
+    t->offset = start_offset;
+    return *t;
+  }
 }
 
-Token Lexer::next_impl() {
+std::optional<Token> Lexer::next_impl() {
   SourceLoc start = loc();
   char c = peek();
   if (c == '\0') return make(TokKind::kEof, start);
@@ -357,8 +377,16 @@ Token Lexer::next_impl() {
       if (match('=')) return make(TokKind::kGreaterEq, start);
       return make(TokKind::kGreater, start);
     default:
-      diags_.error(start, std::string("unexpected character '") + c + "'");
-      return make(TokKind::kEof, start);
+      // Unprintable bytes (fuzzed / binary input) render as hex.
+      if (std::isprint(static_cast<unsigned char>(c)) != 0) {
+        diags_.error(start, std::string("unexpected character '") + c + "'");
+      } else {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\x%02x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        diags_.error(start, std::string("unexpected character '") + buf + "'");
+      }
+      return std::nullopt;
   }
 }
 

@@ -6,6 +6,7 @@
 // following statement, the way HLS tools do.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "lang/token.h"
@@ -37,7 +38,10 @@ class Lexer {
   void skip_whitespace_and_comments();
 
   Token next();
-  Token next_impl();
+  /// One token, or nullopt for an unexpected character (reported and
+  /// skipped -- lexing continues, so one stray byte cannot truncate the
+  /// rest of the file into silence).
+  std::optional<Token> next_impl();
   Token lex_identifier_or_keyword(SourceLoc start);
   Token lex_number(SourceLoc start);
   Token lex_char_literal(SourceLoc start);

@@ -56,6 +56,33 @@ void Parser::sync_to_toplevel() {
   }
 }
 
+void Parser::sync_to_stmt() {
+  // Statement-level panic recovery: skip to just past the next ';' at
+  // this nesting depth, or stop before the enclosing '}' -- so one bad
+  // statement costs one diagnostic, not the rest of the function.
+  int depth = 0;
+  while (!at(TokKind::kEof)) {
+    switch (cur().kind) {
+      case TokKind::kSemicolon:
+        consume();
+        if (depth <= 0) return;
+        break;
+      case TokKind::kLBrace:
+        ++depth;
+        consume();
+        break;
+      case TokKind::kRBrace:
+        if (depth <= 0) return;  // parse_block owns this one
+        --depth;
+        consume();
+        break;
+      default:
+        consume();
+        break;
+    }
+  }
+}
+
 // Returns the raw source between the start of token begin_tok and the
 // start of token end_tok (exclusive), trimmed. end_tok is the index of
 // the first token *after* the region of interest.
@@ -148,7 +175,11 @@ std::vector<StmtPtr> Parser::parse_block() {
   std::vector<StmtPtr> body;
   while (!at(TokKind::kRBrace)) {
     if (at(TokKind::kEof)) fail(cur(), "unexpected end of file inside block");
-    body.push_back(parse_stmt());
+    try {
+      body.push_back(parse_stmt());
+    } catch (const ParseError&) {
+      sync_to_stmt();
+    }
   }
   consume();  // '}'
   return body;

@@ -26,7 +26,7 @@ class Parser {
   [[nodiscard]] std::unique_ptr<Program> parse_program();
 
  private:
-  struct ParseError {};  // thrown for panic-mode recovery to top level
+  struct ParseError {};  // thrown for panic-mode recovery (statement or top level)
 
   const SourceManager& sm_;
   FileId file_;
@@ -42,6 +42,7 @@ class Parser {
   bool accept(TokKind k);
   [[noreturn]] void fail(const Token& tok, std::string message);
   void sync_to_toplevel();
+  void sync_to_stmt();
 
   // Grammar productions.
   std::unique_ptr<Function> parse_function(bool is_extern);

@@ -1,5 +1,7 @@
 #include "metrics/chrometrace.h"
 
+#include "support/io.h"
+
 #include <cctype>
 #include <fstream>
 #include <map>
@@ -87,15 +89,11 @@ void write_chrome_trace(const ProfileReport& report, std::ostream& os) {
 
 bool write_chrome_trace_file(const ProfileReport& report, const std::string& path,
                              std::string* error) {
-  std::ofstream os(path);
-  if (!os) {
-    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
-    return false;
-  }
+  std::ostringstream os;
   write_chrome_trace(report, os);
-  os.flush();
-  if (!os) {
-    if (error != nullptr) *error = "write to '" + path + "' failed";
+  Status st = write_file_atomic(path, os.str());
+  if (!st.ok()) {
+    if (error != nullptr) *error = st.to_string();
     return false;
   }
   return true;

@@ -1,0 +1,77 @@
+#include "pipeline/compile.h"
+
+#include "ir/lower.h"
+#include "ir/optimize.h"
+#include "lang/parser.h"
+
+namespace hlsav::pipeline {
+
+StatusOr<Compiled> compile_buffer(const SourceManager& sm, DiagnosticEngine& diags, FileId file,
+                                  std::string design_name, const CompileOptions& opt) {
+  Compiled c;
+  c.design.name = std::move(design_name);
+
+  // Frontend stages report through `diags`; the lexer and parser also
+  // recover (skip-bad-char, synchronize-on-';'/'}'), so one run surfaces
+  // every diagnostic it can find before the Status comes back.
+  Status st = catch_internal([&] {
+    lang::Parser parser(sm, file, diags);
+    c.program = parser.parse_program();
+  });
+  HLSAV_RETURN_IF_ERROR(st);
+  if (diags.has_errors()) {
+    return Status::from_diagnostics(StatusCode::kParseError, diags, "parse");
+  }
+
+  st = catch_internal([&] { c.sema = lang::analyze(*c.program, sm, diags); });
+  HLSAV_RETURN_IF_ERROR(st);
+  if (!c.sema.ok || diags.has_errors()) {
+    return Status::from_diagnostics(StatusCode::kSemaError, diags, "semantic analysis");
+  }
+
+  Status lowered;
+  st = catch_internal(
+      [&] { lowered = ir::lower_all_processes(c.design, *c.program, sm, diags); });
+  HLSAV_RETURN_IF_ERROR(st);
+  HLSAV_RETURN_IF_ERROR(lowered);
+
+  if (opt.optimize_ir) {
+    st = catch_internal([&] { c.opt_report = ir::optimize(c.design); });
+    HLSAV_RETURN_IF_ERROR(st);
+  }
+
+  // Backend stages assert internal invariants (HLSAV_CHECK); on
+  // malformed-but-lowerable designs those must degrade to a Status, not
+  // take the process down.
+  if (opt.synthesize_assertions) {
+    st = catch_internal([&] { c.synth = assertions::synthesize(c.design, opt.assert_opts); });
+    if (!st.ok()) {
+      return Status::error(StatusCode::kSynthesisError, st.message());
+    }
+  }
+  st = catch_internal([&] { ir::verify(c.design); });
+  if (!st.ok()) {
+    return Status::error(StatusCode::kSynthesisError, st.message());
+  }
+  st = catch_internal([&] { c.schedule = sched::schedule_design(c.design, opt.sched_opts); });
+  if (!st.ok()) {
+    return Status::error(StatusCode::kScheduleError, st.message());
+  }
+  return c;
+}
+
+StatusOr<Compiled> compile_file(SourceManager& sm, DiagnosticEngine& diags,
+                                const std::string& path, const CompileOptions& opt) {
+  FileId file = sm.load_file(path);
+  if (file == 0) return Status::io_error("cannot open '" + path + "'");
+  return compile_buffer(sm, diags, file, path, opt);
+}
+
+StatusOr<Compiled> compile_source(SourceManager& sm, DiagnosticEngine& diags, std::string name,
+                                  std::string text, const CompileOptions& opt) {
+  FileId file = sm.add_buffer(std::move(name), std::move(text));
+  std::string design_name = std::string(sm.name(file));
+  return compile_buffer(sm, diags, file, design_name, opt);
+}
+
+}  // namespace hlsav::pipeline

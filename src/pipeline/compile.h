@@ -1,0 +1,69 @@
+// The whole compile pipeline behind one Status-returning call.
+//
+// parse -> sema -> IR lowering -> (assertion synthesis) -> IR verify ->
+// schedule, with every stage's failure surfaced as a StatusOr instead
+// of an exception: user errors arrive as kParseError/kSemaError/
+// kLowerError with the diagnostics collected in the caller's engine,
+// and internal invariant violations (ir::verify, the scheduler) are
+// caught and downgraded to kInternal -- so `hlsavc`, the bench
+// harnesses and the mutation fuzzer can compile arbitrary input and
+// always get either a Compiled design or a renderable Status, never a
+// terminating exception.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "ir/ir.h"
+#include "ir/optimize.h"
+#include "lang/ast.h"
+#include "lang/sema.h"
+#include "sched/schedule.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+#include "support/status.h"
+
+namespace hlsav::pipeline {
+
+struct CompileOptions {
+  assertions::Options assert_opts = assertions::Options::optimized();
+  sched::SchedOptions sched_opts;
+  /// Run the IR optimizer between lowering and synthesis.
+  bool optimize_ir = false;
+  /// Software-mode simulation runs the design pre-synthesis (assert
+  /// statements evaluated in place); set false to skip synthesis.
+  bool synthesize_assertions = true;
+};
+
+/// Everything downstream consumers need: the AST (for sema info), the
+/// synthesized design, and its schedule.
+struct Compiled {
+  std::unique_ptr<lang::Program> program;
+  lang::SemaResult sema;
+  ir::Design design;
+  assertions::SynthesisReport synth;
+  sched::DesignSchedule schedule;
+  /// Populated iff CompileOptions::optimize_ir.
+  ir::OptReport opt_report;
+};
+
+/// Compiles an already-loaded buffer. Diagnostics land in `diags`;
+/// the Status summarizes the first failing stage.
+[[nodiscard]] StatusOr<Compiled> compile_buffer(const SourceManager& sm, DiagnosticEngine& diags,
+                                                FileId file, std::string design_name,
+                                                const CompileOptions& opt = {});
+
+/// Loads `path` into `sm` and compiles it (kIoError if unreadable).
+[[nodiscard]] StatusOr<Compiled> compile_file(SourceManager& sm, DiagnosticEngine& diags,
+                                              const std::string& path,
+                                              const CompileOptions& opt = {});
+
+/// Adds `text` as a named buffer and compiles it (the fuzz harness's
+/// entry point).
+[[nodiscard]] StatusOr<Compiled> compile_source(SourceManager& sm, DiagnosticEngine& diags,
+                                                std::string name, std::string text,
+                                                const CompileOptions& opt = {});
+
+}  // namespace hlsav::pipeline

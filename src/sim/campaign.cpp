@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "assertions/coverage.h"
+#include "sim/journal.h"
 #include "support/table.h"
 #include "trace/binary.h"
 #include "trace/replay.h"
@@ -26,6 +27,7 @@ const char* fault_outcome_name(FaultOutcome o) {
     case FaultOutcome::kSilentCorruption: return "silent-corruption";
     case FaultOutcome::kHangDetected: return "hang-detected";
     case FaultOutcome::kHangTimeout: return "hang-timeout";
+    case FaultOutcome::kBudgetExceeded: return "budget-exceeded";
   }
   HLSAV_UNREACHABLE("bad FaultOutcome");
 }
@@ -52,6 +54,30 @@ metrics::ProfileConfig campaign_profile_config() {
   metrics::ProfileConfig pc;
   pc.timeline = false;
   return pc;
+}
+
+/// Transient-failure shield around run_fault: a thrown error (resource
+/// exhaustion in a worker, a failed allocation under memory pressure)
+/// gets bounded retries with exponential backoff before it is allowed
+/// to kill the sweep. Deterministic failures simply fail again and
+/// propagate after the last attempt -- a retry never changes what a
+/// site *is*, only whether a flaky host got a second chance.
+FaultResult run_fault_with_retry(const ir::Design& design, const sched::DesignSchedule& schedule,
+                                 const ExternRegistry& externs,
+                                 const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                                 const GoldenRef& golden, const FaultSpec& fault,
+                                 const SimOptions& base, std::uint64_t max_cycles,
+                                 metrics::ProfileSummary* profile_out,
+                                 const CampaignOptions& opt) {
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      return run_fault(design, schedule, externs, feeds, golden, fault, base, max_cycles,
+                       profile_out, opt.site_wall_ms);
+    } catch (...) {
+      if (attempt >= opt.site_retries) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1u << attempt));
+    }
+  }
 }
 
 /// Shared heartbeat state for the serial and parallel sweeps. Emission
@@ -93,7 +119,9 @@ class Heartbeat {
        << ", silent " << tally_[static_cast<std::size_t>(FaultOutcome::kSilentCorruption)]
        << ", hang "
        << tally_[static_cast<std::size_t>(FaultOutcome::kHangDetected)] +
-              tally_[static_cast<std::size_t>(FaultOutcome::kHangTimeout)];
+              tally_[static_cast<std::size_t>(FaultOutcome::kHangTimeout)]
+       << ", budget "
+       << tally_[static_cast<std::size_t>(FaultOutcome::kBudgetExceeded)];
     if (opt_.progress_sink) {
       opt_.progress_sink(os.str());
     } else {
@@ -107,7 +135,7 @@ class Heartbeat {
   std::chrono::steady_clock::time_point last_emit_;
   std::mutex mu_;
   std::size_t done_ = 0;
-  std::size_t tally_[5] = {0, 0, 0, 0, 0};
+  std::size_t tally_[kNumFaultOutcomes] = {};
 };
 
 }  // namespace
@@ -127,8 +155,13 @@ GoldenRef golden_run(const ir::Design& design, const sched::DesignSchedule& sche
   for (const auto& [name, values] : feeds) sim.feed(name, values);
   RunResult r = sim.run();
   if (profile_out != nullptr) *profile_out = prof->summary();
+  const char* why = r.status == RunStatus::kHung       ? "hung (are all --feed inputs supplied?)"
+                    : r.status == RunStatus::kAborted  ? "aborted on an assertion failure"
+                    : r.status == RunStatus::kDeadline ? "exceeded its wall-clock budget"
+                                                       : "logged assertion failures";
   HLSAV_CHECK(r.completed() && r.failures.empty(),
-              "campaign golden run did not complete cleanly on design '" + design.name + "'");
+              "campaign golden run " + std::string(why) + " on design '" + design.name +
+                  "' — the fault-free run must complete cleanly before a sweep can classify sites");
   GoldenRef g;
   g.cycles = r.cycles;
   g.outputs = collect_outputs(design, sim);
@@ -139,12 +172,20 @@ FaultResult run_fault(const ir::Design& design, const sched::DesignSchedule& sch
                       const ExternRegistry& externs,
                       const std::map<std::string, std::vector<std::uint64_t>>& feeds,
                       const GoldenRef& golden, const FaultSpec& fault, const SimOptions& base,
-                      std::uint64_t max_cycles, metrics::ProfileSummary* profile_out) {
+                      std::uint64_t max_cycles, metrics::ProfileSummary* profile_out,
+                      double site_wall_ms) {
   SimOptions opts = base;
   opts.mode = SimMode::kHardware;  // faults model circuit behaviour
   opts.max_cycles = max_cycles;
   opts.faults = FaultEngine{};
   opts.faults.add(fault);
+  // The watchdog budget starts at simulator construction, not campaign
+  // start: every site gets its own clock.
+  std::optional<Deadline> deadline;
+  if (site_wall_ms > 0.0) {
+    deadline = Deadline::in_ms(site_wall_ms);
+    opts.deadline = &*deadline;
+  }
   // Each call owns its Profiler, so parallel workers never share one.
   std::optional<metrics::Profiler> prof;
   if (profile_out != nullptr) {
@@ -171,6 +212,9 @@ FaultResult run_fault(const ir::Design& design, const sched::DesignSchedule& sch
   switch (r.status) {
     case RunStatus::kAborted:
       res.outcome = FaultOutcome::kDetected;
+      break;
+    case RunStatus::kDeadline:
+      res.outcome = FaultOutcome::kBudgetExceeded;
       break;
     case RunStatus::kHung:
       res.outcome = r.hang && r.hang->kind == HangKind::kCycleLimit
@@ -225,16 +269,73 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
                                                                      order.size(), 1)));
   report.threads = threads;
 
+  // ---- crash-recovery journal (sim/journal.h). With --resume, sites
+  // ---- the journal already classified are restored into their
+  // ---- site-order slots and never re-run; the report still renders
+  // ---- byte-identically to an uninterrupted campaign because slots,
+  // ---- not completion order, define the output.
+  std::unique_ptr<CampaignJournal> journal;
+  report.results.assign(order.size(), FaultResult{});
+  std::vector<char> restored(order.size(), 0);
+  if (!opt.journal.empty()) {
+    JournalHeader hdr;
+    hdr.design = design.name;
+    hdr.seed = opt.seed;
+    hdr.sites_total = sites.size();
+    hdr.max_faults = opt.max_faults;
+    hdr.max_cycles = max_cycles;
+    hdr.golden_cycles = golden.cycles;
+    hdr.site_wall_ms = opt.site_wall_ms;
+    hdr.profile = opt.profile;
+
+    bool reopen = false;
+    std::uint64_t valid_bytes = 0;
+    if (opt.resume) {
+      StatusOr<JournalContents> loaded = load_journal(opt.journal);
+      // An unreadable or foreign journal is not this campaign's log:
+      // start fresh rather than mix outcomes from a different sweep.
+      if (loaded.ok() && loaded->header.fingerprint() == hdr.fingerprint()) {
+        reopen = true;
+        valid_bytes = loaded->valid_bytes;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+          auto it = loaded->results.find(sites[order[i]].id);
+          if (it == loaded->results.end()) continue;
+          report.results[i] = it->second;
+          report.results[i].site = sites[order[i]];  // reattach the full spec
+          restored[i] = 1;
+        }
+      }
+    }
+    StatusOr<std::unique_ptr<CampaignJournal>> j =
+        reopen ? CampaignJournal::append_to(opt.journal, valid_bytes)
+               : CampaignJournal::create(opt.journal, hdr);
+    HLSAV_CHECK(j.ok(), "cannot open campaign journal '" + opt.journal +
+                            "': " + j.status().to_string());
+    journal = std::move(*j);
+  }
+
   Heartbeat heartbeat(opt, order.size());
   metrics::ProfileSummary site_profile;
   metrics::ProfileSummary* site_profile_ptr = opt.profile ? &site_profile : nullptr;
 
+  auto record = [&](std::size_t i) {
+    if (journal != nullptr) {
+      Status st = journal->append(report.results[i]);
+      HLSAV_CHECK(st.ok(), "campaign journal append failed: " + st.to_string());
+    }
+    heartbeat.site_done(report.results[i].outcome);
+  };
+
   if (threads <= 1) {
-    report.results.reserve(order.size());
-    for (std::size_t idx : order) {
-      report.results.push_back(run_fault(design, schedule, externs, feeds, golden, sites[idx],
-                                         opt.sim, max_cycles, site_profile_ptr));
-      heartbeat.site_done(report.results.back().outcome);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (restored[i] != 0) {
+        heartbeat.site_done(report.results[i].outcome);
+        continue;
+      }
+      report.results[i] =
+          run_fault_with_retry(design, schedule, externs, feeds, golden, sites[order[i]],
+                               opt.sim, max_cycles, site_profile_ptr, opt);
+      record(i);
     }
     return report;
   }
@@ -242,8 +343,9 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
   // Parallel sweep: every worker owns its Simulators (one fresh instance
   // per fault run); the shared design/schedule/externs/feeds/golden are
   // read-only. Results land in preallocated site-order slots, so the
-  // report is byte-identical to the serial loop's.
-  report.results.assign(order.size(), FaultResult{});
+  // report is byte-identical to the serial loop's. Journal appends
+  // happen in completion order -- the loader keys by site id, so order
+  // on disk is irrelevant.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -255,11 +357,16 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
     while (!failed.load(std::memory_order_relaxed)) {
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= order.size()) return;
+      if (restored[i] != 0) {
+        heartbeat.site_done(report.results[i].outcome);
+        continue;
+      }
       try {
         report.results[i] =
-            run_fault(design, schedule, externs, feeds, golden, sites[order[i]], opt.sim,
-                      max_cycles, opt.profile ? &local_profile : nullptr);
-        heartbeat.site_done(report.results[i].outcome);
+            run_fault_with_retry(design, schedule, externs, feeds, golden, sites[order[i]],
+                                 opt.sim, max_cycles,
+                                 opt.profile ? &local_profile : nullptr, opt);
+        record(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
@@ -315,7 +422,9 @@ std::string CampaignReport::render(const ir::Design& design) const {
      << count(FaultOutcome::kDetected) << ", silent-corruption "
      << count(FaultOutcome::kSilentCorruption) << ", hang-detected "
      << count(FaultOutcome::kHangDetected) << ", hang-timeout "
-     << count(FaultOutcome::kHangTimeout) << " (golden run: " << golden_cycles << " cycles)\n";
+     << count(FaultOutcome::kHangTimeout) << ", budget-exceeded "
+     << count(FaultOutcome::kBudgetExceeded) << " (golden run: " << golden_cycles
+     << " cycles)\n";
   os << "assertion detection rate over effectual faults: "
      << fmt_double(100.0 * detection_rate(), 1) << "%\n";
 

@@ -15,6 +15,8 @@
 //   hang-detected     -- the wait-for-graph detector proved a deadlock
 //                        (or starvation) the moment progress stopped.
 //   hang-timeout      -- only the max_cycles livelock backstop fired.
+//   budget-exceeded   -- the per-site wall-clock watchdog
+//                        (CampaignOptions::site_wall_ms) stopped the run.
 //
 // Determinism: the site list depends only on the design; the seed only
 // chooses which sites a sampled campaign runs. Same seed + same design
@@ -43,7 +45,11 @@ enum class FaultOutcome : std::uint8_t {
   kSilentCorruption,
   kHangDetected,
   kHangTimeout,
+  kBudgetExceeded,  // per-site wall-clock watchdog fired (site_wall_ms)
 };
+
+/// Number of FaultOutcome values (tally arrays, serialization).
+inline constexpr std::size_t kNumFaultOutcomes = 6;
 
 [[nodiscard]] const char* fault_outcome_name(FaultOutcome o);
 
@@ -80,6 +86,20 @@ struct CampaignOptions {
   /// tail) and report per-site deltas vs the golden profile. Each run
   /// owns its Profiler, so the parallel sweep stays race-free.
   bool profile = false;
+  /// Per-site wall-clock budget in milliseconds; 0 = unlimited. A site
+  /// that exceeds it is classified budget-exceeded (an answer, not an
+  /// error) and the sweep moves on -- one pathological site can no
+  /// longer pin the whole campaign.
+  double site_wall_ms = 0.0;
+  /// Bounded retries (with exponential backoff) when a site run throws
+  /// a transient failure; after the last attempt the error propagates.
+  unsigned site_retries = 2;
+  /// Path of the append-only crash-recovery journal (sim/journal.h);
+  /// empty = no journal.
+  std::string journal;
+  /// With `journal` set: load it first and skip sites it already
+  /// classified, provided its header fingerprint matches this campaign.
+  bool resume = false;
   /// Base simulation options (mode, channel mux) shared by every run.
   SimOptions sim;
 };
@@ -121,14 +141,17 @@ struct CampaignReport {
 
 /// Runs one fault variant and classifies it against `golden`. When
 /// `profile_out` is non-null the run is profiled (timeline off) and its
-/// attribution summary stored there.
+/// attribution summary stored there. A positive `site_wall_ms` arms the
+/// simulator's wall-clock watchdog; an expired budget classifies as
+/// FaultOutcome::kBudgetExceeded.
 [[nodiscard]] FaultResult run_fault(const ir::Design& design,
                                     const sched::DesignSchedule& schedule,
                                     const ExternRegistry& externs,
                                     const std::map<std::string, std::vector<std::uint64_t>>& feeds,
                                     const GoldenRef& golden, const FaultSpec& fault,
                                     const SimOptions& base, std::uint64_t max_cycles,
-                                    metrics::ProfileSummary* profile_out = nullptr);
+                                    metrics::ProfileSummary* profile_out = nullptr,
+                                    double site_wall_ms = 0.0);
 
 /// The full campaign: enumerate sites, (optionally sample,) run each,
 /// classify every one -- no fault is ever left unclassified.

@@ -1,0 +1,104 @@
+// Crash-safe campaign journal.
+//
+// A fault campaign over a real design can run for hours; a crash, OOM
+// kill or pre-empted CI job must not throw the completed sites away.
+// The journal is the classic append-only write-ahead log:
+//
+//  * One JSONL file. The first line is a header describing the campaign
+//    (design, seed, sampling, resolved cycle backstop) -- its canonical
+//    `fingerprint()` is what --resume matches against, so a journal can
+//    never be replayed into a *different* campaign.
+//  * One line per classified site, appended and fsync'd the moment the
+//    site completes. Workers append in completion order; the aggregate
+//    report is rebuilt in site order, so an interrupted-then-resumed
+//    campaign renders byte-identically to an uninterrupted one at any
+//    thread count.
+//  * The header is written via write-temp-then-rename, so a crash
+//    during creation leaves either no journal or a valid one -- never a
+//    file with half a header.
+//  * A kill mid-append leaves at most one torn trailing line. The
+//    loader stops at the first unparseable line and reports how many
+//    bytes were valid; resume truncates to that point before it starts
+//    appending again.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/campaign.h"
+#include "support/status.h"
+
+namespace hlsav::sim {
+
+/// Campaign identity, logged as the journal's first line. Two campaigns
+/// with equal fingerprints enumerate the same sites with the same
+/// backstops, so their per-site outcomes are interchangeable.
+struct JournalHeader {
+  std::string design;
+  std::uint64_t seed = 0;
+  std::uint64_t sites_total = 0;
+  std::uint64_t max_faults = 0;
+  std::uint64_t max_cycles = 0;  // resolved livelock backstop
+  std::uint64_t golden_cycles = 0;
+  double site_wall_ms = 0.0;
+  bool profile = false;
+
+  /// Canonical one-line identity (also the serialized header payload).
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Everything load_journal() recovers from disk. Restored FaultResults
+/// carry only the site *id* in `site` -- the caller re-attaches the
+/// full FaultSpec from its own deterministic enumeration.
+struct JournalContents {
+  JournalHeader header;
+  std::map<std::uint32_t, FaultResult> results;
+  /// Prefix of the file that parsed cleanly; anything past it is a torn
+  /// trailing write and must be truncated before appending resumes.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Parses a journal file. kIoError when unreadable; kInvalidArgument
+/// when even the header line is unusable.
+[[nodiscard]] StatusOr<JournalContents> load_journal(const std::string& path);
+
+/// The append handle. Not movable (owns a mutex and an fd); create()
+/// hands back a unique_ptr.
+class CampaignJournal {
+ public:
+  /// Starts a fresh journal at `path`: header written atomically
+  /// (temp + rename), then reopened for appending.
+  [[nodiscard]] static StatusOr<std::unique_ptr<CampaignJournal>> create(
+      std::string path, const JournalHeader& header);
+
+  /// Reopens an existing journal for appending, truncating to
+  /// `valid_bytes` first (drops a torn trailing line, keeps everything
+  /// that was durably recorded).
+  [[nodiscard]] static StatusOr<std::unique_ptr<CampaignJournal>> append_to(
+      std::string path, std::uint64_t valid_bytes);
+
+  ~CampaignJournal();
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  /// Appends one classified site and fsyncs. Thread-safe: parallel
+  /// workers call this directly in completion order.
+  [[nodiscard]] Status append(const FaultResult& r);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  CampaignJournal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mu_;
+};
+
+/// Serialized JSONL form of one site outcome (exposed for tests).
+[[nodiscard]] std::string journal_line(const FaultResult& r);
+
+}  // namespace hlsav::sim

@@ -23,6 +23,7 @@ void Simulator::init_state() {
   tracing_ = opt_.trace;
   ela_ = opt_.ela;
   prof_ = opt_.profile;
+  deadline_ = opt_.deadline;
   inject_faults_ = opt_.mode == SimMode::kHardware && !opt_.faults.empty();
   if (inject_faults_) stream_write_seq_.assign(design_.streams.size(), 0);
 
@@ -164,6 +165,27 @@ void Simulator::feed(ir::StreamId stream, const std::vector<std::uint64_t>& valu
     streams_[stream].fifo.push_back(FifoEntry{BitVector::from_u64(s.width, v), 0});
   }
   mark_cpu_dirty(stream);  // a CPU->CPU stream delivers on the next drain
+}
+
+Status Simulator::try_feed(std::string_view stream_name,
+                           const std::vector<std::uint64_t>& values) {
+  auto it = stream_ids_.find(stream_name);
+  if (it == stream_ids_.end()) {
+    return Status::invalid_argument("unknown stream '" + std::string(stream_name) + "'");
+  }
+  const ir::Stream& s = design_.stream(it->second);
+  if (!streams_[it->second].cpu_producer) {
+    return Status::invalid_argument("stream '" + s.name + "' is not CPU-fed");
+  }
+  for (std::uint64_t v : values) {
+    if (s.width < 64 && (v >> s.width) != 0) {
+      return Status::invalid_argument("feed value " + std::to_string(v) +
+                                      " does not fit stream '" + s.name + "' (" +
+                                      std::to_string(s.width) + " bits)");
+    }
+  }
+  feed(it->second, values);
+  return Status::ok_status();
 }
 
 std::vector<std::uint64_t> Simulator::received(std::string_view stream_name) const {
@@ -687,12 +709,14 @@ bool Simulator::run_pipelined_loop(ProcState& ps) {
     ++pc.iter;
     ps.op_idx = 0;
     if (halt_) return true;
+    if (deadline_ != nullptr && poll_deadline()) return true;
   }
 }
 
 bool Simulator::step_process(ProcState& ps) {
   bool progress = false;
   while (!ps.done && !ps.blocked && !halt_) {
+    if (deadline_ != nullptr && poll_deadline()) return progress;
     if (ps.cycle > opt_.max_cycles) {
       ps.blocked = true;
       ps.blocked_at = {};
@@ -831,6 +855,13 @@ RunResult Simulator::run() {
     // (advance_to_block only fires on transitions).
     for (const ProcState& ps : procs_) ela_->fsm_state(ps.proc, ps.cur, 0);
   }
+  // An already-expired budget stops the run before the first cycle --
+  // unconditionally, so an elapsed deadline is deterministic for tests
+  // regardless of where the masked polls would have landed.
+  if (deadline_ != nullptr && deadline_->expired()) {
+    deadline_hit_ = true;
+    halt_ = true;
+  }
   bool progress = true;
   while (progress && !halt_) {
     progress = false;
@@ -850,7 +881,9 @@ RunResult Simulator::run() {
   for (const ProcState& ps : procs_) result.cycles = std::max(result.cycles, ps.cycle);
   bool all_done = std::all_of(procs_.begin(), procs_.end(),
                               [](const ProcState& p) { return p.done; });
-  if (halt_) {
+  if (deadline_hit_) {
+    result.status = RunStatus::kDeadline;
+  } else if (halt_) {
     result.status = RunStatus::kAborted;
   } else if (all_done) {
     result.status = RunStatus::kCompleted;
@@ -859,6 +892,7 @@ RunResult Simulator::run() {
     result.hang = diagnose_hang();
     result.hang_report = result.hang->render();
   }
+  result.trace_truncated = opt_.trace && !tracing_;
 
   if (prof_ != nullptr) {
     for (const ProcState& ps : procs_) {

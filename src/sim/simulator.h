@@ -36,6 +36,7 @@
 // stream after every process step.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <map>
 #include <optional>
@@ -48,6 +49,7 @@
 #include "sched/schedule.h"
 #include "sim/extern_registry.h"
 #include "sim/fault.h"
+#include "support/status.h"
 
 namespace hlsav::trace {
 class TraceEngine;
@@ -60,6 +62,24 @@ class Profiler;
 namespace hlsav::sim {
 
 enum class SimMode { kSoftware, kHardware };
+
+/// Wall-clock watchdog budget. The simulator polls it cooperatively
+/// (counter-masked, so the hot loop pays an increment-and-mask, not a
+/// clock read, per poll site) and stops with RunStatus::kDeadline once
+/// it expires. An already-expired deadline stops the run before the
+/// first cycle -- that determinism is what the watchdog tests key on.
+struct Deadline {
+  std::chrono::steady_clock::time_point at{};
+
+  [[nodiscard]] bool expired() const { return std::chrono::steady_clock::now() >= at; }
+
+  /// A deadline `ms` milliseconds from now (non-positive: already expired).
+  [[nodiscard]] static Deadline in_ms(double ms) {
+    auto delta = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(ms));
+    return Deadline{std::chrono::steady_clock::now() + delta};
+  }
+};
 
 struct SimOptions {
   SimMode mode = SimMode::kHardware;
@@ -84,6 +104,10 @@ struct SimOptions {
   /// never per op, so the fast path stays on. Disabled costs one
   /// pointer test per hook site.
   metrics::Profiler* profile = nullptr;
+  /// Wall-clock watchdog (borrowed; may be null). Polled at block-step
+  /// and pipeline-iteration boundaries behind the same one-pointer-test
+  /// pattern as `ela`/`profile`: disabled costs one branch per site.
+  const Deadline* deadline = nullptr;
   FaultEngine faults;
 };
 
@@ -101,6 +125,7 @@ enum class RunStatus : std::uint8_t {
   kCompleted,  // every application process returned
   kAborted,    // halted by an assertion failure (NABORT off)
   kHung,       // deadlock or cycle limit: some process never finished
+  kDeadline,   // SimOptions::deadline expired (wall-clock watchdog)
 };
 
 /// Why a process is suspended. The scheduler loop branches on this (a
@@ -157,6 +182,10 @@ struct RunResult {
   std::vector<assertions::Failure> failures;
   std::string hang_report;  // rendered from `hang` when kHung
   std::optional<HangInfo> hang;
+  /// Trace mode hit SimOptions::trace_limit: `trace()` holds a prefix
+  /// of the run, not the whole run. Explicit so consumers never mistake
+  /// a capped capture for a short one.
+  bool trace_truncated = false;
 
   [[nodiscard]] bool completed() const { return status == RunStatus::kCompleted; }
 };
@@ -171,6 +200,12 @@ class Simulator {
   /// masquerade as a hardware fault, so it throws InternalError instead.
   void feed(std::string_view stream_name, const std::vector<std::uint64_t>& values);
   void feed(ir::StreamId stream, const std::vector<std::uint64_t>& values);
+
+  /// Status-returning feed for callers driving untrusted input (the
+  /// fuzz harness, the CLI): unknown stream / over-wide value comes
+  /// back as kInvalidArgument instead of a thrown InternalError.
+  [[nodiscard]] Status try_feed(std::string_view stream_name,
+                                const std::vector<std::uint64_t>& values);
 
   /// Runs to completion / abort / hang.
   [[nodiscard]] RunResult run();
@@ -305,6 +340,18 @@ class Simulator {
   bool inject_faults_ = false;  // kHardware with a non-empty fault list
   trace::TraceEngine* ela_ = nullptr;  // cached opt_.ela
   metrics::Profiler* prof_ = nullptr;  // cached opt_.profile
+  const Deadline* deadline_ = nullptr;  // cached opt_.deadline
+  std::uint32_t deadline_poll_ = 0;     // counter-masked clock-read throttle
+  bool deadline_hit_ = false;
+
+  /// Throttled deadline poll: reads the clock once per 256 calls.
+  /// Sets deadline_hit_ + halt_ and returns true when expired.
+  bool poll_deadline() {
+    if ((++deadline_poll_ & 255u) != 0 || !deadline_->expired()) return false;
+    deadline_hit_ = true;
+    halt_ = true;
+    return true;
+  }
 
   [[nodiscard]] ir::StreamId stream_by_name(std::string_view name) const;
   void init_state();

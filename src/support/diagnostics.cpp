@@ -4,9 +4,10 @@
 
 namespace hlsav {
 
-void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message,
+                              std::uint32_t length) {
   if (sev == Severity::kError) ++error_count_;
-  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+  diags_.push_back(Diagnostic{sev, loc, length, std::move(message)});
 }
 
 namespace {
@@ -34,6 +35,10 @@ std::string DiagnosticEngine::render(const Diagnostic& d) const {
         os << (i - 1 < line.size() && line[i - 1] == '\t' ? '\t' : ' ');
       }
       os << '^';
+      // Underline the rest of the range, clipped to the source line
+      // (tilde i sits at column loc.column + 1 + i).
+      std::uint32_t span = d.length > 1 ? d.length - 1 : 0;
+      for (std::uint32_t i = 0; i < span && d.loc.column + i < line.size(); ++i) os << '~';
     }
   }
   return os.str();

@@ -18,6 +18,9 @@ enum class Severity { kNote, kWarning, kError };
 struct Diagnostic {
   Severity severity = Severity::kError;
   SourceLoc loc;
+  /// Columns the diagnostic covers starting at loc.column; rendered as
+  /// '^' plus length-1 tildes. 0 and 1 both mean "just the caret".
+  std::uint32_t length = 1;
   std::string message;
 };
 
@@ -30,8 +33,12 @@ class DiagnosticEngine {
 
   void attach(const SourceManager* sm) { sm_ = sm; }
 
-  void report(Severity sev, SourceLoc loc, std::string message);
+  void report(Severity sev, SourceLoc loc, std::string message, std::uint32_t length = 1);
   void error(SourceLoc loc, std::string message) { report(Severity::kError, loc, std::move(message)); }
+  /// Error spanning `length` columns from loc (underlined when rendered).
+  void error_range(SourceLoc loc, std::uint32_t length, std::string message) {
+    report(Severity::kError, loc, std::move(message), length);
+  }
   void warning(SourceLoc loc, std::string message) { report(Severity::kWarning, loc, std::move(message)); }
   void note(SourceLoc loc, std::string message) { report(Severity::kNote, loc, std::move(message)); }
 

@@ -1,0 +1,54 @@
+#include "support/status.h"
+
+#include <sstream>
+
+namespace hlsav {
+
+const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kParseError: return "parse-error";
+    case StatusCode::kSemaError: return "sema-error";
+    case StatusCode::kLowerError: return "lower-error";
+    case StatusCode::kSynthesisError: return "synthesis-error";
+    case StatusCode::kScheduleError: return "schedule-error";
+    case StatusCode::kSimError: return "sim-error";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kBudgetExceeded: return "budget-exceeded";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+Status Status::from_diagnostics(StatusCode code, const DiagnosticEngine& diags,
+                                std::string_view what) {
+  SourceLoc first;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.severity == Severity::kError) {
+      first = d.loc;
+      break;
+    }
+  }
+  std::ostringstream os;
+  os << what << " failed with " << diags.error_count() << " error"
+     << (diags.error_count() == 1 ? "" : "s");
+  Status s = error(code, os.str(), first);
+  return s;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  os << status_code_name(code());
+  if (loc().valid()) os << " at " << loc().line << ':' << loc().column;
+  os << ": " << message();
+  return os.str();
+}
+
+void Status::report_to(DiagnosticEngine& diags) const {
+  if (ok()) return;
+  diags.error(loc(), status_code_name(code()) + std::string(": ") + message());
+}
+
+}  // namespace hlsav

@@ -1,0 +1,147 @@
+// Recoverable error model for the whole toolchain.
+//
+// The pipeline has two failure families and they must never mix:
+//
+//  * user errors (bad HLS-C, over-wide literals, inconsistent designs,
+//    unwritable output files) are *expected* -- they travel as Status /
+//    StatusOr<T> values with an error code and a source location, get
+//    rendered through the DiagnosticEngine, and map onto hlsavc's
+//    documented exit codes;
+//  * internal invariant violations stay HLSAV_CHECK / InternalError,
+//    but every boundary the CLI and the fuzz harness cross wraps them
+//    (catch_internal) so a bug in one site of a thousand-site campaign
+//    degrades into a Status instead of tearing the process down.
+//
+// A Status is cheap to copy when ok (one enum) and carries its payload
+// out-of-line otherwise, so hot paths can return it freely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace hlsav {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,  // malformed caller input (bad flag value, bad feed)
+  kParseError,       // lexer or parser diagnostics
+  kSemaError,        // semantic analysis diagnostics
+  kLowerError,       // AST -> IR lowering diagnostics
+  kSynthesisError,   // assertion synthesis / IR verification
+  kScheduleError,    // scheduling
+  kSimError,         // simulator construction / feeds
+  kIoError,          // file system (open/write/rename/fsync)
+  kBudgetExceeded,   // wall-clock or cycle budget fired
+  kInternal,         // wrapped InternalError / unexpected exception
+};
+
+[[nodiscard]] const char* status_code_name(StatusCode c);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+
+  [[nodiscard]] static Status ok_status() { return Status(); }
+  [[nodiscard]] static Status error(StatusCode code, std::string message,
+                                    SourceLoc loc = {}) {
+    Status s;
+    s.rep_ = std::make_shared<Rep>(Rep{code, std::move(message), loc});
+    return s;
+  }
+  [[nodiscard]] static Status invalid_argument(std::string message, SourceLoc loc = {}) {
+    return error(StatusCode::kInvalidArgument, std::move(message), loc);
+  }
+  [[nodiscard]] static Status io_error(std::string message) {
+    return error(StatusCode::kIoError, std::move(message));
+  }
+  [[nodiscard]] static Status internal(std::string message) {
+    return error(StatusCode::kInternal, std::move(message));
+  }
+
+  /// Summarizes an errored DiagnosticEngine into one Status (the
+  /// diagnostics themselves stay in the engine for rendering); `what`
+  /// names the failing stage, e.g. "parse".
+  [[nodiscard]] static Status from_diagnostics(StatusCode code, const DiagnosticEngine& diags,
+                                               std::string_view what);
+
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  [[nodiscard]] const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+  [[nodiscard]] SourceLoc loc() const { return rep_ ? rep_->loc : SourceLoc{}; }
+
+  /// "sema-error at 3:7: ..." / "ok"; locations render only when valid.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Re-reports this status into a DiagnosticEngine (no-op when ok or
+  /// when the status summarizes diagnostics already in the engine).
+  void report_to(DiagnosticEngine& diags) const;
+
+ private:
+  struct Rep {
+    StatusCode code = StatusCode::kInternal;
+    std::string message;
+    SourceLoc loc;
+  };
+  // shared_ptr keeps Status copyable (campaign workers hand results
+  // across threads) at one word when ok.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// A T or the Status explaining why there is none.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(T value)                              // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+  [[nodiscard]] T& operator*() & { return *value_; }
+  [[nodiscard]] const T& operator*() const& { return *value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Runs `fn`, converting an escaping InternalError (or any other
+/// std::exception) into a kInternal Status: the boundary between "the
+/// toolchain has a bug" and "the process must die" for the CLI, the
+/// campaign retry loop, and the fuzz harness.
+template <typename Fn>
+[[nodiscard]] Status catch_internal(Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+    return Status::ok_status();
+  } catch (const InternalError& e) {
+    return Status::internal(e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("unexpected exception: ") + e.what());
+  }
+}
+
+}  // namespace hlsav
+
+/// Early-returns the enclosing function's Status on error.
+#define HLSAV_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::hlsav::Status hlsav_status_ = (expr);          \
+    if (!hlsav_status_.ok()) return hlsav_status_;   \
+  } while (0)

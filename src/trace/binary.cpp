@@ -5,6 +5,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+
+#include "support/io.h"
 
 namespace hlsav::trace {
 
@@ -102,10 +105,10 @@ std::vector<TraceRecord> read_binary_trace(std::istream& is) {
 }
 
 void write_binary_trace_file(const std::string& path, const std::vector<TraceRecord>& window) {
-  std::ofstream os(path, std::ios::binary);
-  HLSAV_CHECK(os.good(), "cannot open binary trace output file '" + path + "'");
+  std::ostringstream os(std::ios::binary);
   write_binary_trace(os, window);
-  HLSAV_CHECK(os.good(), "error writing binary trace file '" + path + "'");
+  Status st = write_file_atomic(path, os.str());
+  HLSAV_CHECK(st.ok(), "error writing binary trace file: " + st.to_string());
 }
 
 std::vector<TraceRecord> read_binary_trace_file(const std::string& path) {

@@ -25,6 +25,13 @@ bool TraceFilter::allows_process(std::string_view name) const {
 TraceEngine::TraceEngine(const ir::Design& design, TraceConfig cfg)
     : design_(&design), cfg_(std::move(cfg)) {
   HLSAV_CHECK(cfg_.capacity > 0, "trace ring-buffer capacity must be positive");
+  // Hard memory cap: a runaway --ela-capacity (or a fuzzed config) must
+  // not ask the host for unbounded per-process buffers. Clamp and flag
+  // rather than abort -- the window is still valid, just shallower.
+  if (cfg_.capacity > kMaxCapacity) {
+    cfg_.capacity = kMaxCapacity;
+    capacity_clamped_ = true;
+  }
   ring_of_proc_.assign(design.processes.size(), -1);
   proc_index_.reserve(design.processes.size());
   for (std::size_t i = 0; i < design.processes.size(); ++i) {

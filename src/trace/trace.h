@@ -93,6 +93,11 @@ struct TraceConfig {
 /// then read `window()` back.
 class TraceEngine {
  public:
+  /// Hard ceiling on TraceConfig::capacity (entries per process ring).
+  /// A request above it is clamped, not honoured -- the host's memory
+  /// is a budget too -- and capacity_clamped() reports the truncation.
+  static constexpr std::size_t kMaxCapacity = 1u << 20;
+
   explicit TraceEngine(const ir::Design& design, TraceConfig cfg = {});
 
   // ---- simulator hooks (only called while armed) ----
@@ -118,6 +123,9 @@ class TraceEngine {
   [[nodiscard]] std::uint64_t captured() const { return captured_; }
   /// Events overwritten by ring wrap-around (captured - retained).
   [[nodiscard]] std::uint64_t dropped() const;
+  /// True when the requested capacity exceeded kMaxCapacity and the
+  /// rings were instantiated shallower than asked.
+  [[nodiscard]] bool capacity_clamped() const { return capacity_clamped_; }
 
   [[nodiscard]] const TraceConfig& config() const { return cfg_; }
   [[nodiscard]] const ir::Design& design() const { return *design_; }
@@ -153,6 +161,7 @@ class TraceEngine {
   std::uint64_t captured_ = 0;
   unsigned max_value_width_ = 1;
   unsigned trigger_count_ = 0;
+  bool capacity_clamped_ = false;
 
   /// Ring for this process, or nullptr when the filter excludes it.
   Ring* ring_for(const ir::Process* p, std::uint16_t& proc_out);

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "rtl/names.h"
+#include "support/io.h"
 
 namespace hlsav::trace {
 
@@ -254,10 +255,12 @@ void VcdWriter::write(std::ostream& os, const std::vector<TraceRecord>& window,
 
 void VcdWriter::write_file(const std::string& path, const std::vector<TraceRecord>& window,
                            const VcdOptions& opt) const {
-  std::ofstream os(path);
-  HLSAV_CHECK(os.good(), "cannot open VCD output file '" + path + "'");
+  // Buffer + atomic rename (support/io.h): a run killed mid-export
+  // leaves the previous VCD intact, never a torn one.
+  std::ostringstream os;
   write(os, window, opt);
-  HLSAV_CHECK(os.good(), "error writing VCD output file '" + path + "'");
+  Status st = write_file_atomic(path, os.str());
+  HLSAV_CHECK(st.ok(), "error writing VCD output file: " + st.to_string());
 }
 
 }  // namespace hlsav::trace

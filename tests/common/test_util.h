@@ -45,8 +45,8 @@ inline std::unique_ptr<Compiled> compile(const std::string& src, bool expect_ok 
     EXPECT_FALSE(expect_ok) << c->diags.render();
     return c;
   }
-  bool lowered = ir::lower_all_processes(c->design, *c->program, c->sm, c->diags);
-  EXPECT_EQ(lowered, expect_ok) << c->diags.render();
+  Status lowered = ir::lower_all_processes(c->design, *c->program, c->sm, c->diags);
+  EXPECT_EQ(lowered.ok(), expect_ok) << c->diags.render();
   return c;
 }
 

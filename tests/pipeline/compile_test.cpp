@@ -1,0 +1,110 @@
+// pipeline::compile_*: every stage failure arrives as a typed Status
+// with its diagnostics in the caller's engine -- never an exception.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pipeline/compile.h"
+
+namespace hlsav::pipeline {
+namespace {
+
+StatusOr<Compiled> compile(const std::string& src, DiagnosticEngine& diags, SourceManager& sm,
+                           const CompileOptions& opt = {}) {
+  diags.attach(&sm);
+  return compile_source(sm, diags, "test.c", src, opt);
+}
+
+TEST(PipelineCompile, GoodSourceYieldsDesignAndSchedule) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  StatusOr<Compiled> c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      for (uint32 i = 0; i < 3; i++) {
+        uint32 v = stream_read(in);
+        assert(v < 50);
+        stream_write(out, v + 1);
+      }
+    }
+  )", diags, sm);
+  ASSERT_TRUE(c.ok()) << c.status().to_string() << "\n" << diags.render();
+  EXPECT_NE(c->design.find_process("f"), nullptr);
+  EXPECT_EQ(c->synth.assertions_synthesized, 1u);
+  EXPECT_FALSE(c->schedule.processes.empty());
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(PipelineCompile, ParseErrorHasParseCodeAndDiagnostics) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  StatusOr<Compiled> c = compile("void f(stream_in<32> in) { uint32 x = ; }", diags, sm);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kParseError);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.render().find("test.c:"), std::string::npos);
+}
+
+TEST(PipelineCompile, SemaErrorHasSemaCodeAndDiagnostics) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  // Parses fine; 'y' is undeclared, which sema must reject.
+  StatusOr<Compiled> c =
+      compile("void f(stream_in<32> in) { uint32 x; x = y + 1; }", diags, sm);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kSemaError);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PipelineCompile, StatusLocationPointsIntoSource) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  StatusOr<Compiled> c = compile("void f(stream_in<32> in) {\n  uint32 x = ;\n}", diags, sm);
+  ASSERT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().loc().valid());
+  EXPECT_EQ(c.status().loc().line, 2u);
+}
+
+TEST(PipelineCompile, MissingFileIsIoError) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  diags.attach(&sm);
+  StatusOr<Compiled> c = compile_file(sm, diags, "/nonexistent/nope.c", {});
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kIoError);
+  EXPECT_NE(c.status().message().find("nope.c"), std::string::npos);
+}
+
+TEST(PipelineCompile, SynthesisCanBeSkipped) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  CompileOptions opt;
+  opt.synthesize_assertions = false;
+  StatusOr<Compiled> c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 v = stream_read(in);
+      assert(v < 50);
+      stream_write(out, v);
+    }
+  )", diags, sm, opt);
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  EXPECT_EQ(c->synth.assertions_synthesized, 0u);
+}
+
+TEST(PipelineCompile, OptimizeFlagPopulatesReport) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  CompileOptions opt;
+  opt.optimize_ir = true;
+  StatusOr<Compiled> c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 v = stream_read(in);
+      uint32 dead = 17;
+      stream_write(out, v + 0);
+    }
+  )", diags, sm, opt);
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  EXPECT_GT(c->opt_report.total(), 0u);
+}
+
+}  // namespace
+}  // namespace hlsav::pipeline

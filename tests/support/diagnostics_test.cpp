@@ -1,0 +1,101 @@
+// Diagnostic rendering: caret placement, range underlining, and the
+// multi-error output the parser's recovery mode produces.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lang/parser.h"
+#include "support/diagnostics.h"
+
+namespace hlsav {
+namespace {
+
+TEST(Diagnostics, RenderPointsCaretAtColumn) {
+  SourceManager sm;
+  FileId f = sm.add_buffer("t.c", "uint32 x = ;\n");
+  DiagnosticEngine diags(&sm);
+  diags.error(SourceLoc{f, 1, 12}, "expected expression");
+  std::string out = diags.render();
+  EXPECT_NE(out.find("t.c:1:12: error: expected expression"), std::string::npos) << out;
+  // Caret under column 12 of the echoed source line.
+  EXPECT_NE(out.find("  uint32 x = ;"), std::string::npos) << out;
+  std::string caret_line = "\n  " + std::string(11, ' ') + "^";  // 11 pads: columns 1..11
+  EXPECT_NE(out.find(caret_line), std::string::npos) << out;
+}
+
+TEST(Diagnostics, RangeRendersCaretPlusTildes) {
+  SourceManager sm;
+  FileId f = sm.add_buffer("t.c", "uint99 value = 0;\n");
+  DiagnosticEngine diags(&sm);
+  diags.error_range(SourceLoc{f, 1, 1}, 6, "unknown type 'uint99'");
+  std::string out = diags.render();
+  EXPECT_NE(out.find("^~~~~~"), std::string::npos) << out;  // 6 columns: ^ + 5 tildes
+}
+
+TEST(Diagnostics, RangeClipsAtEndOfLine) {
+  SourceManager sm;
+  FileId f = sm.add_buffer("t.c", "x\n");
+  DiagnosticEngine diags(&sm);
+  diags.error_range(SourceLoc{f, 1, 1}, 40, "oops");
+  std::string out = diags.render();
+  // The underline stops at the end of the 1-char line: no tilde run-off.
+  EXPECT_EQ(out.find("^~"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, TabsPreservedInCaretLine) {
+  SourceManager sm;
+  FileId f = sm.add_buffer("t.c", "\tuint32 x = ;\n");
+  DiagnosticEngine diags(&sm);
+  diags.error(SourceLoc{f, 1, 13}, "expected expression");
+  std::string out = diags.render();
+  // The pad mirrors the tab so the caret lines up in any tab width.
+  EXPECT_NE(out.find("\n  \t"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, UnknownLocationOmitsExcerpt) {
+  SourceManager sm;
+  DiagnosticEngine diags(&sm);
+  diags.error(SourceLoc{}, "design has no processes");
+  EXPECT_EQ(diags.render(), "error: design has no processes\n");
+}
+
+TEST(Diagnostics, ParserRecoveryReportsMultipleErrorsInOneRun) {
+  // Two independent statement-level mistakes: synchronize-on-';' must
+  // surface both, each with its own excerpt, in source order.
+  SourceManager sm;
+  DiagnosticEngine diags(&sm);
+  auto prog = lang::parse_source(sm, diags, "multi.c", R"(
+void f(stream_in<32> in, stream_out<32> out) {
+  uint32 a = ;
+  uint32 b = stream_read(in);
+  uint32 c = ;
+  stream_write(out, b);
+}
+)");
+  ASSERT_NE(prog, nullptr);
+  EXPECT_GE(diags.error_count(), 2u) << diags.render();
+  std::string out = diags.render();
+  std::size_t first = out.find("multi.c:3:");
+  std::size_t second = out.find("multi.c:5:");
+  EXPECT_NE(first, std::string::npos) << out;
+  EXPECT_NE(second, std::string::npos) << out;
+  EXPECT_LT(first, second) << out;
+}
+
+TEST(Diagnostics, RecoverySkipsToNextStatementNotNextToken) {
+  // The garbage run between errors must not produce an error cascade:
+  // one diagnostic per broken statement, not one per bad token.
+  SourceManager sm;
+  DiagnosticEngine diags(&sm);
+  (void)lang::parse_source(sm, diags, "cascade.c", R"(
+void f(stream_in<32> in) {
+  uint32 a = + + + + + + ;
+  uint32 b = stream_read(in);
+}
+)");
+  EXPECT_GE(diags.error_count(), 1u);
+  EXPECT_LE(diags.error_count(), 3u) << diags.render();
+}
+
+}  // namespace
+}  // namespace hlsav

@@ -1,0 +1,138 @@
+// Status / StatusOr: the recoverable-error currency of the pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "support/status.h"
+
+namespace hlsav {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeMessageAndLocation) {
+  SourceLoc loc;
+  loc.file = 1;
+  loc.line = 3;
+  loc.column = 7;
+  Status s = Status::error(StatusCode::kSemaError, "undeclared variable 'x'", loc);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kSemaError);
+  EXPECT_EQ(s.message(), "undeclared variable 'x'");
+  EXPECT_EQ(s.loc().line, 3u);
+  // to_string names the code and renders the location.
+  EXPECT_NE(s.to_string().find("sema-error"), std::string::npos);
+  EXPECT_NE(s.to_string().find("3:7"), std::string::npos);
+  EXPECT_NE(s.to_string().find("undeclared variable"), std::string::npos);
+}
+
+TEST(Status, LocationlessErrorOmitsPosition) {
+  Status s = Status::io_error("cannot open 'x.c'");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.to_string().find(" at "), std::string::npos);
+  EXPECT_EQ(s.to_string(), "io-error: cannot open 'x.c'");
+}
+
+TEST(Status, CopiesShareTheRep) {
+  Status a = Status::internal("boom");
+  Status b = a;  // shared_ptr copy: cheap, same payload
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+  EXPECT_EQ(b.message(), a.message());
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    const char* name = status_code_name(static_cast<StatusCode>(c));
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(std::string(name), "");
+  }
+}
+
+TEST(Status, FromDiagnosticsSummarizesFirstError) {
+  SourceManager sm;
+  FileId f = sm.add_buffer("t.c", "uint32 x = ;\n");
+  DiagnosticEngine diags(&sm);
+  SourceLoc loc;
+  loc.file = f;
+  loc.line = 1;
+  loc.column = 12;
+  diags.error(loc, "expected expression");
+  diags.error(loc, "second problem");
+  Status s = Status::from_diagnostics(StatusCode::kParseError, diags, "parse");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("parse"), std::string::npos);
+  // Summarizes the count so callers know the engine holds more detail.
+  EXPECT_NE(s.message().find("2"), std::string::npos);
+}
+
+TEST(StatusOr, HoldsValueOnSuccess) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsStatusOnFailure) {
+  StatusOr<std::string> v = Status::invalid_argument("bad flag");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, MoveOnlyPayloadsWork) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(CatchInternal, ConvertsInternalErrorToStatus) {
+  Status s = catch_internal([] { throw InternalError("invariant broken"); });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("invariant broken"), std::string::npos);
+}
+
+TEST(CatchInternal, ConvertsForeignExceptionsToo) {
+  Status s = catch_internal([] { throw std::runtime_error("third-party"); });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("third-party"), std::string::npos);
+}
+
+TEST(CatchInternal, PassesThroughOnSuccess) {
+  int ran = 0;
+  Status s = catch_internal([&] { ran = 1; });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(ran, 1);
+}
+
+Status needs_positive(int v) {
+  if (v <= 0) return Status::invalid_argument("must be positive");
+  return Status::ok_status();
+}
+
+Status uses_return_if_error(int v, bool* reached_end) {
+  HLSAV_RETURN_IF_ERROR(needs_positive(v));
+  *reached_end = true;
+  return Status::ok_status();
+}
+
+TEST(ReturnIfError, ShortCircuitsOnError) {
+  bool reached = false;
+  Status s = uses_return_if_error(-1, &reached);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(reached);
+  EXPECT_TRUE(uses_return_if_error(1, &reached).ok());
+  EXPECT_TRUE(reached);
+}
+
+}  // namespace
+}  // namespace hlsav

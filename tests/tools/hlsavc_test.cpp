@@ -307,4 +307,111 @@ TEST(Hlsavc, CampaignProfileShowsDeltas) {
   EXPECT_NE(r.output.find("profile deltas vs golden"), std::string::npos);
 }
 
+// ---- robustness: every malformed input exits with a diagnostic ----
+
+TEST(Hlsavc, MultipleSyntaxErrorsReportedInOneRun) {
+  std::string f = write_temp("multi.c", R"(
+void f(stream_in<32> in, stream_out<32> out) {
+  uint32 a = ;
+  uint32 b = stream_read(in);
+  uint32 c = ;
+  stream_write(out, b);
+}
+)");
+  CmdResult r = run_cmd("compile " + f);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("multi.c:3:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("multi.c:5:"), std::string::npos) << r.output;
+}
+
+TEST(Hlsavc, OverWideLiteralIsDiagnosedNotCrashed) {
+  std::string f = write_temp("wide.c",
+                             "void f(stream_in<32> in) { uint64 x; "
+                             "x = 99999999999999999999999999; }");
+  CmdResult r = run_cmd("compile " + f);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+}
+
+TEST(Hlsavc, MalformedFlagValueExitsTwo) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  for (const char* flag :
+       {"--seed=banana", "--max-cycles=12potatoes", "--threads=", "--site-wall-ms=abc",
+        "--feed f.in=1,banana,3", "--site-wall-ms=-5"}) {
+    CmdResult r = run_cmd("faultsim " + f + " --campaign --feed f.in=1,2,3 " + flag);
+    EXPECT_EQ(r.exit_code, 2) << flag << ": " << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << flag;
+  }
+}
+
+TEST(Hlsavc, BinaryGarbageInputNeverCrashes) {
+  // Every non-NUL byte value (NUL reads as end-of-input and yields an
+  // empty -- vacuously valid -- program): diagnostics, never a signal.
+  std::string garbage;
+  for (int i = 1; i < 256; ++i) garbage += static_cast<char>(i);
+  std::string f = write_temp("garbage.c", garbage);
+  CmdResult r = run_cmd("compile " + f);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("error"), std::string::npos) << r.output;
+}
+
+// ---- watchdog budget: exit code 5 ----
+
+TEST(Hlsavc, ExpiredBudgetExitsFive) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  // A zero-millisecond budget expires before the first cycle: the
+  // deterministic path through RunStatus::kDeadline.
+  CmdResult r = run_cmd("simulate " + f + " --feed f.in=1,2,3 --site-wall-ms=0.000001");
+  EXPECT_EQ(r.exit_code, 5) << r.output;
+  EXPECT_NE(r.output.find("budget"), std::string::npos) << r.output;
+}
+
+TEST(Hlsavc, HelpDocumentsJournalResumeAndBudget) {
+  CmdResult r = run_cmd("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--journal"), std::string::npos);
+  EXPECT_NE(r.output.find("--resume"), std::string::npos);
+  EXPECT_NE(r.output.find("--site-wall-ms"), std::string::npos);
+  EXPECT_NE(r.output.find("5"), std::string::npos);
+}
+
+// ---- campaign journal / resume via the CLI ----
+
+TEST(Hlsavc, CampaignJournalResumeMatchesUninterrupted) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  std::string journal = temp_path("cli_resume.jsonl");
+  CmdResult full = run_cmd("faultsim " + f + " --feed f.in=1,2,3 --campaign --journal=" + journal);
+  EXPECT_EQ(full.exit_code, 0) << full.output;
+
+  // Keep the header and the first two result lines: a kill mid-sweep.
+  std::ifstream in(journal);
+  ASSERT_TRUE(in.good());
+  std::string line, prefix;
+  for (int i = 0; i < 3 && std::getline(in, line); ++i) prefix += line + "\n";
+  in.close();
+  {
+    std::ofstream out(journal, std::ios::trunc);
+    out << prefix << "{\"site\":9,\"torn";  // plus a torn tail
+  }
+
+  CmdResult resumed = run_cmd("faultsim " + f + " --feed f.in=1,2,3 --campaign --resume " +
+                              "--journal=" + journal);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_EQ(resumed.output, full.output);
+
+  // Parallel resume over the now-complete journal is also identical.
+  CmdResult par = run_cmd("faultsim " + f + " --feed f.in=1,2,3 --campaign --resume " +
+                          "--threads=4 --journal=" + journal);
+  EXPECT_EQ(par.exit_code, 0) << par.output;
+  EXPECT_EQ(par.output, full.output);
+}
+
+TEST(Hlsavc, JournalInUnwritableDirectoryFailsCleanly) {
+  std::string f = write_temp("good.c", kGoodSrc);
+  CmdResult r = run_cmd("faultsim " + f +
+                        " --feed f.in=1,2,3 --campaign --journal=/nonexistent_dir/j.jsonl");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("hlsavc:"), std::string::npos) << r.output;
+}
+
 }  // namespace

@@ -27,6 +27,8 @@
 //   --sw                                        software-simulation mode
 //   --site=N --campaign --seed=N --max-faults=N --max-cycles=N --threads=N
 //                                               faultsim controls
+//   --journal=FILE --resume --site-wall-ms=N    campaign crash recovery and
+//                                               per-site watchdog budgets
 //   --trace-site=N --trace-nonbenign --trace-dir=DIR
 //                                               faultsim trace reruns
 //   --vcd=FILE --bin=FILE --last-cycles=N --trace-capacity=N
@@ -35,8 +37,19 @@
 //   --progress --profile                        faultsim campaign extras
 //
 // Exit codes: 0 success, 1 compile/internal error, 2 bad usage,
-//             3 halted by an assertion failure, 4 hang.
+//             3 halted by an assertion failure, 4 hang,
+//             5 wall-clock budget exceeded.
+//
+// Robustness contract: whatever the input -- malformed source, junk
+// flag values, unwritable outputs -- hlsavc exits with one of the codes
+// above and a rendered diagnostic. The frontend runs through
+// pipeline::compile_file (Status-carrying, no stage throws for user
+// errors) and main() backstops any residual exception.
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -48,12 +61,9 @@
 #include "fpga/area.h"
 #include "fpga/ela.h"
 #include "fpga/timing.h"
-#include "ir/lower.h"
-#include "ir/optimize.h"
-#include "lang/parser.h"
-#include "lang/sema.h"
 #include "metrics/chrometrace.h"
 #include "metrics/profile.h"
+#include "pipeline/compile.h"
 #include "rtl/netlist.h"
 #include "rtl/verilog.h"
 #include "sched/schedule.h"
@@ -106,7 +116,46 @@ struct Args {
   // profile outputs
   std::string trace_out = "profile.trace.json";
   std::string profile_json;
+  // wall-clock watchdog (simulate/profile/trace runs and campaign sites)
+  double site_wall_ms = 0.0;
 };
+
+// ---- flag-value parsing. std::sto* throws on junk; a malformed flag
+// ---- value is a usage error (exit 2), never a crash, so every numeric
+// ---- flag goes through these.
+
+bool parse_u64_flag(std::string_view text, std::uint64_t& out) {
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && p == text.data() + text.size() && !text.empty();
+}
+
+bool parse_u32_flag(std::string_view text, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64_flag(text, v) || v > std::numeric_limits<std::uint32_t>::max()) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_size_flag(std::string_view text, std::size_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64_flag(text, v)) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_unsigned_flag(std::string_view text, unsigned& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64_flag(text, v) || v > std::numeric_limits<unsigned>::max()) return false;
+  out = static_cast<unsigned>(v);
+  return true;
+}
+
+bool parse_double_flag(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
 
 void print_usage(std::ostream& os) {
   os << "usage: hlsavc <compile|verilog|ir|schedule|simulate|faultsim|trace|profile> <file.c> "
@@ -118,7 +167,12 @@ void print_usage(std::ostream& os) {
         "  --chain-depth=N --sw --optimize --trace --feed stream=v1,v2,...\n"
         "  faultsim: --site=N | --trace-site=N |\n"
         "            --campaign [--seed=N --max-faults=N --max-cycles=N --threads=N\n"
-        "                        --trace-nonbenign --progress --profile]\n"
+        "                        --trace-nonbenign --progress --profile\n"
+        "                        --journal=FILE --resume --site-wall-ms=N]\n"
+        "  --journal=FILE: append-only crash-recovery journal; --resume skips\n"
+        "            sites it already classified. --site-wall-ms=N caps each\n"
+        "            site's wall-clock budget (also caps simulate/profile/trace\n"
+        "            runs; an exceeded budget exits 5)\n"
         "  trace:    run with the embedded-logic-analyzer capture armed, write a VCD\n"
         "            (--vcd=FILE, default trace.vcd) plus a source-level replay of the\n"
         "            last captured cycles; --site=N injects one fault first\n"
@@ -130,7 +184,8 @@ void print_usage(std::ostream& os) {
         "            --profile-json=FILE also dumps the full report as JSON\n"
         "  checktrace: validate a Chrome trace-event JSON file (exit 0 valid, 1 not)\n"
         "exit codes: 0 ok, 1 compile/internal error, 2 bad usage,\n"
-        "            3 assertion failure halted the run, 4 hang\n";
+        "            3 assertion failure halted the run, 4 hang,\n"
+        "            5 wall-clock budget exceeded\n";
 }
 
 int usage() {
@@ -145,8 +200,33 @@ int run_exit_code(const sim::RunResult& r) {
     case sim::RunStatus::kCompleted: return 0;
     case sim::RunStatus::kAborted: return 3;
     case sim::RunStatus::kHung: return 4;
+    case sim::RunStatus::kDeadline: return 5;
   }
   return 1;
+}
+
+/// Shared per-command report of how a run ended.
+void print_run_status(const sim::RunResult& r) {
+  switch (r.status) {
+    case sim::RunStatus::kCompleted:
+      std::cout << "completed in " << r.cycles << " cycles\n";
+      break;
+    case sim::RunStatus::kAborted:
+      std::cout << "aborted by assertion failure at cycle "
+                << (r.failures.empty() ? 0 : r.failures.back().cycle) << "\n";
+      break;
+    case sim::RunStatus::kHung:
+      std::cout << r.hang_report;
+      break;
+    case sim::RunStatus::kDeadline:
+      std::cout << "stopped: wall-clock budget exceeded after " << r.cycles << " cycles\n";
+      break;
+  }
+}
+
+bool bad_value(const std::string& flag) {
+  std::cerr << "malformed value in option: " << flag << "\n";
+  return false;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -183,22 +263,31 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.campaign_opts.progress = true;
     } else if (a == "--profile") {
       args.campaign_opts.profile = true;
+    } else if (a == "--resume") {
+      args.campaign_opts.resume = true;
+    } else if (starts_with(a, "--journal=")) {
+      args.campaign_opts.journal = a.substr(10);
     } else if (starts_with(a, "--trace-out=")) {
       args.trace_out = a.substr(12);
     } else if (starts_with(a, "--profile-json=")) {
       args.profile_json = a.substr(15);
     } else if (starts_with(a, "--site=")) {
-      args.site = static_cast<std::uint32_t>(std::stoul(a.substr(7)));
+      if (!parse_u32_flag(a.substr(7), args.site)) return bad_value(a);
     } else if (starts_with(a, "--trace-site=")) {
-      args.trace_site = static_cast<std::uint32_t>(std::stoul(a.substr(13)));
+      if (!parse_u32_flag(a.substr(13), args.trace_site)) return bad_value(a);
     } else if (starts_with(a, "--seed=")) {
-      args.campaign_opts.seed = std::stoull(a.substr(7));
+      if (!parse_u64_flag(a.substr(7), args.campaign_opts.seed)) return bad_value(a);
     } else if (starts_with(a, "--max-faults=")) {
-      args.campaign_opts.max_faults = std::stoull(a.substr(13));
+      if (!parse_size_flag(a.substr(13), args.campaign_opts.max_faults)) return bad_value(a);
     } else if (starts_with(a, "--max-cycles=")) {
-      args.campaign_opts.max_cycles = std::stoull(a.substr(13));
+      if (!parse_u64_flag(a.substr(13), args.campaign_opts.max_cycles)) return bad_value(a);
     } else if (starts_with(a, "--threads=")) {
-      args.campaign_opts.threads = static_cast<unsigned>(std::stoul(a.substr(10)));
+      if (!parse_unsigned_flag(a.substr(10), args.campaign_opts.threads)) return bad_value(a);
+    } else if (starts_with(a, "--site-wall-ms=")) {
+      if (!parse_double_flag(a.substr(15), args.site_wall_ms) || args.site_wall_ms < 0) {
+        return bad_value(a);
+      }
+      args.campaign_opts.site_wall_ms = args.site_wall_ms;
     } else if (starts_with(a, "--vcd=")) {
       args.vcd_path = a.substr(6);
     } else if (starts_with(a, "--bin=")) {
@@ -206,24 +295,27 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (starts_with(a, "--trace-dir=")) {
       args.trace_dir = a.substr(12);
     } else if (starts_with(a, "--last-cycles=")) {
-      args.last_cycles = std::stoull(a.substr(14));
+      if (!parse_size_flag(a.substr(14), args.last_cycles)) return bad_value(a);
     } else if (starts_with(a, "--trace-capacity=")) {
-      args.trace_capacity = std::stoull(a.substr(17));
+      if (!parse_size_flag(a.substr(17), args.trace_capacity)) return bad_value(a);
     } else if (starts_with(a, "--trace-max-sites=")) {
-      args.trace_max_sites = std::stoull(a.substr(18));
+      if (!parse_size_flag(a.substr(18), args.trace_max_sites)) return bad_value(a);
     } else if (starts_with(a, "--trace-procs=")) {
       for (const std::string& p : split(a.substr(14), ',')) {
         if (!p.empty()) args.trace_procs.push_back(p);
       }
     } else if (starts_with(a, "--chain-depth=")) {
-      args.sched_opts.chain_depth = static_cast<unsigned>(std::stoul(a.substr(14)));
+      if (!parse_unsigned_flag(a.substr(14), args.sched_opts.chain_depth)) return bad_value(a);
     } else if (a == "--feed" && i + 1 < argc) {
       std::string spec = argv[++i];
       std::size_t eq = spec.find('=');
       if (eq == std::string::npos) return false;
       std::vector<std::uint64_t> values;
       for (const std::string& v : split(spec.substr(eq + 1), ',')) {
-        if (!v.empty()) values.push_back(std::stoull(v));
+        if (v.empty()) continue;
+        std::uint64_t value = 0;
+        if (!parse_u64_flag(v, value)) return bad_value("--feed " + spec);
+        values.push_back(value);
       }
       args.feeds[spec.substr(0, eq)] = values;
     } else {
@@ -249,42 +341,35 @@ int run(const Args& args) {
 
   SourceManager sm;
   DiagnosticEngine diags(&sm);
-  FileId file = sm.load_file(args.file);
-  if (file == 0) {
-    std::cerr << "hlsavc: cannot open " << args.file << "\n";
-    return 1;
-  }
-  lang::Parser parser(sm, file, diags);
-  auto program = parser.parse_program();
-  if (diags.has_errors()) {
-    std::cerr << diags.render();
-    return 1;
-  }
-  lang::SemaResult sema = lang::analyze(*program, sm, diags);
-  if (!sema.ok) {
-    std::cerr << diags.render();
-    return 1;
-  }
-  ir::Design design;
-  design.name = args.file;
-  if (!ir::lower_all_processes(design, *program, sm, diags)) {
-    std::cerr << diags.render();
-    return 1;
-  }
-  std::cerr << diags.render();  // warnings, if any
-  if (args.optimize_ir) {
-    ir::OptReport opt = ir::optimize(design);
-    std::cerr << "optimizer: " << opt.to_string() << "\n";
-  }
-
+  pipeline::CompileOptions copts;
+  copts.assert_opts = args.assert_opts;
+  copts.sched_opts = args.sched_opts;
+  copts.optimize_ir = args.optimize_ir;
   // In software mode the design is simulated pre-synthesis (assert
   // statements evaluated in place), as Impulse-C does.
-  assertions::SynthesisReport synth;
-  if (!(args.command == "simulate" && args.software_mode)) {
-    synth = assertions::synthesize(design, args.assert_opts);
+  copts.synthesize_assertions = !(args.command == "simulate" && args.software_mode);
+
+  StatusOr<pipeline::Compiled> compiled = pipeline::compile_file(sm, diags, args.file, copts);
+  std::cerr << diags.render();  // every collected diagnostic, errors and warnings
+  if (!compiled.ok()) {
+    std::cerr << "hlsavc: " << compiled.status().to_string() << "\n";
+    return 1;
   }
-  ir::verify(design);
-  sched::DesignSchedule schedule = sched::schedule_design(design, args.sched_opts);
+  ir::Design& design = compiled->design;
+  sched::DesignSchedule& schedule = compiled->schedule;
+  assertions::SynthesisReport& synth = compiled->synth;
+  if (args.optimize_ir) {
+    std::cerr << "optimizer: " << compiled->opt_report.to_string() << "\n";
+  }
+
+  // A --site-wall-ms budget arms the simulator watchdog on direct runs
+  // too (simulate/profile/trace); campaigns hand it to each site.
+  std::optional<sim::Deadline> run_deadline;
+  auto arm_deadline = [&](sim::SimOptions& so) {
+    if (args.site_wall_ms <= 0.0) return;
+    run_deadline = sim::Deadline::in_ms(args.site_wall_ms);
+    so.deadline = &*run_deadline;
+  };
 
   if (args.command == "ir") {
     std::cout << ir::print_design(design);
@@ -318,24 +403,20 @@ int run(const Args& args) {
     sim::SimOptions so;
     so.mode = args.software_mode ? sim::SimMode::kSoftware : sim::SimMode::kHardware;
     so.trace = args.trace;
+    arm_deadline(so);
     sim::Simulator simulator(design, schedule, externs, so);
     simulator.set_failure_sink([](const assertions::Failure& f) {
       std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
     });
-    for (const auto& [stream, values] : args.feeds) simulator.feed(stream, values);
-    sim::RunResult r = simulator.run();
-    switch (r.status) {
-      case sim::RunStatus::kCompleted:
-        std::cout << "completed in " << r.cycles << " cycles\n";
-        break;
-      case sim::RunStatus::kAborted:
-        std::cout << "aborted by assertion failure at cycle "
-                  << (r.failures.empty() ? 0 : r.failures.back().cycle) << "\n";
-        break;
-      case sim::RunStatus::kHung:
-        std::cout << r.hang_report;
-        break;
+    for (const auto& [stream, values] : args.feeds) {
+      Status st = simulator.try_feed(stream, values);
+      if (!st.ok()) {
+        std::cerr << "hlsavc: " << st.to_string() << "\n";
+        return 1;
+      }
     }
+    sim::RunResult r = simulator.run();
+    print_run_status(r);
     for (const ir::Stream& s : design.streams) {
       if (s.dead || s.consumer.kind != ir::StreamEndpoint::Kind::kCpu) continue;
       if (s.role != ir::StreamRole::kData) continue;
@@ -355,24 +436,20 @@ int run(const Args& args) {
     so.mode = args.software_mode ? sim::SimMode::kSoftware : sim::SimMode::kHardware;
     so.profile = &prof;
     if (args.campaign_opts.max_cycles != 0) so.max_cycles = args.campaign_opts.max_cycles;
+    arm_deadline(so);
     sim::Simulator simulator(design, schedule, externs, so);
     simulator.set_failure_sink([](const assertions::Failure& f) {
       std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
     });
-    for (const auto& [stream, values] : args.feeds) simulator.feed(stream, values);
-    sim::RunResult r = simulator.run();
-    switch (r.status) {
-      case sim::RunStatus::kCompleted:
-        std::cout << "completed in " << r.cycles << " cycles\n";
-        break;
-      case sim::RunStatus::kAborted:
-        std::cout << "aborted by assertion failure at cycle "
-                  << (r.failures.empty() ? 0 : r.failures.back().cycle) << "\n";
-        break;
-      case sim::RunStatus::kHung:
-        std::cout << r.hang_report;
-        break;
+    for (const auto& [stream, values] : args.feeds) {
+      Status st = simulator.try_feed(stream, values);
+      if (!st.ok()) {
+        std::cerr << "hlsavc: " << st.to_string() << "\n";
+        return 1;
+      }
     }
+    sim::RunResult r = simulator.run();
+    print_run_status(r);
     metrics::ProfileReport rep = prof.report(&sm);
     std::cout << rep.render_table();
     std::string error;
@@ -404,6 +481,7 @@ int run(const Args& args) {
     so.mode = args.software_mode ? sim::SimMode::kSoftware : sim::SimMode::kHardware;
     so.ela = &engine;
     if (args.campaign_opts.max_cycles != 0) so.max_cycles = args.campaign_opts.max_cycles;
+    arm_deadline(so);
     if (args.site != sim::FaultSpec::kNoSite) {
       std::vector<sim::FaultSpec> sites = sim::enumerate_fault_sites(design, schedule);
       if (args.site >= sites.size()) {
@@ -420,20 +498,15 @@ int run(const Args& args) {
     simulator.set_failure_sink([](const assertions::Failure& f) {
       std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
     });
-    for (const auto& [stream, values] : args.feeds) simulator.feed(stream, values);
-    sim::RunResult r = simulator.run();
-    switch (r.status) {
-      case sim::RunStatus::kCompleted:
-        std::cout << "completed in " << r.cycles << " cycles\n";
-        break;
-      case sim::RunStatus::kAborted:
-        std::cout << "aborted by assertion failure at cycle "
-                  << (r.failures.empty() ? 0 : r.failures.back().cycle) << "\n";
-        break;
-      case sim::RunStatus::kHung:
-        std::cout << r.hang_report;
-        break;
+    for (const auto& [stream, values] : args.feeds) {
+      Status st = simulator.try_feed(stream, values);
+      if (!st.ok()) {
+        std::cerr << "hlsavc: " << st.to_string() << "\n";
+        return 1;
+      }
     }
+    sim::RunResult r = simulator.run();
+    print_run_status(r);
 
     std::vector<trace::TraceRecord> window = engine.window();
     std::string vcd = args.vcd_path.empty() ? "trace.vcd" : args.vcd_path;
@@ -441,6 +514,10 @@ int run(const Args& args) {
     writer.write_file(vcd, window);
     std::cout << "vcd: " << vcd << " (" << writer.signal_count() << " signals, " << window.size()
               << " events retained, " << engine.dropped() << " overwritten)\n";
+    if (engine.capacity_clamped()) {
+      std::cerr << "hlsavc: trace capacity clamped to " << engine.config().capacity
+                << " entries/process (hard cap)\n";
+    }
     if (!args.bin_path.empty()) {
       trace::write_binary_trace_file(args.bin_path, window);
       std::cout << "binary trace: " << args.bin_path << "\n";
@@ -529,24 +606,20 @@ int run(const Args& args) {
       so.trace = args.trace;
       if (args.campaign_opts.max_cycles != 0) so.max_cycles = args.campaign_opts.max_cycles;
       so.faults.add(fault);
+      arm_deadline(so);
       sim::Simulator simulator(design, schedule, externs, so);
       simulator.set_failure_sink([](const assertions::Failure& f) {
         std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
       });
-      for (const auto& [stream, values] : args.feeds) simulator.feed(stream, values);
-      sim::RunResult r = simulator.run();
-      switch (r.status) {
-        case sim::RunStatus::kCompleted:
-          std::cout << "completed in " << r.cycles << " cycles\n";
-          break;
-        case sim::RunStatus::kAborted:
-          std::cout << "aborted by assertion failure at cycle "
-                    << (r.failures.empty() ? 0 : r.failures.back().cycle) << "\n";
-          break;
-        case sim::RunStatus::kHung:
-          std::cout << r.hang_report;
-          break;
+      for (const auto& [stream, values] : args.feeds) {
+        Status st = simulator.try_feed(stream, values);
+        if (!st.ok()) {
+          std::cerr << "hlsavc: " << st.to_string() << "\n";
+          return 1;
+        }
       }
+      sim::RunResult r = simulator.run();
+      print_run_status(r);
       for (const ir::Stream& s : design.streams) {
         if (s.dead || s.consumer.kind != ir::StreamEndpoint::Kind::kCpu) continue;
         if (s.role != ir::StreamRole::kData) continue;
@@ -591,6 +664,12 @@ int main(int argc, char** argv) {
     return run(args);
   } catch (const InternalError& e) {
     std::cerr << "hlsavc: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // Residual backstop: no input may crash the driver. Anything that
+    // escapes the Status-carrying pipeline still exits with a rendered
+    // diagnostic and the documented code.
+    std::cerr << "hlsavc: internal error: " << e.what() << "\n";
     return 1;
   }
 }
