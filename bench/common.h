@@ -223,12 +223,18 @@ inline std::string throughput_json(const SimThroughput& t) {
 /// (schema documented in README.md, "Simulator throughput bench").
 /// `profile_json`, when non-empty, is embedded as a top-level "profile"
 /// field (a ProfileReport::to_json() object).
+/// `speedup_json`, when non-empty, is embedded as a top-level
+/// "compiled_speedup" field (per-workload compiled/interpreter
+/// cycles-per-sec ratios plus their geomean; see bench_sim_throughput
+/// --engine=both).
 inline void write_bench_json(const std::string& path, const std::string& bench_name,
                              const std::vector<SimThroughput>& results,
-                             const std::string& profile_json = "") {
+                             const std::string& profile_json = "",
+                             const std::string& speedup_json = "") {
   BenchJsonDoc doc(path, bench_name, "workloads");
   for (const SimThroughput& t : results) doc.item(throughput_json(t));
   if (!profile_json.empty()) doc.field("profile", profile_json);
+  if (!speedup_json.empty()) doc.field("compiled_speedup", speedup_json);
 }
 
 /// Reads the workload name -> cycles/sec map back out of a BENCH_*.json

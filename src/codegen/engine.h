@@ -1,0 +1,57 @@
+// The compiled-simulation engine facade: emit + compile + load in one
+// call, producing a handle the Simulator runs behind its normal
+// interface (SimOptions::compiled).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/emit.h"
+#include "codegen/jit.h"
+#include "ir/ir.h"
+#include "sched/schedule.h"
+#include "sim/compiled.h"
+#include "support/status.h"
+
+namespace hlsav::codegen {
+
+struct PrepareOptions {
+  std::string compiler;      // empty = find_compiler()
+  std::string cache_dir;     // empty = default_cache_dir()
+  bool keep_source = false;  // keep the generated .c next to the cached .so
+};
+
+/// Owns the loaded shared object and exposes the simulator-facing view.
+/// Must outlive every Simulator its handle() is attached to.
+class CompiledDesign {
+ public:
+  CompiledDesign(LoadedModule module, sim::CompiledDesignHandle handle,
+                 std::vector<ProcEmit> procs)
+      : module_(std::move(module)), handle_(std::move(handle)), procs_(std::move(procs)) {}
+
+  /// Borrowed view to attach via SimOptions::compiled.
+  [[nodiscard]] const sim::CompiledDesignHandle* handle() const { return &handle_; }
+  /// Per-process emission outcomes (declined processes carry a reason).
+  [[nodiscard]] const std::vector<ProcEmit>& procs() const { return procs_; }
+  [[nodiscard]] bool from_cache() const { return module_.from_cache; }
+  [[nodiscard]] const std::string& key() const { return handle_.key; }
+  [[nodiscard]] const std::string& so_path() const { return module_.path; }
+
+ private:
+  LoadedModule module_;
+  sim::CompiledDesignHandle handle_;
+  std::vector<ProcEmit> procs_;
+};
+
+/// Emits, compiles (or pulls from cache) and loads the scheduled design.
+/// Errors (no compiler, unwritable cache, failed compile, every process
+/// declined) come back as Status -- the caller decides whether that
+/// means "fall back to the interpreter" (hlsavc --engine=auto) or "fail
+/// loudly" (--engine=compiled with no interpreter to fall back on still
+/// falls back, but reports the reason).
+[[nodiscard]] StatusOr<std::unique_ptr<CompiledDesign>> prepare(
+    const ir::Design& design, const sched::DesignSchedule& schedule,
+    const PrepareOptions& opt = {});
+
+}  // namespace hlsav::codegen

@@ -1,0 +1,69 @@
+#include "ir/debug_info.h"
+
+namespace hlsav::ir {
+
+namespace {
+const std::vector<std::size_t> kNoOps;
+}  // namespace
+
+ProcessDebugInfo::ProcessDebugInfo(const Process& proc, std::vector<BlockStateView> views)
+    : proc_(&proc), views_(std::move(views)) {
+  HLSAV_CHECK(views_.size() >= proc.blocks.size(), "debug info: view per block required");
+  by_state_.resize(proc.blocks.size());
+  for (const BasicBlock& b : proc.blocks) {
+    const BlockStateView& v = views_[b.id];
+    auto& states = by_state_[b.id];
+    states.resize(v.num_states);
+    if (v.pipelined) continue;  // pipelined bodies have no per-state FSM walk
+    for (std::size_t i = 0; i < b.ops.size(); ++i) {
+      unsigned s = state_of(b.id, i);
+      if (s < states.size()) states[s].push_back(i);
+    }
+  }
+}
+
+unsigned ProcessDebugInfo::state_of(BlockId b, std::size_t op_idx) const {
+  const BlockStateView& v = views_.at(b);
+  if (v.op_state == nullptr || op_idx >= v.op_state->size()) return 0;
+  return (*v.op_state)[op_idx];
+}
+
+unsigned ProcessDebugInfo::header_state_of(BlockId b, std::size_t op_idx) const {
+  const BlockStateView& v = views_.at(b);
+  if (v.header_op_state == nullptr || op_idx >= v.header_op_state->size()) return 0;
+  return (*v.header_op_state)[op_idx];
+}
+
+const std::vector<std::size_t>& ProcessDebugInfo::ops_in_state(BlockId b, unsigned s) const {
+  const auto& states = by_state_.at(b);
+  if (s >= states.size()) return kNoOps;
+  return states[s];
+}
+
+SourceLoc ProcessDebugInfo::source_of_state(BlockId b, unsigned s) const {
+  const BasicBlock& blk = proc_->blocks.at(b);
+  for (std::size_t i : ops_in_state(b, s)) {
+    if (blk.ops[i].loc.valid()) return blk.ops[i].loc;
+  }
+  return {};
+}
+
+SourceLoc ProcessDebugInfo::first_source(BlockId b) const {
+  for (const Op& op : proc_->blocks.at(b).ops) {
+    if (op.loc.valid()) return op.loc;
+  }
+  return {};
+}
+
+std::string format_loc(const SourceLoc& loc, const SourceManager* sm, bool basename) {
+  if (!loc.valid()) return {};
+  if (sm == nullptr) return "line " + std::to_string(loc.line);
+  std::string_view name = sm->name(loc.file);
+  if (basename) {
+    std::size_t slash = name.rfind('/');
+    if (slash != std::string_view::npos) name = name.substr(slash + 1);
+  }
+  return std::string(name) + ":" + std::to_string(loc.line);
+}
+
+}  // namespace hlsav::ir

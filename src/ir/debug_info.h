@@ -1,0 +1,79 @@
+// Shared debug-info table: the one place that knows how scheduled ops
+// map onto FSM states and back to source locations.
+//
+// Three consumers used to re-derive this mapping independently (the
+// cycle-attribution profiler scanning op_state per state, the trace
+// replay decoder formatting source positions, and the RTL printers);
+// the compiled-simulation backend would have been a fourth. They now
+// all read this table, so "which state does op i issue in" and "what
+// source does state s show" have exactly one definition.
+//
+// The table lives in ir (not sched) because it is keyed by the IR's
+// blocks and ops; the schedule only contributes issue states, passed in
+// as borrowed views so ir does not depend on sched. Use
+// sched::debug_info() to build one from a ProcessSchedule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "support/source_manager.h"
+
+namespace hlsav::ir {
+
+/// Borrowed per-block view of a schedule's issue states. Lifetimes: the
+/// vectors must outlive the ProcessDebugInfo (they normally point into
+/// a sched::BlockSchedule owned by the caller).
+struct BlockStateView {
+  /// Issue state of each op (indexed like BasicBlock::ops; may be
+  /// shorter -- missing entries issue in state 0).
+  const std::vector<unsigned>* op_state = nullptr;
+  /// Pipelined loops only: issue state of each merged header op.
+  const std::vector<unsigned>* header_op_state = nullptr;
+  unsigned num_states = 0;
+  bool pipelined = false;
+};
+
+/// Op <-> state <-> source mapping for one scheduled process.
+class ProcessDebugInfo {
+ public:
+  ProcessDebugInfo() = default;
+  /// `views` is indexed by BlockId and must cover every block of `proc`.
+  ProcessDebugInfo(const Process& proc, std::vector<BlockStateView> views);
+
+  [[nodiscard]] const Process& process() const { return *proc_; }
+
+  /// Issue state of op `op_idx` in block `b` (0 when the schedule has
+  /// no entry for it -- the same fallback every consumer used).
+  [[nodiscard]] unsigned state_of(BlockId b, std::size_t op_idx) const;
+  /// Issue state of merged header op `op_idx` of a pipelined loop.
+  [[nodiscard]] unsigned header_state_of(BlockId b, std::size_t op_idx) const;
+
+  /// Ops issued in state `s` of block `b`, in program order.
+  [[nodiscard]] const std::vector<std::size_t>& ops_in_state(BlockId b, unsigned s) const;
+
+  /// Source position shown for state `s`: the first (program-order) op
+  /// issued in `s` that carries a valid location.
+  [[nodiscard]] SourceLoc source_of_state(BlockId b, unsigned s) const;
+  /// First valid source location in the block, in program order.
+  [[nodiscard]] SourceLoc first_source(BlockId b) const;
+
+  [[nodiscard]] unsigned num_states(BlockId b) const { return views_.at(b).num_states; }
+  [[nodiscard]] bool pipelined(BlockId b) const { return views_.at(b).pipelined; }
+
+ private:
+  const Process* proc_ = nullptr;
+  std::vector<BlockStateView> views_;
+  /// by_state_[block][state] -> op indices (program order).
+  std::vector<std::vector<std::vector<std::size_t>>> by_state_;
+};
+
+/// Renders a source location the way every report does: "file:line"
+/// when a SourceManager is available ("file" shortened to its basename
+/// when `basename`), "line N" otherwise, "" for invalid locations.
+[[nodiscard]] std::string format_loc(const SourceLoc& loc, const SourceManager* sm,
+                                     bool basename = false);
+
+}  // namespace hlsav::ir

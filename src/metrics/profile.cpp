@@ -103,6 +103,7 @@ Profiler::Profiler(const ir::Design& design, const sched::DesignSchedule& schedu
     HLSAV_CHECK(ps != nullptr, "profiler: no schedule for process " + p->name);
     ProcAccum a;
     a.proc = p;
+    a.dbg = sched::debug_info(*p, *ps);
     a.block_execs.assign(p->blocks.size(), 0);
     std::size_t off = block_static_.size();
     for (const ir::BasicBlock& b : p->blocks) {
@@ -119,14 +120,10 @@ Profiler::Profiler(const ir::Design& design, const sched::DesignSchedule& schedu
         // assert-tagged ops, so unoptimized inlined assertions land
         // here state-exactly.
         for (unsigned s = 0; s < st.num_states; ++s) {
-          bool any = false;
-          bool all_assert = true;
-          for (std::size_t i = 0; i < b.ops.size() && i < bs.op_state.size(); ++i) {
-            if (bs.op_state[i] != s) continue;
-            any = true;
-            if (!is_assert_op(b.ops[i])) all_assert = false;
-          }
-          if (any && all_assert) ++st.assert_states;
+          const std::vector<std::size_t>& issued = a.dbg.ops_in_state(b.id, s);
+          bool all_assert = !issued.empty();
+          for (std::size_t i : issued) all_assert &= is_assert_op(b.ops[i]);
+          if (all_assert) ++st.assert_states;
         }
       }
       block_static_.push_back(st);
@@ -346,11 +343,7 @@ ProfileReport Profiler::report(const SourceManager* sm) const {
   r.run_cycles = run_cycles_;
   r.completed = completed_;
 
-  auto loc_text = [sm](const SourceLoc& loc) -> std::string {
-    if (!loc.valid()) return {};
-    if (sm != nullptr) return std::string(sm->name(loc.file)) + ":" + std::to_string(loc.line);
-    return "line " + std::to_string(loc.line);
-  };
+  auto loc_text = [sm](const SourceLoc& loc) { return ir::format_loc(loc, sm); };
 
   for (const ProcAccum& a : procs_) {
     ProfileReport::ProcRow row;
@@ -418,16 +411,10 @@ ProfileReport Profiler::report(const SourceManager* sm) const {
         sr.state = 0;
         sr.occupancy = execs;
         sr.stall_cycles = stall;
-        for (const ir::Op& op : b.ops) {
-          if (op.loc.valid()) {
-            sr.source = loc_text(op.loc);
-            break;
-          }
-        }
+        sr.source = loc_text(a.dbg.first_source(b.id));
         r.hottest_states.push_back(std::move(sr));
         continue;
       }
-      const sched::BlockSchedule& bs = schedule_.find(a.proc->name)->of(b.id);
       for (unsigned s = 0; s < st.num_states; ++s) {
         std::uint64_t stall = state_stall(s);
         if (execs == 0 && stall == 0) continue;
@@ -437,12 +424,7 @@ ProfileReport Profiler::report(const SourceManager* sm) const {
         sr.state = s;
         sr.occupancy = execs;
         sr.stall_cycles = stall;
-        for (std::size_t i = 0; i < b.ops.size() && i < bs.op_state.size(); ++i) {
-          if (bs.op_state[i] == s && b.ops[i].loc.valid()) {
-            sr.source = loc_text(b.ops[i].loc);
-            break;
-          }
-        }
+        sr.source = loc_text(a.dbg.source_of_state(b.id, s));
         r.hottest_states.push_back(std::move(sr));
       }
     }

@@ -245,6 +245,8 @@ class Profiler {
   struct ProcAccum {
     const ir::Process* proc = nullptr;
     const BlockStatic* blocks = nullptr;  // into block_static_, by BlockId
+    /// Shared op->state->source table (borrows the schedule's vectors).
+    ir::ProcessDebugInfo dbg;
     std::uint64_t compute = 0;
     std::uint64_t assert_cycles = 0;
     std::uint64_t stall_committed = 0;

@@ -287,4 +287,17 @@ std::string print_schedule(const ir::Design& design, const ProcessSchedule& sche
   return os.str();
 }
 
+ir::ProcessDebugInfo debug_info(const ir::Process& proc, const ProcessSchedule& sched) {
+  std::vector<ir::BlockStateView> views(proc.blocks.size());
+  for (const ir::BasicBlock& b : proc.blocks) {
+    const BlockSchedule& bs = sched.of(b.id);
+    ir::BlockStateView& v = views[b.id];
+    v.op_state = &bs.op_state;
+    v.header_op_state = &bs.header_op_state;
+    v.num_states = bs.num_states;
+    v.pipelined = bs.pipelined;
+  }
+  return {proc, std::move(views)};
+}
+
 }  // namespace hlsav::sched

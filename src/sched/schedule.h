@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/debug_info.h"
 #include "ir/ir.h"
 
 namespace hlsav::sched {
@@ -99,6 +100,13 @@ struct LoopPerf {
 
 /// Latency/rate of the pipelined loop whose body is `body`.
 [[nodiscard]] LoopPerf loop_perf(const ProcessSchedule& sched, ir::BlockId body);
+
+/// Builds the shared op<->state<->source table for a scheduled process
+/// (borrows `sched`'s issue-state vectors; keep both alive). This is
+/// the one mapping the profiler, the replay decoder, the RTL printers
+/// and the compiled-simulation backend agree on.
+[[nodiscard]] ir::ProcessDebugInfo debug_info(const ir::Process& proc,
+                                              const ProcessSchedule& sched);
 
 /// FSM states on the passing path: the sum of states over blocks
 /// reachable without an assertion failing (assertion-failure blocks are

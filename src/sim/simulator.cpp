@@ -134,6 +134,83 @@ void Simulator::init_state() {
     if (prof_ != nullptr) ps.prof_idx = prof_->index_of(p.get());
     procs_.push_back(std::move(ps));
   }
+
+  init_engine();
+}
+
+void Simulator::init_engine() {
+  if (opt_.engine == SimEngine::kInterpreter) return;
+  // Fallback contract: a compiled request downgrades to interpretation
+  // (never an error) whenever the configuration needs interpreter-only
+  // machinery; the reason is reported through engine_note().
+  if (opt_.compiled == nullptr || opt_.compiled->procs.empty()) {
+    engine_note_ = "no compiled design attached";
+    return;
+  }
+  if (opt_.trace) {
+    engine_note_ = "trace capture armed; compiled engine declines, interpreting";
+    return;
+  }
+  if (opt_.ela != nullptr) {
+    engine_note_ = "ELA capture armed; compiled engine declines, interpreting";
+    return;
+  }
+  if (opt_.profile != nullptr) {
+    engine_note_ = "profiler armed; compiled engine declines, interpreting";
+    return;
+  }
+  if (!opt_.faults.empty()) {
+    engine_note_ = "fault injection armed; compiled engine declines, interpreting";
+    return;
+  }
+  for (const ir::Memory& m : design_.memories) {
+    if (m.width > 64) {
+      engine_note_ = "memory '" + m.name + "' wider than 64 bits; interpreting";
+      return;
+    }
+  }
+
+  std::size_t attached = 0;
+  for (ProcState& ps : procs_) {
+    const CompiledProc* match = nullptr;
+    for (const CompiledProc& cp : opt_.compiled->procs) {
+      if (cp.process == ps.proc->name && cp.fn != nullptr) {
+        match = &cp;
+        break;
+      }
+    }
+    if (match == nullptr) continue;
+    ps.cfn = match->fn;
+    ps.regs64.assign(ps.proc->regs.size(), 0);
+    ps.st.fill(0);
+    ps.st[kStMaxCycles] = opt_.max_cycles;
+    ps.st[kStResumeBlock] = ps.proc->entry;
+    if (deadline_ != nullptr) ps.st[kStFlags] |= kStFlagDeadline;
+    ++attached;
+  }
+  if (attached == 0) {
+    engine_note_ = "compiled design covers no process of this design; interpreting";
+    return;
+  }
+  engine_active_ = true;
+
+  // One coherent memory image for both engines: compiled code indexes
+  // raw u64 arrays, interpreted processes and checkers branch to them.
+  mem64_.resize(design_.memories.size());
+  mem64_ptrs_.resize(design_.memories.size());
+  for (const ir::Memory& m : design_.memories) {
+    auto& mem = mem64_[m.id];
+    mem.assign(m.size, 0);
+    for (std::size_t i = 0; i < m.init.size() && i < mem.size(); ++i) {
+      mem[i] = m.init[i].to_u64();
+    }
+    mem64_ptrs_[m.id] = mem.data();
+  }
+  cb_table_[kCbStreamRead] = reinterpret_cast<const void*>(&Simulator::cb_exec_trampoline);
+  cb_table_[kCbStreamWrite] = reinterpret_cast<const void*>(&Simulator::cb_exec_trampoline);
+  cb_table_[kCbExtern] = reinterpret_cast<const void*>(&Simulator::cb_exec_trampoline);
+  cb_table_[kCbAssert] = reinterpret_cast<const void*>(&Simulator::cb_exec_trampoline);
+  cb_table_[kCbPoll] = reinterpret_cast<const void*>(&Simulator::cb_poll_trampoline);
 }
 
 ir::StreamId Simulator::stream_by_name(std::string_view name) const {
@@ -368,8 +445,15 @@ void Simulator::eval_checker(const ir::AssertionRecord& rec, CheckerCache& cc,
       }
       case OpKind::kLoad: {
         std::uint64_t idx = val(op.args[0]).to_u64();
-        const auto& mem = memories_[op.mem];
-        regs[op.dest] = idx < mem.size() ? mem[idx] : BitVector(design_.memory(op.mem).width);
+        const unsigned w = design_.memory(op.mem).width;
+        if (engine_active_) {
+          // Checker loads see the same u64 image the compiled engine does.
+          const auto& mem = mem64_[op.mem];
+          regs[op.dest] = idx < mem.size() ? BitVector::from_u64(w, mem[idx]) : BitVector(w);
+        } else {
+          const auto& mem = memories_[op.mem];
+          regs[op.dest] = idx < mem.size() ? mem[idx] : BitVector(w);
+        }
         break;
       }
       case OpKind::kCallExtern: {
@@ -446,9 +530,17 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
     }
     case OpKind::kLoad: {
       std::uint64_t idx = value_of(ps, op.args[0]).to_u64();
+      const unsigned w = design_.memory(op.mem).width;
+      if (engine_active_) {
+        // Engine-active runs keep memories as u64 images shared with
+        // compiled processes (see init_engine).
+        const auto& mem = mem64_[op.mem];
+        ps.regs[op.dest] = idx < mem.size() ? BitVector::from_u64(w, mem[idx]) : BitVector(w);
+        return true;
+      }
       const auto& mem = memories_[op.mem];
       // Out-of-range addresses read X in hardware; model as zero.
-      ps.regs[op.dest] = idx < mem.size() ? mem[idx] : BitVector(design_.memory(op.mem).width);
+      ps.regs[op.dest] = idx < mem.size() ? mem[idx] : BitVector(w);
       if (ela_ != nullptr) {
         ela_->bram_read(ps.proc, op.mem, idx, ps.regs[op.dest], at, op.loc);
         ela_->reg_write(ps.proc, op.dest, ps.regs[op.dest], at, op.loc);
@@ -457,6 +549,11 @@ bool Simulator::exec_op(ProcState& ps, const Op& op, std::uint64_t at) {
     }
     case OpKind::kStore: {
       std::uint64_t idx = value_of(ps, op.args[0]).to_u64();
+      if (engine_active_) {
+        auto& mem = mem64_[op.mem];
+        if (idx < mem.size()) mem[idx] = value_of(ps, op.args[1]).to_u64();
+        return true;
+      }
       auto& mem = memories_[op.mem];
       if (idx < mem.size()) {
         if (inject_faults_) {
@@ -730,6 +827,161 @@ bool Simulator::step_process(ProcState& ps) {
   return progress;
 }
 
+// ------------------------------------------------- compiled engine --
+
+bool Simulator::step_process_compiled(ProcState& ps) {
+  ps.st[kStProgress] = 0;
+  ps.st[kStHalt] = halt_ ? 1 : 0;
+  std::uint64_t r = ps.cfn(ps.regs64.data(), ps.st.data(), mem64_ptrs_.data(), this,
+                           cb_table_.data());
+  ps.cycle = ps.st[kStCycle];
+  switch (ret_tag(r)) {
+    case kRetDone:
+      ps.done = true;
+      break;
+    case kRetBlocked:
+    case kRetHalted:
+      break;  // blocked fields were set by the callback / halt_ is up
+    case kRetCycleLimit:
+      ps.blocked = true;
+      ps.blocked_at = {};
+      ps.block_reason = BlockReason::kCycleLimit;
+      break;
+    case kRetCycleLimitPipe:
+      ps.blocked = true;
+      ps.blocked_at = ps.proc->loops.at(ret_payload(r)).loc;
+      ps.block_reason = BlockReason::kCycleLimitPipelined;
+      break;
+    default:
+      internal_error("sim", 0, "compiled process returned unknown action");
+  }
+  return ps.st[kStProgress] != 0;
+}
+
+std::uint32_t Simulator::cb_exec_trampoline(void* sim, std::uint32_t pidx, std::uint32_t block,
+                                            std::uint32_t op, std::uint64_t at) {
+  return static_cast<Simulator*>(sim)->compiled_exec_op(pidx, block, op, at);
+}
+
+std::uint32_t Simulator::cb_poll_trampoline(void* sim) {
+  auto* s = static_cast<Simulator*>(sim);
+  return s->poll_deadline() ? 1u : 0u;
+}
+
+BitVector Simulator::value64_of(const ProcState& ps, const Operand& o) const {
+  if (o.is_reg()) return BitVector::from_u64(ps.proc->reg(o.reg).width, ps.regs64[o.reg]);
+  return o.imm;
+}
+
+bool Simulator::value64_any(const ProcState& ps, const Operand& o) const {
+  if (o.is_reg()) return ps.regs64[o.reg] != 0;
+  return o.imm.any();
+}
+
+std::uint32_t Simulator::compiled_exec_op(std::uint32_t pidx, std::uint32_t block,
+                                          std::uint32_t op_idx, std::uint64_t at) {
+  ProcState& ps = procs_[pidx];
+  const BasicBlock& b = ps.proc->blocks[block];
+  const Op& op = b.ops[op_idx];
+  // The generated code already evaluated the op's predicate and
+  // timestamp; this executes the shared-state side exactly as exec_op
+  // would with trace/ELA/profiler/faults unarmed (the engine declines
+  // those configurations).
+  switch (op.kind) {
+    case OpKind::kStreamRead: {
+      StreamState& st = streams_[op.stream];
+      if (st.fifo.empty()) {
+        ps.blocked = true;
+        ps.blocked_at = op.loc;
+        ps.block_reason = BlockReason::kStreamEmpty;
+        ps.blocked_stream = op.stream;
+        return kCbBlocked;
+      }
+      FifoEntry e = std::move(st.fifo.front());
+      st.fifo.pop_front();
+      if (e.time > at) {
+        // Producer delivered later than this clock: stall the block (and
+        // a pipelined loop's start cycle) exactly like try_stream_read.
+        std::uint64_t stall = e.time - at;
+        ps.st[kStBlockEntry] += stall;
+        ps.st[kStPipeStart] += stall;
+      }
+      ps.regs64[op.dest] = e.value.to_u64();
+      break;
+    }
+    case OpKind::kStreamWrite: {
+      StreamState& st = streams_[op.stream];
+      if (!st.cpu_consumer && st.fifo.size() >= st.depth) {
+        ps.blocked = true;
+        ps.blocked_at = op.loc;
+        ps.block_reason = BlockReason::kStreamFull;
+        ps.blocked_stream = op.stream;
+        return kCbBlocked;
+      }
+      st.fifo.push_back(FifoEntry{value64_of(ps, op.args[0]), at + 1});
+      mark_cpu_dirty(op.stream);
+      break;
+    }
+    case OpKind::kCallExtern: {
+      const ExternRegistry::Fn* fn = extern_fn(op.callee);
+      HLSAV_CHECK(fn != nullptr, "unbound extern function '" + op.callee + "'");
+      extern_args_.clear();
+      for (const Operand& a : op.args) extern_args_.push_back(value64_of(ps, a));
+      ps.regs64[op.dest] =
+          (*fn)(extern_args_).resize(ps.proc->reg(op.dest).width, false).to_u64();
+      break;
+    }
+    case OpKind::kAssert: {
+      if (!value64_any(ps, op.args[0])) direct_assert_failure(op.assert_id, at);
+      break;
+    }
+    case OpKind::kAssertTap: {
+      auto it = op_assertions_.find(&op);
+      const ir::AssertionRecord* rec =
+          it != op_assertions_.end() ? it->second.rec : design_.find_assertion(op.assert_id);
+      HLSAV_CHECK(rec != nullptr, "tap without assertion record");
+      CheckerCache* cc = it != op_assertions_.end() ? it->second.checker : nullptr;
+      HLSAV_CHECK(cc != nullptr, "missing checker process " + rec->checker_process);
+      // eval_checker reads tap operands through ps.regs; materialize the
+      // tapped registers from the u64 file first (a tap has few args).
+      for (const Operand& a : op.args) {
+        if (a.is_reg()) {
+          ps.regs[a.reg] = BitVector::from_u64(ps.proc->reg(a.reg).width, ps.regs64[a.reg]);
+        }
+      }
+      eval_checker(*rec, *cc, ps, op, at);
+      break;
+    }
+    case OpKind::kAssertFailWire: {
+      if (!value64_any(ps, op.args[0])) fail_wire(assertion_of(op), at + 1);
+      break;
+    }
+    case OpKind::kAssertCycles: {
+      std::uint64_t elapsed = at >= ps.cycle_marker ? at - ps.cycle_marker : 0;
+      ps.cycle_marker = at;
+      if (elapsed > op.cycle_bound) {
+        const ir::AssertionRecord* rec = assertion_of(op);
+        if (rec != nullptr && rec->fail_stream != ir::kNoStream &&
+            design_.stream(rec->fail_stream).role == ir::StreamRole::kAssertPacked) {
+          fail_wire(rec, at + 1);
+        } else if (rec != nullptr && rec->fail_stream != ir::kNoStream) {
+          push_stream(rec->fail_stream,
+                      BitVector::from_u64(design_.stream(rec->fail_stream).width,
+                                          rec->fail_code),
+                      at + 1);
+        } else {
+          direct_assert_failure(op.assert_id, at);
+        }
+      }
+      break;
+    }
+    default:
+      internal_error("sim", 0, "compiled callback on a pure op");
+  }
+  ps.st[kStProgress] = 1;
+  return halt_ ? kCbHalt : kCbOk;
+}
+
 namespace {
 
 std::string reason_text(BlockReason reason, const std::string& stream) {
@@ -869,7 +1121,7 @@ RunResult Simulator::run() {
       if (ps.done) continue;
       if (ps.cycle_limited()) continue;  // never re-step a limited process
       ps.blocked = false;
-      progress |= step_process(ps);
+      progress |= ps.cfn != nullptr ? step_process_compiled(ps) : step_process(ps);
       drain_cpu_streams();
       if (halt_) break;
     }

@@ -36,6 +36,7 @@
 // stream after every process step.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <deque>
 #include <map>
@@ -47,6 +48,7 @@
 #include "assertions/notify.h"
 #include "ir/ir.h"
 #include "sched/schedule.h"
+#include "sim/compiled.h"
 #include "sim/extern_registry.h"
 #include "sim/fault.h"
 #include "support/status.h"
@@ -109,6 +111,18 @@ struct SimOptions {
   /// pattern as `ela`/`profile`: disabled costs one branch per site.
   const Deadline* deadline = nullptr;
   FaultEngine faults;
+  /// Execution engine. kCompiled/kAuto use the functions in `compiled`
+  /// for the processes they cover and interpret the rest; the simulator
+  /// itself falls back to full interpretation (and says why in
+  /// engine_note()) when no handle is attached or when an armed
+  /// observability feature -- trace, ELA, profiler, fault injection --
+  /// needs the interpreter's per-op hooks. Cycle counts, RunResults and
+  /// received words are bit-identical across engines; the differential
+  /// suite (tests/codegen) enforces that.
+  SimEngine engine = SimEngine::kInterpreter;
+  /// Borrowed compiled design (see codegen::compile_design). Must
+  /// outlive the simulator. Ignored when engine == kInterpreter.
+  const CompiledDesignHandle* compiled = nullptr;
 };
 
 /// One traced op execution (trace mode). The closest thing the flow has
@@ -223,6 +237,14 @@ class Simulator {
   /// Renders the trace, one event per line.
   [[nodiscard]] std::string render_trace(const SourceManager* sm = nullptr) const;
 
+  /// True when at least one process runs through a compiled function.
+  [[nodiscard]] bool engine_active() const { return engine_active_; }
+  /// Why a requested compiled engine fell back to the interpreter
+  /// (empty when active or when the interpreter was requested). The
+  /// fallback contract: a compiled request never fails the run -- it
+  /// interprets and reports the reason here for the driver to log.
+  [[nodiscard]] const std::string& engine_note() const { return engine_note_; }
+
  private:
   struct FifoEntry {
     BitVector value;
@@ -261,6 +283,12 @@ class Simulator {
     std::uint64_t block_entry_cycle = 0; // local clock at block entry
     std::vector<BitVector> regs;
     std::optional<PipeCtx> pipe;
+    /// Compiled engine (when non-null the interpreter never runs this
+    /// process): the AOT function, its u64 register file, and the state
+    /// words it communicates through (sim/compiled.h layout).
+    CompiledProcFn cfn = nullptr;
+    std::vector<std::uint64_t> regs64;
+    std::array<std::uint64_t, kStWords> st{};
     /// Local time of the last assert_cycles marker (timing assertions).
     std::uint64_t cycle_marker = 0;
     /// Profiler slot (metrics::Profiler::index_of), 0 when unarmed.
@@ -344,6 +372,17 @@ class Simulator {
   std::uint32_t deadline_poll_ = 0;     // counter-masked clock-read throttle
   bool deadline_hit_ = false;
 
+  // ---- compiled engine (sim/compiled.h ABI) ----
+  bool engine_active_ = false;
+  std::string engine_note_;  // fallback reason when a compiled run interprets
+  /// u64 memory images: when the engine is active *all* memories live
+  /// here (compiled code indexes them directly; interpreted processes
+  /// and checker evaluations branch to them) so both engines see one
+  /// coherent memory. memories_ is the BitVector image used otherwise.
+  std::vector<std::vector<std::uint64_t>> mem64_;
+  std::vector<std::uint64_t*> mem64_ptrs_;
+  std::array<const void*, kCbCount> cb_table_{};
+
   /// Throttled deadline poll: reads the clock once per 256 calls.
   /// Sets deadline_hit_ + halt_ and returns true when expired.
   bool poll_deadline() {
@@ -366,6 +405,22 @@ class Simulator {
   /// Runs one process until it blocks, finishes or the design halts.
   /// Returns true if it made progress.
   bool step_process(ProcState& ps);
+  /// Compiled-engine variant: one call into ps.cfn, then maps the
+  /// returned action onto the interpreter's blocked/done bookkeeping.
+  bool step_process_compiled(ProcState& ps);
+  /// Attaches SimOptions::compiled if the engine can run this
+  /// configuration; records the fallback reason otherwise.
+  void init_engine();
+  /// Callback surface for compiled code (cb_table_ slots). The generated
+  /// function has already evaluated the op's predicate and timestamp.
+  std::uint32_t compiled_exec_op(std::uint32_t pidx, std::uint32_t block, std::uint32_t op_idx,
+                                 std::uint64_t at);
+  static std::uint32_t cb_exec_trampoline(void* sim, std::uint32_t pidx, std::uint32_t block,
+                                          std::uint32_t op, std::uint64_t at);
+  static std::uint32_t cb_poll_trampoline(void* sim);
+  /// Operand value for a compiled process (regs64 at declared width).
+  [[nodiscard]] BitVector value64_of(const ProcState& ps, const ir::Operand& o) const;
+  [[nodiscard]] bool value64_any(const ProcState& ps, const ir::Operand& o) const;
   /// Executes ops of a sequential block starting at ps.op_idx; returns
   /// false if blocked.
   bool run_sequential_block(ProcState& ps);

@@ -4,24 +4,16 @@
 #include <limits>
 #include <sstream>
 
+#include "ir/debug_info.h"
+
 namespace hlsav::trace {
 
 namespace {
 
 std::string loc_text(const SourceLoc& loc, const SourceManager* sm) {
-  if (!loc.valid()) return {};
-  std::string s = "[";
-  if (sm != nullptr) {
-    std::string_view name = sm->name(loc.file);
-    std::size_t slash = name.rfind('/');
-    s += slash == std::string_view::npos ? name : name.substr(slash + 1);
-    s += ":";
-  } else {
-    s += "line ";
-  }
-  s += std::to_string(loc.line);
-  s += "]";
-  return s;
+  std::string inner = ir::format_loc(loc, sm, /*basename=*/true);
+  if (inner.empty()) return {};
+  return "[" + inner + "]";
 }
 
 std::string value_text(const BitVector& v) {

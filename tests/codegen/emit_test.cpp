@@ -1,0 +1,167 @@
+// Emitter and module-cache unit tests: deterministic C emission, the
+// registry/ABI symbols every module must export, decline reasons,
+// content-addressed cache keys, cache hits, and corrupt-entry repair.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "codegen/codegen_test_util.h"
+#include "codegen/emit.h"
+#include "codegen/jit.h"
+
+namespace hlsav::codegen {
+namespace {
+
+using assertions::Options;
+
+const char* kSrc = R"(
+  void f(stream_in<32> in, stream_out<32> out) {
+    for (uint32 i = 0; i < 4; i++) {
+      uint32 v;
+      v = stream_read(in);
+      assert(v < 1000);
+      stream_write(out, v + 1);
+    }
+  }
+)";
+
+DiffRig lowered_rig(const std::string& src, const Options& aopt) {
+  auto c = hlsav::testing::compile(src);
+  DiffRig rig;
+  rig.design = c->design.clone();
+  assertions::synthesize(rig.design, aopt);
+  ir::verify(rig.design);
+  rig.schedule = sched::schedule_design(rig.design);
+  return rig;
+}
+
+TEST(Emit, DeterministicSource) {
+  DiffRig rig = lowered_rig(kSrc, Options::optimized());
+  EmitResult a = emit_design(rig.design, rig.schedule);
+  EmitResult b = emit_design(rig.design, rig.schedule);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.compiled_count(), b.compiled_count());
+}
+
+TEST(Emit, SourceExportsAbiAndRegistry) {
+  DiffRig rig = lowered_rig(kSrc, Options::unoptimized());
+  EmitResult e = emit_design(rig.design, rig.schedule);
+  ASSERT_EQ(e.compiled_count(), 1u);
+  EXPECT_EQ(e.procs[0].process, "f");
+  EXPECT_TRUE(e.procs[0].compiled());
+  // The loader contract: ABI stamp, entry registry, per-process symbol.
+  EXPECT_NE(e.source.find("hlsav_abi"), std::string::npos);
+  EXPECT_NE(e.source.find("hlsav_entries"), std::string::npos);
+  EXPECT_NE(e.source.find("hlsav_entry_count"), std::string::npos);
+  EXPECT_NE(e.source.find(e.procs[0].symbol), std::string::npos);
+}
+
+TEST(Emit, PipelinedLoopEmitsIterationStructure) {
+  DiffRig rig = lowered_rig(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      uint32 x;
+      x = stream_read(in);
+      uint32 acc;
+      acc = 0;
+      #pragma HLS pipeline
+      for (uint32 i = 0; i < 10; i++) {
+        acc = acc + x + i;
+      }
+      stream_write(out, acc);
+    }
+  )",
+                            Options::ndebug());
+  EmitResult e = emit_design(rig.design, rig.schedule);
+  ASSERT_EQ(e.compiled_count(), 1u);
+  EXPECT_NE(e.source.find("_loop"), std::string::npos);
+}
+
+TEST(Emit, WideRegisterDeclinedWithReason) {
+  DiffRig rig = lowered_rig(kSrc, Options::ndebug());
+  rig.design.find_process("f")->add_reg("wide_scratch", 128, false);
+  EmitResult e = emit_design(rig.design, rig.schedule);
+  EXPECT_EQ(e.compiled_count(), 0u);
+  ASSERT_EQ(e.procs.size(), 1u);
+  EXPECT_FALSE(e.procs[0].compiled());
+  EXPECT_NE(e.procs[0].decline_reason.find("64"), std::string::npos)
+      << e.procs[0].decline_reason;
+}
+
+TEST(Jit, ContentKeyStableAndSensitive) {
+  std::string a = content_key("int x;", "/usr/bin/cc");
+  EXPECT_EQ(a, content_key("int x;", "/usr/bin/cc"));
+  EXPECT_NE(a, content_key("int y;", "/usr/bin/cc"));
+  EXPECT_NE(a, content_key("int x;", "/usr/bin/clang"));
+}
+
+// A trivial but complete module: correct ABI stamp, empty registry.
+std::string stub_module_source() {
+  return "typedef unsigned int u32;\n"
+         "const u32 hlsav_abi = " +
+         std::to_string(sim::kCompiledAbiVersion) +
+         ";\n"
+         "typedef struct { const char* name; void* fn; } hlsav_entry_t;\n"
+         "const hlsav_entry_t hlsav_entries[] = {{0, 0}};\n"
+         "const u32 hlsav_entry_count = 0;\n";
+}
+
+TEST(Jit, SecondBuildHitsCache) {
+  HLSAV_REQUIRE_COMPILER();
+  CompileOptions opt;
+  opt.cache_dir = test_cache_dir() + "/hit-" + std::to_string(::getpid());
+  StatusOr<LoadedModule> first = compile_module(stub_module_source(), opt);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  EXPECT_FALSE(first->from_cache);
+  StatusOr<LoadedModule> second = compile_module(stub_module_source(), opt);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(first->key, second->key);
+  EXPECT_EQ(first->path, second->path);
+}
+
+TEST(Jit, KeepSourceLeavesGeneratedC) {
+  HLSAV_REQUIRE_COMPILER();
+  CompileOptions opt;
+  opt.cache_dir = test_cache_dir() + "/keep-" + std::to_string(::getpid());
+  opt.keep_source = true;
+  StatusOr<LoadedModule> m = compile_module(stub_module_source(), opt);
+  ASSERT_TRUE(m.ok()) << m.status().message();
+  std::string c_path = m->path.substr(0, m->path.size() - 3) + ".c";
+  EXPECT_TRUE(std::filesystem::exists(c_path)) << c_path;
+}
+
+TEST(Jit, CorruptCacheEntryIsRebuilt) {
+  HLSAV_REQUIRE_COMPILER();
+  CompileOptions opt;
+  opt.cache_dir = test_cache_dir() + "/corrupt-" + std::to_string(::getpid());
+  std::string so_path;
+  {
+    StatusOr<LoadedModule> m = compile_module(stub_module_source(), opt);
+    ASSERT_TRUE(m.ok()) << m.status().message();
+    so_path = m->path;
+  }  // dlclose before stomping the file
+  {
+    std::ofstream out(so_path, std::ios::trunc | std::ios::binary);
+    out << "not an ELF file";
+  }
+  StatusOr<LoadedModule> again = compile_module(stub_module_source(), opt);
+  ASSERT_TRUE(again.ok()) << again.status().message();
+  EXPECT_FALSE(again->from_cache);  // the bad entry was dropped and rebuilt
+}
+
+TEST(Jit, CompilerErrorSurfacesDiagnostics) {
+  HLSAV_REQUIRE_COMPILER();
+  CompileOptions opt;
+  opt.cache_dir = test_cache_dir() + "/err-" + std::to_string(::getpid());
+  StatusOr<LoadedModule> m = compile_module("this is not C at all @@@;\n", opt);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("compiler exited"), std::string::npos)
+      << m.status().message();
+}
+
+}  // namespace
+}  // namespace hlsav::codegen

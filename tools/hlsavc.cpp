@@ -58,6 +58,7 @@
 
 #include "assertions/options.h"
 #include "assertions/synthesize.h"
+#include "codegen/engine.h"
 #include "fpga/area.h"
 #include "fpga/ela.h"
 #include "fpga/timing.h"
@@ -95,6 +96,7 @@ struct Args {
   std::string file;
   assertions::Options assert_opts = assertions::Options::optimized();
   sched::SchedOptions sched_opts;
+  sim::SimEngine engine = sim::SimEngine::kInterpreter;
   bool software_mode = false;
   bool optimize_ir = false;
   bool trace = false;
@@ -165,6 +167,11 @@ void print_usage(std::ostream& os) {
         "  --assertions=ndebug|unoptimized|optimized\n"
         "  --no-parallelize --no-replicate --no-share --nabort\n"
         "  --chain-depth=N --sw --optimize --trace --feed stream=v1,v2,...\n"
+        "  --engine=interpreter|compiled|auto: simulation engine (default\n"
+        "            interpreter). compiled AOT-translates the scheduled design\n"
+        "            to native code via the host C compiler; configurations the\n"
+        "            backend cannot serve fall back to the interpreter with a\n"
+        "            logged reason, never an error\n"
         "  faultsim: --site=N | --trace-site=N |\n"
         "            --campaign [--seed=N --max-faults=N --max-cycles=N --threads=N\n"
         "                        --trace-nonbenign --progress --profile\n"
@@ -249,6 +256,15 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.assert_opts.share_channels = false;
     } else if (a == "--nabort") {
       args.assert_opts.nabort = true;
+    } else if (a == "--engine=interpreter") {
+      args.engine = sim::SimEngine::kInterpreter;
+    } else if (a == "--engine=compiled") {
+      args.engine = sim::SimEngine::kCompiled;
+    } else if (a == "--engine=auto") {
+      args.engine = sim::SimEngine::kAuto;
+    } else if (starts_with(a, "--engine=")) {
+      std::cerr << "unknown engine (use interpreter, compiled or auto): " << a << "\n";
+      return false;
     } else if (a == "--sw") {
       args.software_mode = true;
     } else if (a == "--optimize" || a == "-O") {
@@ -371,6 +387,38 @@ int run(const Args& args) {
     so.deadline = &*run_deadline;
   };
 
+  // --engine=compiled/auto: AOT-compile the scheduled design once and
+  // attach the handle to every run this invocation makes. Preparation
+  // failures (no host compiler, unwritable cache, every process
+  // declined) log a reason and leave the interpreter in charge -- the
+  // fallback contract says engine selection never turns a runnable
+  // design into an error exit.
+  std::unique_ptr<codegen::CompiledDesign> compiled_design;
+  auto arm_engine = [&](sim::SimOptions& so) {
+    so.engine = args.engine;
+    if (args.engine == sim::SimEngine::kInterpreter) return;
+    if (compiled_design == nullptr) {
+      StatusOr<std::unique_ptr<codegen::CompiledDesign>> prep =
+          codegen::prepare(design, schedule);
+      if (!prep.ok()) {
+        std::cerr << "hlsavc: compiled engine unavailable (" << prep.status().to_string()
+                  << "); interpreting\n";
+        return;
+      }
+      compiled_design = std::move(*prep);
+      for (const codegen::ProcEmit& pe : compiled_design->procs()) {
+        if (!pe.decline_reason.empty()) {
+          std::cerr << "hlsavc: codegen declined process '" << pe.process
+                    << "': " << pe.decline_reason << " -- interpreting it\n";
+        }
+      }
+    }
+    so.compiled = compiled_design->handle();
+  };
+  auto report_engine = [](const sim::Simulator& s) {
+    if (!s.engine_note().empty()) std::cerr << "hlsavc: " << s.engine_note() << "\n";
+  };
+
   if (args.command == "ir") {
     std::cout << ir::print_design(design);
     return 0;
@@ -404,7 +452,9 @@ int run(const Args& args) {
     so.mode = args.software_mode ? sim::SimMode::kSoftware : sim::SimMode::kHardware;
     so.trace = args.trace;
     arm_deadline(so);
+    arm_engine(so);
     sim::Simulator simulator(design, schedule, externs, so);
+    report_engine(simulator);
     simulator.set_failure_sink([](const assertions::Failure& f) {
       std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
     });
@@ -437,7 +487,9 @@ int run(const Args& args) {
     so.profile = &prof;
     if (args.campaign_opts.max_cycles != 0) so.max_cycles = args.campaign_opts.max_cycles;
     arm_deadline(so);
+    arm_engine(so);
     sim::Simulator simulator(design, schedule, externs, so);
+    report_engine(simulator);
     simulator.set_failure_sink([](const assertions::Failure& f) {
       std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
     });
@@ -494,7 +546,9 @@ int run(const Args& args) {
       std::cout << "injecting s" << sites[args.site].id << ": "
                 << sites[args.site].describe(design) << "\n";
     }
+    arm_engine(so);
     sim::Simulator simulator(design, schedule, externs, so);
+    report_engine(simulator);
     simulator.set_failure_sink([](const assertions::Failure& f) {
       std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
     });
@@ -544,6 +598,10 @@ int run(const Args& args) {
 
     if (args.campaign) {
       sim::CampaignOptions copt = args.campaign_opts;
+      // The compiled engine serves the campaign's golden runs; faulted
+      // sites arm fault injection, which the engine auto-declines, so
+      // they interpret as before.
+      arm_engine(copt.sim);
       sim::CampaignReport rep = sim::run_campaign(design, schedule, externs, args.feeds, copt);
       std::cout << rep.render(design);
       if (args.trace_nonbenign) {
@@ -568,6 +626,7 @@ int run(const Args& args) {
       // with the ELA armed -- the same path --campaign --trace-nonbenign
       // takes, for a single site.
       sim::CampaignOptions copt = args.campaign_opts;
+      arm_engine(copt.sim);
       sim::GoldenRef golden =
           sim::golden_run(design, schedule, externs, args.feeds, copt.sim);
       std::uint64_t max_cycles = copt.max_cycles != 0
@@ -607,7 +666,9 @@ int run(const Args& args) {
       if (args.campaign_opts.max_cycles != 0) so.max_cycles = args.campaign_opts.max_cycles;
       so.faults.add(fault);
       arm_deadline(so);
+      arm_engine(so);
       sim::Simulator simulator(design, schedule, externs, so);
+      report_engine(simulator);
       simulator.set_failure_sink([](const assertions::Failure& f) {
         std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
       });
