@@ -1,0 +1,150 @@
+#include "serve/client.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "support/jsonl.h"
+#include "support/socket.h"
+
+namespace hlsav::serve {
+
+namespace {
+
+/// RAII socket close for the three entry points below.
+struct FdCloser {
+  int fd;
+  ~FdCloser() { ::close(fd); }
+};
+
+}  // namespace
+
+int submit_job(const std::string& socket_path, const CampaignSpec& spec,
+               const std::string& out_path, bool quiet) {
+  StatusOr<int> fd = unix_connect(socket_path);
+  if (!fd.ok()) {
+    std::cerr << "hlsavd: " << fd.status().to_string() << "\n";
+    return 1;
+  }
+  FdCloser closer{*fd};
+  Status sent = send_line(*fd, encode_submit(spec));
+  if (!sent.ok()) {
+    std::cerr << "hlsavd: " << sent.to_string() << "\n";
+    return 1;
+  }
+  LineReader reader(*fd);
+  std::string report;
+  bool have_report = false;
+  for (;;) {
+    StatusOr<std::string> line = reader.read_line();
+    if (!line.ok()) {
+      std::cerr << "hlsavd: connection lost: " << line.status().to_string() << "\n";
+      return 1;
+    }
+    std::string type;
+    if (!jsonl::parse_string(*line, "type", type)) continue;
+    if (type == "accepted") continue;
+    if (type == "rejected") {
+      std::string code, message;
+      (void)jsonl::parse_string(*line, "code", code);
+      (void)jsonl::parse_string(*line, "message", message);
+      std::cerr << "hlsavd: rejected (" << code << "): " << message << "\n";
+      return 7;
+    }
+    if (type == "progress") {
+      std::uint64_t done = 0, total = 0;
+      (void)jsonl::parse_u64(*line, "done", done);
+      (void)jsonl::parse_u64(*line, "total", total);
+      if (!quiet) std::cerr << "hlsavd: " << done << "/" << total << " sites\n";
+      continue;
+    }
+    if (type == "worker-crashed") {
+      std::uint64_t site = 0;
+      std::string detail;
+      (void)jsonl::parse_u64(*line, "site", site);
+      (void)jsonl::parse_string(*line, "detail", detail);
+      if (!quiet) {
+        std::cerr << "hlsavd: worker crashed on site s" << site << " (" << detail
+                  << "); contained, respawning\n";
+      }
+      continue;
+    }
+    if (type == "quarantined") {
+      std::uint64_t site = 0;
+      (void)jsonl::parse_u64(*line, "site", site);
+      if (!quiet) std::cerr << "hlsavd: site s" << site << " quarantined (worker-crashed)\n";
+      continue;
+    }
+    if (type == "report") {
+      std::uint64_t bytes = 0;
+      (void)jsonl::parse_u64(*line, "bytes", bytes);
+      StatusOr<std::string> payload = reader.read_bytes(bytes);
+      if (!payload.ok()) {
+        std::cerr << "hlsavd: truncated report: " << payload.status().to_string() << "\n";
+        return 1;
+      }
+      report = std::move(*payload);
+      have_report = true;
+      continue;
+    }
+    if (type == "done") {
+      std::string status, message;
+      (void)jsonl::parse_string(*line, "status", status);
+      (void)jsonl::parse_string(*line, "message", message);
+      if (status == "error") {
+        std::cerr << "hlsavd: job failed: " << message << "\n";
+        return 1;
+      }
+      if (have_report) {
+        if (out_path.empty()) {
+          std::cout << report;
+        } else {
+          std::ofstream os(out_path, std::ios::binary);
+          os << report;
+          if (!os) {
+            std::cerr << "hlsavd: cannot write '" << out_path << "'\n";
+            return 1;
+          }
+        }
+      }
+      if (status == "drained") {
+        std::cerr << "hlsavd: daemon drained mid-job; partial result written, shard "
+                     "journals are resumable\n";
+        return 6;
+      }
+      return 0;
+    }
+  }
+}
+
+StatusOr<std::string> query_status(const std::string& socket_path) {
+  StatusOr<int> fd = unix_connect(socket_path);
+  HLSAV_RETURN_IF_ERROR(fd.status());
+  FdCloser closer{*fd};
+  HLSAV_RETURN_IF_ERROR(send_line(*fd, "{\"type\":\"status\"}"));
+  LineReader reader(*fd);
+  StatusOr<std::string> line = reader.read_line(/*timeout_ms=*/5000);
+  HLSAV_RETURN_IF_ERROR(line.status());
+  std::uint64_t queued = 0, running = 0, completed = 0, rejected = 0;
+  (void)jsonl::parse_u64(*line, "queued", queued);
+  (void)jsonl::parse_u64(*line, "running", running);
+  (void)jsonl::parse_u64(*line, "completed", completed);
+  (void)jsonl::parse_u64(*line, "rejected", rejected);
+  return "queued=" + std::to_string(queued) + " running=" + std::to_string(running) +
+         " completed=" + std::to_string(completed) + " rejected=" + std::to_string(rejected);
+}
+
+Status request_shutdown(const std::string& socket_path) {
+  StatusOr<int> fd = unix_connect(socket_path);
+  HLSAV_RETURN_IF_ERROR(fd.status());
+  FdCloser closer{*fd};
+  HLSAV_RETURN_IF_ERROR(send_line(*fd, "{\"type\":\"shutdown\"}"));
+  LineReader reader(*fd);
+  StatusOr<std::string> line = reader.read_line(/*timeout_ms=*/5000);
+  HLSAV_RETURN_IF_ERROR(line.status());
+  return Status::ok_status();
+}
+
+}  // namespace hlsav::serve

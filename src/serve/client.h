@@ -1,0 +1,27 @@
+// Client side of the hlsavd protocol (the `hlsavd submit/status/
+// shutdown` subcommands live on top of these).
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.h"
+#include "support/status.h"
+
+namespace hlsav::serve {
+
+/// Submits `spec` and streams the job to completion: progress lines go
+/// to stderr (unless `quiet`), the final report's bytes to `out_path`
+/// (empty = stdout). Returns the process exit code:
+///   0 = done ok;  1 = job or transport error;  6 = drained (daemon
+///   shut down mid-job; journals are resumable);  7 = rejected by
+///   back-pressure or validation (typed, resubmit later).
+[[nodiscard]] int submit_job(const std::string& socket_path, const CampaignSpec& spec,
+                             const std::string& out_path, bool quiet);
+
+/// One-line daemon status ("queued=N running=N completed=N rejected=N").
+[[nodiscard]] StatusOr<std::string> query_status(const std::string& socket_path);
+
+/// Asks the daemon to shut down gracefully.
+[[nodiscard]] Status request_shutdown(const std::string& socket_path);
+
+}  // namespace hlsav::serve

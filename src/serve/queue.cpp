@@ -1,0 +1,52 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+
+namespace hlsav::serve {
+
+Status JobQueue::push(Job job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::unavailable("shutting down");
+  if (jobs_.size() >= capacity_) {
+    return Status::unavailable("queue full (cap " + std::to_string(capacity_) + ")");
+  }
+  job.seq = next_seq_++;
+  jobs_.push_back(std::move(job));
+  cv_.notify_one();
+  return Status::ok_status();
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (closed_) return std::nullopt;  // close() already drained the backlog
+  auto best = std::min_element(jobs_.begin(), jobs_.end(), [](const Job& a, const Job& b) {
+    if (a.spec.priority != b.spec.priority) return a.spec.priority > b.spec.priority;
+    return a.seq < b.seq;
+  });
+  Job job = std::move(*best);
+  jobs_.erase(best);
+  return job;
+}
+
+std::vector<Job> JobQueue::close() {
+  std::vector<Job> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    drained = std::move(jobs_);
+    jobs_.clear();
+  }
+  cv_.notify_all();
+  // Aborted jobs go back in submission order, not priority order.
+  std::sort(drained.begin(), drained.end(),
+            [](const Job& a, const Job& b) { return a.seq < b.seq; });
+  return drained;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+}  // namespace hlsav::serve

@@ -1,0 +1,66 @@
+// Bounded priority job queue with typed back-pressure.
+//
+// hlsavd accepts campaign jobs faster than it can run them; the queue
+// is where overload becomes an *answer* instead of an outage. A full
+// queue rejects the push with kUnavailable (the client gets a typed
+// "rejected" reply and exit code, never a hang or a dropped socket),
+// higher-priority jobs run first, and equal priorities stay FIFO.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "support/status.h"
+
+namespace hlsav::serve {
+
+/// One accepted campaign submission. The client fd travels with the
+/// job: whichever executor runs it streams progress and the final
+/// report back over that connection.
+struct Job {
+  std::uint64_t id = 0;
+  CampaignSpec spec;
+  /// Connected client socket; the executor owns (and closes) it.
+  int client_fd = -1;
+  /// Queue-assigned arrival number; ties within a priority stay FIFO.
+  std::uint64_t seq = 0;
+};
+
+/// Thread-safe bounded priority queue. push() never blocks -- a full or
+/// closed queue is a Status, which is the whole point.
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// kUnavailable when full ("queue full (cap N)") or closed ("shutting
+  /// down") -- the service forwards the message verbatim as the typed
+  /// rejection.
+  [[nodiscard]] Status push(Job job);
+
+  /// Blocks until a job is available; highest priority first, FIFO
+  /// within a priority. nullopt once the queue is closed (close()
+  /// drains pending jobs, so there is nothing left to hand out).
+  [[nodiscard]] std::optional<Job> pop();
+
+  /// Closes the queue: every blocked pop() wakes and returns nullopt,
+  /// every later push() is rejected. Returns the jobs still queued so
+  /// the service can send each waiting client a typed abort.
+  [[nodiscard]] std::vector<Job> close();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Job> jobs_;  // unsorted; pop() selects best
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hlsav::serve

@@ -1,0 +1,204 @@
+#include "serve/service.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "serve/shard.h"
+#include "support/jsonl.h"
+#include "support/socket.h"
+
+namespace hlsav::serve {
+
+namespace {
+
+Status ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return Status::ok_status();
+  return Status::io_error("cannot create directory '" + path + "'");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Service>> Service::start(ServiceOptions opt) {
+  if (opt.worker_binary.empty()) {
+    return Status::invalid_argument("service needs the hlsavd binary path for workers");
+  }
+  HLSAV_RETURN_IF_ERROR(ensure_dir(opt.work_dir));
+  StatusOr<int> listen_fd = unix_listen(opt.socket_path);
+  HLSAV_RETURN_IF_ERROR(listen_fd.status());
+  return std::unique_ptr<Service>(new Service(std::move(opt), *listen_fd));
+}
+
+Service::~Service() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status Service::serve() {
+  executors_.reserve(opt_.executors);
+  for (unsigned i = 0; i < opt_.executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+
+  Status accept_status;
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    StatusOr<int> fd = unix_accept(listen_fd_, /*timeout_ms=*/100);
+    if (!fd.ok()) {
+      accept_status = fd.status();
+      break;
+    }
+    if (*fd < 0) continue;  // timeout: poll the shutdown flag again
+    handle_connection(*fd);
+  }
+
+  // Graceful degradation: running jobs drain (workers flush journals
+  // and exit; clients get a "drained" result), queued jobs get a typed
+  // abort so no client is left hanging on a silent close.
+  drain_.store(true, std::memory_order_relaxed);
+  for (Job& job : queue_.close()) {
+    (void)send_line(job.client_fd, encode_rejected(Status::unavailable(
+                                       "service shutting down before the job started; "
+                                       "resubmit when it is back")));
+    ::close(job.client_fd);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  for (std::thread& t : executors_) t.join();
+  executors_.clear();
+  ::unlink(opt_.socket_path.c_str());
+  return accept_status;
+}
+
+void Service::handle_connection(int fd) {
+  LineReader reader(fd);
+  StatusOr<std::string> line = reader.read_line(/*timeout_ms=*/2000);
+  if (!line.ok()) {
+    ::close(fd);
+    return;
+  }
+  std::string type;
+  if (!jsonl::parse_string(*line, "type", type)) {
+    (void)send_line(fd, encode_rejected(Status::invalid_argument("request has no type")));
+    ::close(fd);
+    return;
+  }
+  if (type == "status") {
+    std::string reply = "{\"type\":\"status\",\"queued\":" +
+                        std::to_string(queued_.load(std::memory_order_relaxed)) +
+                        ",\"running\":" +
+                        std::to_string(running_.load(std::memory_order_relaxed)) +
+                        ",\"completed\":" +
+                        std::to_string(completed_.load(std::memory_order_relaxed)) +
+                        ",\"rejected\":" +
+                        std::to_string(rejected_.load(std::memory_order_relaxed)) + "}";
+    (void)send_line(fd, reply);
+    ::close(fd);
+    return;
+  }
+  if (type == "shutdown") {
+    (void)send_line(fd, "{\"type\":\"ok\"}");
+    ::close(fd);
+    shutdown_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  if (type != "submit") {
+    (void)send_line(fd, encode_rejected(Status::invalid_argument("unknown request type '" +
+                                                                 type + "'")));
+    ::close(fd);
+    return;
+  }
+  StatusOr<CampaignSpec> spec = decode_submit(*line);
+  if (!spec.ok()) {
+    (void)send_line(fd, encode_rejected(spec.status()));
+    ::close(fd);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Job job;
+  job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  job.spec = std::move(*spec);
+  job.client_fd = fd;
+  std::uint64_t id = job.id;
+  Status pushed = queue_.push(std::move(job));
+  if (!pushed.ok()) {
+    // Typed back-pressure: the client learns *why* (queue full vs
+    // shutting down) and can retry later; nothing is silently dropped.
+    (void)send_line(fd, encode_rejected(pushed));
+    ::close(fd);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  (void)send_line(fd, encode_accepted(id));
+}
+
+void Service::executor_loop() {
+  for (;;) {
+    std::optional<Job> job = queue_.pop();
+    if (!job.has_value()) return;
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    running_.fetch_add(1, std::memory_order_relaxed);
+    run_job(std::move(*job));
+  }
+}
+
+void Service::run_job(Job job) {
+  // Counters move *before* the done line goes out: a client that reads
+  // "done" and immediately queries status must see itself counted.
+  auto finish = [&](const std::string& done_line) {
+    running_.fetch_sub(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    (void)send_line(job.client_fd, done_line);
+    ::close(job.client_fd);
+  };
+
+  std::string job_dir = opt_.work_dir + "/job_" + std::to_string(job.id);
+  Status dir_ok = ensure_dir(job_dir);
+  if (!dir_ok.ok()) {
+    finish(encode_done(job.id, "error", dir_ok.to_string()));
+    return;
+  }
+
+  SupervisorOptions sup;
+  sup.worker_binary = opt_.worker_binary;
+  sup.job_dir = job_dir;
+  sup.workers = job.spec.workers != 0 ? job.spec.workers : opt_.default_workers;
+  sup.quarantine_cap = opt_.quarantine_cap;
+  sup.backoff_base_ms = opt_.backoff_base_ms;
+  sup.backoff_cap_ms = opt_.backoff_cap_ms;
+  sup.heartbeat_timeout_ms = opt_.heartbeat_timeout_ms;
+  sup.drain = &drain_;
+  // A client that vanished mid-job must not kill the job (its journals
+  // are still valuable); sends just stop.
+  bool client_gone = false;
+  auto send = [&](const std::string& line) {
+    if (client_gone) return;
+    if (!send_line(job.client_fd, line).ok()) client_gone = true;
+  };
+  sup.event_sink = [&](const SupervisorEvent& e) {
+    switch (e.kind) {
+      case SupervisorEvent::Kind::kProgress:
+        send(encode_progress(job.id, e.done, e.total));
+        break;
+      case SupervisorEvent::Kind::kWorkerCrashed:
+        send(encode_worker_crashed(job.id, e.site, e.worker, e.detail));
+        break;
+      case SupervisorEvent::Kind::kQuarantined:
+        send(encode_quarantined(job.id, e.site));
+        break;
+    }
+  };
+
+  StatusOr<SupervisedResult> result = run_sharded_campaign(job.spec, sup);
+  if (!result.ok()) {
+    finish(encode_done(job.id, "error", result.status().to_string()));
+    return;
+  }
+  if (!result->rendered.empty()) {
+    send(encode_report_header(job.id, result->rendered.size()));
+    if (!client_gone && !send_bytes(job.client_fd, result->rendered).ok()) client_gone = true;
+  }
+  finish(encode_done(job.id, result->drained ? "drained" : "ok"));
+}
+
+}  // namespace hlsav::serve

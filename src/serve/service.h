@@ -1,0 +1,83 @@
+// The hlsavd campaign service: accept loop, executors, shutdown.
+//
+// One thread accepts connections on the unix socket and turns submit
+// requests into queued jobs (or typed rejections when the bounded
+// queue pushes back); `executors` threads pop jobs and run the sharded
+// supervisor (serve/shard.h), streaming progress and the final report
+// to the submitting client over its own connection.
+//
+// Graceful shutdown (SIGTERM or a shutdown request): the accept loop
+// stops, queued-but-unstarted jobs get a typed abort reply, running
+// jobs drain -- workers flush their journals and exit, the client gets
+// whatever was durably classified plus status "drained", and every
+// journal shard is resumable by a later submission of the same spec.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.h"
+#include "support/status.h"
+
+namespace hlsav::serve {
+
+struct ServiceOptions {
+  std::string socket_path;
+  /// Jobs that may wait beyond the running ones; a full queue rejects.
+  std::size_t queue_cap = 4;
+  /// Concurrent jobs (each runs its own worker pool).
+  unsigned executors = 1;
+  /// Worker subprocesses per job when the client does not say.
+  unsigned default_workers = 2;
+  unsigned quarantine_cap = 3;
+  /// Worker silence tolerated before the SIGKILL watchdog; 0 = off.
+  double heartbeat_timeout_ms = 10'000.0;
+  std::uint64_t backoff_base_ms = 25;
+  std::uint64_t backoff_cap_ms = 1000;
+  /// The hlsavd binary itself (workers are `hlsavd worker ...`).
+  std::string worker_binary;
+  /// Per-job shard journals land in `<work_dir>/job_<id>/`.
+  std::string work_dir = ".";
+};
+
+class Service {
+ public:
+  /// Binds the socket and prepares the queue; serve() starts the loop.
+  [[nodiscard]] static StatusOr<std::unique_ptr<Service>> start(ServiceOptions opt);
+  ~Service();
+
+  /// Runs accept loop + executors until shutdown_flag() turns true (a
+  /// signal handler may set it) or a shutdown request arrives. Returns
+  /// once every executor has drained and the socket is unlinked.
+  [[nodiscard]] Status serve();
+
+  /// The flag a SIGTERM/SIGINT handler sets: only an atomic store, so
+  /// it is async-signal-safe.
+  [[nodiscard]] std::atomic<bool>& shutdown_flag() { return shutdown_; }
+
+ private:
+  explicit Service(ServiceOptions opt, int listen_fd)
+      : opt_(std::move(opt)), listen_fd_(listen_fd), queue_(opt_.queue_cap) {}
+
+  void handle_connection(int fd);
+  void executor_loop();
+  void run_job(Job job);
+
+  ServiceOptions opt_;
+  int listen_fd_ = -1;
+  JobQueue queue_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> drain_{false};  // handed to running supervisors
+  std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<std::uint64_t> queued_{0};
+  std::atomic<std::uint64_t> running_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace hlsav::serve

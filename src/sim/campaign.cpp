@@ -28,6 +28,7 @@ const char* fault_outcome_name(FaultOutcome o) {
     case FaultOutcome::kHangDetected: return "hang-detected";
     case FaultOutcome::kHangTimeout: return "hang-timeout";
     case FaultOutcome::kBudgetExceeded: return "budget-exceeded";
+    case FaultOutcome::kWorkerCrashed: return "worker-crashed";
   }
   HLSAV_UNREACHABLE("bad FaultOutcome");
 }
@@ -234,13 +235,19 @@ FaultResult run_fault(const ir::Design& design, const sched::DesignSchedule& sch
   return res;
 }
 
-CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedule& schedule,
-                            const ExternRegistry& externs,
-                            const std::map<std::string, std::vector<std::uint64_t>>& feeds,
-                            const CampaignOptions& opt) {
+StatusOr<CampaignReport> run_campaign_st(
+    const ir::Design& design, const sched::DesignSchedule& schedule,
+    const ExternRegistry& externs,
+    const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+    const CampaignOptions& opt) {
   metrics::ProfileSummary golden_profile;
-  GoldenRef golden = golden_run(design, schedule, externs, feeds, opt.sim,
-                                opt.profile ? &golden_profile : nullptr);
+  GoldenRef golden;
+  try {
+    golden = golden_run(design, schedule, externs, feeds, opt.sim,
+                        opt.profile ? &golden_profile : nullptr);
+  } catch (const InternalError& e) {
+    return Status::error(StatusCode::kSimError, e.what());
+  }
   std::uint64_t max_cycles =
       opt.max_cycles != 0 ? opt.max_cycles : std::max<std::uint64_t>(10'000, 16 * golden.cycles);
 
@@ -263,6 +270,26 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
     std::sort(order.begin(), order.end());
   }
 
+  // A shard (worker entrypoint) runs only its assigned subset of the
+  // sampled selection; the journal header below still describes the
+  // whole campaign, so every shard shares one resume fingerprint.
+  if (!opt.only_sites.empty()) {
+    std::vector<std::uint32_t> wanted = opt.only_sites;
+    std::sort(wanted.begin(), wanted.end());
+    std::vector<std::size_t> filtered;
+    for (std::size_t idx : order) {
+      if (std::binary_search(wanted.begin(), wanted.end(), sites[idx].id)) {
+        filtered.push_back(idx);
+      }
+    }
+    if (filtered.size() != wanted.size()) {
+      return Status::invalid_argument(
+          "only_sites names " + std::to_string(wanted.size()) + " site(s) but only " +
+          std::to_string(filtered.size()) + " are in this campaign's sampled selection");
+    }
+    order = std::move(filtered);
+  }
+
   unsigned threads = opt.threads != 0 ? opt.threads
                                       : std::max(1u, std::thread::hardware_concurrency());
   threads = static_cast<unsigned>(std::min<std::size_t>(threads, std::max<std::size_t>(
@@ -276,7 +303,7 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
   // ---- not completion order, define the output.
   std::unique_ptr<CampaignJournal> journal;
   report.results.assign(order.size(), FaultResult{});
-  std::vector<char> restored(order.size(), 0);
+  std::vector<char> done(order.size(), 0);  // restored or freshly classified
   if (!opt.journal.empty()) {
     JournalHeader hdr;
     hdr.design = design.name;
@@ -302,42 +329,80 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
           if (it == loaded->results.end()) continue;
           report.results[i] = it->second;
           report.results[i].site = sites[order[i]];  // reattach the full spec
-          restored[i] = 1;
+          done[i] = 1;
         }
       }
     }
     StatusOr<std::unique_ptr<CampaignJournal>> j =
         reopen ? CampaignJournal::append_to(opt.journal, valid_bytes)
                : CampaignJournal::create(opt.journal, hdr);
-    HLSAV_CHECK(j.ok(), "cannot open campaign journal '" + opt.journal +
-                            "': " + j.status().to_string());
+    if (!j.ok()) {
+      return Status::error(j.status().code(), "cannot open campaign journal '" + opt.journal +
+                                                  "': " + j.status().message());
+    }
     journal = std::move(*j);
   }
+  std::vector<char> restored = done;
 
   Heartbeat heartbeat(opt, order.size());
   metrics::ProfileSummary site_profile;
   metrics::ProfileSummary* site_profile_ptr = opt.profile ? &site_profile : nullptr;
 
-  auto record = [&](std::size_t i) {
+  auto cancelled = [&] {
+    return opt.cancel != nullptr && opt.cancel->load(std::memory_order_relaxed);
+  };
+  // Journal durability gates everything downstream of a site run: the
+  // sink and heartbeat only see a site once its record can no longer be
+  // lost, and a failed write/fsync stops the sweep with the path named.
+  auto record = [&](std::size_t i) -> Status {
     if (journal != nullptr) {
       Status st = journal->append(report.results[i]);
-      HLSAV_CHECK(st.ok(), "campaign journal append failed: " + st.to_string());
+      if (!st.ok()) {
+        return Status::error(st.code(),
+                             "campaign journal append failed: " + st.message());
+      }
     }
+    done[i] = 1;
+    if (opt.site_sink) opt.site_sink(report.results[i]);
     heartbeat.site_done(report.results[i].outcome);
+    return Status::ok_status();
+  };
+  // An interrupted sweep keeps exactly the classified sites, still in
+  // site order -- the shape a --resume continuation rebuilds from.
+  auto finish = [&]() -> CampaignReport {
+    if (report.interrupted) {
+      std::vector<FaultResult> kept;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        if (done[i] != 0) kept.push_back(std::move(report.results[i]));
+      }
+      report.results = std::move(kept);
+    }
+    return std::move(report);
   };
 
   if (threads <= 1) {
     for (std::size_t i = 0; i < order.size(); ++i) {
+      if (cancelled()) {
+        report.interrupted = true;
+        break;
+      }
       if (restored[i] != 0) {
         heartbeat.site_done(report.results[i].outcome);
         continue;
       }
-      report.results[i] =
-          run_fault_with_retry(design, schedule, externs, feeds, golden, sites[order[i]],
-                               opt.sim, max_cycles, site_profile_ptr, opt);
-      record(i);
+      if (opt.site_start_hook) opt.site_start_hook(sites[order[i]].id);
+      try {
+        report.results[i] =
+            run_fault_with_retry(design, schedule, externs, feeds, golden, sites[order[i]],
+                                 opt.sim, max_cycles, site_profile_ptr, opt);
+      } catch (const InternalError& e) {
+        return Status::internal(e.what());
+      } catch (const std::exception& e) {
+        return Status::internal(std::string("site run failed: ") + e.what());
+      }
+      HLSAV_RETURN_IF_ERROR(record(i));
     }
-    return report;
+    return finish();
   }
 
   // Parallel sweep: every worker owns its Simulators (one fresh instance
@@ -348,29 +413,40 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
   // on disk is irrelevant.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
+  Status first_status;
   std::mutex error_mu;
+  auto fail_with = [&](Status st) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_status.ok()) first_status = std::move(st);
+    failed.store(true, std::memory_order_relaxed);
+  };
   auto worker = [&] {
     // Worker-local summary slot; run_fault also copies it into the
     // FaultResult, which is all the report keeps.
     metrics::ProfileSummary local_profile;
-    while (!failed.load(std::memory_order_relaxed)) {
+    while (!failed.load(std::memory_order_relaxed) && !cancelled()) {
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= order.size()) return;
       if (restored[i] != 0) {
         heartbeat.site_done(report.results[i].outcome);
         continue;
       }
+      if (opt.site_start_hook) opt.site_start_hook(sites[order[i]].id);
       try {
         report.results[i] =
             run_fault_with_retry(design, schedule, externs, feeds, golden, sites[order[i]],
                                  opt.sim, max_cycles,
                                  opt.profile ? &local_profile : nullptr, opt);
-        record(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+      } catch (const InternalError& e) {
+        fail_with(Status::internal(e.what()));
+        return;
+      } catch (const std::exception& e) {
+        fail_with(Status::internal(std::string("site run failed: ") + e.what()));
+        return;
+      }
+      Status st = record(i);
+      if (!st.ok()) {
+        fail_with(std::move(st));
         return;
       }
     }
@@ -379,8 +455,28 @@ CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedul
   pool.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-  return report;
+  if (!first_status.ok()) return first_status;
+  if (cancelled() && next.load(std::memory_order_relaxed) < order.size() + threads) {
+    // At least one slot was never dispatched (or was abandoned): the
+    // sweep is incomplete. A cancel that lands after the last site
+    // finished is indistinguishable from a clean run and stays one.
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (done[i] == 0) {
+        report.interrupted = true;
+        break;
+      }
+    }
+  }
+  return finish();
+}
+
+CampaignReport run_campaign(const ir::Design& design, const sched::DesignSchedule& schedule,
+                            const ExternRegistry& externs,
+                            const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+                            const CampaignOptions& opt) {
+  StatusOr<CampaignReport> r = run_campaign_st(design, schedule, externs, feeds, opt);
+  HLSAV_CHECK(r.ok(), "campaign failed: " + r.status().to_string());
+  return *std::move(r);
 }
 
 std::size_t CampaignReport::count(FaultOutcome o) const {

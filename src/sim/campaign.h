@@ -23,6 +23,7 @@
 // => byte-identical report.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -46,10 +47,15 @@ enum class FaultOutcome : std::uint8_t {
   kHangDetected,
   kHangTimeout,
   kBudgetExceeded,  // per-site wall-clock watchdog fired (site_wall_ms)
+  /// The site killed its worker subprocess repeatedly (segfault,
+  /// OOM-kill, watchdog SIGKILL) and was quarantined by the sharded
+  /// campaign supervisor after the retry cap. Only the service path
+  /// (serve/shard.h) produces this; in-process sweeps never do.
+  kWorkerCrashed,
 };
 
 /// Number of FaultOutcome values (tally arrays, serialization).
-inline constexpr std::size_t kNumFaultOutcomes = 6;
+inline constexpr std::size_t kNumFaultOutcomes = 7;
 
 [[nodiscard]] const char* fault_outcome_name(FaultOutcome o);
 
@@ -100,6 +106,24 @@ struct CampaignOptions {
   /// With `journal` set: load it first and skip sites it already
   /// classified, provided its header fingerprint matches this campaign.
   bool resume = false;
+  /// Restrict the sweep to these site ids (a shard of the sampled
+  /// list); empty = run everything. Ids must belong to the campaign's
+  /// sampled selection -- the worker entrypoint gets its shard this
+  /// way while the journal header keeps the full-campaign identity, so
+  /// every shard journal carries the same resume fingerprint.
+  std::vector<std::uint32_t> only_sites;
+  /// Cooperative cancellation (SIGINT/SIGTERM): when the pointee turns
+  /// true no further site starts; already-journaled work is kept and
+  /// the report comes back with `interrupted` set. Null = never.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Called after each freshly-run site is classified AND durably
+  /// journaled (restored sites are skipped): the worker entrypoint's
+  /// per-site heartbeat. Serialized by the journal append order.
+  std::function<void(const FaultResult&)> site_sink;
+  /// Called just before each freshly-run site starts. Test-only crash
+  /// flags (--crash-at-site) hook here so crash-containment paths are
+  /// deterministically exercisable.
+  std::function<void(std::uint32_t site_id)> site_start_hook;
   /// Base simulation options (mode, channel mux) shared by every run.
   SimOptions sim;
 };
@@ -117,6 +141,10 @@ struct CampaignReport {
   std::uint64_t golden_cycles = 0;
   unsigned threads = 1;              // workers the campaign actually used
   std::vector<FaultResult> results;  // in site-id order
+  /// True when CampaignOptions::cancel stopped the sweep early: only
+  /// the completed (journaled) sites are in `results`, and a journaled
+  /// campaign resumes byte-identically with --resume.
+  bool interrupted = false;
   /// Attribution of the un-faulted reference run; set iff
   /// CampaignOptions::profile was on.
   std::optional<metrics::ProfileSummary> golden_profile;
@@ -154,7 +182,19 @@ struct CampaignReport {
                                     double site_wall_ms = 0.0);
 
 /// The full campaign: enumerate sites, (optionally sample,) run each,
-/// classify every one -- no fault is ever left unclassified.
+/// classify every one -- no fault is ever left unclassified. Journal
+/// open/write/fsync failures (ENOSPC, EIO, unwritable directory) come
+/// back as a Status naming the journal path -- a record is never
+/// silently dropped; a cooperative cancel returns an ok report with
+/// `interrupted` set.
+[[nodiscard]] StatusOr<CampaignReport> run_campaign_st(
+    const ir::Design& design, const sched::DesignSchedule& schedule,
+    const ExternRegistry& externs,
+    const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+    const CampaignOptions& opt = {});
+
+/// Throwing convenience wrapper around run_campaign_st (library tests
+/// and benches that treat any failure as fatal).
 [[nodiscard]] CampaignReport run_campaign(
     const ir::Design& design, const sched::DesignSchedule& schedule,
     const ExternRegistry& externs,

@@ -4,121 +4,23 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "support/io.h"
+#include "support/jsonl.h"
 
 namespace hlsav::sim {
 
 namespace {
 
-// ------------------------------------------------------- serialization --
-// Hand-rolled JSONL: every value the journal stores is an integer, a
-// double, a short name string, or a list of assertion ids. A general
-// JSON library would be a dependency for no expressive gain.
-
-void append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
-}
-
-std::string format_double(double v) {
-  // %.17g round-trips every finite double through strtod, so the
-  // fingerprint comparison survives a disk round trip exactly.
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-/// Locates `"key":` and returns the position just past the colon.
-bool find_value(const std::string& line, const char* key, std::size_t& pos) {
-  std::string pat = "\"";
-  pat += key;
-  pat += "\":";
-  std::size_t p = line.find(pat);
-  if (p == std::string::npos) return false;
-  pos = p + pat.size();
-  return true;
-}
-
-bool parse_u64(const std::string& line, const char* key, std::uint64_t& out) {
-  std::size_t pos = 0;
-  if (!find_value(line, key, pos)) return false;
-  errno = 0;
-  char* end = nullptr;
-  out = std::strtoull(line.c_str() + pos, &end, 10);
-  return end != line.c_str() + pos && errno == 0;
-}
-
-bool parse_double(const std::string& line, const char* key, double& out) {
-  std::size_t pos = 0;
-  if (!find_value(line, key, pos)) return false;
-  char* end = nullptr;
-  out = std::strtod(line.c_str() + pos, &end);
-  return end != line.c_str() + pos;
-}
-
-bool parse_string(const std::string& line, const char* key, std::string& out) {
-  std::size_t pos = 0;
-  if (!find_value(line, key, pos)) return false;
-  if (pos >= line.size() || line[pos] != '"') return false;
-  out.clear();
-  for (std::size_t i = pos + 1; i < line.size(); ++i) {
-    char c = line[i];
-    if (c == '"') return true;
-    if (c != '\\') {
-      out += c;
-      continue;
-    }
-    if (++i >= line.size()) return false;
-    char e = line[i];
-    if (e == 'u') {
-      if (i + 4 >= line.size()) return false;
-      out += static_cast<char>(std::strtoul(line.substr(i + 1, 4).c_str(), nullptr, 16));
-      i += 4;
-    } else {
-      out += e;  // \" and \\ are the only other escapes we emit
-    }
-  }
-  return false;  // unterminated
-}
-
-bool parse_id_list(const std::string& line, const char* key, std::vector<std::uint32_t>& out) {
-  std::size_t pos = 0;
-  if (!find_value(line, key, pos)) return false;
-  if (pos >= line.size() || line[pos] != '[') return false;
-  out.clear();
-  std::size_t i = pos + 1;
-  while (i < line.size() && line[i] != ']') {
-    char* end = nullptr;
-    std::uint64_t v = std::strtoull(line.c_str() + i, &end, 10);
-    if (end == line.c_str() + i) return false;
-    out.push_back(static_cast<std::uint32_t>(v));
-    i = static_cast<std::size_t>(end - line.c_str());
-    if (i < line.size() && line[i] == ',') ++i;
-  }
-  return i < line.size();
-}
+// Serialization uses the shared flat-JSONL dialect (support/jsonl.h);
+// this file only supplies the journal's field layout.
 
 bool parse_outcome(const std::string& line, FaultOutcome& out) {
   std::string name;
-  if (!parse_string(line, "outcome", name)) return false;
+  if (!jsonl::parse_string(line, "outcome", name)) return false;
   for (std::size_t i = 0; i < kNumFaultOutcomes; ++i) {
     auto o = static_cast<FaultOutcome>(i);
     if (name == fault_outcome_name(o)) {
@@ -135,27 +37,27 @@ bool parse_outcome(const std::string& line, FaultOutcome& out) {
 bool parse_result_line(const std::string& line, FaultResult& r) {
   if (line.empty() || line.front() != '{' || line.back() != '}') return false;
   std::uint64_t site = 0;
-  if (!parse_u64(line, "site", site)) return false;
+  if (!jsonl::parse_u64(line, "site", site)) return false;
   r.site = FaultSpec{};
   r.site.id = static_cast<std::uint32_t>(site);
   if (!parse_outcome(line, r.outcome)) return false;
-  if (!parse_id_list(line, "detected_by", r.detected_by)) return false;
-  if (!parse_u64(line, "cycles", r.cycles)) return false;
+  if (!jsonl::parse_u32_list(line, "detected_by", r.detected_by)) return false;
+  if (!jsonl::parse_u64(line, "cycles", r.cycles)) return false;
   r.profile.reset();
   std::size_t ppos = 0;
-  if (find_value(line, "profile", ppos)) {
+  if (jsonl::find_value(line, "profile", ppos)) {
     metrics::ProfileSummary p;
-    bool ok = parse_u64(line, "run_cycles", p.run_cycles) &&
-              parse_u64(line, "compute_cycles", p.compute_cycles) &&
-              parse_u64(line, "assert_cycles", p.assert_cycles) &&
-              parse_u64(line, "stall_cycles", p.stall_cycles) &&
-              parse_u64(line, "tail_cycles", p.tail_cycles) &&
-              parse_u64(line, "discarded_stall_cycles", p.discarded_stall_cycles) &&
-              parse_u64(line, "blocked_polls", p.blocked_polls) &&
-              parse_u64(line, "assert_evals", p.assert_evals) &&
-              parse_u64(line, "assert_failures", p.assert_failures) &&
-              parse_string(line, "hottest_stall_stream", p.hottest_stall_stream) &&
-              parse_u64(line, "hottest_stall_cycles", p.hottest_stall_cycles);
+    bool ok = jsonl::parse_u64(line, "run_cycles", p.run_cycles) &&
+              jsonl::parse_u64(line, "compute_cycles", p.compute_cycles) &&
+              jsonl::parse_u64(line, "assert_cycles", p.assert_cycles) &&
+              jsonl::parse_u64(line, "stall_cycles", p.stall_cycles) &&
+              jsonl::parse_u64(line, "tail_cycles", p.tail_cycles) &&
+              jsonl::parse_u64(line, "discarded_stall_cycles", p.discarded_stall_cycles) &&
+              jsonl::parse_u64(line, "blocked_polls", p.blocked_polls) &&
+              jsonl::parse_u64(line, "assert_evals", p.assert_evals) &&
+              jsonl::parse_u64(line, "assert_failures", p.assert_failures) &&
+              jsonl::parse_string(line, "hottest_stall_stream", p.hottest_stall_stream) &&
+              jsonl::parse_u64(line, "hottest_stall_cycles", p.hottest_stall_cycles);
     if (!ok) return false;
     r.profile = std::move(p);
   }
@@ -166,17 +68,38 @@ Status errno_status(const std::string& what, const std::string& path) {
   return Status::io_error(what + " '" + path + "': " + std::strerror(errno));
 }
 
+// Test-injectable write/fsync (set_journal_io_hooks_for_test). The
+// indirection only exists so fault-injection tests can fail an append
+// with a chosen errno on a healthy filesystem.
+const JournalIoHooks* g_io_hooks = nullptr;
+
+ssize_t journal_write(int fd, const void* buf, std::size_t count) {
+  if (g_io_hooks != nullptr && g_io_hooks->write_fn != nullptr) {
+    return g_io_hooks->write_fn(fd, buf, count);
+  }
+  return ::write(fd, buf, count);
+}
+
+int journal_fsync(int fd) {
+  if (g_io_hooks != nullptr && g_io_hooks->fsync_fn != nullptr) {
+    return g_io_hooks->fsync_fn(fd);
+  }
+  return ::fsync(fd);
+}
+
 }  // namespace
+
+void set_journal_io_hooks_for_test(const JournalIoHooks* hooks) { g_io_hooks = hooks; }
 
 std::string JournalHeader::fingerprint() const {
   std::string out = "{\"type\":\"header\",\"design\":";
-  append_escaped(out, design);
+  jsonl::append_escaped(out, design);
   out += ",\"seed\":" + std::to_string(seed);
   out += ",\"sites_total\":" + std::to_string(sites_total);
   out += ",\"max_faults\":" + std::to_string(max_faults);
   out += ",\"max_cycles\":" + std::to_string(max_cycles);
   out += ",\"golden_cycles\":" + std::to_string(golden_cycles);
-  out += ",\"site_wall_ms\":" + format_double(site_wall_ms);
+  out += ",\"site_wall_ms\":" + jsonl::format_double(site_wall_ms);
   out += ",\"profile\":";
   out += profile ? "true" : "false";
   out += '}';
@@ -186,13 +109,10 @@ std::string JournalHeader::fingerprint() const {
 std::string journal_line(const FaultResult& r) {
   std::string out = "{\"site\":" + std::to_string(r.site.id);
   out += ",\"outcome\":";
-  append_escaped(out, fault_outcome_name(r.outcome));
-  out += ",\"detected_by\":[";
-  for (std::size_t i = 0; i < r.detected_by.size(); ++i) {
-    if (i != 0) out += ',';
-    out += std::to_string(r.detected_by[i]);
-  }
-  out += "],\"cycles\":" + std::to_string(r.cycles);
+  jsonl::append_escaped(out, fault_outcome_name(r.outcome));
+  out += ",\"detected_by\":";
+  jsonl::append_u32_list(out, r.detected_by);
+  out += ",\"cycles\":" + std::to_string(r.cycles);
   if (r.profile.has_value()) {
     const metrics::ProfileSummary& p = *r.profile;
     out += ",\"profile\":{\"run_cycles\":" + std::to_string(p.run_cycles);
@@ -205,7 +125,7 @@ std::string journal_line(const FaultResult& r) {
     out += ",\"assert_evals\":" + std::to_string(p.assert_evals);
     out += ",\"assert_failures\":" + std::to_string(p.assert_failures);
     out += ",\"hottest_stall_stream\":";
-    append_escaped(out, p.hottest_stall_stream);
+    jsonl::append_escaped(out, p.hottest_stall_stream);
     out += ",\"hottest_stall_cycles\":" + std::to_string(p.hottest_stall_cycles);
     out += '}';
   }
@@ -226,19 +146,14 @@ StatusOr<JournalContents> load_journal(const std::string& path) {
     return Status::invalid_argument("journal '" + path + "' has no complete header line");
   }
   std::string header_line = data.substr(0, eol);
-  bool header_ok = parse_string(header_line, "design", out.header.design) &&
-                   parse_u64(header_line, "seed", out.header.seed) &&
-                   parse_u64(header_line, "sites_total", out.header.sites_total) &&
-                   parse_u64(header_line, "max_faults", out.header.max_faults) &&
-                   parse_u64(header_line, "max_cycles", out.header.max_cycles) &&
-                   parse_u64(header_line, "golden_cycles", out.header.golden_cycles) &&
-                   parse_double(header_line, "site_wall_ms", out.header.site_wall_ms);
-  std::size_t ppos = 0;
-  if (find_value(header_line, "profile", ppos)) {
-    out.header.profile = header_line.compare(ppos, 4, "true") == 0;
-  } else {
-    header_ok = false;
-  }
+  bool header_ok = jsonl::parse_string(header_line, "design", out.header.design) &&
+                   jsonl::parse_u64(header_line, "seed", out.header.seed) &&
+                   jsonl::parse_u64(header_line, "sites_total", out.header.sites_total) &&
+                   jsonl::parse_u64(header_line, "max_faults", out.header.max_faults) &&
+                   jsonl::parse_u64(header_line, "max_cycles", out.header.max_cycles) &&
+                   jsonl::parse_u64(header_line, "golden_cycles", out.header.golden_cycles) &&
+                   jsonl::parse_double(header_line, "site_wall_ms", out.header.site_wall_ms) &&
+                   jsonl::parse_bool(header_line, "profile", out.header.profile);
   if (!header_ok) {
     return Status::invalid_argument("journal '" + path + "' has an unparseable header");
   }
@@ -291,7 +206,7 @@ Status CampaignJournal::append(const FaultResult& r) {
   const char* p = line.data();
   std::size_t left = line.size();
   while (left > 0) {
-    ssize_t n = ::write(fd_, p, left);
+    ssize_t n = journal_write(fd_, p, left);
     if (n < 0) {
       if (errno == EINTR) continue;
       return errno_status("journal write failed", path_);
@@ -300,8 +215,46 @@ Status CampaignJournal::append(const FaultResult& r) {
     left -= static_cast<std::size_t>(n);
   }
   // Durable before the site counts as done: resume trusts every line.
-  if (::fsync(fd_) != 0) return errno_status("journal fsync failed", path_);
+  if (journal_fsync(fd_) != 0) return errno_status("journal fsync failed", path_);
   return Status::ok_status();
+}
+
+StatusOr<ShardMergeResult> merge_journal_shards(const std::vector<std::string>& paths) {
+  if (paths.empty()) return Status::invalid_argument("no journal shards to merge");
+  ShardMergeResult out;
+  std::string fingerprint;
+  for (const std::string& path : paths) {
+    StatusOr<JournalContents> shard = load_journal(path);
+    if (!shard.ok()) {
+      return Status::error(shard.status().code(),
+                           "shard merge: " + shard.status().message());
+    }
+    std::string fp = shard->header.fingerprint();
+    if (fingerprint.empty()) {
+      fingerprint = fp;
+      out.header = shard->header;
+    } else if (fp != fingerprint) {
+      return Status::invalid_argument("shard '" + path +
+                                      "' belongs to a different campaign (header fingerprint "
+                                      "mismatch); shards cannot be mixed");
+    }
+    for (auto& [id, result] : shard->results) {
+      auto it = out.results.find(id);
+      if (it == out.results.end()) {
+        out.results.emplace(id, std::move(result));
+        continue;
+      }
+      // Duplicate: a site journaled by one worker, then reassigned after
+      // that worker died before the supervisor observed the append. The
+      // sweep is deterministic, so both classifications must agree.
+      if (journal_line(it->second) != journal_line(result)) {
+        return Status::invalid_argument("shards disagree on site " + std::to_string(id) +
+                                        " ('" + path + "' conflicts with an earlier shard)");
+      }
+    }
+    out.shards_loaded++;
+  }
+  return out;
 }
 
 }  // namespace hlsav::sim

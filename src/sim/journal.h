@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "sim/campaign.h"
 #include "support/status.h"
@@ -100,5 +101,41 @@ class CampaignJournal {
 
 /// Serialized JSONL form of one site outcome (exposed for tests).
 [[nodiscard]] std::string journal_line(const FaultResult& r);
+
+// ------------------------------------------------------- fault injection --
+
+/// Injectable low-level IO used by CampaignJournal::append. Tests swap
+/// these to simulate ENOSPC/EIO on a healthy filesystem; production
+/// never touches them.
+struct JournalIoHooks {
+  ssize_t (*write_fn)(int fd, const void* buf, std::size_t count);
+  int (*fsync_fn)(int fd);
+};
+
+/// Installs `hooks` for every subsequent append (nullptr restores the
+/// real syscalls). Test-only; not thread-safe against in-flight appends.
+void set_journal_io_hooks_for_test(const JournalIoHooks* hooks);
+
+// ----------------------------------------------------------- shard merge --
+
+/// What merge_journal_shards() recovers from a set of worker shard
+/// journals. Same contract as JournalContents: restored results carry
+/// only the site id, and the caller re-attaches FaultSpecs.
+struct ShardMergeResult {
+  JournalHeader header;
+  std::map<std::uint32_t, FaultResult> results;
+  std::size_t shards_loaded = 0;
+};
+
+/// Merges K worker shard journals into one result map. Every shard must
+/// carry the same header fingerprint (kInvalidArgument otherwise --
+/// shards of different campaigns can never be mixed); an unreadable
+/// shard is kIoError. A site id appearing in several shards is fine iff
+/// every copy serializes to identical bytes (a worker died after the
+/// append landed but before the supervisor saw it, then the site was
+/// reassigned); disagreeing duplicates are an error, because they mean
+/// the determinism contract broke.
+[[nodiscard]] StatusOr<ShardMergeResult> merge_journal_shards(
+    const std::vector<std::string>& paths);
 
 }  // namespace hlsav::sim

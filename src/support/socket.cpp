@@ -1,0 +1,152 @@
+#include "support/socket.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hlsav {
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status::io_error(what + ": " + std::strerror(errno));
+}
+
+/// sockaddr_un setup shared by listen/connect; sun_path is short.
+StatusOr<sockaddr_un> make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    return Status::invalid_argument("socket path too long (" + std::to_string(path.size()) +
+                                    " bytes): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+StatusOr<int> unix_listen(const std::string& path, int backlog) {
+  StatusOr<sockaddr_un> addr = make_addr(path);
+  if (!addr.ok()) return addr.status();
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_status("socket failed");
+  ::unlink(path.c_str());  // a stale socket file survives a daemon crash
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof *addr) != 0) {
+    Status st = errno_status("cannot bind '" + path + "'");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status st = errno_status("cannot listen on '" + path + "'");
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+StatusOr<int> unix_connect(const std::string& path) {
+  StatusOr<sockaddr_un> addr = make_addr(path);
+  if (!addr.ok()) return addr.status();
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_status("socket failed");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof *addr) != 0) {
+    Status st = errno_status("cannot connect to '" + path + "'");
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+StatusOr<int> unix_accept(int listen_fd, int timeout_ms) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  int n;
+  do {
+    n = ::poll(&pfd, 1, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return errno_status("poll failed");
+  if (n == 0) return -1;  // timeout: the caller polls its shutdown flag
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return errno_status("accept failed");
+  int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+  return fd;
+}
+
+Status send_bytes(int fd, std::string_view data) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    // MSG_NOSIGNAL: a vanished client is a Status, never a SIGPIPE.
+    ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::unavailable("peer disconnected");
+      }
+      return errno_status("send failed");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::ok_status();
+}
+
+Status send_line(int fd, const std::string& line) { return send_bytes(fd, line + "\n"); }
+
+Status LineReader::fill(int timeout_ms) {
+  if (eof_) return Status::unavailable("peer closed the connection");
+  if (timeout_ms > 0) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int n;
+    do {
+      n = ::poll(&pfd, 1, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return errno_status("poll failed");
+    if (n == 0) {
+      return Status::error(StatusCode::kBudgetExceeded,
+                           "timed out after " + std::to_string(timeout_ms) + "ms");
+    }
+  }
+  char chunk[4096];
+  ssize_t n;
+  do {
+    n = ::read(fd_, chunk, sizeof chunk);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return errno_status("read failed");
+  if (n == 0) {
+    eof_ = true;
+    return Status::unavailable("peer closed the connection");
+  }
+  buf_.append(chunk, static_cast<std::size_t>(n));
+  return Status::ok_status();
+}
+
+StatusOr<std::string> LineReader::read_line(int timeout_ms) {
+  for (;;) {
+    std::size_t eol = buf_.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = buf_.substr(0, eol);
+      buf_.erase(0, eol + 1);
+      return line;
+    }
+    HLSAV_RETURN_IF_ERROR(fill(timeout_ms));
+  }
+}
+
+StatusOr<std::string> LineReader::read_bytes(std::size_t n, int timeout_ms) {
+  while (buf_.size() < n) HLSAV_RETURN_IF_ERROR(fill(timeout_ms));
+  std::string out = buf_.substr(0, n);
+  buf_.erase(0, n);
+  return out;
+}
+
+}  // namespace hlsav

@@ -1,0 +1,60 @@
+// Local (unix-domain) stream sockets with line framing.
+//
+// The hlsavd campaign service speaks a one-JSON-object-per-line
+// protocol over a unix socket: a local, file-permission-guarded
+// transport with no port allocation or network dependency -- the right
+// substrate for a per-host daemon. These helpers wrap the socket
+// syscalls in Status (no exceptions, errno detail preserved) and
+// provide the newline framing both ends use.
+#pragma once
+
+#include <string>
+
+#include "support/status.h"
+
+namespace hlsav {
+
+/// Binds and listens on a unix socket at `path`. An existing socket
+/// file at `path` is unlinked first (stale sockets survive a daemon
+/// crash). Returns the listening fd (CLOEXEC).
+[[nodiscard]] StatusOr<int> unix_listen(const std::string& path, int backlog = 16);
+
+/// Connects to the daemon at `path`. Returns the connected fd (CLOEXEC).
+[[nodiscard]] StatusOr<int> unix_connect(const std::string& path);
+
+/// Accepts one connection, waiting up to `timeout_ms` (<= 0 blocks
+/// indefinitely). Returns the connected fd, or -1 on timeout (ok()
+/// status -- a timeout is an answer, so shutdown flags can be polled).
+[[nodiscard]] StatusOr<int> unix_accept(int listen_fd, int timeout_ms);
+
+/// Writes `line` plus a trailing newline, retrying short writes.
+/// EPIPE/ECONNRESET surface as kUnavailable (the peer went away --
+/// routine for a streaming service, not an internal error).
+[[nodiscard]] Status send_line(int fd, const std::string& line);
+
+/// Writes `data` verbatim (raw report bytes after a sized header line).
+[[nodiscard]] Status send_bytes(int fd, std::string_view data);
+
+/// Buffered line reader for one connection. Reads are blocking with an
+/// optional per-call timeout.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next newline-terminated line (newline stripped). kUnavailable on
+  /// clean EOF, kIoError on read errors, kBudgetExceeded on timeout
+  /// (`timeout_ms` <= 0 blocks indefinitely).
+  [[nodiscard]] StatusOr<std::string> read_line(int timeout_ms = -1);
+
+  /// Exactly `n` raw bytes (the sized report payload).
+  [[nodiscard]] StatusOr<std::string> read_bytes(std::size_t n, int timeout_ms = -1);
+
+ private:
+  [[nodiscard]] Status fill(int timeout_ms);
+
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace hlsav

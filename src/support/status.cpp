@@ -16,6 +16,8 @@ const char* status_code_name(StatusCode c) {
     case StatusCode::kSimError: return "sim-error";
     case StatusCode::kIoError: return "io-error";
     case StatusCode::kBudgetExceeded: return "budget-exceeded";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kInternal: return "internal";
   }
   return "internal";

@@ -38,6 +38,8 @@ enum class StatusCode : std::uint8_t {
   kSimError,         // simulator construction / feeds
   kIoError,          // file system (open/write/rename/fsync)
   kBudgetExceeded,   // wall-clock or cycle budget fired
+  kUnavailable,      // back-pressure: queue full, service draining
+  kCancelled,        // interrupted by a signal / cancel flag (resumable)
   kInternal,         // wrapped InternalError / unexpected exception
 };
 
@@ -59,6 +61,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status io_error(std::string message) {
     return error(StatusCode::kIoError, std::move(message));
+  }
+  [[nodiscard]] static Status unavailable(std::string message) {
+    return error(StatusCode::kUnavailable, std::move(message));
+  }
+  [[nodiscard]] static Status cancelled(std::string message) {
+    return error(StatusCode::kCancelled, std::move(message));
   }
   [[nodiscard]] static Status internal(std::string message) {
     return error(StatusCode::kInternal, std::move(message));

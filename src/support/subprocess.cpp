@@ -1,0 +1,160 @@
+#include "support/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace hlsav {
+
+std::string ExitInfo::describe() const {
+  if (!signaled) return "exit " + std::to_string(value);
+  std::string out = "signal " + std::to_string(value);
+  const char* name = strsignal(value);
+  if (name != nullptr) {
+    out += " (";
+    out += name;
+    out += ')';
+  }
+  return out;
+}
+
+StatusOr<Subprocess> Subprocess::spawn(const std::vector<std::string>& argv,
+                                       bool capture_stdout) {
+  if (argv.empty()) return Status::invalid_argument("cannot spawn an empty argv");
+
+  int pipe_fds[2] = {-1, -1};
+  if (capture_stdout) {
+    if (::pipe(pipe_fds) != 0) {
+      return Status::io_error(std::string("pipe failed: ") + std::strerror(errno));
+    }
+  }
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    Status st = Status::io_error(std::string("fork failed: ") + std::strerror(errno));
+    if (capture_stdout) {
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+    }
+    return st;
+  }
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls until exec.
+    if (capture_stdout) {
+      ::close(pipe_fds[0]);
+      while (::dup2(pipe_fds[1], STDOUT_FILENO) < 0 && errno == EINTR) {
+      }
+      ::close(pipe_fds[1]);
+    }
+    ::execvp(cargv[0], cargv.data());
+    // exec failed: report on the (possibly piped) stderr and die with a
+    // recognizable code.
+    const char* msg = "exec failed: ";
+    ssize_t ignored = ::write(STDERR_FILENO, msg, ::strlen(msg));
+    ignored = ::write(STDERR_FILENO, cargv[0], ::strlen(cargv[0]));
+    ignored = ::write(STDERR_FILENO, "\n", 1);
+    (void)ignored;
+    ::_exit(127);
+  }
+
+  Subprocess p;
+  p.pid_ = pid;
+  if (capture_stdout) {
+    ::close(pipe_fds[1]);
+    int flags = ::fcntl(pipe_fds[0], F_GETFL, 0);
+    if (flags >= 0) (void)::fcntl(pipe_fds[0], F_SETFL, flags | O_NONBLOCK);
+    p.stdout_fd_ = pipe_fds[0];
+  }
+  return p;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      stdout_fd_(std::exchange(other.stdout_fd_, -1)),
+      exit_(std::exchange(other.exit_, std::nullopt)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    if (stdout_fd_ >= 0) ::close(stdout_fd_);
+    pid_ = std::exchange(other.pid_, -1);
+    stdout_fd_ = std::exchange(other.stdout_fd_, -1);
+    exit_ = std::exchange(other.exit_, std::nullopt);
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (stdout_fd_ >= 0) ::close(stdout_fd_);
+}
+
+namespace {
+
+ExitInfo decode_wait_status(int status) {
+  ExitInfo info;
+  if (WIFSIGNALED(status)) {
+    info.signaled = true;
+    info.value = WTERMSIG(status);
+  } else {
+    info.value = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+  }
+  return info;
+}
+
+}  // namespace
+
+std::optional<ExitInfo> Subprocess::poll() {
+  if (exit_.has_value()) return exit_;
+  if (pid_ < 0) return std::nullopt;
+  int status = 0;
+  pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) exit_ = decode_wait_status(status);
+  return exit_;
+}
+
+ExitInfo Subprocess::wait() {
+  if (exit_.has_value()) return *exit_;
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  exit_ = r == pid_ ? decode_wait_status(status) : ExitInfo{false, 1};
+  return *exit_;
+}
+
+void Subprocess::kill(int sig) {
+  if (pid_ < 0 || exit_.has_value()) return;
+  (void)::kill(pid_, sig);
+}
+
+bool Subprocess::read_stdout(std::string& buf) {
+  if (stdout_fd_ < 0) return false;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::read(stdout_fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // EOF: child closed its end (usually by exiting)
+      ::close(stdout_fd_);
+      stdout_fd_ = -1;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    return errno == EAGAIN || errno == EWOULDBLOCK;  // drained for now
+  }
+}
+
+}  // namespace hlsav

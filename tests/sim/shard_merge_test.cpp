@@ -1,0 +1,205 @@
+// Property test for shard-merge: splitting a campaign journal across K
+// worker shards -- any assignment, any per-shard ordering, torn tails
+// included -- must merge back to byte-identical coverage tables and
+// reports versus the single-process sweep.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <iterator>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "sim/campaign.h"
+#include "sim/fault.h"
+#include "sim/journal.h"
+
+namespace hlsav::sim {
+namespace {
+
+using hlsav::testing::compile;
+
+struct H {
+  ir::Design design;
+  sched::DesignSchedule schedule;
+  ExternRegistry externs;
+  std::map<std::string, std::vector<std::uint64_t>> feeds;
+};
+
+H make_clamp() {
+  auto c = compile(R"(
+    void clamp(stream_in<32> in, stream_out<32> out) {
+      for (uint32 i = 0; i < 6; i++) {
+        uint32 v = stream_read(in);
+        uint32 y = v;
+        if (y > 255) { y = 255; }
+        assert(y <= 255);
+        stream_write(out, y);
+      }
+    }
+  )");
+  H h;
+  h.design = c->design.clone();
+  assertions::synthesize(h.design, assertions::Options::optimized());
+  ir::verify(h.design);
+  h.schedule = sched::schedule_design(h.design);
+  h.feeds = {{"clamp.in", {1, 2, 3, 300, 5, 6}}};
+  return h;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + std::to_string(::getpid()) + "_" + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void write_shard(const std::string& path, const std::string& header,
+                 const std::vector<std::string>& site_lines, bool torn_tail) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << header << "\n";
+  for (const std::string& l : site_lines) out << l << "\n";
+  // A torn tail is what a kill mid-append leaves behind: a partial line
+  // with no newline. The loader must truncate it, never fail.
+  if (torn_tail) out << "{\"site\":99,\"outco";
+}
+
+/// Rebuilds a CampaignReport from a merge result the way the supervisor
+/// does: header identity + results in site order with FaultSpecs
+/// re-attached from the deterministic enumeration.
+CampaignReport report_from_merge(const ShardMergeResult& merged,
+                                 const std::vector<FaultSpec>& sites) {
+  CampaignReport rep;
+  rep.seed = merged.header.seed;
+  rep.sites_total = merged.header.sites_total;
+  rep.golden_cycles = merged.header.golden_cycles;
+  rep.threads = 1;
+  for (const auto& [id, r] : merged.results) {
+    FaultResult full = r;
+    full.site = sites.at(id);
+    rep.results.push_back(std::move(full));
+  }
+  return rep;
+}
+
+TEST(ShardMerge, AnyShardingOfAJournalMergesByteIdentically) {
+  H h = make_clamp();
+  std::vector<FaultSpec> sites = enumerate_fault_sites(h.design, h.schedule);
+
+  std::string ref_journal = temp_path("shardprop_ref.jsonl");
+  CampaignOptions opt;
+  opt.seed = 7;
+  opt.journal = ref_journal;
+  CampaignReport ref = run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  std::string ref_render = ref.render(h.design);
+
+  std::vector<std::string> lines = read_lines(ref_journal);
+  ASSERT_GT(lines.size(), 1u);
+  std::string header = lines.front();
+  std::vector<std::string> site_lines(lines.begin() + 1, lines.end());
+
+  // Property sweep: shard counts x random assignments x random per-shard
+  // orderings x torn tails, all from seeded generators.
+  for (std::size_t shards : {2u, 3u, 5u}) {
+    for (std::uint32_t trial = 0; trial < 4; ++trial) {
+      std::mt19937 rng(1000 * static_cast<std::uint32_t>(shards) + trial);
+      std::vector<std::vector<std::string>> assigned(shards);
+      for (const std::string& l : site_lines) {
+        assigned[rng() % shards].push_back(l);
+      }
+      std::vector<std::string> paths;
+      for (std::size_t s = 0; s < shards; ++s) {
+        std::shuffle(assigned[s].begin(), assigned[s].end(), rng);
+        std::string p = temp_path("shardprop_" + std::to_string(shards) + "_" +
+                                  std::to_string(trial) + "_" + std::to_string(s) +
+                                  ".jsonl");
+        write_shard(p, header, assigned[s], /*torn_tail=*/rng() % 2 == 0);
+        paths.push_back(p);
+      }
+
+      StatusOr<ShardMergeResult> merged = merge_journal_shards(paths);
+      ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+      EXPECT_EQ(merged->shards_loaded, shards);
+      ASSERT_EQ(merged->results.size(), ref.results.size());
+
+      CampaignReport rebuilt = report_from_merge(*merged, sites);
+      EXPECT_EQ(rebuilt.render(h.design), ref_render)
+          << "shards=" << shards << " trial=" << trial;
+    }
+  }
+}
+
+TEST(ShardMerge, DuplicateSitesAreFineIffByteIdentical) {
+  H h = make_clamp();
+  std::string ref_journal = temp_path("sharddup_ref.jsonl");
+  CampaignOptions opt;
+  opt.journal = ref_journal;
+  CampaignReport ref = run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  std::vector<std::string> lines = read_lines(ref_journal);
+  ASSERT_GT(lines.size(), 2u);
+  std::string header = lines.front();
+  std::vector<std::string> site_lines(lines.begin() + 1, lines.end());
+
+  // The same site landing in two shards happens when a worker died after
+  // the append but before the supervisor saw the heartbeat, and the site
+  // was reassigned. Identical bytes merge fine.
+  std::string a = temp_path("sharddup_a.jsonl"), b = temp_path("sharddup_b.jsonl");
+  write_shard(a, header, site_lines, false);
+  write_shard(b, header, {site_lines.front()}, false);
+  StatusOr<ShardMergeResult> merged = merge_journal_shards({a, b});
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_EQ(merged->results.size(), ref.results.size());
+
+  // A *disagreeing* duplicate means the determinism contract broke --
+  // that is an error, never a silent pick-one.
+  std::string tampered = site_lines.front();
+  std::size_t pos = tampered.rfind("\"cycles\":");
+  ASSERT_NE(pos, std::string::npos) << tampered;
+  tampered.insert(pos + 9, "9");
+  std::string c = temp_path("sharddup_c.jsonl");
+  write_shard(c, header, {tampered}, false);
+  StatusOr<ShardMergeResult> bad = merge_journal_shards({a, c});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("disagree"), std::string::npos)
+      << bad.status().message();
+}
+
+TEST(ShardMerge, ForeignShardIsRejectedByFingerprint) {
+  H h = make_clamp();
+  std::string ja = temp_path("shardfp_a.jsonl"), jb = temp_path("shardfp_b.jsonl");
+  CampaignOptions a, b;
+  a.journal = ja;
+  b.journal = jb;
+  b.seed = 99;
+  b.max_faults = 3;  // different campaign identity
+  (void)run_campaign(h.design, h.schedule, h.externs, h.feeds, a);
+  (void)run_campaign(h.design, h.schedule, h.externs, h.feeds, b);
+  StatusOr<ShardMergeResult> merged = merge_journal_shards({ja, jb});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardMerge, NoShardsIsInvalidAndMissingShardIsIoError) {
+  StatusOr<ShardMergeResult> none = merge_journal_shards({});
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<ShardMergeResult> gone =
+      merge_journal_shards({temp_path("never_written.jsonl")});
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace hlsav::sim

@@ -1,0 +1,58 @@
+// Shared flat-JSONL emit/parse primitives (support/jsonl.h).
+#include "support/jsonl.h"
+
+#include <gtest/gtest.h>
+
+namespace hlsav::jsonl {
+namespace {
+
+TEST(Jsonl, EscapedStringRoundTrips) {
+  std::string line = "{\"name\":";
+  append_escaped(line, "we\"ird\\str\ning\x01");
+  line += "}";
+  std::string out;
+  ASSERT_TRUE(parse_string(line, "name", out));
+  EXPECT_EQ(out, "we\"ird\\str\ning\x01");
+}
+
+TEST(Jsonl, NumbersAndBoolsRoundTrip) {
+  std::string line = "{\"a\":18446744073709551615,\"b\":" + format_double(0.1) +
+                     ",\"c\":true,\"d\":false}";
+  std::uint64_t a = 0;
+  double b = 0;
+  bool c = false, d = true;
+  ASSERT_TRUE(parse_u64(line, "a", a));
+  ASSERT_TRUE(parse_double(line, "b", b));
+  ASSERT_TRUE(parse_bool(line, "c", c));
+  ASSERT_TRUE(parse_bool(line, "d", d));
+  EXPECT_EQ(a, 18446744073709551615ull);
+  EXPECT_EQ(b, 0.1);  // %.17g survives the round trip exactly
+  EXPECT_TRUE(c);
+  EXPECT_FALSE(d);
+}
+
+TEST(Jsonl, ListsRoundTrip) {
+  std::string line = "{\"ids\":";
+  append_u32_list(line, {3, 1, 4, 1, 5});
+  line += ",\"empty\":";
+  append_u64_list(line, {});
+  line += "}";
+  std::vector<std::uint32_t> ids;
+  std::vector<std::uint64_t> empty{7};
+  ASSERT_TRUE(parse_u32_list(line, "ids", ids));
+  ASSERT_TRUE(parse_u64_list(line, "empty", empty));
+  EXPECT_EQ(ids, (std::vector<std::uint32_t>{3, 1, 4, 1, 5}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Jsonl, MissingAndMalformedKeysFailCleanly) {
+  std::string line = "{\"a\":1,\"s\":\"unterminated";
+  std::uint64_t v = 0;
+  std::string s;
+  EXPECT_FALSE(parse_u64(line, "missing", v));
+  EXPECT_FALSE(parse_string(line, "s", s));
+  EXPECT_FALSE(parse_string(line, "a", s));  // number where a string is wanted
+}
+
+}  // namespace
+}  // namespace hlsav::jsonl

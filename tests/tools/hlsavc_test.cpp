@@ -406,6 +406,65 @@ TEST(Hlsavc, CampaignJournalResumeMatchesUninterrupted) {
   EXPECT_EQ(par.output, full.output);
 }
 
+TEST(Hlsavc, CampaignSigintFlushesJournalAndExitsSix) {
+  // A campaign slow enough that SIGINT lands mid-sweep: the inner
+  // compute loop makes every site run ~a million cycles while the feed
+  // stays short (a whole-campaign run takes seconds).
+  std::string src = "void f(stream_in<32> in, stream_out<32> out) {\n"
+                    "  for (uint32 i = 0; i < 50; i++) {\n"
+                    "    uint32 v = stream_read(in);\n"
+                    "    uint32 acc = 0;\n"
+                    "    for (uint32 j = 0; j < 20000; j++) {\n"
+                    "      acc = acc + v;\n"
+                    "    }\n"
+                    "    assert(acc >= v);\n"
+                    "    stream_write(out, acc);\n"
+                    "  }\n"
+                    "}\n";
+  std::string f = write_temp("slow_sigint.c", src);
+  std::string feed = "f.in=";
+  for (unsigned i = 0; i < 50; ++i) feed += (i == 0 ? "1" : ",1");
+  std::string feed_file = write_temp("slow_sigint_feed.txt", feed);
+  std::string journal = temp_path("sigint.jsonl");
+  std::string out_file = temp_path("sigint_out.txt");
+
+  // Launch the campaign, interrupt it shortly after, and capture its
+  // real exit code through the shell (popen only sees the last one).
+  std::string cmd = std::string("sh -c '") + HLSAVC_PATH + " faultsim " + f +
+                    " --campaign --journal=" + journal + " --feed \"$(cat " + feed_file +
+                    ")\" > " + out_file + " 2>&1 & pid=$!; sleep 0.15; " +
+                    "kill -INT $pid; wait $pid; echo rc=$?'";
+  std::array<char, 4096> buf{};
+  std::string shell_out;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  while (fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    shell_out += buf.data();
+  }
+  pclose(pipe);
+
+  std::ifstream captured(out_file);
+  std::string output{std::istreambuf_iterator<char>(captured),
+                     std::istreambuf_iterator<char>()};
+  if (shell_out.find("rc=6") == std::string::npos) {
+    // The sweep won the race and finished first -- fine on a fast
+    // machine, nothing more to assert.
+    EXPECT_NE(shell_out.find("rc=0"), std::string::npos) << shell_out << output;
+    return;
+  }
+  // Exit 6 = interrupted: the journal is flushed and the hint names it.
+  EXPECT_NE(output.find("campaign interrupted by signal"), std::string::npos) << output;
+  EXPECT_NE(output.find(journal), std::string::npos) << output;
+  EXPECT_NE(output.find("--resume"), std::string::npos) << output;
+
+  // The flushed journal resumes to a clean finish.
+  CmdResult resumed = run_cmd("faultsim " + f + " --campaign --resume --journal=" + journal +
+                              " --feed \"$(cat " + feed_file + ")\"");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("Fault-injection campaign"), std::string::npos)
+      << resumed.output;
+}
+
 TEST(Hlsavc, JournalInUnwritableDirectoryFailsCleanly) {
   std::string f = write_temp("good.c", kGoodSrc);
   CmdResult r = run_cmd("faultsim " + f +

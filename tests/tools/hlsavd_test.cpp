@@ -1,0 +1,196 @@
+// hlsavd binary surface: usage contract, the standalone worker
+// entrypoint (heartbeats + shard journal), and the test-only crash
+// flags that make crash containment deterministically exercisable.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/journal.h"
+
+#ifndef HLSAVD_PATH
+#define HLSAVD_PATH "hlsavd"
+#endif
+#ifndef HLSAVC_PATH
+#define HLSAVC_PATH "hlsavc"
+#endif
+
+namespace {
+
+struct CmdResult {
+  int exit_code = -1;    // WEXITSTATUS, or 128+sig via `sh` convention
+  std::string output;    // stdout + stderr
+};
+
+CmdResult run_raw(const std::string& cmd) {
+  std::array<char, 4096> buf{};
+  CmdResult r;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return r;
+  while (fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    r.output += buf.data();
+  }
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    r.exit_code = 128 + WTERMSIG(status);
+  }
+  return r;
+}
+
+CmdResult run_hlsavd(const std::string& args) {
+  return run_raw(std::string(HLSAVD_PATH) + " " + args);
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + std::to_string(::getpid()) + "_" + name;
+}
+
+std::string write_temp(const std::string& name, const std::string& contents) {
+  std::string path = temp_path(name);
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+const char* kClampSrc = R"(
+void clamp(stream_in<32> in, stream_out<32> out) {
+  for (uint32 i = 0; i < 6; i++) {
+    uint32 v = stream_read(in);
+    uint32 y = v;
+    if (y > 255) { y = 255; }
+    assert(y <= 255);
+    stream_write(out, y);
+  }
+}
+)";
+
+constexpr const char* kFeed = "clamp.in=1,2,3,300,5,6";
+
+/// Builds the full-campaign reference journal with hlsavc, so worker
+/// invocations can be handed the resolved backstops the supervisor
+/// would pass them.
+hlsav::sim::JournalContents reference_journal(const std::string& design,
+                                              const std::string& journal) {
+  CmdResult r = run_raw(std::string(HLSAVC_PATH) + " faultsim " + design +
+                        " --campaign --feed " + kFeed + " --journal=" + journal);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  auto loaded = hlsav::sim::load_journal(journal);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().to_string();
+  return loaded.ok() ? *std::move(loaded) : hlsav::sim::JournalContents{};
+}
+
+std::string worker_args(const std::string& design, const std::string& journal,
+                        const std::string& sites, const hlsav::sim::JournalHeader& h) {
+  return "worker --design=" + design + " --journal=" + journal + " --sites=" + sites +
+         " --seed=" + std::to_string(h.seed) +
+         " --max-cycles=" + std::to_string(h.max_cycles) +
+         " --golden-cycles=" + std::to_string(h.golden_cycles) + " --feed " + kFeed;
+}
+
+TEST(Hlsavd, NoArgumentsPrintsUsageAndExits2) {
+  CmdResult r = run_hlsavd("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage: hlsavd"), std::string::npos);
+  EXPECT_NE(r.output.find("exit codes:"), std::string::npos);
+}
+
+TEST(Hlsavd, VersionExitsZero) {
+  CmdResult r = run_hlsavd("--version");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("hlsavd"), std::string::npos);
+}
+
+TEST(Hlsavd, WorkerSweepsItsShardAndHeartbeats) {
+  std::string design = write_temp("wrk_clamp.c", kClampSrc);
+  hlsav::sim::JournalContents ref =
+      reference_journal(design, temp_path("wrk_ref.jsonl"));
+  ASSERT_GE(ref.results.size(), 3u);
+
+  std::string shard = temp_path("wrk_shard.jsonl");
+  CmdResult r = run_hlsavd(worker_args(design, shard, "0,1,2", ref.header));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // Heartbeat contract: "starting" before each site (the supervisor's
+  // blame target), "site" once it is durably journaled.
+  EXPECT_NE(r.output.find("{\"type\":\"starting\",\"site\":0}"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"type\":\"site\""), std::string::npos) << r.output;
+
+  auto loaded = hlsav::sim::load_journal(shard);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  // The shard journal carries the FULL campaign's fingerprint -- that is
+  // what makes shards mergeable and resumable interchangeably.
+  EXPECT_EQ(loaded->header.fingerprint(), ref.header.fingerprint());
+  ASSERT_EQ(loaded->results.size(), 3u);
+  for (std::uint32_t id : {0u, 1u, 2u}) {
+    ASSERT_EQ(loaded->results.count(id), 1u);
+    EXPECT_EQ(hlsav::sim::journal_line(loaded->results.at(id)),
+              hlsav::sim::journal_line(ref.results.at(id)));
+  }
+}
+
+TEST(Hlsavd, WorkerCrashFlagDiesBySigkillAfterDurableToken) {
+  std::string design = write_temp("wrk_crash.c", kClampSrc);
+  hlsav::sim::JournalContents ref =
+      reference_journal(design, temp_path("wrk_crash_ref.jsonl"));
+
+  std::string token_dir = temp_path("wrk_tokens");
+  ASSERT_EQ(::mkdir(token_dir.c_str(), 0755), 0);
+  std::string shard = temp_path("wrk_crash_shard.jsonl");
+  CmdResult r = run_hlsavd(worker_args(design, shard, "0,1,2", ref.header) +
+                           " --crash-at-site=1 --fault-token-dir=" + token_dir);
+  EXPECT_EQ(r.exit_code, 128 + SIGKILL) << r.output;
+  // Site 0 was journaled before the kill; site 1 announced "starting"
+  // but never landed -- exactly the state the supervisor recovers from.
+  EXPECT_NE(r.output.find("{\"type\":\"starting\",\"site\":1}"), std::string::npos)
+      << r.output;
+  auto loaded = hlsav::sim::load_journal(shard);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->results.count(0), 1u);
+  EXPECT_EQ(loaded->results.count(1), 0u);
+
+  // The trigger token survived the SIGKILL (written + fsync'd first):
+  // the respawned worker runs the site instead of crashing forever.
+  std::ifstream token(token_dir + "/crash_1.token");
+  ASSERT_TRUE(token.good());
+  int count = 0;
+  token >> count;
+  EXPECT_EQ(count, 1);
+
+  CmdResult again = run_hlsavd(worker_args(design, shard, "0,1,2", ref.header) +
+                               " --crash-at-site=1 --fault-token-dir=" + token_dir);
+  EXPECT_EQ(again.exit_code, 0) << again.output;
+}
+
+TEST(Hlsavd, WorkerRefusesAGoldenCyclesMismatch) {
+  std::string design = write_temp("wrk_mismatch.c", kClampSrc);
+  hlsav::sim::JournalContents ref =
+      reference_journal(design, temp_path("wrk_mismatch_ref.jsonl"));
+  hlsav::sim::JournalHeader wrong = ref.header;
+  wrong.golden_cycles += 1;
+  std::string shard = temp_path("wrk_mismatch_shard.jsonl");
+  CmdResult r = run_hlsavd(worker_args(design, shard, "0", wrong));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("nondeterministic"), std::string::npos) << r.output;
+}
+
+TEST(Hlsavd, SubmitWithoutSocketIsUsage) {
+  CmdResult r = run_hlsavd("submit --design=x.c");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(Hlsavd, SubmitToADeadSocketIsAnErrorNotAHang) {
+  CmdResult r = run_hlsavd("submit --socket=" + temp_path("no_daemon.sock") +
+                           " --design=" + temp_path("nothing.c"));
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+}  // namespace

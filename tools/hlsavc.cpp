@@ -38,14 +38,18 @@
 //
 // Exit codes: 0 success, 1 compile/internal error, 2 bad usage,
 //             3 halted by an assertion failure, 4 hang,
-//             5 wall-clock budget exceeded.
+//             5 wall-clock budget exceeded,
+//             6 campaign interrupted by SIGINT/SIGTERM (journal flushed;
+//               resumable with --resume).
 //
 // Robustness contract: whatever the input -- malformed source, junk
 // flag values, unwritable outputs -- hlsavc exits with one of the codes
 // above and a rendered diagnostic. The frontend runs through
 // pipeline::compile_file (Status-carrying, no stage throws for user
 // errors) and main() backstops any residual exception.
+#include <atomic>
 #include <charconv>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -90,6 +94,12 @@
 namespace {
 
 using namespace hlsav;
+
+// Cooperative-cancel flag for --campaign: the handler only stores an
+// atomic (async-signal-safe); the sweep polls it between sites.
+std::atomic<bool> g_interrupted{false};
+
+void handle_interrupt(int) { g_interrupted.store(true, std::memory_order_relaxed); }
 
 struct Args {
   std::string command;
@@ -192,7 +202,9 @@ void print_usage(std::ostream& os) {
         "  checktrace: validate a Chrome trace-event JSON file (exit 0 valid, 1 not)\n"
         "exit codes: 0 ok, 1 compile/internal error, 2 bad usage,\n"
         "            3 assertion failure halted the run, 4 hang,\n"
-        "            5 wall-clock budget exceeded\n";
+        "            5 wall-clock budget exceeded,\n"
+        "            6 campaign interrupted by SIGINT/SIGTERM (journal\n"
+        "              flushed; re-run with --resume to continue)\n";
 }
 
 int usage() {
@@ -602,7 +614,31 @@ int run(const Args& args) {
       // sites arm fault injection, which the engine auto-declines, so
       // they interpret as before.
       arm_engine(copt.sim);
-      sim::CampaignReport rep = sim::run_campaign(design, schedule, externs, args.feeds, copt);
+      // SIGINT/SIGTERM stop the sweep cooperatively: the in-flight site
+      // finishes, its journal line is fsync'd, and we exit 6 with a
+      // resume hint instead of tearing the journal mid-append.
+      copt.cancel = &g_interrupted;
+      std::signal(SIGINT, handle_interrupt);
+      std::signal(SIGTERM, handle_interrupt);
+      StatusOr<sim::CampaignReport> rep_or =
+          sim::run_campaign_st(design, schedule, externs, args.feeds, copt);
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      if (!rep_or.ok()) {
+        std::cerr << "hlsavc: " << rep_or.status().to_string() << "\n";
+        return 1;
+      }
+      sim::CampaignReport rep = *std::move(rep_or);
+      if (rep.interrupted) {
+        std::cerr << "hlsavc: campaign interrupted by signal after " << rep.results.size()
+                  << " classified site(s)";
+        if (!copt.journal.empty()) {
+          std::cerr << "; journal '" << copt.journal
+                    << "' is flushed -- re-run with --resume to continue";
+        }
+        std::cerr << "\n";
+        return 6;
+      }
       std::cout << rep.render(design);
       if (args.trace_nonbenign) {
         std::vector<sim::TraceArtifact> arts =
