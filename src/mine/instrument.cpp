@@ -1,0 +1,232 @@
+#include "mine/instrument.h"
+
+#include <algorithm>
+#include <string>
+
+namespace hlsav::mine {
+
+namespace {
+
+/// Position of an op inside a process.
+struct Anchor {
+  ir::BlockId block = ir::kNoBlock;
+  std::size_t index = 0;  // insert new ops after this index
+  bool found = false;
+};
+
+/// The write of `reg` the checker anchors after: prefer the op whose
+/// source location matches what the miner observed, else the first
+/// write in block/program order.
+Anchor find_reg_write(const ir::Process& p, ir::RegId reg, const SourceLoc& want) {
+  Anchor first;
+  for (const ir::BasicBlock& b : p.blocks) {
+    for (std::size_t i = 0; i < b.ops.size(); ++i) {
+      if (b.ops[i].dest != reg) continue;
+      if (!first.found) first = Anchor{b.id, i, true};
+      if (want.valid() && b.ops[i].loc == want) return Anchor{b.id, i, true};
+    }
+  }
+  return first;
+}
+
+/// A block where both pair registers are written: the relation is
+/// checked after the later of the two writes.
+Anchor find_pair_anchor(const ir::Process& p, ir::RegId a, ir::RegId b) {
+  for (const ir::BasicBlock& blk : p.blocks) {
+    std::ptrdiff_t la = -1, lb = -1;
+    for (std::size_t i = 0; i < blk.ops.size(); ++i) {
+      if (blk.ops[i].dest == a) la = static_cast<std::ptrdiff_t>(i);
+      if (blk.ops[i].dest == b) lb = static_cast<std::ptrdiff_t>(i);
+    }
+    if (la >= 0 && lb >= 0) {
+      return Anchor{blk.id, static_cast<std::size_t>(std::max(la, lb)), true};
+    }
+  }
+  return {};
+}
+
+Anchor find_stream_anchor(const ir::Process& p, ir::StreamId sid, bool push) {
+  const ir::OpKind want = push ? ir::OpKind::kStreamWrite : ir::OpKind::kStreamRead;
+  for (const ir::BasicBlock& b : p.blocks) {
+    for (std::size_t i = 0; i < b.ops.size(); ++i) {
+      if (b.ops[i].kind == want && b.ops[i].stream == sid) return Anchor{b.id, i, true};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+StatusOr<std::uint32_t> instrument_invariant(ir::Design& design, Invariant& inv,
+                                             const SourceManager* sm) {
+  // Stream invariants live in the process performing the handshake; the
+  // miner recorded it when the handshake op named a value register.
+  std::uint16_t pi = inv.proc;
+  if (pi >= design.processes.size()) {
+    return Status::invalid_argument("invariant names process index " + std::to_string(pi) +
+                                    " but the design has " +
+                                    std::to_string(design.processes.size()));
+  }
+
+  const bool is_stream = inv.kind == InvariantKind::kStreamConst ||
+                         inv.kind == InvariantKind::kStreamRange ||
+                         inv.kind == InvariantKind::kStreamOrdered;
+  if (is_stream && inv.reg_a == ir::kNoReg) {
+    return Status::invalid_argument("stream invariant on '" +
+                                    (inv.stream < design.streams.size()
+                                         ? design.streams[inv.stream].name
+                                         : std::to_string(inv.stream)) +
+                                    "' has no value register to check (immediate operand)");
+  }
+
+  ir::Process& p = *design.processes[pi];
+  if (inv.reg_a >= p.regs.size()) {
+    return Status::invalid_argument("invariant register out of range in process '" + p.name + "'");
+  }
+
+  Anchor at;
+  switch (inv.kind) {
+    case InvariantKind::kConst:
+    case InvariantKind::kRange:
+      at = find_reg_write(p, inv.reg_a, inv.anchor);
+      break;
+    case InvariantKind::kEquality:
+    case InvariantKind::kOrdering:
+      if (inv.reg_b >= p.regs.size()) {
+        return Status::invalid_argument("invariant register out of range in process '" + p.name +
+                                        "'");
+      }
+      at = find_pair_anchor(p, inv.reg_a, inv.reg_b);
+      if (!at.found) {
+        return Status::invalid_argument("registers '" + p.reg(inv.reg_a).name + "' and '" +
+                                        p.reg(inv.reg_b).name +
+                                        "' are never written in a common block");
+      }
+      break;
+    case InvariantKind::kStreamConst:
+    case InvariantKind::kStreamRange:
+    case InvariantKind::kStreamOrdered:
+      at = find_stream_anchor(p, inv.stream, inv.at_push);
+      break;
+  }
+  if (!at.found) {
+    return Status::invalid_argument("no anchor op for mined invariant `" + inv.text +
+                                    "' in process '" + p.name + "'");
+  }
+
+  const unsigned width = p.reg(inv.reg_a).width;
+  if ((inv.kind == InvariantKind::kEquality || inv.kind == InvariantKind::kOrdering) &&
+      p.reg(inv.reg_b).width != width) {
+    return Status::invalid_argument("pair invariant over mismatched widths");
+  }
+  if (inv.kind != InvariantKind::kEquality && inv.kind != InvariantKind::kOrdering &&
+      inv.lo.width() != width) {
+    return Status::invalid_argument("invariant bounds width " + std::to_string(inv.lo.width()) +
+                                    " does not match register width " + std::to_string(width));
+  }
+
+  std::uint32_t id = 0;
+  for (const ir::AssertionRecord& rec : design.assertions) id = std::max(id, rec.id + 1);
+
+  ir::BasicBlock& blk = p.block(at.block);
+  const SourceLoc loc = blk.ops[at.index].loc.valid() ? blk.ops[at.index].loc : inv.anchor;
+
+  // Condition ops, in the exact tagged-slice shape lowering emits.
+  std::vector<ir::Op> inserted;
+  auto tagged_bin = [&](ir::BinKind bk, ir::Operand a, ir::Operand b,
+                        const std::string& suffix) -> ir::RegId {
+    ir::Op op;
+    op.kind = ir::OpKind::kBin;
+    op.bin = bk;
+    op.loc = loc;
+    op.assert_tag = id;
+    op.args = {std::move(a), std::move(b)};
+    op.dest = p.add_reg("mine" + std::to_string(id) + "_" + suffix, 1, false);
+    inserted.push_back(std::move(op));
+    return inserted.back().dest;
+  };
+
+  ir::RegId cond = ir::kNoReg;
+  ir::Op after_assert;       // kStreamOrdered keeps its state app-side
+  bool has_after = false;
+  switch (inv.kind) {
+    case InvariantKind::kConst:
+    case InvariantKind::kStreamConst:
+      cond = tagged_bin(ir::BinKind::kCmpEq, ir::Operand::make_reg(inv.reg_a),
+                        ir::Operand::make_imm(inv.lo), "c");
+      break;
+    case InvariantKind::kRange:
+    case InvariantKind::kStreamRange: {
+      const bool has_lo = !inv.lo.is_zero();
+      const bool has_hi = !inv.hi.eq(BitVector::all_ones(width));
+      ir::RegId lo_c = ir::kNoReg, hi_c = ir::kNoReg;
+      if (has_lo) {
+        lo_c = tagged_bin(ir::BinKind::kCmpLeU, ir::Operand::make_imm(inv.lo),
+                          ir::Operand::make_reg(inv.reg_a), "lo");
+      }
+      if (has_hi) {
+        hi_c = tagged_bin(ir::BinKind::kCmpLeU, ir::Operand::make_reg(inv.reg_a),
+                          ir::Operand::make_imm(inv.hi), "hi");
+      }
+      if (has_lo && has_hi) {
+        cond = tagged_bin(ir::BinKind::kAnd, ir::Operand::make_reg(lo_c),
+                          ir::Operand::make_reg(hi_c), "c");
+      } else {
+        cond = has_lo ? lo_c : hi_c;
+      }
+      if (cond == ir::kNoReg) {
+        return Status::invalid_argument("vacuous range invariant `" + inv.text + "'");
+      }
+      break;
+    }
+    case InvariantKind::kEquality:
+      cond = tagged_bin(ir::BinKind::kCmpEq, ir::Operand::make_reg(inv.reg_a),
+                        ir::Operand::make_reg(inv.reg_b), "c");
+      break;
+    case InvariantKind::kOrdering:
+      cond = tagged_bin(ir::BinKind::kCmpLeU, ir::Operand::make_reg(inv.reg_a),
+                        ir::Operand::make_reg(inv.reg_b), "c");
+      break;
+    case InvariantKind::kStreamOrdered: {
+      // prev starts at zero, so the first word trivially satisfies
+      // prev <= word; the state update stays in the application (an
+      // untagged copy after the assert) so the parallelized checker taps
+      // both prev and the current word.
+      ir::RegId prev = p.add_reg("mine" + std::to_string(id) + "_prev", width, false);
+      cond = tagged_bin(ir::BinKind::kCmpLeU, ir::Operand::make_reg(prev),
+                        ir::Operand::make_reg(inv.reg_a), "c");
+      after_assert.kind = ir::OpKind::kCopy;
+      after_assert.loc = loc;
+      after_assert.dest = prev;
+      after_assert.args = {ir::Operand::make_reg(inv.reg_a)};
+      has_after = true;
+      break;
+    }
+  }
+
+  ir::Op assert_op;
+  assert_op.kind = ir::OpKind::kAssert;
+  assert_op.loc = loc;
+  assert_op.assert_id = id;
+  assert_op.args = {ir::Operand::make_reg(cond)};
+  inserted.push_back(std::move(assert_op));
+  if (has_after) inserted.push_back(std::move(after_assert));
+
+  blk.ops.insert(blk.ops.begin() + static_cast<std::ptrdiff_t>(at.index) + 1,
+                 std::make_move_iterator(inserted.begin()),
+                 std::make_move_iterator(inserted.end()));
+
+  ir::AssertionRecord rec;
+  rec.id = id;
+  rec.process = p.name;
+  rec.function = p.name;
+  if (sm != nullptr && loc.valid()) rec.file = std::string(sm->name(loc.file));
+  rec.line = loc.line;
+  rec.condition_text = inv.text;
+  design.assertions.push_back(std::move(rec));
+
+  if (loc.valid()) inv.anchor = loc;
+  return id;
+}
+
+}  // namespace hlsav::mine

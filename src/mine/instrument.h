@@ -1,0 +1,28 @@
+// Turns a mined Invariant into a real in-circuit assertion.
+//
+// The injected IR is byte-for-byte the shape lowering produces for a
+// hand-written assert: a contiguous run of condition ops tagged with the
+// fresh assertion id, followed by the kAssert op, inserted right after
+// the anchor write (or stream handshake). That shape is the contract the
+// assertion-synthesis strategies consume, so a mined candidate rides the
+// exact same parallelization/replication/channel-sharing paths as a
+// designer-written assertion -- which is the whole point: what survives
+// scoring can ship as a first-class checker.
+#pragma once
+
+#include "ir/ir.h"
+#include "mine/invariant.h"
+#include "support/status.h"
+
+namespace hlsav::mine {
+
+/// Injects `inv` into `design` (the pre-synthesis design the trace was
+/// mined from) and returns the fresh assertion id. On success
+/// `inv.anchor` is updated to the source location of the op actually
+/// anchored at. kInvalidArgument when the invariant has no
+/// instrumentable anchor (e.g. a stream handshake carrying an immediate,
+/// or a register pair never written in a common block).
+[[nodiscard]] StatusOr<std::uint32_t> instrument_invariant(ir::Design& design, Invariant& inv,
+                                                           const SourceManager* sm = nullptr);
+
+}  // namespace hlsav::mine

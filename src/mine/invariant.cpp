@@ -1,0 +1,28 @@
+#include "mine/invariant.h"
+
+namespace hlsav::mine {
+
+const char* invariant_kind_name(InvariantKind k) {
+  switch (k) {
+    case InvariantKind::kConst: return "const";
+    case InvariantKind::kRange: return "range";
+    case InvariantKind::kEquality: return "equal";
+    case InvariantKind::kOrdering: return "order";
+    case InvariantKind::kStreamConst: return "stream-const";
+    case InvariantKind::kStreamRange: return "stream-range";
+    case InvariantKind::kStreamOrdered: return "stream-ordered";
+  }
+  return "?";
+}
+
+std::string Invariant::describe() const {
+  std::string s = invariant_kind_name(kind);
+  s += " ";
+  s += text;
+  s += " (support ";
+  s += std::to_string(support);
+  s += ")";
+  return s;
+}
+
+}  // namespace hlsav::mine

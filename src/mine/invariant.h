@@ -1,0 +1,71 @@
+// Candidate invariant grammar for trace mining (Daikon-style).
+//
+// The paper's flow synthesizes assertions the designer wrote; AutoINV /
+// AssertMiner-style mining closes the loop by *proposing* them. A
+// candidate is one checkable property observed to hold over every
+// recorded golden-trace sample of a signal (or signal pair):
+//
+//   kConst        reg == c                 (the signal never changed)
+//   kRange        lo <= reg <= hi          (unsigned bounds)
+//   kEquality     a == b                   (same-process register pair)
+//   kOrdering     a <= b                   (unsigned, same process)
+//   kStreamConst  every word on s == c     (push or pop side)
+//   kStreamRange  lo <= word on s <= hi
+//   kStreamOrdered successive words on s are nondecreasing (unsigned)
+//
+// A candidate is only a *hypothesis*: src/mine/miner.h derives them from
+// a finite trace, src/mine/instrument.h turns each into a real kAssert
+// slice, and the golden re-run plus fault campaign (src/mine/score.h)
+// decide which ones are sound and worth their area.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/ir.h"
+#include "support/bitvector.h"
+#include "support/source_manager.h"
+
+namespace hlsav::mine {
+
+enum class InvariantKind : std::uint8_t {
+  kConst,
+  kRange,
+  kEquality,
+  kOrdering,
+  kStreamConst,
+  kStreamRange,
+  kStreamOrdered,
+};
+
+[[nodiscard]] const char* invariant_kind_name(InvariantKind k);
+
+struct Invariant {
+  InvariantKind kind = InvariantKind::kRange;
+  /// Owning process (register and pair kinds): index into
+  /// ir::Design::processes plus its name for rendering.
+  std::uint16_t proc = 0;
+  std::string process;
+  ir::RegId reg_a = ir::kNoReg;
+  ir::RegId reg_b = ir::kNoReg;  // pair kinds only
+  ir::StreamId stream = ir::kNoStream;
+  /// Stream kinds: observed at the producer push (true) or consumer pop.
+  bool at_push = true;
+  /// Observed bounds at the signal's width. kConst/kStreamConst keep
+  /// lo == hi == the constant.
+  BitVector lo{1};
+  BitVector hi{1};
+  /// Trace samples backing the hypothesis.
+  std::uint64_t support = 0;
+  /// Source position of the write/handshake the checker anchors at.
+  SourceLoc anchor;
+  /// C-syntax condition over source-level names, e.g. "1 <= w && w <= 8".
+  /// This is what --emit writes back and what the assertion catalogue
+  /// records as condition_text.
+  std::string text;
+
+  /// "range w: 1 <= w && w <= 8 (support 8)" -- stable, rendering-only.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace hlsav::mine

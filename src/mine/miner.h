@@ -1,0 +1,48 @@
+// Invariant miner: one pass over a golden trace window, candidate
+// hypotheses out.
+//
+// The window comes from either a live TraceEngine capture of the
+// un-faulted design or a recorded HLTRACE1 file (trace/reader.h); it
+// must describe the same pre-synthesis design that will later be
+// instrumented, so register/stream ids line up. Mining is a single
+// streaming pass in (cycle, seq) order keeping per-signal min/max/count
+// and per-pair relation counters; generation then emits every
+// hypothesis with enough support, in a deterministic order (process
+// index, then kind, then ids) so two runs over the same trace produce
+// byte-identical candidate lists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mine/invariant.h"
+#include "trace/trace.h"
+
+namespace hlsav::mine {
+
+struct MineOptions {
+  /// Minimum samples before a hypothesis is worth proposing. 2 keeps
+  /// single-observation "constants" out.
+  std::uint64_t min_support = 2;
+  /// Event classes to mine.
+  bool ranges = true;     // kConst / kRange over registers
+  bool relations = true;  // kEquality / kOrdering over register pairs
+  bool streams = true;    // stream const/range/ordered
+  /// Pairwise tracking is O(regs^2) per process; only the first N
+  /// source-named registers (by id) of each process participate.
+  std::size_t max_pair_regs = 24;
+};
+
+struct MineResult {
+  /// Deterministically ordered candidate list.
+  std::vector<Invariant> candidates;
+  std::uint64_t records = 0;        // window records consumed
+  std::uint64_t reg_signals = 0;    // distinct registers observed
+  std::uint64_t stream_signals = 0; // distinct (stream, side) pairs observed
+};
+
+[[nodiscard]] MineResult mine_invariants(const ir::Design& design,
+                                         const std::vector<trace::TraceRecord>& window,
+                                         const MineOptions& opt = {});
+
+}  // namespace hlsav::mine

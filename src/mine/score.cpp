@@ -1,0 +1,229 @@
+#include "mine/score.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "assertions/synthesize.h"
+#include "mine/instrument.h"
+#include "rtl/netlist.h"
+#include "sim/simulator.h"
+#include "support/diagnostics.h"
+#include "support/table.h"
+
+namespace hlsav::mine {
+
+namespace {
+
+struct Built {
+  ir::Design design;
+  sched::DesignSchedule schedule;
+  fpga::AreaReport area;
+};
+
+/// clone -> synthesize assertions -> verify -> schedule -> price.
+StatusOr<Built> build_config(const ir::Design& lowered, const ScoreOptions& opt) {
+  Built b{lowered.clone(), {}, {}};
+  try {
+    (void)assertions::synthesize(b.design, opt.assert_opts);
+    ir::verify(b.design);
+    b.schedule = sched::schedule_design(b.design, opt.sched);
+  } catch (const InternalError& e) {
+    return Status::internal(e.what());
+  }
+  rtl::Netlist netlist = rtl::build_netlist(b.design, b.schedule);
+  b.area = fpga::estimate_area(netlist);
+  return b;
+}
+
+sim::CampaignOptions campaign_options(const ScoreOptions& opt) {
+  sim::CampaignOptions co;
+  co.seed = opt.seed;
+  co.max_faults = opt.max_faults;
+  co.max_cycles = opt.max_cycles;
+  co.threads = opt.threads;
+  return co;
+}
+
+/// Un-faulted run with the candidate checker armed: the golden filter.
+/// Returns empty on a clean pass, else the reason the candidate dies.
+std::string golden_violation(const Built& b, const sim::ExternRegistry& externs,
+                             const std::map<std::string, std::vector<std::uint64_t>>& feeds) {
+  sim::Simulator s(b.design, b.schedule, externs, {});
+  for (const auto& [name, values] : feeds) s.feed(name, values);
+  sim::RunResult res = s.run();
+  if (!res.failures.empty()) {
+    return "checker fired on the golden run (" + res.failures.front().message + ")";
+  }
+  if (!res.completed()) return "golden run did not complete with the checker in place";
+  return {};
+}
+
+}  // namespace
+
+double CandidateScore::cost_units() const {
+  double cost = static_cast<double>(delta_aluts) + static_cast<double>(delta_bram_bits) / 9.0;
+  return std::max(1.0, cost);
+}
+
+double CandidateScore::gain_per_cost() const {
+  return static_cast<double>(newly_detected) / cost_units();
+}
+
+std::size_t ScoreReport::survivors() const {
+  std::size_t n = 0;
+  for (const CandidateScore& c : ranked) n += c.survived ? 1 : 0;
+  return n;
+}
+
+std::string ScoreReport::render() const {
+  TextTable t("mined-assertion ranking: " + design);
+  t.header({"rank", "cand", "kind", "invariant", "support", "new", "scored", "gain/cost",
+            "dALUT", "dREG", "dBRAM"});
+  std::size_t rank = 1;
+  for (const CandidateScore& c : ranked) {
+    if (!c.survived) continue;
+    t.row({std::to_string(rank++), "c" + std::to_string(c.index),
+           invariant_kind_name(c.inv.kind), c.inv.text, std::to_string(c.inv.support),
+           std::to_string(c.newly_detected), std::to_string(c.sites_scored),
+           fmt_double(c.gain_per_cost(), 4), std::to_string(c.delta_aluts),
+           std::to_string(c.delta_registers), std::to_string(c.delta_bram_bits)});
+  }
+  std::string out = t.render();
+  out += "baseline: " + std::to_string(baseline_detected) + "/" +
+         std::to_string(baseline_sites) + " sites detected, " +
+         std::to_string(baseline_area.aluts) + " ALUTs\n";
+  std::size_t skipped = 0;
+  for (const CandidateScore& c : ranked) {
+    if (c.survived) continue;
+    ++skipped;
+    out += "  c" + std::to_string(c.index) + " [" + invariant_kind_name(c.inv.kind) + " `" +
+           c.inv.text + "'] filtered: " + c.skip_reason + "\n";
+  }
+  out += std::to_string(ranked.size()) + " candidate(s) scored, " +
+         std::to_string(ranked.size() - skipped) + " survivor(s), " + std::to_string(skipped) +
+         " filtered\n";
+  return out;
+}
+
+StatusOr<ScoreReport> score_candidates(
+    const ir::Design& lowered, const sim::ExternRegistry& externs,
+    const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+    const std::vector<Invariant>& candidates, const ScoreOptions& opt) {
+  ScoreReport report;
+  report.design = lowered.name;
+
+  // ---- baseline: hand-written assertions only ----
+  auto base_or = build_config(lowered, opt);
+  if (!base_or.ok()) return base_or.status();
+  Built& base = *base_or;
+  report.baseline_area = base.area;
+
+  auto base_rep_or =
+      sim::run_campaign_st(base.design, base.schedule, externs, feeds, campaign_options(opt));
+  if (!base_rep_or.ok()) return base_rep_or.status();
+  const sim::CampaignReport& base_rep = *base_rep_or;
+
+  // Sites keyed by their deterministic description: ids shift when
+  // checker processes are added, descriptions do not.
+  std::unordered_map<std::string, sim::FaultOutcome> base_outcome;
+  base_outcome.reserve(base_rep.results.size());
+  for (const sim::FaultResult& r : base_rep.results) {
+    base_outcome.emplace(r.site.describe(base.design), r.outcome);
+  }
+  report.baseline_sites = base_rep.results.size();
+  report.baseline_detected = base_rep.count(sim::FaultOutcome::kDetected);
+
+  // ---- per-candidate: instrument, synthesize, filter, sweep ----
+  const std::size_t n = opt.max_candidates != 0
+                            ? std::min(opt.max_candidates, candidates.size())
+                            : candidates.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    CandidateScore cs;
+    cs.inv = candidates[i];
+    cs.index = i;
+
+    ir::Design pre = lowered.clone();
+    auto id_or = instrument_invariant(pre, cs.inv, opt.sm);
+    if (!id_or.ok()) {
+      cs.skip_reason = id_or.status().message();
+      report.ranked.push_back(std::move(cs));
+      continue;
+    }
+    cs.assert_id = *id_or;
+    cs.instrumented = true;
+
+    auto cand_or = build_config(pre, opt);
+    if (!cand_or.ok()) {
+      cs.skip_reason = "synthesis failed: " + std::string(cand_or.status().message());
+      report.ranked.push_back(std::move(cs));
+      continue;
+    }
+    Built& cand = *cand_or;
+    cs.delta_aluts = static_cast<std::int64_t>(cand.area.aluts) -
+                     static_cast<std::int64_t>(base.area.aluts);
+    cs.delta_registers = static_cast<std::int64_t>(cand.area.registers) -
+                         static_cast<std::int64_t>(base.area.registers);
+    cs.delta_bram_bits = static_cast<std::int64_t>(cand.area.bram_bits) -
+                         static_cast<std::int64_t>(base.area.bram_bits);
+
+    std::string violation = golden_violation(cand, externs, feeds);
+    if (!violation.empty()) {
+      cs.skip_reason = violation;
+      report.ranked.push_back(std::move(cs));
+      continue;
+    }
+    cs.survived = true;
+
+    // Sweep exactly the baseline's classified sites, matched by
+    // description; the candidate's own new checker sites are excluded.
+    std::vector<sim::FaultSpec> cand_sites =
+        sim::enumerate_fault_sites(cand.design, cand.schedule);
+    sim::CampaignOptions co = campaign_options(opt);
+    co.max_faults = 0;  // only_sites already is the sampled selection
+    for (const sim::FaultSpec& s : cand_sites) {
+      if (base_outcome.contains(s.describe(cand.design))) co.only_sites.push_back(s.id);
+    }
+    auto cand_rep_or = sim::run_campaign_st(cand.design, cand.schedule, externs, feeds, co);
+    if (!cand_rep_or.ok()) {
+      cs.survived = false;
+      cs.skip_reason = "campaign failed: " + std::string(cand_rep_or.status().message());
+      report.ranked.push_back(std::move(cs));
+      continue;
+    }
+    for (const sim::FaultResult& r : cand_rep_or->results) {
+      auto it = base_outcome.find(r.site.describe(cand.design));
+      if (it == base_outcome.end()) continue;
+      ++cs.sites_scored;
+      const bool base_hit = it->second == sim::FaultOutcome::kDetected;
+      const bool cand_hit = r.outcome == sim::FaultOutcome::kDetected;
+      if (base_hit) ++cs.baseline_detected;
+      if (cand_hit) ++cs.detected;
+      if (cand_hit && !base_hit) {
+        ++cs.newly_detected;
+        if (it->second == sim::FaultOutcome::kSilentCorruption ||
+            it->second == sim::FaultOutcome::kHangDetected ||
+            it->second == sim::FaultOutcome::kHangTimeout) {
+          ++cs.newly_harmful;
+        }
+      }
+    }
+    report.ranked.push_back(std::move(cs));
+  }
+
+  // ---- deterministic ranking ----
+  std::stable_sort(report.ranked.begin(), report.ranked.end(),
+                   [](const CandidateScore& a, const CandidateScore& b) {
+                     if (a.survived != b.survived) return a.survived;
+                     if (!a.survived) return a.index < b.index;
+                     if (a.gain_per_cost() != b.gain_per_cost()) {
+                       return a.gain_per_cost() > b.gain_per_cost();
+                     }
+                     if (a.newly_detected != b.newly_detected) {
+                       return a.newly_detected > b.newly_detected;
+                     }
+                     return a.index < b.index;
+                   });
+  return report;
+}
+
+}  // namespace hlsav::mine

@@ -1,0 +1,110 @@
+// Synthesis-and-scoring driver for mined invariants.
+//
+// The paper's economics question -- is this checker worth its area? --
+// is answered per candidate, with measurements instead of heuristics:
+//
+//   1. Baseline: the design with only its hand-written assertions is
+//      synthesized, priced by the fpga/ area model, and swept by the
+//      fault campaign. Every classified site is keyed by its
+//      FaultSpec::describe() string, which is stable across designs.
+//   2. Each candidate is instrumented into a clone of the pre-synthesis
+//      design, pushed through the same assertion-synthesis options, and
+//      re-run un-faulted: a candidate whose checker fires on the golden
+//      input is an unsound hypothesis and is filtered out here.
+//   3. Survivors get a campaign over exactly the baseline's site set
+//      (CampaignOptions::only_sites with description-matched ids --
+//      checker processes add sites of their own, which must not skew
+//      the comparison), counting sites the candidate detects that the
+//      baseline missed.
+//   4. Ranking: newly-detected sites per unit of added area
+//      (ALUTs + BRAM bits / 9, the M4K column width), descending;
+//      deterministic tie-breaks so the report is byte-identical across
+//      runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "assertions/options.h"
+#include "fpga/area.h"
+#include "mine/invariant.h"
+#include "sched/schedule.h"
+#include "sim/campaign.h"
+#include "support/status.h"
+
+namespace hlsav::mine {
+
+struct ScoreOptions {
+  /// Assertion-synthesis configuration for baseline and candidates
+  /// alike (optimized = the paper's parallelized checkers).
+  assertions::Options assert_opts = assertions::Options::optimized();
+  sched::SchedOptions sched;
+  /// Campaign controls (same meaning as CampaignOptions).
+  std::uint64_t seed = 1;
+  std::size_t max_faults = 0;
+  std::uint64_t max_cycles = 0;
+  unsigned threads = 1;
+  /// Cap on candidates scored (campaigns are the expensive part);
+  /// 0 = score every candidate.
+  std::size_t max_candidates = 0;
+  /// For file:line in the mined assertion catalogue entries.
+  const SourceManager* sm = nullptr;
+};
+
+struct CandidateScore {
+  Invariant inv;
+  std::size_t index = 0;  // position in the miner's candidate list
+  std::uint32_t assert_id = 0;
+  bool instrumented = false;
+  /// Clean un-faulted re-run with the checker armed.
+  bool survived = false;
+  /// Why the candidate dropped out (instrumentation / synthesis /
+  /// golden-filter stage); empty for survivors.
+  std::string skip_reason;
+
+  // Campaign deltas over the description-matched baseline site set.
+  std::size_t sites_scored = 0;
+  std::size_t baseline_detected = 0;
+  std::size_t detected = 0;
+  std::size_t newly_detected = 0;  // detected here, missed by baseline
+  /// Of the newly detected: sites the baseline classified as silent
+  /// corruption or hang (the dangerous escapes, not benign ones).
+  std::size_t newly_harmful = 0;
+
+  // Area deltas vs the baseline configuration.
+  std::int64_t delta_aluts = 0;
+  std::int64_t delta_registers = 0;
+  std::int64_t delta_bram_bits = 0;
+
+  /// Checker price in ALUT-equivalents: ALUTs + BRAM bits / 9 (one M4K
+  /// column bit ~ 1/9 ALUT in the model's normalization), floored at 1
+  /// so a zero-measured-cost checker cannot divide by zero.
+  [[nodiscard]] double cost_units() const;
+  /// The ranking metric: newly-detected sites per cost unit.
+  [[nodiscard]] double gain_per_cost() const;
+};
+
+struct ScoreReport {
+  std::string design;
+  std::size_t baseline_sites = 0;     // classified baseline sites
+  std::size_t baseline_detected = 0;  // of those, caught by hand-written checkers
+  fpga::AreaReport baseline_area;
+  /// Survivors first, ranked by gain_per_cost (desc), then newly_detected
+  /// (desc), then miner index (asc); filtered-out candidates follow in
+  /// miner order. Deterministic across runs and thread counts.
+  std::vector<CandidateScore> ranked;
+
+  [[nodiscard]] std::size_t survivors() const;
+  /// Ranked table + skip notes. No wall-clock anywhere: two runs of the
+  /// same mine produce byte-identical text.
+  [[nodiscard]] std::string render() const;
+};
+
+[[nodiscard]] StatusOr<ScoreReport> score_candidates(
+    const ir::Design& lowered, const sim::ExternRegistry& externs,
+    const std::map<std::string, std::vector<std::uint64_t>>& feeds,
+    const std::vector<Invariant>& candidates, const ScoreOptions& opt = {});
+
+}  // namespace hlsav::mine

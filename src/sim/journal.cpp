@@ -141,6 +141,7 @@ StatusOr<JournalContents> load_journal(const std::string& path) {
   std::string data = buf.str();
 
   JournalContents out;
+  out.total_bytes = data.size();
   std::size_t eol = data.find('\n');
   if (eol == std::string::npos) {
     return Status::invalid_argument("journal '" + path + "' has no complete header line");
@@ -253,6 +254,15 @@ StatusOr<ShardMergeResult> merge_journal_shards(const std::vector<std::string>& 
       }
     }
     out.shards_loaded++;
+    if (shard->torn_tail()) out.torn_shards++;
+  }
+  // Every shard crashed mid-append and nothing parseable survived:
+  // an "ok, 0 sites" answer here would silently discard the campaign.
+  if (out.results.empty() && out.torn_shards == out.shards_loaded && out.torn_shards > 0) {
+    return Status::io_error(
+        "all " + std::to_string(out.shards_loaded) +
+        " shard(s) end in torn tails with no classified sites recovered; refusing to merge "
+        "an empty result from crashed workers");
   }
   return out;
 }

@@ -60,6 +60,11 @@ struct JournalContents {
   /// Prefix of the file that parsed cleanly; anything past it is a torn
   /// trailing write and must be truncated before appending resumes.
   std::uint64_t valid_bytes = 0;
+  /// Bytes actually on disk. valid_bytes < total_bytes means the file
+  /// ends in a torn line (crash mid-append).
+  std::uint64_t total_bytes = 0;
+
+  [[nodiscard]] bool torn_tail() const { return valid_bytes < total_bytes; }
 };
 
 /// Parses a journal file. kIoError when unreadable; kInvalidArgument
@@ -125,6 +130,8 @@ struct ShardMergeResult {
   JournalHeader header;
   std::map<std::uint32_t, FaultResult> results;
   std::size_t shards_loaded = 0;
+  /// Shards whose files ended in a torn line (crashed workers).
+  std::size_t torn_shards = 0;
 };
 
 /// Merges K worker shard journals into one result map. Every shard must
@@ -135,6 +142,15 @@ struct ShardMergeResult {
 /// append landed but before the supervisor saw it, then the site was
 /// reassigned); disagreeing duplicates are an error, because they mean
 /// the determinism contract broke.
+///
+/// Two degenerate inputs are typed errors, never an empty-merge
+/// success: an empty `paths` list (kInvalidArgument -- the caller lost
+/// track of its shards), and a merge where *every* shard ends in a torn
+/// tail and not a single classified site survived (kIoError -- all
+/// workers crashed mid-append and reporting "0 sites, ok" would
+/// silently discard the campaign). Header-only shards without torn
+/// tails still merge to an ok empty result: a drained-before-first-site
+/// campaign is a real, resumable state.
 [[nodiscard]] StatusOr<ShardMergeResult> merge_journal_shards(
     const std::vector<std::string>& paths);
 

@@ -1,0 +1,103 @@
+#include "trace/reader.h"
+
+#include <fstream>
+
+#include "support/diagnostics.h"
+#include "trace/binary.h"
+#include "trace/signals.h"
+
+namespace hlsav::trace {
+
+StatusOr<std::vector<TraceRecord>> read_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::io_error("cannot open trace file: " + path);
+  try {
+    return read_binary_trace(is);
+  } catch (const InternalError& e) {
+    return Status::invalid_argument("corrupt trace file '" + path + "': " + e.what());
+  }
+}
+
+Status validate_window(const ir::Design& design, const std::vector<TraceRecord>& window) {
+  SignalCatalog names(design);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const TraceRecord& r = window[i];
+    auto bad = [&](const std::string& why) {
+      return Status::invalid_argument("trace record " + std::to_string(i) + ": " + why);
+    };
+    switch (r.kind) {
+      case TraceEventKind::kFsmState:
+      case TraceEventKind::kRegWrite:
+        if (r.proc >= design.processes.size()) {
+          return bad("process index " + std::to_string(r.proc) + " out of range for design '" +
+                     design.name + "'");
+        }
+        break;
+      case TraceEventKind::kStreamPush:
+      case TraceEventKind::kStreamPop:
+      case TraceEventKind::kBramRead:
+      case TraceEventKind::kBramWrite:
+      case TraceEventKind::kAssertVerdict:
+        break;
+    }
+    switch (r.kind) {
+      case TraceEventKind::kFsmState: {
+        const ir::Process& p = *design.processes[r.proc];
+        if (r.subject >= p.blocks.size()) {
+          return bad("block " + std::to_string(r.subject) + " out of range in process '" + p.name +
+                     "'");
+        }
+        break;
+      }
+      case TraceEventKind::kRegWrite: {
+        const ir::Process& p = *design.processes[r.proc];
+        if (r.subject >= p.regs.size()) {
+          return bad("register " + std::to_string(r.subject) + " out of range in process '" +
+                     p.name + "'");
+        }
+        if (r.value.width() != p.regs[r.subject].width) {
+          return bad("register '" + names.record_signal(r) + "' is " +
+                     std::to_string(p.regs[r.subject].width) + "-bit but the record carries " +
+                     std::to_string(r.value.width()) + " bits");
+        }
+        break;
+      }
+      case TraceEventKind::kStreamPush:
+      case TraceEventKind::kStreamPop: {
+        if (r.subject >= design.streams.size()) {
+          return bad("stream " + std::to_string(r.subject) + " out of range");
+        }
+        const ir::Stream& s = design.streams[r.subject];
+        if (r.value.width() != s.width) {
+          return bad("stream '" + s.name + "' is " + std::to_string(s.width) +
+                     "-bit but the record carries " + std::to_string(r.value.width()) + " bits");
+        }
+        break;
+      }
+      case TraceEventKind::kBramRead:
+      case TraceEventKind::kBramWrite: {
+        if (r.subject >= design.memories.size()) {
+          return bad("memory " + std::to_string(r.subject) + " out of range");
+        }
+        const ir::Memory& m = design.memories[r.subject];
+        if (r.value.width() != m.width) {
+          return bad("memory '" + m.name + "' is " + std::to_string(m.width) +
+                     "-bit but the record carries " + std::to_string(r.value.width()) + " bits");
+        }
+        if (m.size != 0 && r.aux >= m.size) {
+          return bad("memory '" + m.name + "' address " + std::to_string(r.aux) +
+                     " out of range (size " + std::to_string(m.size) + ")");
+        }
+        break;
+      }
+      case TraceEventKind::kAssertVerdict:
+        if (design.find_assertion(r.subject) == nullptr) {
+          return bad("assertion #" + std::to_string(r.subject) + " not in the design catalogue");
+        }
+        break;
+    }
+  }
+  return Status::ok_status();
+}
+
+}  // namespace hlsav::trace

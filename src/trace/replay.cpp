@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "ir/debug_info.h"
+#include "trace/signals.h"
 
 namespace hlsav::trace {
 
@@ -59,9 +60,7 @@ std::string render_replay(const ir::Design& design, const std::vector<TraceRecor
   os << "source-level replay: cycles " << lo << ".." << last_cycle << " (" << shown << " of "
      << window.size() << " captured events)\n";
 
-  auto proc_name = [&design](std::uint16_t pi) -> std::string {
-    return pi < design.processes.size() ? design.processes[pi]->name : "?";
-  };
+  SignalCatalog names(design);
 
   std::uint64_t current = std::numeric_limits<std::uint64_t>::max();
   for (auto it = first; it != window.end(); ++it) {
@@ -70,38 +69,25 @@ std::string render_replay(const ir::Design& design, const std::vector<TraceRecor
       current = r.cycle;
       os << "cycle " << current << ":\n";
     }
-    os << "  " << proc_name(r.proc) << ": ";
+    os << "  " << names.process_name(r.proc) << ": ";
     switch (r.kind) {
-      case TraceEventKind::kFsmState: {
-        const ir::Process* p =
-            r.proc < design.processes.size() ? design.processes[r.proc].get() : nullptr;
-        std::string bname = p != nullptr && r.subject < p->blocks.size()
-                                ? p->blocks[r.subject].name
-                                : std::to_string(r.subject);
-        os << "enter state '" << bname << "'";
+      case TraceEventKind::kFsmState:
+        os << "enter state '" << names.block_name(r.proc, r.subject) << "'";
         break;
-      }
-      case TraceEventKind::kRegWrite: {
-        const ir::Process* p =
-            r.proc < design.processes.size() ? design.processes[r.proc].get() : nullptr;
-        std::string rname = p != nullptr && r.subject < p->regs.size()
-                                ? p->regs[r.subject].name
-                                : "r" + std::to_string(r.subject);
-        if (rname.empty()) rname = "r" + std::to_string(r.subject);
-        os << rname << " <= " << value_text(r.value);
+      case TraceEventKind::kRegWrite:
+        os << names.reg_name(r.proc, r.subject) << " <= " << value_text(r.value);
         break;
-      }
       case TraceEventKind::kStreamPush:
-        os << "write '" << design.stream(r.subject).name << "' <- " << value_text(r.value);
+        os << "write '" << names.stream_name(r.subject) << "' <- " << value_text(r.value);
         break;
       case TraceEventKind::kStreamPop:
-        os << "read '" << design.stream(r.subject).name << "' -> " << value_text(r.value);
+        os << "read '" << names.stream_name(r.subject) << "' -> " << value_text(r.value);
         break;
       case TraceEventKind::kBramRead:
-        os << design.memory(r.subject).name << "[" << r.aux << "] -> " << value_text(r.value);
+        os << names.memory_name(r.subject) << "[" << r.aux << "] -> " << value_text(r.value);
         break;
       case TraceEventKind::kBramWrite:
-        os << design.memory(r.subject).name << "[" << r.aux << "] <= " << value_text(r.value);
+        os << names.memory_name(r.subject) << "[" << r.aux << "] <= " << value_text(r.value);
         break;
       case TraceEventKind::kAssertVerdict: {
         const ir::AssertionRecord* rec = design.find_assertion(r.subject);

@@ -1,0 +1,95 @@
+#include "trace/signals.h"
+
+namespace hlsav::trace {
+
+SignalCatalog::SignalCatalog(const ir::Design& design) : design_(&design) {
+  def_locs_.resize(design.processes.size());
+  for (std::size_t pi = 0; pi < design.processes.size(); ++pi) {
+    const ir::Process& p = *design.processes[pi];
+    std::vector<SourceLoc>& locs = def_locs_[pi];
+    locs.resize(p.regs.size());
+    // Blocks in id order, ops in program order: the first write wins, so
+    // the anchor is stable across re-runs of the same compile.
+    for (const ir::BasicBlock& b : p.blocks) {
+      for (const ir::Op& op : b.ops) {
+        if (op.dest != ir::kNoReg && op.dest < locs.size() && !locs[op.dest].valid()) {
+          locs[op.dest] = op.loc;
+        }
+      }
+    }
+  }
+}
+
+std::string SignalCatalog::process_name(std::uint16_t proc) const {
+  return proc < design_->processes.size() ? design_->processes[proc]->name : "?";
+}
+
+std::string SignalCatalog::block_name(std::uint16_t proc, std::uint32_t block) const {
+  if (proc < design_->processes.size()) {
+    const ir::Process& p = *design_->processes[proc];
+    if (block < p.blocks.size() && !p.blocks[block].name.empty()) return p.blocks[block].name;
+  }
+  return std::to_string(block);
+}
+
+std::string SignalCatalog::reg_name(std::uint16_t proc, ir::RegId reg) const {
+  if (proc < design_->processes.size()) {
+    const ir::Process& p = *design_->processes[proc];
+    if (reg < p.regs.size() && !p.regs[reg].name.empty()) return p.regs[reg].name;
+  }
+  return "r" + std::to_string(reg);
+}
+
+std::string SignalCatalog::stream_name(ir::StreamId s) const {
+  return s < design_->streams.size() ? design_->streams[s].name : "s" + std::to_string(s);
+}
+
+std::string SignalCatalog::memory_name(ir::MemId m) const {
+  return m < design_->memories.size() ? design_->memories[m].name : "m" + std::to_string(m);
+}
+
+std::string SignalCatalog::record_signal(const TraceRecord& r) const {
+  switch (r.kind) {
+    case TraceEventKind::kFsmState:
+      return process_name(r.proc) + "." + block_name(r.proc, r.subject);
+    case TraceEventKind::kRegWrite:
+      return process_name(r.proc) + "." + reg_name(r.proc, r.subject);
+    case TraceEventKind::kStreamPush:
+    case TraceEventKind::kStreamPop:
+      return stream_name(r.subject);
+    case TraceEventKind::kBramRead:
+    case TraceEventKind::kBramWrite:
+      return memory_name(r.subject);
+    case TraceEventKind::kAssertVerdict:
+      return "assert#" + std::to_string(r.subject);
+  }
+  return "?";
+}
+
+SourceLoc SignalCatalog::reg_def_loc(std::uint16_t proc, ir::RegId reg) const {
+  if (proc < def_locs_.size() && reg < def_locs_[proc].size()) return def_locs_[proc][reg];
+  return {};
+}
+
+unsigned SignalCatalog::record_width(const TraceRecord& r) const {
+  switch (r.kind) {
+    case TraceEventKind::kRegWrite:
+      if (r.proc < design_->processes.size()) {
+        const ir::Process& p = *design_->processes[r.proc];
+        if (r.subject < p.regs.size()) return p.regs[r.subject].width;
+      }
+      return 0;
+    case TraceEventKind::kStreamPush:
+    case TraceEventKind::kStreamPop:
+      return r.subject < design_->streams.size() ? design_->streams[r.subject].width : 0;
+    case TraceEventKind::kBramRead:
+    case TraceEventKind::kBramWrite:
+      return r.subject < design_->memories.size() ? design_->memories[r.subject].width : 0;
+    case TraceEventKind::kFsmState:
+    case TraceEventKind::kAssertVerdict:
+      return 1;  // carries no data value
+  }
+  return 0;
+}
+
+}  // namespace hlsav::trace

@@ -1,0 +1,59 @@
+// Shared signal-name and source-location resolution for trace windows.
+//
+// Three consumers need to turn a TraceRecord's (proc, subject) pair back
+// into design-level names: the replay decoder (replay.cpp), the trace
+// filter / CLI surface, and the invariant miner (src/mine). They used to
+// each re-derive the mapping inline; SignalCatalog is the single shared
+// helper, and the first step toward the debug-info table the roadmap
+// wants for source-level debugging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hlsav::trace {
+
+/// Name + defining-location lookup over one design. Construction walks
+/// the design once; lookups are O(1) and never throw -- out-of-range
+/// subjects resolve to the same placeholder names the replay decoder
+/// has always printed ("?", "r<N>", numeric block ids).
+class SignalCatalog {
+ public:
+  explicit SignalCatalog(const ir::Design& design);
+
+  [[nodiscard]] const ir::Design& design() const { return *design_; }
+
+  /// Process name, or "?" when the index is out of range.
+  [[nodiscard]] std::string process_name(std::uint16_t proc) const;
+  /// Block name, or the numeric id when unnamed/out of range.
+  [[nodiscard]] std::string block_name(std::uint16_t proc, std::uint32_t block) const;
+  /// Register name, with the classic "r<N>" fallback for unnamed or
+  /// out-of-range registers.
+  [[nodiscard]] std::string reg_name(std::uint16_t proc, ir::RegId reg) const;
+  [[nodiscard]] std::string stream_name(ir::StreamId s) const;
+  [[nodiscard]] std::string memory_name(ir::MemId m) const;
+
+  /// The record's subject rendered as a design-level signal name
+  /// ("proc.reg" for register writes, stream/memory names otherwise).
+  [[nodiscard]] std::string record_signal(const TraceRecord& r) const;
+
+  /// Source location of the first op that writes this register, or an
+  /// invalid SourceLoc when the register is never written (port inputs,
+  /// out-of-range ids). This is the anchor the miner instruments at.
+  [[nodiscard]] SourceLoc reg_def_loc(std::uint16_t proc, ir::RegId reg) const;
+
+  /// Declared width of the signal a record refers to, or 0 when the
+  /// subject does not resolve (used by the trace reader's validation).
+  [[nodiscard]] unsigned record_width(const TraceRecord& r) const;
+
+ private:
+  const ir::Design* design_;
+  /// def_locs_[proc][reg] = loc of the first write, parallel to
+  /// Process::regs; processes beyond the design's size are absent.
+  std::vector<std::vector<SourceLoc>> def_locs_;
+};
+
+}  // namespace hlsav::trace

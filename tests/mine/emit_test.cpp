@@ -1,0 +1,135 @@
+// --emit tests: surviving candidates become assert() lines inserted at
+// their anchors; anything not expressible at source level is skipped
+// with a reason; the rewritten program still compiles.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/test_util.h"
+#include "mine/emit.h"
+#include "mine/miner.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace hlsav::mine {
+namespace {
+
+using hlsav::testing::compile;
+
+const std::string kSource = R"(void loop(stream_in<32> in, stream_out<32> out) {
+  uint32 buf[8];
+  for (uint32 i = 0; i < 8; i++) {
+    uint32 v = stream_read(in);
+    buf[i & 7] = v;
+  }
+  for (uint32 j = 0; j < 8; j++) {
+    uint32 w = buf[j & 7];
+    stream_write(out, w);
+  }
+}
+)";
+
+/// Mines real candidates (so anchors and texts come from the actual
+/// flow) and marks them all survivors in miner order.
+std::vector<CandidateScore> mined_as_survivors(const ir::Design& design,
+                                               std::vector<trace::TraceRecord> window) {
+  MineResult m = mine_invariants(design, window);
+  std::vector<CandidateScore> ranked;
+  for (std::size_t i = 0; i < m.candidates.size(); ++i) {
+    CandidateScore cs;
+    cs.inv = m.candidates[i];
+    cs.index = i;
+    cs.instrumented = true;
+    cs.survived = true;
+    ranked.push_back(std::move(cs));
+  }
+  return ranked;
+}
+
+std::vector<trace::TraceRecord> capture(ir::Design& design,
+                                        const std::map<std::string, std::vector<std::uint64_t>>& feeds) {
+  sched::DesignSchedule schedule = sched::schedule_design(design);
+  trace::TraceConfig tc;
+  tc.capacity = 1 << 14;
+  trace::TraceEngine engine(design, tc);
+  sim::SimOptions so;
+  so.mode = sim::SimMode::kSoftware;
+  so.ela = &engine;
+  sim::ExternRegistry externs;
+  sim::Simulator s(design, schedule, externs, so);
+  for (const auto& [name, values] : feeds) s.feed(name, values);
+  EXPECT_TRUE(s.run().completed());
+  return engine.window();
+}
+
+TEST(Emit, InsertsAssertsAtAnchorsAndSkipsTemporaries) {
+  auto c = compile(kSource, true, "loop.c");
+  ir::Design design = c->design.clone();
+  std::vector<trace::TraceRecord> window =
+      capture(design, {{"loop.in", {1, 2, 3, 4, 5, 6, 7, 8}}});
+  std::vector<CandidateScore> ranked = mined_as_survivors(design, window);
+  ASSERT_FALSE(ranked.empty());
+
+  EmitResult out = emit_assertions(kSource, design, ranked, ranked.size());
+  EXPECT_GE(out.emitted, 1u);
+  EXPECT_NE(out.source.find("assert(1 <= w && w <= 8);"), std::string::npos) << out.source;
+
+  // Compiler temporaries cannot be referenced from source; they must be
+  // skipped with the reason recorded, not silently dropped.
+  bool temp_skip = false;
+  for (const std::string& s : out.skipped) {
+    temp_skip = temp_skip || s.find("compiler temporary") != std::string::npos;
+  }
+  EXPECT_TRUE(temp_skip);
+
+  // The rewritten program still compiles and carries real assertions.
+  auto re = compile(out.source, true, "loop.c");
+  EXPECT_GE(re->design.assertions.size(), 1u);
+}
+
+TEST(Emit, IndentationFollowsTheAnchorLine) {
+  auto c = compile(kSource, true, "loop.c");
+  ir::Design design = c->design.clone();
+  std::vector<trace::TraceRecord> window =
+      capture(design, {{"loop.in", {1, 2, 3, 4, 5, 6, 7, 8}}});
+  std::vector<CandidateScore> ranked = mined_as_survivors(design, window);
+  EmitResult out = emit_assertions(kSource, design, ranked, ranked.size());
+  // Anchor `uint32 w = buf[j & 7];` sits at two-level indent.
+  EXPECT_NE(out.source.find("\n    assert(1 <= w && w <= 8);"), std::string::npos)
+      << out.source;
+}
+
+TEST(Emit, TopZeroAndDuplicateSuppression) {
+  auto c = compile(kSource, true, "loop.c");
+  ir::Design design = c->design.clone();
+  std::vector<trace::TraceRecord> window =
+      capture(design, {{"loop.in", {1, 2, 3, 4, 5, 6, 7, 8}}});
+  std::vector<CandidateScore> ranked = mined_as_survivors(design, window);
+
+  EmitResult none = emit_assertions(kSource, design, ranked, 0);
+  EXPECT_EQ(none.emitted, 0u);
+  EXPECT_EQ(none.source, kSource);
+
+  // Re-emitting over an already-annotated source inserts nothing new.
+  EmitResult once = emit_assertions(kSource, design, ranked, ranked.size());
+  ASSERT_GE(once.emitted, 1u);
+  EmitResult twice = emit_assertions(once.source, design, ranked, ranked.size());
+  EXPECT_EQ(twice.emitted, 0u) << twice.source;
+}
+
+TEST(Emit, ForeignAnchorsAreSkipped) {
+  auto c = compile(kSource, true, "loop.c");
+  ir::Design design = c->design.clone();
+  std::vector<trace::TraceRecord> window =
+      capture(design, {{"loop.in", {1, 2, 3, 4, 5, 6, 7, 8}}});
+  std::vector<CandidateScore> ranked = mined_as_survivors(design, window);
+  for (CandidateScore& cs : ranked) cs.inv.anchor.line = 10'000;  // outside the file
+  EmitResult out = emit_assertions(kSource, design, ranked, ranked.size());
+  EXPECT_EQ(out.emitted, 0u);
+  EXPECT_FALSE(out.skipped.empty());
+}
+
+}  // namespace
+}  // namespace hlsav::mine

@@ -1,0 +1,196 @@
+// Instrumentation tests: a mined invariant becomes a real tagged
+// kAssert slice that verifies, synthesizes through the parallelized
+// checker path, stays silent on conforming runs and fires on
+// violating ones.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "assertions/options.h"
+#include "assertions/synthesize.h"
+#include "common/test_util.h"
+#include "mine/instrument.h"
+#include "sched/schedule.h"
+#include "sim/simulator.h"
+
+namespace hlsav::mine {
+namespace {
+
+using hlsav::testing::compile;
+
+const char* kSource = R"(
+  void f(stream_in<32> in, stream_out<32> out) {
+    for (uint32 i = 0; i < 4; i++) {
+      uint32 v = stream_read(in);
+      stream_write(out, v);
+    }
+  }
+)";
+
+ir::RegId reg_id(const ir::Process& p, std::string_view name) {
+  for (const ir::Register& r : p.regs) {
+    if (r.name == name) return r.id;
+  }
+  ADD_FAILURE() << "no register " << name;
+  return ir::kNoReg;
+}
+
+/// Synthesize + schedule + run the instrumented design on `feed`.
+sim::RunResult run_instrumented(ir::Design& design, const std::vector<std::uint64_t>& feed) {
+  assertions::synthesize(design, assertions::Options::optimized());
+  ir::verify(design);
+  sched::DesignSchedule schedule = sched::schedule_design(design);
+  sim::ExternRegistry externs;
+  sim::Simulator s(design, schedule, externs, {});
+  s.feed("f.in", feed);
+  return s.run();
+}
+
+Invariant range_over_v(const ir::Design& design, std::uint64_t lo, std::uint64_t hi) {
+  Invariant inv;
+  inv.kind = InvariantKind::kRange;
+  inv.proc = 0;
+  inv.process = "f";
+  inv.reg_a = reg_id(*design.processes[0], "v");
+  inv.lo = BitVector::from_u64(32, lo);
+  inv.hi = BitVector::from_u64(32, hi);
+  inv.text = std::to_string(lo) + " <= v && v <= " + std::to_string(hi);
+  return inv;
+}
+
+TEST(Instrument, RangeCheckerVerifiesAndStaysSilentInBounds) {
+  auto c = compile(kSource);
+  ir::Design design = c->design.clone();
+  Invariant inv = range_over_v(design, 1, 8);
+  auto id = instrument_invariant(design, inv);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+  ir::verify(design);  // throws on a malformed slice
+  ASSERT_EQ(design.assertions.size(), 1u);
+  EXPECT_EQ(design.assertions.back().id, *id);
+  EXPECT_EQ(design.assertions.back().condition_text, inv.text);
+
+  sim::RunResult r = run_instrumented(design, {1, 2, 3, 8});
+  EXPECT_TRUE(r.completed());
+  EXPECT_TRUE(r.failures.empty());
+}
+
+TEST(Instrument, RangeCheckerFiresOnViolation) {
+  auto c = compile(kSource);
+  ir::Design design = c->design.clone();
+  Invariant inv = range_over_v(design, 1, 8);
+  ASSERT_TRUE(instrument_invariant(design, inv).ok());
+  sim::RunResult r = run_instrumented(design, {1, 2, 300, 4});
+  ASSERT_FALSE(r.failures.empty());
+  EXPECT_NE(r.failures.front().message.find("1 <= v && v <= 8"), std::string::npos)
+      << r.failures.front().message;
+}
+
+TEST(Instrument, ConstCheckerFiresWhenValueMoves) {
+  auto c = compile(kSource);
+  ir::Design design = c->design.clone();
+  Invariant inv;
+  inv.kind = InvariantKind::kConst;
+  inv.proc = 0;
+  inv.process = "f";
+  inv.reg_a = reg_id(*design.processes[0], "v");
+  inv.lo = BitVector::from_u64(32, 7);
+  inv.hi = inv.lo;
+  inv.text = "v == 7";
+  ASSERT_TRUE(instrument_invariant(design, inv).ok());
+
+  ir::Design clean = design.clone();
+  EXPECT_TRUE(run_instrumented(clean, {7, 7, 7, 7}).failures.empty());
+  EXPECT_FALSE(run_instrumented(design, {7, 9, 7, 7}).failures.empty());
+}
+
+TEST(Instrument, StreamOrderedCheckerTracksPreviousWord) {
+  auto c = compile(kSource);
+  ir::Design design = c->design.clone();
+  Invariant inv;
+  inv.kind = InvariantKind::kStreamOrdered;
+  inv.proc = 0;
+  inv.process = "f";
+  inv.reg_a = reg_id(*design.processes[0], "v");
+  for (const ir::Stream& s : design.streams) {
+    if (s.name == "f.in") inv.stream = s.id;
+  }
+  inv.at_push = false;  // observed at the pop side
+  inv.lo = BitVector::from_u64(32, 0);
+  inv.hi = BitVector::from_u64(32, 0);
+  inv.text = "'f.in' nondecreasing (pop)";
+  ASSERT_TRUE(instrument_invariant(design, inv).ok());
+  ir::verify(design);
+
+  ir::Design clean = design.clone();
+  sim::RunResult ok = run_instrumented(clean, {1, 2, 2, 9});
+  EXPECT_TRUE(ok.failures.empty());
+
+  sim::RunResult bad = run_instrumented(design, {5, 3, 6, 7});
+  ASSERT_FALSE(bad.failures.empty());
+  EXPECT_NE(bad.failures.front().message.find("nondecreasing"), std::string::npos);
+}
+
+TEST(Instrument, TypedErrorsOnBrokenHypotheses) {
+  auto c = compile(kSource);
+
+  // Process index out of range.
+  {
+    ir::Design d = c->design.clone();
+    Invariant inv = range_over_v(d, 1, 8);
+    inv.proc = 9;
+    auto r = instrument_invariant(d, inv);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Bounds width does not match the register width.
+  {
+    ir::Design d = c->design.clone();
+    Invariant inv = range_over_v(d, 1, 8);
+    inv.lo = BitVector::from_u64(16, 1);
+    inv.hi = BitVector::from_u64(16, 8);
+    auto r = instrument_invariant(d, inv);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("width"), std::string::npos);
+  }
+  // Stream invariant whose handshake carried no register.
+  {
+    ir::Design d = c->design.clone();
+    Invariant inv;
+    inv.kind = InvariantKind::kStreamRange;
+    inv.proc = 0;
+    inv.reg_a = ir::kNoReg;
+    inv.stream = 0;
+    auto r = instrument_invariant(d, inv);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(Instrument, FreshAssertionIdsNeverCollide) {
+  auto c = compile(R"(
+    void f(stream_in<32> in, stream_out<32> out) {
+      for (uint32 i = 0; i < 4; i++) {
+        uint32 v = stream_read(in);
+        assert(v > 0);
+        stream_write(out, v);
+      }
+    }
+  )");
+  ir::Design design = c->design.clone();
+  ASSERT_EQ(design.assertions.size(), 1u);
+  Invariant a = range_over_v(design, 1, 8);
+  Invariant b = range_over_v(design, 0, 9);
+  b.text = "v <= 9";
+  auto ia = instrument_invariant(design, a);
+  auto ib = instrument_invariant(design, b);
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+  EXPECT_NE(*ia, *ib);
+  EXPECT_NE(*ia, design.assertions.front().id);
+  ir::verify(design);
+  EXPECT_TRUE(run_instrumented(design, {1, 2, 3, 4}).failures.empty());
+}
+
+}  // namespace
+}  // namespace hlsav::mine

@@ -1,0 +1,209 @@
+// Miner unit tests: hand-built golden windows in, candidate invariants
+// out. Windows here are synthetic -- the miner only contracts that the
+// records describe the design's signals, not that they came from a
+// live run -- which makes every hypothesis class easy to stage.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/test_util.h"
+#include "mine/miner.h"
+#include "support/bitvector.h"
+#include "trace/trace.h"
+
+namespace hlsav::mine {
+namespace {
+
+using hlsav::testing::compile;
+
+ir::RegId reg_id(const ir::Process& p, std::string_view name) {
+  for (const ir::Register& r : p.regs) {
+    if (r.name == name) return r.id;
+  }
+  ADD_FAILURE() << "no register " << name;
+  return ir::kNoReg;
+}
+
+ir::StreamId stream_id(const ir::Design& d, std::string_view name) {
+  for (const ir::Stream& s : d.streams) {
+    if (s.name == name) return s.id;
+  }
+  ADD_FAILURE() << "no stream " << name;
+  return ir::kNoStream;
+}
+
+trace::TraceRecord reg_write(std::uint64_t cycle, std::uint16_t proc, ir::RegId reg,
+                             std::uint64_t value, unsigned width = 32) {
+  trace::TraceRecord r;
+  r.cycle = cycle;
+  r.kind = trace::TraceEventKind::kRegWrite;
+  r.proc = proc;
+  r.subject = reg;
+  r.value = BitVector::from_u64(width, value);
+  return r;
+}
+
+trace::TraceRecord stream_push(std::uint64_t cycle, ir::StreamId s, std::uint64_t value,
+                               unsigned width = 32) {
+  trace::TraceRecord r;
+  r.cycle = cycle;
+  r.kind = trace::TraceEventKind::kStreamPush;
+  r.subject = s;
+  r.value = BitVector::from_u64(width, value);
+  return r;
+}
+
+const char* kSource = R"(
+  void f(stream_in<32> in, stream_out<32> out) {
+    uint32 a = stream_read(in);
+    uint32 b = a;
+    stream_write(out, b);
+  }
+)";
+
+const Invariant* find_text(const MineResult& m, const std::string& text) {
+  for (const Invariant& c : m.candidates) {
+    if (c.text == text) return &c;
+  }
+  return nullptr;
+}
+
+TEST(Miner, ConstantAndRangeOverRegisterWrites) {
+  auto c = compile(kSource);
+  ir::RegId a = reg_id(c->process("f"), "a");
+  ir::RegId b = reg_id(c->process("f"), "b");
+
+  std::vector<trace::TraceRecord> window;
+  for (std::uint64_t i = 0; i < 4; ++i) window.push_back(reg_write(i, 0, a, 5));
+  for (std::uint64_t i = 0; i < 4; ++i) window.push_back(reg_write(i, 0, b, i + 1));
+  MineOptions opt;
+  opt.relations = false;
+  MineResult m = mine_invariants(c->design, window, opt);
+
+  const Invariant* ka = find_text(m, "a == 5");
+  ASSERT_NE(ka, nullptr);
+  EXPECT_EQ(ka->kind, InvariantKind::kConst);
+  EXPECT_EQ(ka->support, 4u);
+  EXPECT_TRUE(ka->lo.eq(BitVector::from_u64(32, 5)));
+
+  const Invariant* kb = find_text(m, "1 <= b && b <= 4");
+  ASSERT_NE(kb, nullptr);
+  EXPECT_EQ(kb->kind, InvariantKind::kRange);
+  EXPECT_TRUE(kb->lo.eq(BitVector::from_u64(32, 1)));
+  EXPECT_TRUE(kb->hi.eq(BitVector::from_u64(32, 4)));
+}
+
+TEST(Miner, MinSupportSuppressesThinHypotheses) {
+  auto c = compile(kSource);
+  ir::RegId a = reg_id(c->process("f"), "a");
+  std::vector<trace::TraceRecord> window;
+  for (std::uint64_t i = 0; i < 3; ++i) window.push_back(reg_write(i, 0, a, 7));
+
+  MineOptions opt;
+  opt.min_support = 5;
+  EXPECT_TRUE(mine_invariants(c->design, window, opt).candidates.empty());
+  opt.min_support = 3;
+  EXPECT_NE(find_text(mine_invariants(c->design, window, opt), "a == 7"), nullptr);
+}
+
+TEST(Miner, PairRelationsEqualityAndOrdering) {
+  auto c = compile(kSource);
+  ir::RegId a = reg_id(c->process("f"), "a");
+  ir::RegId b = reg_id(c->process("f"), "b");
+
+  // a always strictly below b: an ordering, never an equality.
+  std::vector<trace::TraceRecord> window;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    window.push_back(reg_write(2 * i, 0, a, i + 1));
+    window.push_back(reg_write(2 * i + 1, 0, b, i + 10));
+  }
+  MineResult m = mine_invariants(c->design, window);
+  const Invariant* order = find_text(m, "a <= b");
+  ASSERT_NE(order, nullptr);
+  EXPECT_EQ(order->kind, InvariantKind::kOrdering);
+  EXPECT_EQ(find_text(m, "a == b"), nullptr);
+
+  // Lock-step identical values, a written first each step. Relations
+  // sample against the partner's LAST-SEEN value, so a's write at step
+  // i compares against b's stale step-(i-1) value: b trails a at every
+  // sample, which is the ordering "b <= a" -- never a spurious "a == b".
+  window.clear();
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    window.push_back(reg_write(2 * i, 0, a, i));
+    window.push_back(reg_write(2 * i + 1, 0, b, i));
+  }
+  m = mine_invariants(c->design, window);
+  EXPECT_EQ(find_text(m, "a == b"), nullptr);
+  const Invariant* trail = find_text(m, "b <= a");
+  ASSERT_NE(trail, nullptr);
+  EXPECT_EQ(trail->kind, InvariantKind::kOrdering);
+}
+
+TEST(Miner, StreamRangeAndOrdering) {
+  auto c = compile(kSource);
+  ir::StreamId out = stream_id(c->design, "f.out");
+
+  std::vector<trace::TraceRecord> window;
+  for (std::uint64_t i = 0; i < 5; ++i) window.push_back(stream_push(i, out, i + 1));
+  MineResult m = mine_invariants(c->design, window);
+  EXPECT_EQ(m.stream_signals, 1u);
+
+  bool saw_ordered = false;
+  for (const Invariant& inv : m.candidates) {
+    if (inv.kind == InvariantKind::kStreamOrdered) {
+      saw_ordered = true;
+      EXPECT_EQ(inv.stream, out);
+      EXPECT_TRUE(inv.at_push);
+      EXPECT_EQ(inv.text, "'f.out' nondecreasing (push)");
+    }
+  }
+  EXPECT_TRUE(saw_ordered);
+
+  // One out-of-order word retracts the ordering but not the range.
+  window.push_back(stream_push(9, out, 2));
+  m = mine_invariants(c->design, window);
+  for (const Invariant& inv : m.candidates) {
+    EXPECT_NE(inv.kind, InvariantKind::kStreamOrdered) << inv.describe();
+  }
+  bool saw_range = false;
+  for (const Invariant& inv : m.candidates) {
+    saw_range = saw_range || inv.kind == InvariantKind::kStreamRange;
+  }
+  EXPECT_TRUE(saw_range);
+}
+
+TEST(Miner, FullWidthRangeIsVacuousAndDropped) {
+  auto c = compile(kSource);
+  ir::RegId a = reg_id(c->process("f"), "a");
+  std::vector<trace::TraceRecord> window;
+  window.push_back(reg_write(0, 0, a, 0));
+  window.push_back(reg_write(1, 0, a, 0xFFFFFFFFull));
+  MineResult m = mine_invariants(c->design, window);
+  for (const Invariant& inv : m.candidates) {
+    EXPECT_NE(inv.reg_a, a) << inv.describe();
+  }
+}
+
+TEST(Miner, TwoRunsOverTheSameWindowAreByteIdentical) {
+  auto c = compile(kSource);
+  ir::RegId a = reg_id(c->process("f"), "a");
+  ir::RegId b = reg_id(c->process("f"), "b");
+  ir::StreamId out = stream_id(c->design, "f.out");
+  std::vector<trace::TraceRecord> window;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    window.push_back(reg_write(3 * i, 0, a, i + 1));
+    window.push_back(reg_write(3 * i + 1, 0, b, i + 2));
+    window.push_back(stream_push(3 * i + 2, out, i + 2));
+  }
+  MineResult m1 = mine_invariants(c->design, window);
+  MineResult m2 = mine_invariants(c->design, window);
+  ASSERT_EQ(m1.candidates.size(), m2.candidates.size());
+  ASSERT_FALSE(m1.candidates.empty());
+  for (std::size_t i = 0; i < m1.candidates.size(); ++i) {
+    EXPECT_EQ(m1.candidates[i].describe(), m2.candidates[i].describe());
+  }
+}
+
+}  // namespace
+}  // namespace hlsav::mine

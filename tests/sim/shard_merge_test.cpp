@@ -190,6 +190,61 @@ TEST(ShardMerge, ForeignShardIsRejectedByFingerprint) {
   EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ShardMerge, AllTornShardsWithNothingRecoveredIsIoError) {
+  H h = make_clamp();
+  std::string ref_journal = temp_path("shardtorn_ref.jsonl");
+  CampaignOptions opt;
+  opt.journal = ref_journal;
+  (void)run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  std::vector<std::string> lines = read_lines(ref_journal);
+  ASSERT_GT(lines.size(), 1u);
+  std::string header = lines.front();
+
+  // Every worker crashed mid-append of its *first* site: all tails
+  // torn, zero sites recovered. An "ok, 0 sites" merge would silently
+  // discard the campaign; the contract is a typed kIoError.
+  std::string a = temp_path("shardtorn_a.jsonl"), b = temp_path("shardtorn_b.jsonl");
+  write_shard(a, header, {}, /*torn_tail=*/true);
+  write_shard(b, header, {}, /*torn_tail=*/true);
+  StatusOr<ShardMergeResult> merged = merge_journal_shards({a, b});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kIoError);
+  EXPECT_NE(merged.status().message().find("torn"), std::string::npos)
+      << merged.status().message();
+
+  // One torn shard next to a shard that did land a site is partial
+  // recovery, not total loss: the merge succeeds and reports the torn
+  // count so the supervisor can resume the missing sites.
+  std::string c = temp_path("shardtorn_c.jsonl");
+  write_shard(c, header, {lines[1]}, /*torn_tail=*/false);
+  StatusOr<ShardMergeResult> partial = merge_journal_shards({a, c});
+  ASSERT_TRUE(partial.ok()) << partial.status().to_string();
+  EXPECT_EQ(partial->results.size(), 1u);
+  EXPECT_EQ(partial->shards_loaded, 2u);
+  EXPECT_EQ(partial->torn_shards, 1u);
+}
+
+TEST(ShardMerge, HeaderOnlyUntornShardsMergeToOkEmpty) {
+  H h = make_clamp();
+  std::string ref_journal = temp_path("shardempty_ref.jsonl");
+  CampaignOptions opt;
+  opt.journal = ref_journal;
+  (void)run_campaign(h.design, h.schedule, h.externs, h.feeds, opt);
+  std::string header = read_lines(ref_journal).front();
+
+  // A campaign drained before classifying its first site leaves a
+  // header-only journal with a clean tail -- a real, resumable state,
+  // not an error.
+  std::string a = temp_path("shardempty_a.jsonl"), b = temp_path("shardempty_b.jsonl");
+  write_shard(a, header, {}, /*torn_tail=*/false);
+  write_shard(b, header, {}, /*torn_tail=*/false);
+  StatusOr<ShardMergeResult> merged = merge_journal_shards({a, b});
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_TRUE(merged->results.empty());
+  EXPECT_EQ(merged->shards_loaded, 2u);
+  EXPECT_EQ(merged->torn_shards, 0u);
+}
+
 TEST(ShardMerge, NoShardsIsInvalidAndMissingShardIsIoError) {
   StatusOr<ShardMergeResult> none = merge_journal_shards({});
   ASSERT_FALSE(none.ok());

@@ -16,6 +16,10 @@
 //                                      run with the cycle-attribution profiler
 //                                      armed: source-level tables to stdout
 //                                      plus a Perfetto-loadable Chrome trace
+//   hlsavc mine     file.c [options] --feed stream=v1,v2,...
+//                                      mine candidate invariants from a golden
+//                                      trace, synthesize each as a checker,
+//                                      rank by measured kill-rate per area
 //   hlsavc checktrace trace.json       validate a Chrome trace-event file
 //   hlsavc --version                   print git sha + build type
 //
@@ -35,6 +39,8 @@
 //   --trace-procs=p1,p2 --trace-max-sites=N     trace controls
 //   --trace-out=FILE --profile-json=FILE        profile outputs
 //   --progress --profile                        faultsim campaign extras
+//   --min-support=N --candidates=N --top=K      mine controls
+//   --emit=FILE --trace-in=FILE
 //
 // Exit codes: 0 success, 1 compile/internal error, 2 bad usage,
 //             3 halted by an assertion failure, 4 hang,
@@ -68,6 +74,9 @@
 #include "fpga/timing.h"
 #include "metrics/chrometrace.h"
 #include "metrics/profile.h"
+#include "mine/emit.h"
+#include "mine/miner.h"
+#include "mine/score.h"
 #include "pipeline/compile.h"
 #include "rtl/netlist.h"
 #include "rtl/verilog.h"
@@ -78,6 +87,7 @@
 #include "support/str.h"
 #include "support/table.h"
 #include "trace/binary.h"
+#include "trace/reader.h"
 #include "trace/replay.h"
 #include "trace/trace.h"
 #include "trace/vcd.h"
@@ -123,8 +133,15 @@ struct Args {
   std::string trace_dir = "traces";
   std::size_t last_cycles = 16;
   std::size_t trace_capacity = 1024;
+  bool trace_capacity_set = false;
   std::vector<std::string> trace_procs;
   std::size_t trace_max_sites = 0;
+  // mine controls
+  std::uint64_t min_support = 2;
+  std::size_t mine_candidates = 0;  // 0 = score every candidate
+  std::size_t mine_top = 5;
+  std::string emit_path;
+  std::string trace_in;
   // profile outputs
   std::string trace_out = "profile.trace.json";
   std::string profile_json;
@@ -170,8 +187,8 @@ bool parse_double_flag(const std::string& text, double& out) {
 }
 
 void print_usage(std::ostream& os) {
-  os << "usage: hlsavc <compile|verilog|ir|schedule|simulate|faultsim|trace|profile> <file.c> "
-        "[options]\n"
+  os << "usage: hlsavc <compile|verilog|ir|schedule|simulate|faultsim|trace|profile|mine> "
+        "<file.c> [options]\n"
         "       hlsavc checktrace <trace.json>\n"
         "       hlsavc --version\n"
         "  --assertions=ndebug|unoptimized|optimized\n"
@@ -199,6 +216,15 @@ void print_usage(std::ostream& os) {
         "            tables and write a Chrome trace (--trace-out=FILE, default\n"
         "            profile.trace.json; load it in Perfetto or chrome://tracing);\n"
         "            --profile-json=FILE also dumps the full report as JSON\n"
+        "  mine:     capture a golden trace (or load one with --trace-in=FILE),\n"
+        "            mine candidate invariants, synthesize each as a checker and\n"
+        "            rank survivors by newly-detected fault sites per unit area;\n"
+        "            --emit=FILE writes the top --top=K (default 5) back into the\n"
+        "            source as assert() lines (validated by a recompile)\n"
+        "  mine options: --min-support=N (default 2) --candidates=N (cap scored)\n"
+        "                --top=K --emit=FILE --trace-in=FILE plus the faultsim\n"
+        "                campaign controls (--seed --max-faults --max-cycles\n"
+        "                --threads) and --trace-capacity for the live capture\n"
         "  checktrace: validate a Chrome trace-event JSON file (exit 0 valid, 1 not)\n"
         "exit codes: 0 ok, 1 compile/internal error, 2 bad usage,\n"
         "            3 assertion failure halted the run, 4 hang,\n"
@@ -326,6 +352,17 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (!parse_size_flag(a.substr(14), args.last_cycles)) return bad_value(a);
     } else if (starts_with(a, "--trace-capacity=")) {
       if (!parse_size_flag(a.substr(17), args.trace_capacity)) return bad_value(a);
+      args.trace_capacity_set = true;
+    } else if (starts_with(a, "--min-support=")) {
+      if (!parse_u64_flag(a.substr(14), args.min_support)) return bad_value(a);
+    } else if (starts_with(a, "--candidates=")) {
+      if (!parse_size_flag(a.substr(13), args.mine_candidates)) return bad_value(a);
+    } else if (starts_with(a, "--top=")) {
+      if (!parse_size_flag(a.substr(6), args.mine_top)) return bad_value(a);
+    } else if (starts_with(a, "--emit=")) {
+      args.emit_path = a.substr(7);
+    } else if (starts_with(a, "--trace-in=")) {
+      args.trace_in = a.substr(11);
     } else if (starts_with(a, "--trace-max-sites=")) {
       if (!parse_size_flag(a.substr(18), args.trace_max_sites)) return bad_value(a);
     } else if (starts_with(a, "--trace-procs=")) {
@@ -374,8 +411,12 @@ int run(const Args& args) {
   copts.sched_opts = args.sched_opts;
   copts.optimize_ir = args.optimize_ir;
   // In software mode the design is simulated pre-synthesis (assert
-  // statements evaluated in place), as Impulse-C does.
-  copts.synthesize_assertions = !(args.command == "simulate" && args.software_mode);
+  // statements evaluated in place), as Impulse-C does. The miner also
+  // wants the pre-synthesis design: register/stream ids mined from the
+  // golden window must match the design each candidate is instrumented
+  // into, and the scorer synthesizes its own configurations.
+  copts.synthesize_assertions =
+      args.command != "mine" && !(args.command == "simulate" && args.software_mode);
 
   StatusOr<pipeline::Compiled> compiled = pipeline::compile_file(sm, diags, args.file, copts);
   std::cerr << diags.render();  // every collected diagnostic, errors and warnings
@@ -738,6 +779,130 @@ int run(const Args& args) {
       t.row({site, sim::fault_kind_name(f.kind), f.describe(design)});
     }
     std::cout << t.render();
+    return 0;
+  }
+  if (args.command == "mine") {
+    sim::ExternRegistry externs;
+
+    // ---- golden window: recorded file or live capture ----
+    std::vector<trace::TraceRecord> window;
+    if (!args.trace_in.empty()) {
+      StatusOr<std::vector<trace::TraceRecord>> w = trace::read_trace_file(args.trace_in);
+      if (!w.ok()) {
+        std::cerr << "hlsavc: " << w.status().to_string() << "\n";
+        return 1;
+      }
+      Status valid = trace::validate_window(design, *w);
+      if (!valid.ok()) {
+        std::cerr << "hlsavc: '" << args.trace_in
+                  << "' does not describe this design: " << valid.to_string() << "\n";
+        return 1;
+      }
+      window = *std::move(w);
+      std::cout << "trace window: " << args.trace_in << " (" << window.size()
+                << " record(s))\n";
+    } else {
+      trace::TraceConfig tc;
+      // Mining wants the whole run, not a crash-triage tail; default far
+      // above the trace command's ring size unless the user chose one.
+      tc.capacity = args.trace_capacity_set ? args.trace_capacity : std::size_t{1} << 16;
+      trace::TraceEngine engine(design, tc);
+      sim::SimOptions so;
+      so.mode = sim::SimMode::kSoftware;  // pre-synthesis run, asserts in place
+      so.ela = &engine;
+      if (args.campaign_opts.max_cycles != 0) so.max_cycles = args.campaign_opts.max_cycles;
+      arm_deadline(so);
+      sim::Simulator simulator(design, schedule, externs, so);
+      simulator.set_failure_sink([](const assertions::Failure& f) {
+        std::cerr << f.message << "  [cycle " << f.cycle << "]\n";
+      });
+      for (const auto& [stream, values] : args.feeds) {
+        Status st = simulator.try_feed(stream, values);
+        if (!st.ok()) {
+          std::cerr << "hlsavc: " << st.to_string() << "\n";
+          return 1;
+        }
+      }
+      sim::RunResult r = simulator.run();
+      if (r.status != sim::RunStatus::kCompleted || !r.failures.empty()) {
+        std::cerr << "hlsavc: the golden run must complete cleanly before anything can "
+                     "be mined from it\n";
+        print_run_status(r);
+        int code = run_exit_code(r);
+        return code == 0 ? 3 : code;
+      }
+      window = engine.window();
+      if (engine.dropped() != 0) {
+        std::cerr << "hlsavc: capture overwrote " << engine.dropped()
+                  << " event(s); mined bounds only see the retained window "
+                     "(raise --trace-capacity)\n";
+      }
+      std::cout << "trace window: golden run, " << r.cycles << " cycles, " << window.size()
+                << " record(s)\n";
+    }
+
+    // ---- mine -> score ----
+    mine::MineOptions mopt;
+    mopt.min_support = args.min_support;
+    mine::MineResult mined = mine::mine_invariants(design, window, mopt);
+    std::cout << "mined " << mined.candidates.size() << " candidate(s) from "
+              << mined.records << " record(s) (" << mined.reg_signals
+              << " register signal(s), " << mined.stream_signals << " stream side(s))\n";
+    if (mined.candidates.empty()) return 0;
+
+    mine::ScoreOptions sopt;
+    sopt.assert_opts = args.assert_opts;
+    sopt.sched = args.sched_opts;
+    sopt.seed = args.campaign_opts.seed;
+    sopt.max_faults = args.campaign_opts.max_faults;
+    sopt.max_cycles = args.campaign_opts.max_cycles;
+    sopt.threads = args.campaign_opts.threads;
+    sopt.max_candidates = args.mine_candidates;
+    sopt.sm = &sm;
+    StatusOr<mine::ScoreReport> rep =
+        mine::score_candidates(design, externs, args.feeds, mined.candidates, sopt);
+    if (!rep.ok()) {
+      std::cerr << "hlsavc: " << rep.status().to_string() << "\n";
+      return 1;
+    }
+    std::cout << rep->render();
+
+    // ---- --emit: write the top-K back into the source ----
+    if (!args.emit_path.empty()) {
+      std::ifstream is(args.file, std::ios::binary);
+      if (!is) {
+        std::cerr << "hlsavc: cannot reread " << args.file << "\n";
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << is.rdbuf();
+      mine::EmitResult er = mine::emit_assertions(buf.str(), design, rep->ranked,
+                                                  args.mine_top);
+      // The emitted program must still compile -- with assertion
+      // synthesis on, so every inserted assert goes through the real
+      // checker path -- before it is allowed to replace anything.
+      SourceManager vsm;
+      DiagnosticEngine vdiags(&vsm);
+      pipeline::CompileOptions vopts = copts;
+      vopts.synthesize_assertions = true;
+      StatusOr<pipeline::Compiled> check =
+          pipeline::compile_source(vsm, vdiags, args.emit_path, er.source, vopts);
+      if (!check.ok()) {
+        std::cerr << vdiags.render();
+        std::cerr << "hlsavc: emitted source does not recompile ("
+                  << check.status().to_string() << "); nothing written\n";
+        return 1;
+      }
+      std::ofstream os(args.emit_path, std::ios::binary);
+      if (!os) {
+        std::cerr << "hlsavc: cannot write " << args.emit_path << "\n";
+        return 1;
+      }
+      os << er.source;
+      std::cout << "emitted " << er.emitted << " assertion(s) into " << args.emit_path
+                << " (recompile: " << check->synth.to_string() << ")\n";
+      for (const std::string& s : er.skipped) std::cout << "  skipped " << s << "\n";
+    }
     return 0;
   }
   std::cerr << "unknown command: " << args.command << "\n";
