@@ -12,6 +12,10 @@
 //   * service W=1/2/4   -- sharded supervisor, worker subprocesses
 //   * service+crashes   -- same, with sites that SIGKILL their worker
 //     (the --crash-at-site hook), measuring contained-recovery cost
+//   * daemon watch=0/8  -- a live hlsavd daemon, the same job with no
+//     watchers vs 8 concurrent `watch` subscribers, gating the
+//     progress-fan-out overhead (ratio must stay under 4x -- generous
+//     because VM wall clocks swing 2x on their own)
 //
 // Every service row is checked byte-identical against the in-process
 // report -- the bench doubles as the determinism contract's stopwatch.
@@ -23,12 +27,17 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <fstream>
+#include <iterator>
 #include <sstream>
+#include <thread>
 
 #include "pipeline/compile.h"
+#include "serve/client.h"
 #include "serve/shard.h"
 #include "sim/campaign.h"
 #include "support/io.h"
+#include "support/subprocess.h"
 
 #ifndef HLSAVD_PATH
 #define HLSAVD_PATH "hlsavd"
@@ -65,6 +74,11 @@ std::string design_source(unsigned inner) {
      << "  }\n"
      << "}\n";
   return os.str();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
 }
 
 double ms_between(std::chrono::steady_clock::time_point a,
@@ -204,6 +218,76 @@ int main(int argc, char** argv) {
   run_service("service-w4", 4, {});
   run_service("service-w2-crash2", 2, {2, 5});  // two contained worker kills
 
+  // ---- watcher fan-out overhead against a live daemon ----
+  // The same job through a real hlsavd daemon: once with nobody
+  // watching, once with 8 concurrent subscribers draining the full
+  // frame stream. The delta prices ProgressHub fan-out + the watcher
+  // send threads; byte-identity of every watcher's report is checked
+  // against the in-process reference.
+  double watch0_ms = 0.0, watch8_ms = 0.0;
+  auto run_daemon = [&](const std::string& config, unsigned n_watchers, double& wall_out) {
+    std::string sock = std::string(dir) + "/" + config + ".sock";
+    std::string work = std::string(dir) + "/" + config + ".work";
+    StatusOr<Subprocess> daemon = Subprocess::spawn(
+        {hlsavd, "serve", "--socket=" + sock, "--work-dir=" + work}, /*capture_stdout=*/false);
+    if (!daemon.ok()) {
+      std::cerr << config << ": " << daemon.status().to_string() << "\n";
+      return;
+    }
+    for (int i = 0; i < 500 && ::access(sock.c_str(), F_OK) != 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    std::vector<std::thread> watchers;
+    std::vector<std::string> watch_outs(n_watchers);
+    std::vector<int> watch_rcs(n_watchers, -1);
+    for (unsigned w = 0; w < n_watchers; ++w) {
+      watch_outs[w] = std::string(dir) + "/" + config + ".watch" + std::to_string(w);
+      watchers.emplace_back([&, w] {
+        serve::WatchOptions wopt;
+        wopt.wait_ms = 10'000;
+        wopt.quiet = true;
+        wopt.out_path = watch_outs[w];
+        watch_rcs[w] = serve::watch_job(sock, 1, wopt);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    serve::CampaignSpec s = spec;
+    s.workers = 2;
+    std::string out = std::string(dir) + "/" + config + ".report";
+    auto t0 = clock::now();
+    int rc = serve::submit_job(sock, s, out, /*quiet=*/true);
+    auto t1 = clock::now();
+    for (std::thread& t : watchers) t.join();
+    (void)serve::request_shutdown(sock);
+    (void)daemon->wait();
+    if (rc != 0) {
+      std::cerr << config << ": submit failed with rc " << rc << "\n";
+      return;
+    }
+    wall_out = ms_between(t0, t1);
+
+    bool identical = slurp(out) == reference;
+    unsigned ok_watchers = 0;
+    for (unsigned w = 0; w < n_watchers; ++w) {
+      if (watch_rcs[w] == 0 && slurp(watch_outs[w]) == reference) ++ok_watchers;
+    }
+    identical = identical && ok_watchers == n_watchers;
+    ServiceRow row{config, wall_out, 2, 0, 0, 0, identical};
+    // Sites from the reference row: the daemon path reports the same sweep.
+    row.sites = rows.front().sites;
+    rows.push_back(row);
+  };
+  run_daemon("daemon-w2-watch0", 0, watch0_ms);
+  run_daemon("daemon-w2-watch8", 8, watch8_ms);
+  double watcher_overhead = watch0_ms > 0 ? watch8_ms / watch0_ms : 0.0;
+  // Generous gate: VM wall clocks alone swing ~2x; fan-out to 8
+  // never-blocking buffers should be lost in the noise, so 4x means a
+  // real regression (publish blocking on subscriber I/O, say).
+  constexpr double kWatcherOverheadGate = 4.0;
+  bool watcher_overhead_ok = watch0_ms == 0.0 || watcher_overhead < kWatcherOverheadGate;
+
   // ---- report ----
   TextTable t("Campaign service: crash-containment cost (" +
               std::to_string(rows.front().sites) + " sites, inner=" + std::to_string(inner) +
@@ -216,18 +300,28 @@ int main(int argc, char** argv) {
   }
   std::cout << t.render();
 
+  std::cout << "watcher overhead (8 subscribers vs 0): " << fmt_double(watcher_overhead, 2)
+            << "x (gate " << fmt_double(kWatcherOverheadGate, 1) << "x)\n";
+
   bool all_identical = true;
   for (const ServiceRow& r : rows) all_identical = all_identical && r.identical;
   if (!all_identical) {
     std::cerr << "BYTE-IDENTITY VIOLATION: a service run diverged from the in-process "
                  "report\n";
   }
+  if (!watcher_overhead_ok) {
+    std::cerr << "WATCHER OVERHEAD VIOLATION: 8 subscribers cost "
+              << fmt_double(watcher_overhead, 2) << "x (gate "
+              << fmt_double(kWatcherOverheadGate, 1) << "x)\n";
+  }
 
   {
     bench::BenchJsonDoc doc(json_path, "campaign_service", "configs");
     for (const ServiceRow& r : rows) doc.item(row_json(r));
     doc.field("byte_identical", all_identical ? "true" : "false");
+    doc.field("watcher_overhead", fmt_double(watcher_overhead, 3));
+    doc.field("watcher_overhead_gate", fmt_double(kWatcherOverheadGate, 1));
   }
   std::cout << "wrote " << json_path << "\n";
-  return all_identical ? 0 : 1;
+  return all_identical && watcher_overhead_ok ? 0 : 1;
 }

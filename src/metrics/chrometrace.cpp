@@ -35,6 +35,32 @@ std::string esc(std::string_view s) {
 
 }  // namespace
 
+void write_trace_events(const std::vector<TraceEvent>& events, std::ostream& os) {
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\": \"" << e.ph << "\", \"pid\": " << e.pid << ", \"tid\": " << e.tid
+       << ", \"name\": \"" << esc(e.name) << "\"";
+    switch (e.ph) {
+      case 'X':
+        os << ", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us;
+        break;
+      case 'i':
+        os << ", \"s\": \"t\", \"ts\": " << e.ts_us;
+        break;
+      case 'M':
+        os << ", \"args\": {\"name\": \"" << esc(e.label) << "\"}";
+        break;
+      default:
+        break;
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
 void write_chrome_trace(const ProfileReport& report, std::ostream& os) {
   // Track ids: process i -> compute tid 2i+1, stall tid 2i+2 (tid 0
   // renders oddly in some viewers).

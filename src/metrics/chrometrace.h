@@ -14,13 +14,36 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "metrics/profile.h"
 
 namespace hlsav::metrics {
+
+/// One generic trace event for write_trace_events: a complete span
+/// (ph "X", ts+dur), an instant (ph "i", ts), or thread/process
+/// metadata (ph "M", `name` = "process_name"/"thread_name" and `label`
+/// = the display name). Timestamps are microseconds on whatever clock
+/// the producer chose; pid/tid pick the Perfetto track.
+struct TraceEvent {
+  char ph = 'X';
+  std::uint64_t pid = 1;
+  std::uint64_t tid = 1;
+  std::string name;
+  std::string label;  // M events only: args.name
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;  // X events only
+};
+
+/// Writes arbitrary events as trace-event JSON (the same dialect
+/// write_chrome_trace emits and validate_chrome_trace checks). Used by
+/// the hlsavd service tracer, whose spans are wall-clock job lifecycles
+/// rather than simulation cycles.
+void write_trace_events(const std::vector<TraceEvent>& events, std::ostream& os);
 
 /// Writes `report`'s timeline as trace-event JSON to `os`.
 void write_chrome_trace(const ProfileReport& report, std::ostream& os);

@@ -2,12 +2,15 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "support/jsonl.h"
 #include "support/socket.h"
+#include "support/str.h"
 
 namespace hlsav::serve {
 
@@ -132,8 +135,212 @@ StatusOr<std::string> query_status(const std::string& socket_path) {
   (void)jsonl::parse_u64(*line, "running", running);
   (void)jsonl::parse_u64(*line, "completed", completed);
   (void)jsonl::parse_u64(*line, "rejected", rejected);
-  return "queued=" + std::to_string(queued) + " running=" + std::to_string(running) +
-         " completed=" + std::to_string(completed) + " rejected=" + std::to_string(rejected);
+  std::string out = "queued=" + std::to_string(queued) + " running=" + std::to_string(running) +
+                    " completed=" + std::to_string(completed) +
+                    " rejected=" + std::to_string(rejected);
+  // Compact "P:D;P:D" / "W:R/Q;W:R/Q" wire fields -> one line each.
+  std::string depths, workers;
+  (void)jsonl::parse_string(*line, "depths", depths);
+  (void)jsonl::parse_string(*line, "workers", workers);
+  for (const std::string& part : split(depths, ';')) {
+    std::size_t colon = part.find(':');
+    if (colon == std::string::npos) continue;
+    out += "\n  priority " + part.substr(0, colon) + ": depth " + part.substr(colon + 1);
+  }
+  for (const std::string& part : split(workers, ';')) {
+    std::size_t colon = part.find(':');
+    std::size_t slash = part.find('/', colon);
+    if (colon == std::string::npos || slash == std::string::npos) continue;
+    out += "\n  worker " + part.substr(0, colon) + ": respawns=" +
+           part.substr(colon + 1, slash - colon - 1) + " quarantines=" + part.substr(slash + 1);
+  }
+  return out;
+}
+
+namespace {
+
+/// One watch attempt: connect, subscribe, stream frames. `retry` turns
+/// true (instead of an error return) when the job id is not known yet.
+int watch_once(const std::string& socket_path, std::uint64_t job, const WatchOptions& opt,
+               bool& retry) {
+  retry = false;
+  StatusOr<int> fd = unix_connect(socket_path);
+  if (!fd.ok()) {
+    std::cerr << "hlsavd: " << fd.status().to_string() << "\n";
+    return 1;
+  }
+  FdCloser closer{*fd};
+  Status sent = send_line(*fd, encode_watch(job));
+  if (!sent.ok()) {
+    std::cerr << "hlsavd: " << sent.to_string() << "\n";
+    return 1;
+  }
+  if (opt.stall_reads_ms > 0) {
+    // Deliberate slow reader: the daemon's coalescing buffers (and the
+    // campaign's immunity to them) are what this hook exists to test.
+    std::this_thread::sleep_for(std::chrono::milliseconds(opt.stall_reads_ms));
+  }
+  LineReader reader(*fd);
+  std::string report;
+  bool have_report = false;
+  for (;;) {
+    StatusOr<std::string> line = reader.read_line();
+    if (!line.ok()) {
+      std::cerr << "hlsavd: connection lost: " << line.status().to_string() << "\n";
+      return 1;
+    }
+    std::string type;
+    if (!jsonl::parse_string(*line, "type", type)) continue;
+    if (type == "rejected") {
+      std::string code, message;
+      (void)jsonl::parse_string(*line, "code", code);
+      (void)jsonl::parse_string(*line, "message", message);
+      if (message.rfind("unknown job", 0) == 0) {
+        retry = true;
+        return 1;
+      }
+      std::cerr << "hlsavd: rejected (" << code << "): " << message << "\n";
+      return 7;
+    }
+    if (type == "snapshot") {
+      if (!opt.quiet) {
+        std::string state, design;
+        std::uint64_t done = 0, total = 0;
+        (void)jsonl::parse_string(*line, "state", state);
+        (void)jsonl::parse_string(*line, "design", design);
+        (void)jsonl::parse_u64(*line, "done", done);
+        (void)jsonl::parse_u64(*line, "total", total);
+        std::cerr << "hlsavd: watching job " << job << " (" << design << "): " << state << ", "
+                  << done << "/" << total << " sites\n";
+      }
+      continue;
+    }
+    if (type == "state") {
+      std::string state;
+      (void)jsonl::parse_string(*line, "state", state);
+      if (!opt.quiet) std::cerr << "hlsavd: job " << job << " -> " << state << "\n";
+      continue;
+    }
+    if (type == "progress") {
+      std::uint64_t done = 0, total = 0;
+      (void)jsonl::parse_u64(*line, "done", done);
+      (void)jsonl::parse_u64(*line, "total", total);
+      if (!opt.quiet) std::cerr << "hlsavd: " << done << "/" << total << " sites\n";
+      continue;
+    }
+    if (type == "site-started" || type == "site-done") {
+      if (!opt.quiet) {
+        std::uint64_t site = 0, worker = 0;
+        std::string outcome;
+        (void)jsonl::parse_u64(*line, "site", site);
+        (void)jsonl::parse_u64(*line, "worker", worker);
+        (void)jsonl::parse_string(*line, "outcome", outcome);
+        std::cerr << "hlsavd: w" << worker << " s" << site
+                  << (type == "site-started" ? " started" : " " + outcome) << "\n";
+      }
+      continue;
+    }
+    if (type == "worker-crashed") {
+      std::uint64_t site = 0;
+      std::string detail;
+      (void)jsonl::parse_u64(*line, "site", site);
+      (void)jsonl::parse_string(*line, "detail", detail);
+      if (!opt.quiet) {
+        std::cerr << "hlsavd: worker crashed on site s" << site << " (" << detail
+                  << "); contained, respawning\n";
+      }
+      continue;
+    }
+    if (type == "quarantined") {
+      std::uint64_t site = 0;
+      (void)jsonl::parse_u64(*line, "site", site);
+      if (!opt.quiet) std::cerr << "hlsavd: site s" << site << " quarantined (worker-crashed)\n";
+      continue;
+    }
+    if (type == "report") {
+      std::uint64_t bytes = 0;
+      (void)jsonl::parse_u64(*line, "bytes", bytes);
+      StatusOr<std::string> payload = reader.read_bytes(bytes);
+      if (!payload.ok()) {
+        std::cerr << "hlsavd: truncated report: " << payload.status().to_string() << "\n";
+        return 1;
+      }
+      report = std::move(*payload);
+      have_report = true;
+      continue;
+    }
+    if (type == "done") {
+      std::string status, message;
+      (void)jsonl::parse_string(*line, "status", status);
+      (void)jsonl::parse_string(*line, "message", message);
+      if (status == "error") {
+        std::cerr << "hlsavd: job failed: " << message << "\n";
+        return 1;
+      }
+      if (have_report) {
+        if (opt.out_path.empty()) {
+          std::cout << report;
+        } else {
+          std::ofstream os(opt.out_path, std::ios::binary);
+          os << report;
+          if (!os) {
+            std::cerr << "hlsavd: cannot write '" << opt.out_path << "'\n";
+            return 1;
+          }
+        }
+      }
+      return status == "drained" ? 6 : 0;
+    }
+  }
+}
+
+}  // namespace
+
+int watch_job(const std::string& socket_path, std::uint64_t job, const WatchOptions& opt) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(opt.wait_ms);
+  for (;;) {
+    bool retry = false;
+    int rc = watch_once(socket_path, job, opt, retry);
+    if (!retry) return rc;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::cerr << "hlsavd: unknown job " << job << "\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+StatusOr<std::string> query_metrics(const std::string& socket_path) {
+  StatusOr<int> fd = unix_connect(socket_path);
+  HLSAV_RETURN_IF_ERROR(fd.status());
+  FdCloser closer{*fd};
+  HLSAV_RETURN_IF_ERROR(send_line(*fd, "{\"type\":\"metrics\"}"));
+  LineReader reader(*fd);
+  StatusOr<std::string> line = reader.read_line(/*timeout_ms=*/5000);
+  HLSAV_RETURN_IF_ERROR(line.status());
+  return *line;
+}
+
+StatusOr<std::string> fetch_trace(const std::string& socket_path, std::uint64_t job) {
+  StatusOr<int> fd = unix_connect(socket_path);
+  HLSAV_RETURN_IF_ERROR(fd.status());
+  FdCloser closer{*fd};
+  HLSAV_RETURN_IF_ERROR(
+      send_line(*fd, "{\"type\":\"trace\",\"job\":" + std::to_string(job) + "}"));
+  LineReader reader(*fd);
+  StatusOr<std::string> line = reader.read_line(/*timeout_ms=*/5000);
+  HLSAV_RETURN_IF_ERROR(line.status());
+  std::string type;
+  (void)jsonl::parse_string(*line, "type", type);
+  if (type == "rejected") {
+    std::string message;
+    (void)jsonl::parse_string(*line, "message", message);
+    return Status::invalid_argument(message.empty() ? "trace request rejected" : message);
+  }
+  std::uint64_t bytes = 0;
+  (void)jsonl::parse_u64(*line, "bytes", bytes);
+  return reader.read_bytes(bytes, /*timeout_ms=*/10000);
 }
 
 Status request_shutdown(const std::string& socket_path) {

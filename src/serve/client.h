@@ -18,10 +18,43 @@ namespace hlsav::serve {
 [[nodiscard]] int submit_job(const std::string& socket_path, const CampaignSpec& spec,
                              const std::string& out_path, bool quiet);
 
-/// One-line daemon status ("queued=N running=N completed=N rejected=N").
+/// Daemon status. The first line keeps the historic aggregate form
+/// ("queued=N running=N completed=N rejected=N"); when the daemon has
+/// per-priority queue depth or per-worker respawn/quarantine tallies,
+/// they follow as indented lines.
 [[nodiscard]] StatusOr<std::string> query_status(const std::string& socket_path);
 
 /// Asks the daemon to shut down gracefully.
 [[nodiscard]] Status request_shutdown(const std::string& socket_path);
+
+// ----------------------------------------------------- observability --
+
+struct WatchOptions {
+  /// Keep retrying an unknown job id for this long (a watcher racing
+  /// its own submit); 0 = fail immediately.
+  int wait_ms = 0;
+  /// Test hook: sleep this long before reading any frame -- a
+  /// deliberately slow subscriber for back-pressure coverage.
+  int stall_reads_ms = 0;
+  /// Where the job's final report bytes go; empty = stdout.
+  std::string out_path;
+  /// Suppress per-frame stderr narration.
+  bool quiet = false;
+};
+
+/// Attaches to a running (or finished) job and streams its frames:
+/// snapshot, state transitions, progress, per-site heartbeats, worker
+/// crashes, the final report, done. Exit codes match submit_job:
+///   0 done ok; 1 error/unknown job; 6 job drained; 7 rejected.
+[[nodiscard]] int watch_job(const std::string& socket_path, std::uint64_t job,
+                            const WatchOptions& opt);
+
+/// One-shot metrics snapshot: the daemon's raw one-line JSON
+/// ({"type":"metrics",...,"counters":{...},"histograms":{...}}).
+[[nodiscard]] StatusOr<std::string> query_metrics(const std::string& socket_path);
+
+/// Chrome trace-event JSON of one job's span tree (job 0 = every job).
+[[nodiscard]] StatusOr<std::string> fetch_trace(const std::string& socket_path,
+                                                std::uint64_t job);
 
 }  // namespace hlsav::serve

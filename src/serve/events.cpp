@@ -1,0 +1,60 @@
+#include "serve/events.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "support/jsonl.h"
+
+namespace hlsav::serve {
+
+EventLog::~EventLog() { close(); }
+
+Status EventLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return Status::invalid_argument("event log already open");
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) return Status::io_error("cannot open event log '" + path + "'");
+  return Status::ok_status();
+}
+
+void EventLog::record(std::uint64_t ts_us, const std::string& name,
+                      const std::vector<Field>& fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  // Millisecond timestamps with exact microsecond fractions: integer
+  // arithmetic, so the JSON never grows double round-trip noise.
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%llu.%03llu",
+                static_cast<unsigned long long>(ts_us / 1000),
+                static_cast<unsigned long long>(ts_us % 1000));
+  std::string line = "{\"seq\":" + std::to_string(++seq_) + ",\"ts_ms\":" + ts + ",\"event\":";
+  jsonl::append_escaped(line, name);
+  for (const Field& f : fields) {
+    line += ",\"" + f.key + "\":";
+    if (f.raw) {
+      line += f.value;
+    } else {
+      jsonl::append_escaped(line, f.value);
+    }
+  }
+  line += "}\n";
+  std::fputs(line.c_str(), file_);
+  std::fflush(file_);
+}
+
+std::uint64_t EventLog::sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void EventLog::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  (void)::fsync(::fileno(file_));
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace hlsav::serve

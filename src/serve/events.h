@@ -1,0 +1,69 @@
+// Append-only structured event log for the hlsavd daemon.
+//
+// One flat JSON object per line (the journal/protocol jsonl dialect),
+// each stamped with a monotonic sequence number and milliseconds since
+// the daemon started:
+//
+//   {"seq":12,"ts_ms":8410.2,"event":"job-completed","job":3,
+//    "status":"ok","done":24,"total":24}
+//
+// The log is the daemon's durable flight recorder: every submit,
+// rejection, state transition, worker crash, quarantine, and watcher
+// attach/detach lands here, flushed per line so a crashed daemon loses
+// at most the line being written. `hlsavd serve --events-out=FILE`
+// opens it in append mode -- restarts extend the same file and the
+// sequence restarts, so (seq, ts_ms) pairs identify daemon incarnations.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/status.h"
+
+namespace hlsav::serve {
+
+class EventLog {
+ public:
+  EventLog() = default;
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens `path` for appending; kIoError when it cannot be created.
+  [[nodiscard]] Status open(const std::string& path);
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+
+  /// One event field: string values are JSON-escaped, raw values
+  /// (numbers, pre-encoded fragments) are emitted verbatim.
+  struct Field {
+    std::string key;
+    std::string value;
+    bool raw = false;
+
+    static Field str(std::string k, std::string v) { return {std::move(k), std::move(v), false}; }
+    static Field num(std::string k, std::uint64_t v) {
+      return {std::move(k), std::to_string(v), true};
+    }
+  };
+
+  /// Appends {"seq":N,"ts_ms":T,"event":name,...fields} and flushes.
+  /// A closed log ignores the record (the daemon runs fine without one).
+  void record(std::uint64_t ts_us, const std::string& name, const std::vector<Field>& fields);
+
+  /// Events recorded (== the last line's seq) this incarnation.
+  [[nodiscard]] std::uint64_t sequence() const;
+
+  /// fsyncs and closes; further record() calls are ignored.
+  void close();
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace hlsav::serve

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "serve/hub.h"
 #include "support/jsonl.h"
 #include "support/str.h"
 
@@ -127,6 +128,46 @@ std::string encode_done(std::uint64_t job, const std::string& status,
     out += ",\"message\":";
     jsonl::append_escaped(out, message);
   }
+  out += '}';
+  return out;
+}
+
+std::string encode_watch(std::uint64_t job) {
+  return "{\"type\":\"watch\",\"job\":" + std::to_string(job) + "}";
+}
+
+std::string encode_snapshot(const JobView& view) {
+  std::string out = "{\"type\":\"snapshot\",\"job\":" + std::to_string(view.id) + ",\"state\":";
+  jsonl::append_escaped(out, view.state);
+  out += ",\"design\":";
+  jsonl::append_escaped(out, view.design);
+  out += ",\"priority\":" + std::to_string(view.priority);
+  out += ",\"done\":" + std::to_string(view.done);
+  out += ",\"total\":" + std::to_string(view.total);
+  out += ",\"respawns\":" + std::to_string(view.respawns);
+  out += ",\"quarantined\":" + std::to_string(view.quarantined);
+  out += '}';
+  return out;
+}
+
+std::string encode_state(std::uint64_t job, const std::string& state) {
+  std::string out = "{\"type\":\"state\",\"job\":" + std::to_string(job) + ",\"state\":";
+  jsonl::append_escaped(out, state);
+  out += '}';
+  return out;
+}
+
+std::string encode_site_started(std::uint64_t job, std::uint32_t site, int worker) {
+  return "{\"type\":\"site-started\",\"job\":" + std::to_string(job) +
+         ",\"site\":" + std::to_string(site) + ",\"worker\":" + std::to_string(worker) + "}";
+}
+
+std::string encode_site_done(std::uint64_t job, std::uint32_t site, int worker,
+                             const std::string& outcome) {
+  std::string out = "{\"type\":\"site-done\",\"job\":" + std::to_string(job) +
+                    ",\"site\":" + std::to_string(site) +
+                    ",\"worker\":" + std::to_string(worker) + ",\"outcome\":";
+  jsonl::append_escaped(out, outcome);
   out += '}';
   return out;
 }

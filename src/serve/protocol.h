@@ -91,6 +91,25 @@ struct CampaignSpec {
 [[nodiscard]] std::string encode_done(std::uint64_t job, const std::string& status,
                                       const std::string& message = "");
 
+// ----------------------------------------------- watch (observability) --
+//
+// A watcher sends {"type":"watch","job":N} and receives snapshot-then-
+// tail: one snapshot line with the job's current state, then the frame
+// stream (state transitions, progress, per-site heartbeats, crashes,
+// the sized report, done). Under back-pressure progress/site frames
+// coalesce (latest wins); critical frames never do.
+
+struct JobView;  // serve/hub.h
+
+[[nodiscard]] std::string encode_watch(std::uint64_t job);
+[[nodiscard]] std::string encode_snapshot(const JobView& view);
+/// `state` is queued | running | merging | done | drained | error |
+/// aborted -- the job-lifecycle transitions watchers never lose.
+[[nodiscard]] std::string encode_state(std::uint64_t job, const std::string& state);
+[[nodiscard]] std::string encode_site_started(std::uint64_t job, std::uint32_t site, int worker);
+[[nodiscard]] std::string encode_site_done(std::uint64_t job, std::uint32_t site, int worker,
+                                           const std::string& outcome);
+
 // ------------------------------------------------ worker -> supervisor --
 
 [[nodiscard]] std::string encode_worker_starting(std::uint32_t site);

@@ -49,4 +49,23 @@ std::size_t JobQueue::size() const {
   return jobs_.size();
 }
 
+std::vector<std::pair<int, std::size_t>> JobQueue::depth_by_priority() const {
+  std::vector<std::pair<int, std::size_t>> depths;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Job& job : jobs_) {
+      auto it = std::find_if(depths.begin(), depths.end(),
+                             [&](const auto& p) { return p.first == job.spec.priority; });
+      if (it == depths.end()) {
+        depths.emplace_back(job.spec.priority, 1);
+      } else {
+        ++it->second;
+      }
+    }
+  }
+  std::sort(depths.begin(), depths.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return depths;
+}
+
 }  // namespace hlsav::serve

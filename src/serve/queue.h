@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "serve/protocol.h"
@@ -53,6 +54,11 @@ class JobQueue {
   [[nodiscard]] std::vector<Job> close();
 
   [[nodiscard]] std::size_t size() const;
+
+  /// Waiting jobs per priority, highest priority first (observability:
+  /// `hlsavd status` and the metrics snapshot report queue shape, not
+  /// just a total).
+  [[nodiscard]] std::vector<std::pair<int, std::size_t>> depth_by_priority() const;
 
  private:
   const std::size_t capacity_;

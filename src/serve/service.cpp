@@ -18,6 +18,11 @@ Status ensure_dir(const std::string& path) {
   return Status::io_error("cannot create directory '" + path + "'");
 }
 
+std::string basename_of(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<Service>> Service::start(ServiceOptions opt) {
@@ -27,14 +32,107 @@ StatusOr<std::unique_ptr<Service>> Service::start(ServiceOptions opt) {
   HLSAV_RETURN_IF_ERROR(ensure_dir(opt.work_dir));
   StatusOr<int> listen_fd = unix_listen(opt.socket_path);
   HLSAV_RETURN_IF_ERROR(listen_fd.status());
-  return std::unique_ptr<Service>(new Service(std::move(opt), *listen_fd));
+  auto service = std::unique_ptr<Service>(new Service(std::move(opt), *listen_fd));
+  if (!service->opt_.events_out.empty()) {
+    Status opened = service->events_.open(service->opt_.events_out);
+    if (!opened.ok()) {
+      ::close(service->listen_fd_);
+      service->listen_fd_ = -1;
+      ::unlink(service->opt_.socket_path.c_str());
+      return opened;
+    }
+  }
+  return service;
 }
 
 Service::~Service() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
+void Service::init_metrics() {
+  counters_.jobs_submitted = registry_.counter("jobs_submitted");
+  counters_.jobs_rejected = registry_.counter("jobs_rejected");
+  counters_.jobs_completed = registry_.counter("jobs_completed");
+  counters_.jobs_drained = registry_.counter("jobs_drained");
+  counters_.jobs_failed = registry_.counter("jobs_failed");
+  counters_.worker_respawns = registry_.counter("worker_respawns");
+  counters_.sites_quarantined = registry_.counter("sites_quarantined");
+  counters_.sites_done = registry_.counter("sites_done");
+  counters_.journal_bytes = registry_.counter("journal_bytes");
+  counters_.watch_subscribers = registry_.counter("watch_subscribers");
+  counters_.watch_frames_sent = registry_.counter("watch_frames_sent");
+  counters_.watch_frames_coalesced = registry_.counter("watch_frames_coalesced");
+  counters_.job_wall_ms = registry_.histogram("job_wall_ms");
+}
+
+void Service::log_event(const std::string& name, const std::vector<EventLog::Field>& fields) {
+  events_.record(tracer_.now_us(), name, fields);
+}
+
+std::string Service::depths_field() {
+  std::string out;
+  for (const auto& [priority, depth] : queue_.depth_by_priority()) {
+    if (!out.empty()) out += ';';
+    out += std::to_string(priority) + ":" + std::to_string(depth);
+  }
+  return out;
+}
+
+std::string Service::workers_field() {
+  std::string out;
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  for (std::size_t w = 0; w < worker_stats_.size(); ++w) {
+    if (!out.empty()) out += ';';
+    out += std::to_string(w) + ":" + std::to_string(worker_stats_[w].first) + "/" +
+           std::to_string(worker_stats_[w].second);
+  }
+  return out;
+}
+
+std::string Service::status_reply() {
+  std::string reply = "{\"type\":\"status\",\"queued\":" +
+                      std::to_string(queued_.load(std::memory_order_relaxed)) +
+                      ",\"running\":" +
+                      std::to_string(running_.load(std::memory_order_relaxed)) +
+                      ",\"completed\":" +
+                      std::to_string(completed_.load(std::memory_order_relaxed)) +
+                      ",\"rejected\":" +
+                      std::to_string(rejected_.load(std::memory_order_relaxed)) +
+                      ",\"depths\":";
+  jsonl::append_escaped(reply, depths_field());
+  reply += ",\"workers\":";
+  jsonl::append_escaped(reply, workers_field());
+  reply += '}';
+  return reply;
+}
+
+std::string Service::metrics_snapshot() {
+  std::uint64_t uptime_us = tracer_.now_us();
+  std::string out = "{\"type\":\"metrics\",\"uptime_ms\":" +
+                    jsonl::format_double(static_cast<double>(uptime_us) / 1000.0);
+  out += ",\"jobs_queued_now\":" + std::to_string(queued_.load(std::memory_order_relaxed));
+  out += ",\"jobs_running_now\":" + std::to_string(running_.load(std::memory_order_relaxed));
+  out += ",\"queue_depths\":";
+  jsonl::append_escaped(out, depths_field());
+  out += ",\"worker_tallies\":";
+  jsonl::append_escaped(out, workers_field());
+  out += ",\"watch_subscribers_now\":" + std::to_string(hub_.subscriber_count());
+  out += ",\"events_logged\":" + std::to_string(events_.sequence());
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    double uptime_s = static_cast<double>(uptime_us) / 1e6;
+    double rate = uptime_s > 0
+                      ? static_cast<double>(counters_.sites_done->value) / uptime_s
+                      : 0.0;
+    out += ",\"sites_per_sec\":" + jsonl::format_double(rate);
+    out += "," + registry_.to_json();
+  }
+  out += '}';
+  return out;
+}
+
 Status Service::serve() {
+  log_event("daemon-start", {EventLog::Field::str("socket", opt_.socket_path)});
   executors_.reserve(opt_.executors);
   for (unsigned i = 0; i < opt_.executors; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
@@ -62,9 +160,41 @@ Status Service::serve() {
     ::close(job.client_fd);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     queued_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      counters_.jobs_rejected->add();
+    }
+    // Watchers of the aborted job see the transition and end-of-stream
+    // rather than a silent hang.
+    hub_.update_job(job.id, [](JobView& v) { v.state = "aborted"; });
+    WatchFrame f;
+    f.cls = WatchFrame::Cls::kCritical;
+    f.line = encode_state(job.id, "aborted");
+    hub_.publish(job.id, std::move(f));
+    WatchFrame d;
+    d.cls = WatchFrame::Cls::kCritical;
+    d.line = encode_done(job.id, "error", "aborted by daemon shutdown before starting");
+    hub_.publish(job.id, std::move(d));
+    hub_.close_job(job.id);
+    tracer_.end_span(job.id, ServiceTracer::kLifecycleTid, "queued");
+    log_event("job-aborted", {EventLog::Field::num("job", job.id)});
   }
   for (std::thread& t : executors_) t.join();
   executors_.clear();
+
+  // Wake every watcher (hub close + stop flag interrupts in-flight
+  // sends to stalled readers) and join their threads.
+  stopping_.store(true, std::memory_order_relaxed);
+  hub_.shutdown();
+  {
+    std::lock_guard<std::mutex> lock(watchers_mu_);
+    for (std::thread& t : watchers_) t.join();
+    watchers_.clear();
+  }
+  log_event("daemon-stop",
+            {EventLog::Field::num("jobs_completed", completed_.load(std::memory_order_relaxed)),
+             EventLog::Field::num("jobs_rejected", rejected_.load(std::memory_order_relaxed))});
+  events_.close();
   ::unlink(opt_.socket_path.c_str());
   return accept_status;
 }
@@ -83,16 +213,40 @@ void Service::handle_connection(int fd) {
     return;
   }
   if (type == "status") {
-    std::string reply = "{\"type\":\"status\",\"queued\":" +
-                        std::to_string(queued_.load(std::memory_order_relaxed)) +
-                        ",\"running\":" +
-                        std::to_string(running_.load(std::memory_order_relaxed)) +
-                        ",\"completed\":" +
-                        std::to_string(completed_.load(std::memory_order_relaxed)) +
-                        ",\"rejected\":" +
-                        std::to_string(rejected_.load(std::memory_order_relaxed)) + "}";
-    (void)send_line(fd, reply);
+    (void)send_line(fd, status_reply());
     ::close(fd);
+    return;
+  }
+  if (type == "metrics") {
+    (void)send_line(fd, metrics_snapshot());
+    ::close(fd);
+    return;
+  }
+  if (type == "trace") {
+    std::uint64_t job = 0;
+    (void)jsonl::parse_u64(*line, "job", job);
+    StatusOr<std::string> json = tracer_.export_json(job);
+    if (!json.ok()) {
+      (void)send_line(fd, encode_rejected(json.status()));
+    } else {
+      std::string header = "{\"type\":\"trace\",\"job\":" + std::to_string(job) +
+                           ",\"bytes\":" + std::to_string(json->size()) + "}";
+      if (send_line(fd, header).ok()) (void)send_bytes(fd, *json);
+    }
+    ::close(fd);
+    return;
+  }
+  if (type == "watch") {
+    std::uint64_t job = 0;
+    if (!jsonl::parse_u64(*line, "job", job)) {
+      (void)send_line(fd, encode_rejected(Status::invalid_argument("watch request has no job")));
+      ::close(fd);
+      return;
+    }
+    // The subscription lives on its own thread: the accept loop must
+    // never block behind one watcher's socket buffer.
+    std::lock_guard<std::mutex> lock(watchers_mu_);
+    watchers_.emplace_back([this, fd, job] { watch_connection(fd, job); });
     return;
   }
   if (type == "shutdown") {
@@ -112,6 +266,11 @@ void Service::handle_connection(int fd) {
     (void)send_line(fd, encode_rejected(spec.status()));
     ::close(fd);
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      counters_.jobs_rejected->add();
+    }
+    log_event("job-rejected", {EventLog::Field::str("reason", spec.status().message())});
     return;
   }
   Job job;
@@ -119,6 +278,8 @@ void Service::handle_connection(int fd) {
   job.spec = std::move(*spec);
   job.client_fd = fd;
   std::uint64_t id = job.id;
+  int priority = job.spec.priority;
+  std::string design = job.spec.design_path;
   Status pushed = queue_.push(std::move(job));
   if (!pushed.ok()) {
     // Typed back-pressure: the client learns *why* (queue full vs
@@ -126,9 +287,32 @@ void Service::handle_connection(int fd) {
     (void)send_line(fd, encode_rejected(pushed));
     ::close(fd);
     rejected_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      counters_.jobs_rejected->add();
+    }
+    log_event("job-rejected", {EventLog::Field::num("job", id),
+                               EventLog::Field::str("reason", pushed.message())});
     return;
   }
   queued_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    counters_.jobs_submitted->add();
+  }
+  JobView view;
+  view.id = id;
+  view.priority = priority;
+  view.design = design;
+  view.state = "queued";
+  hub_.open_job(view);
+  tracer_.name_job(id, "job " + std::to_string(id) + " " + basename_of(design));
+  tracer_.instant(id, ServiceTracer::kLifecycleTid, "submit");
+  tracer_.begin_span(id, ServiceTracer::kLifecycleTid, "queued");
+  log_event("job-submitted",
+            {EventLog::Field::num("job", id),
+             EventLog::Field{"priority", std::to_string(priority), /*raw=*/true},
+             EventLog::Field::str("design", design)});
   (void)send_line(fd, encode_accepted(id));
 }
 
@@ -143,11 +327,55 @@ void Service::executor_loop() {
 }
 
 void Service::run_job(Job job) {
+  std::uint64_t start_us = tracer_.now_us();
+  tracer_.end_span(job.id, ServiceTracer::kLifecycleTid, "queued");
+  tracer_.begin_span(job.id, ServiceTracer::kLifecycleTid, "run");
+  hub_.update_job(job.id, [](JobView& v) { v.state = "running"; });
+  {
+    WatchFrame f;
+    f.cls = WatchFrame::Cls::kCritical;
+    f.line = encode_state(job.id, "running");
+    hub_.publish(job.id, std::move(f));
+  }
+  log_event("job-started", {EventLog::Field::num("job", job.id)});
+
   // Counters move *before* the done line goes out: a client that reads
   // "done" and immediately queries status must see itself counted.
-  auto finish = [&](const std::string& done_line) {
+  auto finish = [&](const std::string& done_line, const std::string& final_state) {
     running_.fetch_sub(1, std::memory_order_relaxed);
     completed_.fetch_add(1, std::memory_order_relaxed);
+    tracer_.end_span(job.id, ServiceTracer::kLifecycleTid, "run");
+    hub_.update_job(job.id, [&](JobView& v) { v.state = final_state; });
+    {
+      WatchFrame f;
+      f.cls = WatchFrame::Cls::kCritical;
+      f.line = encode_state(job.id, final_state);
+      hub_.publish(job.id, std::move(f));
+    }
+    {
+      WatchFrame f;
+      f.cls = WatchFrame::Cls::kCritical;
+      f.line = done_line;
+      hub_.publish(job.id, std::move(f));
+    }
+    hub_.close_job(job.id);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      if (final_state == "done") {
+        counters_.jobs_completed->add();
+      } else if (final_state == "drained") {
+        counters_.jobs_drained->add();
+      } else {
+        counters_.jobs_failed->add();
+      }
+      counters_.job_wall_ms->record((tracer_.now_us() - start_us) / 1000);
+    }
+    std::optional<JobView> v = hub_.view_of(job.id);
+    log_event("job-completed",
+              {EventLog::Field::num("job", job.id),
+               EventLog::Field::str("status", final_state),
+               EventLog::Field::num("done", v.has_value() ? v->done : 0),
+               EventLog::Field::num("total", v.has_value() ? v->total : 0)});
     (void)send_line(job.client_fd, done_line);
     ::close(job.client_fd);
   };
@@ -155,7 +383,7 @@ void Service::run_job(Job job) {
   std::string job_dir = opt_.work_dir + "/job_" + std::to_string(job.id);
   Status dir_ok = ensure_dir(job_dir);
   if (!dir_ok.ok()) {
-    finish(encode_done(job.id, "error", dir_ok.to_string()));
+    finish(encode_done(job.id, "error", dir_ok.to_string()), "error");
     return;
   }
 
@@ -175,30 +403,162 @@ void Service::run_job(Job job) {
     if (client_gone) return;
     if (!send_line(job.client_fd, line).ok()) client_gone = true;
   };
+  auto fanout = [&](WatchFrame::Cls cls, std::string line) {
+    WatchFrame f;
+    f.cls = cls;
+    f.line = std::move(line);
+    hub_.publish(job.id, std::move(f));
+  };
+  auto bump_worker_stat = [&](int worker, bool quarantine) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (worker < 0) return;
+    auto w = static_cast<std::size_t>(worker);
+    if (worker_stats_.size() <= w) worker_stats_.resize(w + 1, {0, 0});
+    if (quarantine) {
+      ++worker_stats_[w].second;
+    } else {
+      ++worker_stats_[w].first;
+    }
+  };
   sup.event_sink = [&](const SupervisorEvent& e) {
+    std::uint64_t wtid = ServiceTracer::kWorkerTidBase +
+                         static_cast<std::uint64_t>(e.worker < 0 ? 0 : e.worker);
     switch (e.kind) {
-      case SupervisorEvent::Kind::kProgress:
-        send(encode_progress(job.id, e.done, e.total));
+      case SupervisorEvent::Kind::kProgress: {
+        std::string line = encode_progress(job.id, e.done, e.total);
+        send(line);
+        hub_.update_job(job.id, [&](JobView& v) {
+          v.done = e.done;
+          v.total = e.total;
+        });
+        fanout(WatchFrame::Cls::kProgress, std::move(line));
         break;
-      case SupervisorEvent::Kind::kWorkerCrashed:
-        send(encode_worker_crashed(job.id, e.site, e.worker, e.detail));
+      }
+      case SupervisorEvent::Kind::kWorkerCrashed: {
+        std::string line = encode_worker_crashed(job.id, e.site, e.worker, e.detail);
+        send(line);
+        hub_.update_job(job.id, [](JobView& v) { ++v.respawns; });
+        fanout(WatchFrame::Cls::kCritical, std::move(line));
+        tracer_.instant(job.id, wtid, "respawn site s" + std::to_string(e.site));
+        bump_worker_stat(e.worker, /*quarantine=*/false);
+        {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          counters_.worker_respawns->add();
+        }
+        log_event("worker-crashed", {EventLog::Field::num("job", job.id),
+                                     EventLog::Field::num("site", e.site),
+                                     EventLog::Field::num("worker", static_cast<std::uint64_t>(
+                                                                        e.worker < 0 ? 0
+                                                                                     : e.worker)),
+                                     EventLog::Field::str("detail", e.detail)});
         break;
-      case SupervisorEvent::Kind::kQuarantined:
-        send(encode_quarantined(job.id, e.site));
+      }
+      case SupervisorEvent::Kind::kQuarantined: {
+        std::string line = encode_quarantined(job.id, e.site);
+        send(line);
+        hub_.update_job(job.id, [](JobView& v) { ++v.quarantined; });
+        fanout(WatchFrame::Cls::kCritical, std::move(line));
+        tracer_.instant(job.id, wtid, "quarantine site s" + std::to_string(e.site));
+        bump_worker_stat(e.worker, /*quarantine=*/true);
+        {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          counters_.sites_quarantined->add();
+        }
+        log_event("site-quarantined", {EventLog::Field::num("job", job.id),
+                                       EventLog::Field::num("site", e.site)});
+        break;
+      }
+      case SupervisorEvent::Kind::kSiteStarted:
+        // Watch-only frames: the submit stream stays byte-compatible
+        // with the pre-observability protocol.
+        fanout(WatchFrame::Cls::kSite, encode_site_started(job.id, e.site, e.worker));
+        tracer_.begin_span(job.id, wtid, "s" + std::to_string(e.site));
+        break;
+      case SupervisorEvent::Kind::kSiteDone:
+        fanout(WatchFrame::Cls::kSite, encode_site_done(job.id, e.site, e.worker, e.detail));
+        tracer_.end_span(job.id, wtid, "s" + std::to_string(e.site));
+        {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          counters_.sites_done->add();
+        }
+        break;
+      case SupervisorEvent::Kind::kPhaseBegin:
+        tracer_.begin_span(job.id, ServiceTracer::kLifecycleTid, e.detail);
+        if (e.detail == "merge") {
+          hub_.update_job(job.id, [](JobView& v) { v.state = "merging"; });
+          fanout(WatchFrame::Cls::kCritical, encode_state(job.id, "merging"));
+        }
+        break;
+      case SupervisorEvent::Kind::kPhaseEnd:
+        tracer_.end_span(job.id, ServiceTracer::kLifecycleTid, e.detail);
         break;
     }
   };
 
   StatusOr<SupervisedResult> result = run_sharded_campaign(job.spec, sup);
   if (!result.ok()) {
-    finish(encode_done(job.id, "error", result.status().to_string()));
+    finish(encode_done(job.id, "error", result.status().to_string()), "error");
     return;
   }
-  if (!result->rendered.empty()) {
-    send(encode_report_header(job.id, result->rendered.size()));
-    if (!client_gone && !send_bytes(job.client_fd, result->rendered).ok()) client_gone = true;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    counters_.journal_bytes->add(result->journal_bytes);
   }
-  finish(encode_done(job.id, result->drained ? "drained" : "ok"));
+  if (!result->rendered.empty()) {
+    std::string header = encode_report_header(job.id, result->rendered.size());
+    send(header);
+    if (!client_gone && !send_bytes(job.client_fd, result->rendered).ok()) client_gone = true;
+    // Watchers receive the identical sized report frame: terminal
+    // frames are byte-identical across every subscriber and the
+    // submitting client.
+    WatchFrame f;
+    f.cls = WatchFrame::Cls::kCritical;
+    f.line = std::move(header);
+    f.payload = result->rendered;
+    hub_.publish(job.id, std::move(f));
+  }
+  finish(encode_done(job.id, result->drained ? "drained" : "ok"),
+         result->drained ? "drained" : "done");
+}
+
+void Service::watch_connection(int fd, std::uint64_t job_id) {
+  StatusOr<std::shared_ptr<ProgressHub::Subscription>> sub = hub_.subscribe(job_id);
+  if (!sub.ok()) {
+    (void)send_line(fd, encode_rejected(sub.status()));
+    ::close(fd);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    counters_.watch_subscribers->add();
+  }
+  log_event("watch-subscribed", {EventLog::Field::num("job", job_id)});
+  std::uint64_t sent = 0;
+  for (;;) {
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    std::optional<WatchFrame> frame = hub_.next(*sub, /*timeout_ms=*/200);
+    if (!frame.has_value()) {
+      if ((*sub)->finished()) break;
+      continue;  // timeout: poll the stop flag again
+    }
+    Status st = send_line_interruptible(fd, frame->line, stopping_);
+    if (st.ok() && !frame->payload.empty()) {
+      st = send_bytes_interruptible(fd, frame->payload, stopping_);
+    }
+    if (!st.ok()) break;  // client vanished or daemon stopping
+    ++sent;
+  }
+  std::uint64_t coalesced = (*sub)->coalesced();
+  hub_.unsubscribe(*sub);
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    counters_.watch_frames_sent->add(sent);
+    counters_.watch_frames_coalesced->add(coalesced);
+  }
+  log_event("watch-closed", {EventLog::Field::num("job", job_id),
+                             EventLog::Field::num("frames", sent),
+                             EventLog::Field::num("coalesced", coalesced)});
 }
 
 }  // namespace hlsav::serve

@@ -1,4 +1,5 @@
-// The hlsavd campaign service: accept loop, executors, shutdown.
+// The hlsavd campaign service: accept loop, executors, shutdown, and
+// the observability plane.
 //
 // One thread accepts connections on the unix socket and turns submit
 // requests into queued jobs (or typed rejections when the bounded
@@ -6,21 +7,37 @@
 // supervisor (serve/shard.h), streaming progress and the final report
 // to the submitting client over its own connection.
 //
+// Observability (DESIGN.md §3.7): every job's frames also flow into a
+// ProgressHub that fans them out to any number of `watch` subscribers
+// (each on its own thread, with a bounded coalescing buffer -- a slow
+// watcher can never stall a campaign); a ServiceTracer records the
+// job-lifecycle span tree (queued -> run{compile,shard,merge}, per-site
+// worker spans, respawn/quarantine instants) exportable as Chrome
+// trace JSON; a MetricsRegistry + append-only JSONL event log make the
+// daemon's behaviour queryable (`hlsavd metrics`) and auditable
+// (`--events-out`).
+//
 // Graceful shutdown (SIGTERM or a shutdown request): the accept loop
 // stops, queued-but-unstarted jobs get a typed abort reply, running
 // jobs drain -- workers flush their journals and exit, the client gets
-// whatever was durably classified plus status "drained", and every
-// journal shard is resumable by a later submission of the same spec.
+// whatever was durably classified plus status "drained", watcher
+// threads are woken and joined, and every journal shard is resumable
+// by a later submission of the same spec.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "metrics/metrics.h"
+#include "serve/events.h"
+#include "serve/hub.h"
 #include "serve/queue.h"
+#include "serve/tracer.h"
 #include "support/status.h"
 
 namespace hlsav::serve {
@@ -42,6 +59,8 @@ struct ServiceOptions {
   std::string worker_binary;
   /// Per-job shard journals land in `<work_dir>/job_<id>/`.
   std::string work_dir = ".";
+  /// Append-only JSONL structured event log; empty = no log.
+  std::string events_out;
 };
 
 class Service {
@@ -52,7 +71,8 @@ class Service {
 
   /// Runs accept loop + executors until shutdown_flag() turns true (a
   /// signal handler may set it) or a shutdown request arrives. Returns
-  /// once every executor has drained and the socket is unlinked.
+  /// once every executor and watcher has drained and the socket is
+  /// unlinked.
   [[nodiscard]] Status serve();
 
   /// The flag a SIGTERM/SIGINT handler sets: only an atomic store, so
@@ -61,23 +81,70 @@ class Service {
 
  private:
   explicit Service(ServiceOptions opt, int listen_fd)
-      : opt_(std::move(opt)), listen_fd_(listen_fd), queue_(opt_.queue_cap) {}
+      : opt_(std::move(opt)), listen_fd_(listen_fd), queue_(opt_.queue_cap) {
+    init_metrics();
+  }
 
+  void init_metrics();
   void handle_connection(int fd);
   void executor_loop();
   void run_job(Job job);
+  void watch_connection(int fd, std::uint64_t job_id);
+  /// One-line status reply JSON (aggregate counts + per-priority queue
+  /// depths + per-worker respawn/quarantine tallies).
+  [[nodiscard]] std::string status_reply();
+  /// One-line metrics snapshot JSON ({"type":"metrics",...}).
+  [[nodiscard]] std::string metrics_snapshot();
+  void log_event(const std::string& name, const std::vector<EventLog::Field>& fields);
+  /// Compact "P:D;P:D" / "W:R/Q;W:R/Q" renderings for the flat-JSON
+  /// status + metrics replies (jsonl parsing keeps keys unique, so
+  /// repeated-key arrays are off the table by design).
+  [[nodiscard]] std::string depths_field();
+  [[nodiscard]] std::string workers_field();
 
   ServiceOptions opt_;
   int listen_fd_ = -1;
   JobQueue queue_;
   std::atomic<bool> shutdown_{false};
-  std::atomic<bool> drain_{false};  // handed to running supervisors
+  std::atomic<bool> drain_{false};     // handed to running supervisors
+  std::atomic<bool> stopping_{false};  // watcher threads: abort sends, exit
   std::atomic<std::uint64_t> next_job_id_{1};
   std::atomic<std::uint64_t> queued_{0};
   std::atomic<std::uint64_t> running_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::vector<std::thread> executors_;
+
+  // ---- observability plane ----
+  ProgressHub hub_;
+  ServiceTracer tracer_;
+  EventLog events_;
+  /// Registry + every mutation guarded by metrics_mu_ (MetricsRegistry
+  /// itself is single-threaded by design; the event rate here is far
+  /// too low for the lock to matter).
+  mutable std::mutex metrics_mu_;
+  metrics::MetricsRegistry registry_;
+  struct {
+    metrics::Counter* jobs_submitted = nullptr;
+    metrics::Counter* jobs_rejected = nullptr;
+    metrics::Counter* jobs_completed = nullptr;
+    metrics::Counter* jobs_drained = nullptr;
+    metrics::Counter* jobs_failed = nullptr;
+    metrics::Counter* worker_respawns = nullptr;
+    metrics::Counter* sites_quarantined = nullptr;
+    metrics::Counter* sites_done = nullptr;
+    metrics::Counter* journal_bytes = nullptr;
+    metrics::Counter* watch_subscribers = nullptr;
+    metrics::Counter* watch_frames_sent = nullptr;
+    metrics::Counter* watch_frames_coalesced = nullptr;
+    metrics::Histogram* job_wall_ms = nullptr;
+  } counters_;
+  /// Per-worker-index respawn/quarantine tallies across all jobs
+  /// (guarded by metrics_mu_).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> worker_stats_;
+
+  std::mutex watchers_mu_;
+  std::vector<std::thread> watchers_;
 };
 
 }  // namespace hlsav::serve

@@ -62,6 +62,17 @@ StatusOr<SupervisedResult> run_sharded_campaign(const CampaignSpec& spec,
   }
   if (opt.job_dir.empty()) return Status::invalid_argument("supervisor needs a job directory");
 
+  auto emit = [&](const SupervisorEvent& e) {
+    if (opt.event_sink) opt.event_sink(e);
+  };
+  auto emit_phase = [&](SupervisorEvent::Kind kind, const char* name) {
+    SupervisorEvent e;
+    e.kind = kind;
+    e.detail = name;
+    emit(e);
+  };
+
+  emit_phase(SupervisorEvent::Kind::kPhaseBegin, "compile");
   // Compile and golden-run exactly as the worker will: the supervisor's
   // sampled selection and golden cycle count must match the workers'
   // byte for byte, or the shard fingerprints would disagree.
@@ -119,6 +130,7 @@ StatusOr<SupervisedResult> run_sharded_campaign(const CampaignSpec& spec,
     spec_by_id[sites[idx].id] = &sites[idx];
   }
   if (selected.empty()) return Status::invalid_argument("campaign selects no fault sites");
+  emit_phase(SupervisorEvent::Kind::kPhaseEnd, "compile");
 
   unsigned workers = std::max(1u, opt.workers);
   workers = static_cast<unsigned>(std::min<std::size_t>(workers, selected.size()));
@@ -141,9 +153,6 @@ StatusOr<SupervisedResult> run_sharded_campaign(const CampaignSpec& spec,
   std::uint64_t last_reported_done = ~0ull;
   bool draining = false;
 
-  auto emit = [&](const SupervisorEvent& e) {
-    if (opt.event_sink) opt.event_sink(e);
-  };
   auto emit_progress = [&] {
     std::uint64_t done = done_sites.size();
     if (done == last_reported_done) return;
@@ -290,14 +299,26 @@ StatusOr<SupervisedResult> run_sharded_campaign(const CampaignSpec& spec,
       w.last_heartbeat = Clock::now();
       if (type == "starting") {
         w.inflight = static_cast<std::int64_t>(site);
+        SupervisorEvent e;
+        e.kind = SupervisorEvent::Kind::kSiteStarted;
+        e.site = static_cast<std::uint32_t>(site);
+        e.worker = w.index;
+        emit(e);
       } else if (type == "site") {
         done_sites.insert(static_cast<std::uint32_t>(site));
         if (w.inflight == static_cast<std::int64_t>(site)) w.inflight = -1;
+        SupervisorEvent e;
+        e.kind = SupervisorEvent::Kind::kSiteDone;
+        e.site = static_cast<std::uint32_t>(site);
+        e.worker = w.index;
+        (void)jsonl::parse_string(line, "outcome", e.detail);
+        emit(e);
       }
     }
   };
 
   emit_progress();
+  emit_phase(SupervisorEvent::Kind::kPhaseBegin, "shard");
   for (WorkerState& w : pool) {
     HLSAV_RETURN_IF_ERROR(spawn_worker(w, w.assigned));
   }
@@ -372,10 +393,18 @@ StatusOr<SupervisedResult> run_sharded_campaign(const CampaignSpec& spec,
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
 
+  emit_phase(SupervisorEvent::Kind::kPhaseEnd, "shard");
+
   // ---- merge: shard journals -> one site-ordered report ----
+  emit_phase(SupervisorEvent::Kind::kPhaseBegin, "merge");
   std::vector<std::string> shard_paths;
   for (const WorkerState& w : pool) {
-    if (file_exists(w.journal_path)) shard_paths.push_back(w.journal_path);
+    if (!file_exists(w.journal_path)) continue;
+    shard_paths.push_back(w.journal_path);
+    struct stat st{};
+    if (::stat(w.journal_path.c_str(), &st) == 0) {
+      result.journal_bytes += static_cast<std::uint64_t>(st.st_size);
+    }
   }
   if (shard_paths.empty()) {
     if (result.drained) {
@@ -383,6 +412,7 @@ StatusOr<SupervisedResult> run_sharded_campaign(const CampaignSpec& spec,
       result.report.sites_total = sites.size();
       result.report.golden_cycles = golden.cycles;
       result.report.interrupted = true;
+      emit_phase(SupervisorEvent::Kind::kPhaseEnd, "merge");
       return result;
     }
     return Status::internal("no shard journal was ever written");
@@ -414,6 +444,7 @@ StatusOr<SupervisedResult> run_sharded_campaign(const CampaignSpec& spec,
     report.results.push_back(std::move(r));
   }
   result.rendered = report.render(design);
+  emit_phase(SupervisorEvent::Kind::kPhaseEnd, "merge");
   return result;
 }
 

@@ -41,13 +41,17 @@ struct SupervisorEvent {
     kProgress,       // done/total changed
     kWorkerCrashed,  // a worker died; `site` is the blamed in-flight site
     kQuarantined,    // `site` hit the crash cap and was classified worker-crashed
+    kSiteStarted,    // worker `worker` announced "starting" for `site`
+    kSiteDone,       // `site` journaled; `detail` is the outcome name
+    kPhaseBegin,     // `detail` names the phase: compile | shard | merge
+    kPhaseEnd,       // matching end of the named phase
   };
   Kind kind = Kind::kProgress;
   std::uint64_t done = 0;
   std::uint64_t total = 0;
   std::uint32_t site = 0;
   int worker = -1;
-  std::string detail;  // ExitInfo::describe() for crashes
+  std::string detail;  // ExitInfo::describe() / outcome name / phase name
 };
 
 struct SupervisorOptions {
@@ -86,6 +90,9 @@ struct SupervisedResult {
   /// True when the drain flag stopped the job early; `report` carries
   /// interrupted=true and only the journaled sites.
   bool drained = false;
+  /// Bytes of shard journal written on disk at merge time (the durable
+  /// footprint the metrics plane reports).
+  std::uint64_t journal_bytes = 0;
 };
 
 /// Runs one campaign sharded across worker subprocesses. Compile

@@ -1,0 +1,142 @@
+#include "serve/tracer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hlsav::serve {
+
+std::uint64_t ServiceTracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            epoch_)
+          .count());
+}
+
+void ServiceTracer::name_job(std::uint64_t job, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, l] : job_labels_) {
+    if (id == job) {
+      l = label;
+      return;
+    }
+  }
+  job_labels_.emplace_back(job, label);
+}
+
+void ServiceTracer::begin_span(std::uint64_t job, std::uint64_t tid, const std::string& name) {
+  std::uint64_t now = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tid >= kWorkerTidBase) {
+    // One site at a time per worker: an open span on this track means a
+    // crash ate the end event -- close it at the new span's start.
+    for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+      if (it->open && it->job == job && it->tid == tid) {
+        it->open = false;
+        it->end_us = now;
+        break;
+      }
+    }
+  }
+  Span s;
+  s.job = job;
+  s.tid = tid;
+  s.name = name;
+  s.start_us = now;
+  spans_.push_back(std::move(s));
+}
+
+void ServiceTracer::end_span(std::uint64_t job, std::uint64_t tid, const std::string& name) {
+  std::uint64_t now = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->open && it->job == job && it->tid == tid && it->name == name) {
+      it->open = false;
+      it->end_us = now;
+      return;
+    }
+  }
+}
+
+void ServiceTracer::instant(std::uint64_t job, std::uint64_t tid, const std::string& name) {
+  std::uint64_t now = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  Instant in;
+  in.job = job;
+  in.tid = tid;
+  in.name = name;
+  in.ts_us = now;
+  instants_.push_back(std::move(in));
+}
+
+StatusOr<std::string> ServiceTracer::export_json(std::uint64_t job) const {
+  std::uint64_t now = now_us();
+  std::vector<metrics::TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto wanted = [&](std::uint64_t j) { return job == 0 || j == job; };
+    bool known = false;
+    std::set<std::pair<std::uint64_t, std::uint64_t>> tracks;
+    for (const auto& [id, label] : job_labels_) {
+      if (!wanted(id)) continue;
+      known = true;
+      metrics::TraceEvent m;
+      m.ph = 'M';
+      m.pid = id;
+      m.tid = kLifecycleTid;
+      m.name = "process_name";
+      m.label = label;
+      events.push_back(std::move(m));
+    }
+    for (const Span& s : spans_) {
+      if (!wanted(s.job)) continue;
+      known = true;
+      tracks.insert({s.job, s.tid});
+      metrics::TraceEvent e;
+      e.ph = 'X';
+      e.pid = s.job;
+      e.tid = s.tid;
+      e.name = s.name;
+      e.ts_us = s.start_us;
+      e.dur_us = (s.open ? now : s.end_us) - s.start_us;
+      events.push_back(std::move(e));
+    }
+    for (const Instant& in : instants_) {
+      if (!wanted(in.job)) continue;
+      known = true;
+      tracks.insert({in.job, in.tid});
+      metrics::TraceEvent e;
+      e.ph = 'i';
+      e.pid = in.job;
+      e.tid = in.tid;
+      e.name = in.name;
+      e.ts_us = in.ts_us;
+      events.push_back(std::move(e));
+    }
+    if (!known) {
+      return Status::invalid_argument("no trace recorded for job " + std::to_string(job));
+    }
+    for (const auto& [j, tid] : tracks) {
+      metrics::TraceEvent m;
+      m.ph = 'M';
+      m.pid = j;
+      m.tid = tid;
+      m.name = "thread_name";
+      m.label = tid == kLifecycleTid
+                    ? "lifecycle"
+                    : "worker " + std::to_string(tid - kWorkerTidBase);
+      events.push_back(std::move(m));
+    }
+  }
+  std::ostringstream os;
+  metrics::write_trace_events(events, os);
+  return os.str();
+}
+
+std::size_t ServiceTracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+}  // namespace hlsav::serve

@@ -1,0 +1,84 @@
+// ServiceTracer: job-lifecycle spans on the daemon's wall clock.
+//
+// Every job gets a span tree -- queued -> run (compile / shard / merge)
+// on a lifecycle track, per-site execution spans on one track per
+// worker, and instant events for respawns and quarantines -- all
+// timestamped in microseconds since the daemon started, so a whole
+// fleet of jobs renders on one shared Perfetto timeline.
+//
+// Mapping: trace pid = job id (Perfetto groups each job as a process),
+// tid 1 = the lifecycle track, tid 10+w = worker w's site track.
+// Export is Chrome trace-event JSON via metrics::write_trace_events,
+// which the in-tree `hlsavc checktrace` validator accepts.
+//
+// "Lock-free-enough": recording takes one mutex for a push_back --
+// microseconds of critical section against events that are milliseconds
+// apart (site completions, state transitions). No allocation-free
+// heroics are warranted at this event rate; the lock never covers I/O.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/chrometrace.h"
+#include "support/status.h"
+
+namespace hlsav::serve {
+
+class ServiceTracer {
+ public:
+  /// Track ids within one job's trace process.
+  static constexpr std::uint64_t kLifecycleTid = 1;
+  static constexpr std::uint64_t kWorkerTidBase = 10;
+
+  ServiceTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since the daemon started (the shared trace timeline).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Names the job's trace process ("job 3 clamp.c"); emitted as
+  /// metadata on export.
+  void name_job(std::uint64_t job, const std::string& label);
+
+  /// Opens a span; closed by end_span with the same (job, tid, name) or
+  /// force-closed at export time. A second begin_span on a worker track
+  /// while one is open first closes the open span (a worker runs one
+  /// site at a time; a crash can eat the matching end).
+  void begin_span(std::uint64_t job, std::uint64_t tid, const std::string& name);
+  void end_span(std::uint64_t job, std::uint64_t tid, const std::string& name);
+  void instant(std::uint64_t job, std::uint64_t tid, const std::string& name);
+
+  /// Chrome trace-event JSON for one job, or every job when `job` == 0.
+  /// Open spans render as running up to now. kInvalidArgument when the
+  /// job id is unknown (never recorded anything).
+  [[nodiscard]] StatusOr<std::string> export_json(std::uint64_t job) const;
+
+  [[nodiscard]] std::size_t span_count() const;
+
+ private:
+  struct Span {
+    std::uint64_t job = 0;
+    std::uint64_t tid = 0;
+    std::string name;
+    std::uint64_t start_us = 0;
+    std::uint64_t end_us = 0;
+    bool open = true;
+  };
+  struct Instant {
+    std::uint64_t job = 0;
+    std::uint64_t tid = 0;
+    std::string name;
+    std::uint64_t ts_us = 0;
+  };
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<std::pair<std::uint64_t, std::string>> job_labels_;
+};
+
+}  // namespace hlsav::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <mutex>
@@ -31,6 +32,28 @@ const char* fault_outcome_name(FaultOutcome o) {
     case FaultOutcome::kWorkerCrashed: return "worker-crashed";
   }
   HLSAV_UNREACHABLE("bad FaultOutcome");
+}
+
+std::string format_campaign_heartbeat(std::size_t done, std::size_t total, double elapsed_s,
+                                      const std::size_t tally[kNumFaultOutcomes]) {
+  double rate = elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0.0;
+  double eta = rate > 0 ? static_cast<double>(total - done) / rate : 0.0;
+  std::ostringstream os;
+  os << "campaign: " << done << "/" << total << " sites, " << fmt_double(rate, 1)
+     << " sites/s, ETA ";
+  if (rate > 0 && std::isfinite(eta)) {
+    os << fmt_double(eta, 0) << "s";
+  } else {
+    os << "--:--";  // no rate yet: an unknown ETA, never inf/garbage
+  }
+  os << "; benign " << tally[static_cast<std::size_t>(FaultOutcome::kBenign)]
+     << ", detected " << tally[static_cast<std::size_t>(FaultOutcome::kDetected)]
+     << ", silent " << tally[static_cast<std::size_t>(FaultOutcome::kSilentCorruption)]
+     << ", hang "
+     << tally[static_cast<std::size_t>(FaultOutcome::kHangDetected)] +
+            tally[static_cast<std::size_t>(FaultOutcome::kHangTimeout)]
+     << ", budget " << tally[static_cast<std::size_t>(FaultOutcome::kBudgetExceeded)];
+  return os.str();
 }
 
 namespace {
@@ -108,25 +131,11 @@ class Heartbeat {
  private:
   void emit(std::chrono::steady_clock::time_point now) {
     double elapsed = std::chrono::duration<double>(now - start_).count();
-    double rate = elapsed > 0 ? static_cast<double>(done_) / elapsed : 0.0;
-    std::ostringstream os;
-    os << "campaign: " << done_ << "/" << total_ << " sites";
-    if (rate > 0) {
-      os << ", " << fmt_double(rate, 1) << " sites/s, ETA "
-         << fmt_double(static_cast<double>(total_ - done_) / rate, 0) << "s";
-    }
-    os << "; benign " << tally_[static_cast<std::size_t>(FaultOutcome::kBenign)]
-       << ", detected " << tally_[static_cast<std::size_t>(FaultOutcome::kDetected)]
-       << ", silent " << tally_[static_cast<std::size_t>(FaultOutcome::kSilentCorruption)]
-       << ", hang "
-       << tally_[static_cast<std::size_t>(FaultOutcome::kHangDetected)] +
-              tally_[static_cast<std::size_t>(FaultOutcome::kHangTimeout)]
-       << ", budget "
-       << tally_[static_cast<std::size_t>(FaultOutcome::kBudgetExceeded)];
+    std::string line = format_campaign_heartbeat(done_, total_, elapsed, tally_);
     if (opt_.progress_sink) {
-      opt_.progress_sink(os.str());
+      opt_.progress_sink(line);
     } else {
-      std::fprintf(stderr, "%s\n", os.str().c_str());
+      std::fprintf(stderr, "%s\n", line.c_str());
     }
   }
 

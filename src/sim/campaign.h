@@ -59,6 +59,15 @@ inline constexpr std::size_t kNumFaultOutcomes = 7;
 
 [[nodiscard]] const char* fault_outcome_name(FaultOutcome o);
 
+/// Renders one progress-heartbeat line ("campaign: D/T sites, R sites/s,
+/// ETA Es; benign ..., detected ..."). The rate/ETA clause is always
+/// present; when the rate is still zero (first tick, elapsed ~0) or the
+/// ETA would be non-finite, the ETA renders as "--:--" instead of inf.
+/// `tally` is indexed by FaultOutcome (kNumFaultOutcomes entries).
+[[nodiscard]] std::string format_campaign_heartbeat(std::size_t done, std::size_t total,
+                                                    double elapsed_s,
+                                                    const std::size_t tally[kNumFaultOutcomes]);
+
 struct FaultResult {
   FaultSpec site;
   FaultOutcome outcome = FaultOutcome::kBenign;

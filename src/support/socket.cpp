@@ -102,6 +102,45 @@ Status send_bytes(int fd, std::string_view data) {
 
 Status send_line(int fd, const std::string& line) { return send_bytes(fd, line + "\n"); }
 
+Status send_bytes_interruptible(int fd, std::string_view data, const std::atomic<bool>& stop,
+                                int poll_ms) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    if (stop.load(std::memory_order_relaxed)) {
+      return Status::cancelled("send aborted by stop flag");
+    }
+    // MSG_DONTWAIT instead of O_NONBLOCK on the fd: the flag is
+    // per-call, so the fd stays blocking for any other user.
+    ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::unavailable("peer disconnected");
+      }
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return errno_status("send failed");
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int r;
+    do {
+      r = ::poll(&pfd, 1, poll_ms);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) return errno_status("poll failed");
+    // r == 0: the peer's buffer is still full; loop to re-check `stop`.
+  }
+  return Status::ok_status();
+}
+
+Status send_line_interruptible(int fd, const std::string& line, const std::atomic<bool>& stop,
+                               int poll_ms) {
+  return send_bytes_interruptible(fd, line + "\n", stop, poll_ms);
+}
+
 Status LineReader::fill(int timeout_ms) {
   if (eof_) return Status::unavailable("peer closed the connection");
   if (timeout_ms > 0) {

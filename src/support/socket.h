@@ -8,6 +8,7 @@
 // provide the newline framing both ends use.
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "support/status.h"
@@ -34,6 +35,18 @@ namespace hlsav {
 
 /// Writes `data` verbatim (raw report bytes after a sized header line).
 [[nodiscard]] Status send_bytes(int fd, std::string_view data);
+
+/// Like send_bytes, but abortable: sends non-blocking, polls for
+/// writability in `poll_ms` slices, and gives up with kCancelled as
+/// soon as `*stop` turns true. This is what hlsavd watcher threads use
+/// -- a subscriber that stops reading fills its socket buffer, and a
+/// daemon shutting down must not wait on it forever.
+[[nodiscard]] Status send_bytes_interruptible(int fd, std::string_view data,
+                                              const std::atomic<bool>& stop,
+                                              int poll_ms = 100);
+[[nodiscard]] Status send_line_interruptible(int fd, const std::string& line,
+                                             const std::atomic<bool>& stop,
+                                             int poll_ms = 100);
 
 /// Buffered line reader for one connection. Reads are blocking with an
 /// optional per-call timeout.

@@ -207,6 +207,33 @@ TEST(Campaign, ProgressHeartbeatCoversParallelSweep) {
   EXPECT_EQ(lines.size(), r.results.size());
 }
 
+TEST(Campaign, HeartbeatEtaIsClampedBeforeAnyRateExists) {
+  // Regression: the first tick fires with elapsed == 0 (or no completed
+  // sites), where done/elapsed is 0 and remaining/rate divides by zero.
+  // The ETA must render as the unknown marker, never "inf"/"nan".
+  std::size_t tally[kNumFaultOutcomes] = {0};
+  std::string first = format_campaign_heartbeat(0, 12, 0.0, tally);
+  EXPECT_NE(first.find("ETA --:--"), std::string::npos) << first;
+  EXPECT_EQ(first.find("inf"), std::string::npos) << first;
+  EXPECT_EQ(first.find("nan"), std::string::npos) << first;
+  // Zero completed sites after measurable elapsed time: still no rate.
+  std::string stalled = format_campaign_heartbeat(0, 12, 2.5, tally);
+  EXPECT_NE(stalled.find("ETA --:--"), std::string::npos) << stalled;
+  EXPECT_EQ(stalled.find("inf"), std::string::npos) << stalled;
+}
+
+TEST(Campaign, HeartbeatEtaAppearsOnceARateExists) {
+  std::size_t tally[kNumFaultOutcomes] = {0};
+  tally[static_cast<std::size_t>(FaultOutcome::kBenign)] = 6;
+  // 6 sites in 2s = 3 sites/s; 6 remaining -> ETA 2s.
+  std::string line = format_campaign_heartbeat(6, 12, 2.0, tally);
+  EXPECT_NE(line.find("6/12 sites"), std::string::npos) << line;
+  EXPECT_NE(line.find("3.0 sites/s"), std::string::npos) << line;
+  EXPECT_NE(line.find("ETA 2s"), std::string::npos) << line;
+  EXPECT_EQ(line.find("--:--"), std::string::npos) << line;
+  EXPECT_NE(line.find("benign 6"), std::string::npos) << line;
+}
+
 TEST(Campaign, ProfiledCampaignAnnotatesNonBenignSites) {
   H h = make_clamp(assertions::Options::optimized());
   CampaignOptions opt;

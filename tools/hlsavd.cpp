@@ -4,7 +4,13 @@
 //   hlsavd submit   --socket=PATH --design=FILE [options]
 //                                             submit a campaign, stream
 //                                             progress, print the report
-//   hlsavd status   --socket=PATH             one-line daemon status
+//   hlsavd watch    --socket=PATH --job=N     attach to a job: snapshot,
+//                                             then its live frame stream
+//   hlsavd status   --socket=PATH             daemon status (aggregate +
+//                                             queue depths + worker tallies)
+//   hlsavd metrics  --socket=PATH             one-shot JSON metrics snapshot
+//   hlsavd trace-out --socket=PATH --job=N    Chrome trace JSON of the
+//                                             job's span tree (0 = all jobs)
 //   hlsavd shutdown --socket=PATH             graceful daemon shutdown
 //   hlsavd worker   ...                       internal: one journal shard
 //                                             of one campaign (spawned by
@@ -20,6 +26,16 @@
 //   --heartbeat-timeout-ms=N SIGKILL a silent worker after N ms; 0 off
 //                            (default 10000)
 //   --work-dir=DIR           shard journals land in DIR/job_<id>/
+//   --events-out=FILE        append-only JSONL event log (monotonic seq,
+//                            ts_ms since daemon start)
+//
+// watch options:
+//   --job=N                  the job to attach to
+//   --wait-ms=T              retry an unknown job id for T ms (a watcher
+//                            racing its own submit)
+//   --stall-reads-ms=T       test hook: sleep T ms before reading frames
+//                            (deliberately slow subscriber)
+//   --out=FILE --quiet       report destination / suppress narration
 //
 // submit options:
 //   --design=FILE --feed stream=v1,v2,... --assertions=MODE --seed=N
@@ -47,6 +63,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <set>
@@ -106,12 +123,17 @@ bool parse_double_flag(const std::string& text, double& out) {
 
 void print_usage(std::ostream& os) {
   os << "usage: hlsavd serve    --socket=PATH [--queue-cap=N --jobs=N --workers=N\n"
-        "                        --quarantine-cap=N --heartbeat-timeout-ms=N --work-dir=DIR]\n"
+        "                        --quarantine-cap=N --heartbeat-timeout-ms=N --work-dir=DIR\n"
+        "                        --events-out=FILE]\n"
         "       hlsavd submit   --socket=PATH --design=FILE [--feed stream=v1,v2,...\n"
         "                        --assertions=MODE --seed=N --max-faults=N --max-cycles=N\n"
         "                        --site-wall-ms=N --workers=N --priority=N --out=FILE --quiet\n"
         "                        --crash-at-site=N --crash-limit=K --stall-at-site=N]\n"
+        "       hlsavd watch    --socket=PATH --job=N [--wait-ms=T --stall-reads-ms=T\n"
+        "                        --out=FILE --quiet]\n"
         "       hlsavd status   --socket=PATH\n"
+        "       hlsavd metrics  --socket=PATH\n"
+        "       hlsavd trace-out --socket=PATH --job=N [--out=FILE]   (job 0 = all jobs)\n"
         "       hlsavd shutdown --socket=PATH\n"
         "       hlsavd --version\n"
         "exit codes: 0 ok, 1 error, 2 bad usage, 6 job drained by daemon\n"
@@ -321,12 +343,15 @@ int main(int argc, char** argv) {
   std::string out_path;
   bool quiet = false;
   std::vector<std::string> feed_parts;
+  std::uint64_t watch_job_id = 0;
+  bool have_job_id = false;
+  serve::WatchOptions wopt;
 
   auto bad_value = [](const std::string& flag) {
     std::cerr << "hlsavd: bad value for " << flag << "\n";
     return false;
   };
-  auto parse = [&](int i, int argc_, char** argv_) -> bool {
+  auto parse = [&](int i, char** argv_) -> bool {
     std::string a = argv_[i];
     auto val = [&](const char* prefix) { return a.substr(std::strlen(prefix)); };
     if (a.rfind("--socket=", 0) == 0) {
@@ -411,6 +436,19 @@ int main(int argc, char** argv) {
       wargs.stall_at.insert(id);
     } else if (a.rfind("--fault-token-dir=", 0) == 0) {
       wargs.fault_token_dir = val("--fault-token-dir=");
+    } else if (a.rfind("--events-out=", 0) == 0) {
+      sopt.events_out = val("--events-out=");
+    } else if (a.rfind("--job=", 0) == 0) {
+      if (!parse_u64_flag(val("--job="), watch_job_id)) return bad_value(a);
+      have_job_id = true;
+    } else if (a.rfind("--wait-ms=", 0) == 0) {
+      unsigned v = 0;
+      if (!parse_unsigned_flag(val("--wait-ms="), v)) return bad_value(a);
+      wopt.wait_ms = static_cast<int>(v);
+    } else if (a.rfind("--stall-reads-ms=", 0) == 0) {
+      unsigned v = 0;
+      if (!parse_unsigned_flag(val("--stall-reads-ms="), v)) return bad_value(a);
+      wopt.stall_reads_ms = static_cast<int>(v);
     } else if (a.rfind("--out=", 0) == 0) {
       out_path = val("--out=");
     } else if (a == "--quiet") {
@@ -427,7 +465,7 @@ int main(int argc, char** argv) {
       feed_parts.push_back(argv[++i]);
       continue;
     }
-    if (!parse(i, argc, argv)) return usage();
+    if (!parse(i, argv)) return usage();
   }
   spec.feeds = join(feed_parts, ";");
   wargs.feed_spec = spec.feeds;
@@ -443,6 +481,41 @@ int main(int argc, char** argv) {
     if (command == "submit") {
       if (socket_path.empty() || spec.design_path.empty()) return usage();
       return serve::submit_job(socket_path, spec, out_path, quiet);
+    }
+    if (command == "watch") {
+      if (socket_path.empty() || !have_job_id || watch_job_id == 0) return usage();
+      wopt.out_path = out_path;
+      wopt.quiet = quiet;
+      return serve::watch_job(socket_path, watch_job_id, wopt);
+    }
+    if (command == "metrics") {
+      if (socket_path.empty()) return usage();
+      StatusOr<std::string> snap = serve::query_metrics(socket_path);
+      if (!snap.ok()) {
+        std::cerr << "hlsavd: " << snap.status().to_string() << "\n";
+        return 1;
+      }
+      std::cout << *snap << "\n";
+      return 0;
+    }
+    if (command == "trace-out") {
+      if (socket_path.empty() || !have_job_id) return usage();
+      StatusOr<std::string> trace = serve::fetch_trace(socket_path, watch_job_id);
+      if (!trace.ok()) {
+        std::cerr << "hlsavd: " << trace.status().to_string() << "\n";
+        return 1;
+      }
+      if (out_path.empty()) {
+        std::cout << *trace;
+      } else {
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out) {
+          std::cerr << "hlsavd: cannot open " << out_path << "\n";
+          return 1;
+        }
+        out << *trace;
+      }
+      return 0;
     }
     if (command == "status") {
       if (socket_path.empty()) return usage();
