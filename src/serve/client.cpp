@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <thread>
 
 #include "support/jsonl.h"
@@ -24,17 +25,27 @@ struct FdCloser {
 
 }  // namespace
 
-int submit_job(const std::string& socket_path, const CampaignSpec& spec,
-               const std::string& out_path, bool quiet) {
+namespace {
+
+/// One submit attempt. Sets `retryable` for the failure classes a
+/// keyed resubmit can safely repeat: connect refused (daemon down or
+/// restarting), a typed kUnavailable rejection (back-pressure,
+/// drain), and a connection lost mid-stream (daemon killed; the spool
+/// has the job).
+int submit_once(const std::string& socket_path, const CampaignSpec& spec,
+                const std::string& out_path, bool quiet, bool& retryable) {
+  retryable = false;
   StatusOr<int> fd = unix_connect(socket_path);
   if (!fd.ok()) {
     std::cerr << "hlsavd: " << fd.status().to_string() << "\n";
+    retryable = true;
     return 1;
   }
   FdCloser closer{*fd};
   Status sent = send_line(*fd, encode_submit(spec));
   if (!sent.ok()) {
     std::cerr << "hlsavd: " << sent.to_string() << "\n";
+    retryable = true;
     return 1;
   }
   LineReader reader(*fd);
@@ -44,6 +55,7 @@ int submit_job(const std::string& socket_path, const CampaignSpec& spec,
     StatusOr<std::string> line = reader.read_line();
     if (!line.ok()) {
       std::cerr << "hlsavd: connection lost: " << line.status().to_string() << "\n";
+      retryable = true;
       return 1;
     }
     std::string type;
@@ -54,6 +66,7 @@ int submit_job(const std::string& socket_path, const CampaignSpec& spec,
       (void)jsonl::parse_string(*line, "code", code);
       (void)jsonl::parse_string(*line, "message", message);
       std::cerr << "hlsavd: rejected (" << code << "): " << message << "\n";
+      retryable = code == "unavailable";
       return 7;
     }
     if (type == "progress") {
@@ -100,6 +113,11 @@ int submit_job(const std::string& socket_path, const CampaignSpec& spec,
         std::cerr << "hlsavd: job failed: " << message << "\n";
         return 1;
       }
+      if (status == "deadline-expired") {
+        std::cerr << "hlsavd: job deadline expired before it ran"
+                  << (message.empty() ? "" : ": " + message) << "\n";
+        return 8;
+      }
       if (have_report) {
         if (out_path.empty()) {
           std::cout << report;
@@ -122,6 +140,53 @@ int submit_job(const std::string& socket_path, const CampaignSpec& spec,
   }
 }
 
+/// A process-unique idempotency key for auto-keyed retries.
+std::string generate_key() {
+  std::random_device rd;
+  std::uint64_t a = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "k%016llx%08lx%llx", static_cast<unsigned long long>(a),
+                static_cast<unsigned long>(::getpid()), static_cast<unsigned long long>(now));
+  return buf;
+}
+
+}  // namespace
+
+int submit_job(const std::string& socket_path, CampaignSpec spec, const SubmitOptions& opt) {
+  // Retrying without a key could double-run the job; assign one so
+  // every attempt names the same spooled job.
+  if (opt.retries > 0 && spec.key.empty()) spec.key = generate_key();
+  std::mt19937_64 rng(std::random_device{}() ^ static_cast<std::uint64_t>(::getpid()));
+  for (int attempt = 0;; ++attempt) {
+    bool retryable = false;
+    int rc = submit_once(socket_path, spec, opt.out_path, opt.quiet, retryable);
+    if (!retryable || attempt >= opt.retries) return rc;
+    std::uint64_t base = opt.retry_base_ms == 0 ? 1 : opt.retry_base_ms;
+    std::uint64_t delay = attempt < 63 ? base << attempt : opt.retry_cap_ms;
+    if (delay > opt.retry_cap_ms || delay < base) delay = opt.retry_cap_ms;
+    // Jitter into the upper half of the window: simultaneous retriers
+    // spread instead of stampeding the restarted daemon together.
+    std::uint64_t jittered = delay / 2 + rng() % (delay / 2 + 1);
+    if (!opt.quiet) {
+      std::cerr << "hlsavd: retrying in " << jittered << "ms (attempt " << (attempt + 2) << "/"
+                << (opt.retries + 1) << ", key " << spec.key << ")\n";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+  }
+}
+
+int submit_job(const std::string& socket_path, const CampaignSpec& spec,
+               const std::string& out_path, bool quiet) {
+  SubmitOptions opt;
+  opt.out_path = out_path;
+  opt.quiet = quiet;
+  return submit_job(socket_path, spec, opt);
+}
+
 StatusOr<std::string> query_status(const std::string& socket_path) {
   StatusOr<int> fd = unix_connect(socket_path);
   HLSAV_RETURN_IF_ERROR(fd.status());
@@ -138,6 +203,18 @@ StatusOr<std::string> query_status(const std::string& socket_path) {
   std::string out = "queued=" + std::to_string(queued) + " running=" + std::to_string(running) +
                     " completed=" + std::to_string(completed) +
                     " rejected=" + std::to_string(rejected);
+  // Which daemon is this, how long has it been up, and did it recover
+  // spooled jobs at boot? The restart story in one line.
+  std::string incarnation;
+  if (jsonl::parse_string(*line, "incarnation", incarnation) && !incarnation.empty()) {
+    double uptime_ms = 0.0;
+    std::uint64_t recovered = 0;
+    (void)jsonl::parse_double(*line, "uptime_ms", uptime_ms);
+    (void)jsonl::parse_u64(*line, "recovered", recovered);
+    out += "\n  incarnation " + incarnation + ": up " +
+           std::to_string(static_cast<std::uint64_t>(uptime_ms)) + "ms, recovered " +
+           std::to_string(recovered) + " job(s) at boot";
+  }
   // Compact "P:D;P:D" / "W:R/Q;W:R/Q" wire fields -> one line each.
   std::string depths, workers;
   (void)jsonl::parse_string(*line, "depths", depths);
@@ -276,6 +353,11 @@ int watch_once(const std::string& socket_path, std::uint64_t job, const WatchOpt
       if (status == "error") {
         std::cerr << "hlsavd: job failed: " << message << "\n";
         return 1;
+      }
+      if (status == "deadline-expired") {
+        std::cerr << "hlsavd: job deadline expired before it ran"
+                  << (message.empty() ? "" : ": " + message) << "\n";
+        return 8;
       }
       if (have_report) {
         if (opt.out_path.empty()) {

@@ -9,12 +9,35 @@
 
 namespace hlsav::serve {
 
+struct SubmitOptions {
+  /// Where the final report bytes go; empty = stdout.
+  std::string out_path;
+  /// Suppress progress narration on stderr.
+  bool quiet = false;
+  /// Extra attempts after the first on retryable failures (connect
+  /// refused, typed kUnavailable rejection, connection lost
+  /// mid-stream). 0 = single shot. Retrying auto-assigns an
+  /// idempotency key when the spec has none, so a blind resubmit can
+  /// never double-run the job.
+  int retries = 0;
+  /// Capped exponential backoff between attempts: the delay before
+  /// attempt k is min(retry_base_ms << (k-1), retry_cap_ms), jittered
+  /// to the upper half of the window so simultaneous retriers spread.
+  std::uint64_t retry_base_ms = 200;
+  std::uint64_t retry_cap_ms = 5000;
+};
+
 /// Submits `spec` and streams the job to completion: progress lines go
-/// to stderr (unless `quiet`), the final report's bytes to `out_path`
+/// to stderr (unless quiet), the final report's bytes to out_path
 /// (empty = stdout). Returns the process exit code:
 ///   0 = done ok;  1 = job or transport error;  6 = drained (daemon
 ///   shut down mid-job; journals are resumable);  7 = rejected by
-///   back-pressure or validation (typed, resubmit later).
+///   back-pressure or validation (typed, resubmit later);  8 = the
+///   job's --deadline-ms passed while it was still queued.
+[[nodiscard]] int submit_job(const std::string& socket_path, CampaignSpec spec,
+                             const SubmitOptions& opt);
+
+/// Single-shot convenience overload (the historic signature).
 [[nodiscard]] int submit_job(const std::string& socket_path, const CampaignSpec& spec,
                              const std::string& out_path, bool quiet);
 

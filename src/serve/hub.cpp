@@ -13,6 +13,17 @@ void ProgressHub::open_job(const JobView& view) {
   ch.view = view;
 }
 
+void ProgressHub::reset_job(const JobView& view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Channel& ch = channels_[view.id];
+  ch.view = view;
+  ch.closed = false;
+  ch.retained.clear();
+  for (auto& sub : ch.subs) sub->detached = true;
+  ch.subs.clear();
+  cv_.notify_all();
+}
+
 void ProgressHub::update_job(std::uint64_t job,
                              const std::function<void(JobView&)>& mutate) {
   std::lock_guard<std::mutex> lock(mu_);

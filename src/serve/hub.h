@@ -74,6 +74,10 @@ class ProgressHub {
 
   /// Registers a job the moment it is accepted (state "queued").
   void open_job(const JobView& view);
+  /// Re-arms a finished job's channel for another run (idempotent
+  /// resubmit of a terminally-failed job): fresh view, closed flag and
+  /// retained terminal frames cleared, stale subscribers detached.
+  void reset_job(const JobView& view);
   /// Read-modify-write of a job's snapshot view under the hub lock;
   /// no-op for unknown jobs.
   void update_job(std::uint64_t job, const std::function<void(JobView&)>& mutate);

@@ -26,6 +26,9 @@ std::string encode_submit(const CampaignSpec& spec) {
   out += ",\"crash_limit\":" + std::to_string(spec.crash_limit);
   out += ",\"stall_at\":";
   jsonl::append_u32_list(out, spec.stall_at);
+  out += ",\"key\":";
+  jsonl::append_escaped(out, spec.key);
+  out += ",\"deadline_ms\":" + std::to_string(spec.deadline_ms);
   out += '}';
   return out;
 }
@@ -54,6 +57,8 @@ StatusOr<CampaignSpec> decode_submit(const std::string& line) {
     spec.crash_limit = static_cast<std::uint32_t>(v);
   }
   (void)jsonl::parse_u32_list(line, "stall_at", spec.stall_at);
+  (void)jsonl::parse_string(line, "key", spec.key);
+  (void)jsonl::parse_u64(line, "deadline_ms", spec.deadline_ms);
   return spec;
 }
 
@@ -82,8 +87,11 @@ StatusOr<std::map<std::string, std::vector<std::uint64_t>>> parse_feed_spec(
   return feeds;
 }
 
-std::string encode_accepted(std::uint64_t job) {
-  return "{\"type\":\"accepted\",\"job\":" + std::to_string(job) + "}";
+std::string encode_accepted(std::uint64_t job, bool duplicate) {
+  std::string out = "{\"type\":\"accepted\",\"job\":" + std::to_string(job);
+  if (duplicate) out += ",\"duplicate\":true";
+  out += '}';
+  return out;
 }
 
 std::string encode_rejected(const Status& status) {

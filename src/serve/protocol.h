@@ -62,6 +62,15 @@ struct CampaignSpec {
   /// Test-only: sites whose worker stalls forever (heartbeat watchdog
   /// fodder), once per site.
   std::vector<std::uint32_t> stall_at;
+  /// Idempotency key. Empty = daemon assigns one. Two submits with the
+  /// same key are the same job: the daemon spools it once and replays
+  /// the original job id (and result) to any resubmit, so a client may
+  /// blindly retry across daemon restarts.
+  std::string key;
+  /// Per-job TTL in milliseconds (0 = none). A job still *queued* when
+  /// its deadline passes ends in the terminal "deadline-expired" state
+  /// -- reported, never silently dropped.
+  std::uint64_t deadline_ms = 0;
 };
 
 /// Serializes `spec` as the submit request line (no trailing newline).
@@ -78,7 +87,9 @@ struct CampaignSpec {
 
 // --------------------------------------------------- daemon -> client --
 
-[[nodiscard]] std::string encode_accepted(std::uint64_t job);
+/// `duplicate` marks a resubmit that attached to an already-spooled job
+/// instead of creating a new one (idempotency-key hit).
+[[nodiscard]] std::string encode_accepted(std::uint64_t job, bool duplicate = false);
 [[nodiscard]] std::string encode_rejected(const Status& status);
 [[nodiscard]] std::string encode_progress(std::uint64_t job, std::uint64_t done,
                                           std::uint64_t total);

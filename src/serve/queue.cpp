@@ -4,10 +4,10 @@
 
 namespace hlsav::serve {
 
-Status JobQueue::push(Job job) {
+Status JobQueue::push(Job job, bool force) {
   std::lock_guard<std::mutex> lock(mu_);
   if (closed_) return Status::unavailable("shutting down");
-  if (jobs_.size() >= capacity_) {
+  if (!force && jobs_.size() >= capacity_) {
     return Status::unavailable("queue full (cap " + std::to_string(capacity_) + ")");
   }
   job.seq = next_seq_++;

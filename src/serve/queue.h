@@ -26,10 +26,15 @@ namespace hlsav::serve {
 struct Job {
   std::uint64_t id = 0;
   CampaignSpec spec;
-  /// Connected client socket; the executor owns (and closes) it.
+  /// Connected client socket; the executor owns (and closes) it. -1
+  /// for a job re-adopted at boot: it runs with no one watching (the
+  /// spool and retained hub frames serve any later resubmit).
   int client_fd = -1;
   /// Queue-assigned arrival number; ties within a priority stay FIFO.
   std::uint64_t seq = 0;
+  /// Absolute wall-clock deadline (unix ms); 0 = none. Checked when
+  /// the job is dequeued: expired jobs end as "deadline-expired".
+  std::uint64_t deadline_unix_ms = 0;
 };
 
 /// Thread-safe bounded priority queue. push() never blocks -- a full or
@@ -40,8 +45,10 @@ class JobQueue {
 
   /// kUnavailable when full ("queue full (cap N)") or closed ("shutting
   /// down") -- the service forwards the message verbatim as the typed
-  /// rejection.
-  [[nodiscard]] Status push(Job job);
+  /// rejection. With `force`, the capacity check is skipped (never the
+  /// closed check): boot-time recovery re-adopts every spooled job --
+  /// they were already accepted once, so the cap cannot bounce them.
+  [[nodiscard]] Status push(Job job, bool force = false);
 
   /// Blocks until a job is available; highest priority first, FIFO
   /// within a priority. nullopt once the queue is closed (close()

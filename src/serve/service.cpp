@@ -1,11 +1,16 @@
 #include "serve/service.h"
 
+#include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <fstream>
+#include <iterator>
 
 #include "serve/shard.h"
+#include "support/io.h"
 #include "support/jsonl.h"
 #include "support/socket.h"
 
@@ -23,6 +28,18 @@ std::string basename_of(const std::string& path) {
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
+std::uint64_t unix_ms() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<Service>> Service::start(ServiceOptions opt) {
@@ -33,6 +50,19 @@ StatusOr<std::unique_ptr<Service>> Service::start(ServiceOptions opt) {
   StatusOr<int> listen_fd = unix_listen(opt.socket_path);
   HLSAV_RETURN_IF_ERROR(listen_fd.status());
   auto service = std::unique_ptr<Service>(new Service(std::move(opt), *listen_fd));
+  service->started_unix_ms_ = unix_ms();
+  service->incarnation_ = std::to_string(service->started_unix_ms_) + "-" +
+                          std::to_string(static_cast<long>(::getpid()));
+  if (!service->opt_.spool_dir.empty()) {
+    StatusOr<JobSpool> spool = JobSpool::open(service->opt_.spool_dir);
+    if (!spool.ok()) {
+      ::close(service->listen_fd_);
+      service->listen_fd_ = -1;
+      ::unlink(service->opt_.socket_path.c_str());
+      return spool.status();
+    }
+    service->spool_.emplace(std::move(*spool));
+  }
   if (!service->opt_.events_out.empty()) {
     Status opened = service->events_.open(service->opt_.events_out);
     if (!opened.ok()) {
@@ -62,6 +92,10 @@ void Service::init_metrics() {
   counters_.watch_subscribers = registry_.counter("watch_subscribers");
   counters_.watch_frames_sent = registry_.counter("watch_frames_sent");
   counters_.watch_frames_coalesced = registry_.counter("watch_frames_coalesced");
+  counters_.jobs_recovered = registry_.counter("jobs_recovered");
+  counters_.jobs_duplicate = registry_.counter("jobs_duplicate");
+  counters_.jobs_deadline_expired = registry_.counter("jobs_deadline_expired");
+  counters_.spool_quarantined = registry_.counter("spool_quarantined");
   counters_.job_wall_ms = registry_.histogram("job_wall_ms");
 }
 
@@ -98,7 +132,13 @@ std::string Service::status_reply() {
                       std::to_string(completed_.load(std::memory_order_relaxed)) +
                       ",\"rejected\":" +
                       std::to_string(rejected_.load(std::memory_order_relaxed)) +
-                      ",\"depths\":";
+                      ",\"incarnation\":";
+  jsonl::append_escaped(reply, incarnation_);
+  reply += ",\"started_unix_ms\":" + std::to_string(started_unix_ms_);
+  reply += ",\"uptime_ms\":" +
+           jsonl::format_double(static_cast<double>(tracer_.now_us()) / 1000.0);
+  reply += ",\"recovered\":" + std::to_string(recovered_.load(std::memory_order_relaxed));
+  reply += ",\"depths\":";
   jsonl::append_escaped(reply, depths_field());
   reply += ",\"workers\":";
   jsonl::append_escaped(reply, workers_field());
@@ -132,7 +172,12 @@ std::string Service::metrics_snapshot() {
 }
 
 Status Service::serve() {
-  log_event("daemon-start", {EventLog::Field::str("socket", opt_.socket_path)});
+  log_event("daemon-start", {EventLog::Field::str("socket", opt_.socket_path),
+                             EventLog::Field::str("incarnation", incarnation_)});
+  // Re-adopt spooled jobs *before* the executors start: recovered work
+  // is already in the queue when the first pop happens, so boot order
+  // (recovered first, FIFO within priority) is deterministic.
+  HLSAV_RETURN_IF_ERROR(recover_jobs());
   executors_.reserve(opt_.executors);
   for (unsigned i = 0; i < opt_.executors; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
@@ -154,10 +199,16 @@ Status Service::serve() {
   // abort so no client is left hanging on a silent close.
   drain_.store(true, std::memory_order_relaxed);
   for (Job& job : queue_.close()) {
-    (void)send_line(job.client_fd, encode_rejected(Status::unavailable(
-                                       "service shutting down before the job started; "
-                                       "resubmit when it is back")));
-    ::close(job.client_fd);
+    // The spool remembers the abort: a restarted daemon will not
+    // re-run the job unprompted, but a resubmit with the same key
+    // requeues it (resuming any journaled progress).
+    record_terminal(job, "aborted", "daemon shutdown before the job started");
+    if (job.client_fd >= 0) {
+      (void)send_line(job.client_fd, encode_rejected(Status::unavailable(
+                                         "service shutting down before the job started; "
+                                         "resubmit when it is back")));
+      ::close(job.client_fd);
+    }
     rejected_.fetch_add(1, std::memory_order_relaxed);
     queued_.fetch_sub(1, std::memory_order_relaxed);
     {
@@ -261,38 +312,303 @@ void Service::handle_connection(int fd) {
     ::close(fd);
     return;
   }
-  StatusOr<CampaignSpec> spec = decode_submit(*line);
-  if (!spec.ok()) {
-    (void)send_line(fd, encode_rejected(spec.status()));
+  handle_submit(fd, *line);
+}
+
+void Service::maybe_die_at(const std::string& phase) {
+  if (opt_.die_at.empty() || opt_.die_at != phase) return;
+  std::string token = opt_.work_dir + "/die_" + phase + ".token";
+  // The token is the memory of having died: present means this
+  // incarnation already paid the crash, so it sails through.
+  if (::access(token.c_str(), F_OK) == 0) return;
+  (void)write_file_atomic(token, "died\n");
+  (void)::raise(SIGKILL);
+}
+
+void Service::note_state(const std::string& key, const std::string& state) {
+  if (key.empty()) return;
+  std::lock_guard<std::mutex> lock(keys_mu_);
+  auto it = keys_.find(key);
+  if (it != keys_.end()) it->second.state = state;
+}
+
+void Service::record_terminal(const Job& job, const std::string& state,
+                              const std::string& detail) {
+  if (spool_.has_value() && !job.spec.key.empty()) {
+    (void)spool_->record_state(job.id, state, detail);
+  }
+  note_state(job.spec.key, state);
+}
+
+void Service::replay_done(int fd, std::uint64_t job_id, const std::string& final_state) {
+  (void)send_line(fd, encode_accepted(job_id, /*duplicate=*/true));
+  std::string report =
+      slurp_file(opt_.work_dir + "/job_" + std::to_string(job_id) + "/report.txt");
+  if (!report.empty()) {
+    if (send_line(fd, encode_report_header(job_id, report.size())).ok()) {
+      (void)send_bytes(fd, report);
+    }
+  }
+  (void)send_line(fd, encode_done(job_id, final_state == "done" ? "ok" : final_state));
+  ::close(fd);
+}
+
+Status Service::recover_jobs() {
+  if (!spool_.has_value()) return Status::ok_status();
+  StatusOr<SpoolScan> scan = spool_->scan();
+  HLSAV_RETURN_IF_ERROR(scan.status());
+  tracer_.name_job(0, "daemon");
+  tracer_.begin_span(0, ServiceTracer::kLifecycleTid, "recovery");
+  std::uint64_t max_id = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t expired = 0;
+  for (const SpoolEntry& e : scan->entries) {
+    max_id = std::max(max_id, e.job);
+    {
+      std::lock_guard<std::mutex> lock(keys_mu_);
+      auto [it, inserted] = keys_.emplace(e.key, KeyInfo{e.job, e.submit_line, e.state});
+      (void)it;
+      if (!inserted) {
+        // The same key in two entries (an interrupted incarnation's
+        // near-miss): the earliest job owns the key, the other entry
+        // stays on disk but is never re-adopted.
+        log_event("spool-duplicate-key", {EventLog::Field::num("job", e.job),
+                                          EventLog::Field::str("key", e.key)});
+        continue;
+      }
+    }
+    if (e.terminal()) continue;
+    StatusOr<CampaignSpec> spec = decode_submit(e.submit_line);
+    if (!spec.ok()) {
+      (void)spool_->record_state(e.job, "error",
+                                 "unreadable spooled spec: " + spec.status().message());
+      note_state(e.key, "error");
+      continue;
+    }
+    if (e.deadline_ms > 0 && unix_ms() > e.submitted_unix_ms + e.deadline_ms) {
+      // Expired while the daemon was down: typed terminal state, never
+      // a silent drop -- a resubmit with the key learns what happened.
+      (void)spool_->record_state(e.job, "deadline-expired",
+                                 "deadline passed while the daemon was down");
+      note_state(e.key, "deadline-expired");
+      {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        counters_.jobs_deadline_expired->add();
+      }
+      log_event("job-deadline-expired", {EventLog::Field::num("job", e.job)});
+      ++expired;
+      continue;
+    }
+    Job job;
+    job.id = e.job;
+    job.spec = std::move(*spec);
+    job.client_fd = -1;
+    if (e.deadline_ms > 0) job.deadline_unix_ms = e.submitted_unix_ms + e.deadline_ms;
+    JobView view;
+    view.id = e.job;
+    view.priority = job.spec.priority;
+    view.design = job.spec.design_path;
+    view.state = "queued";
+    hub_.open_job(view);
+    tracer_.name_job(e.job, "job " + std::to_string(e.job) + " " +
+                                basename_of(job.spec.design_path));
+    tracer_.instant(e.job, ServiceTracer::kLifecycleTid, "re-adopt");
+    tracer_.begin_span(e.job, ServiceTracer::kLifecycleTid, "queued");
+    (void)spool_->record_state(e.job, "queued", "re-adopted at boot");
+    std::string key = e.key;
+    Status pushed = queue_.push(std::move(job), /*force=*/true);
+    if (!pushed.ok()) break;  // queue already closed: shutting down
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    recovered_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      counters_.jobs_recovered->add();
+    }
+    log_event("job-requeued",
+              {EventLog::Field::num("job", e.job), EventLog::Field::str("key", key)});
+    ++requeued;
+  }
+  if (max_id != 0) {
+    std::uint64_t expect = next_job_id_.load(std::memory_order_relaxed);
+    while (expect <= max_id &&
+           !next_job_id_.compare_exchange_weak(expect, max_id + 1, std::memory_order_relaxed)) {
+    }
+  }
+  if (scan->quarantined > 0) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    counters_.spool_quarantined->add(scan->quarantined);
+  }
+  tracer_.end_span(0, ServiceTracer::kLifecycleTid, "recovery");
+  log_event("daemon-recovered",
+            {EventLog::Field::str("incarnation", incarnation_),
+             EventLog::Field::num("requeued", requeued),
+             EventLog::Field::num("expired", expired),
+             EventLog::Field::num("quarantined", scan->quarantined),
+             EventLog::Field::num("torn_tails", scan->torn_tails)});
+  return Status::ok_status();
+}
+
+void Service::handle_submit(int fd, const std::string& line) {
+  auto reject = [&](const Status& st, std::uint64_t job_id) {
+    (void)send_line(fd, encode_rejected(st));
     ::close(fd);
     rejected_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(metrics_mu_);
       counters_.jobs_rejected->add();
     }
-    log_event("job-rejected", {EventLog::Field::str("reason", spec.status().message())});
+    std::vector<EventLog::Field> fields;
+    if (job_id != 0) fields.push_back(EventLog::Field::num("job", job_id));
+    fields.push_back(EventLog::Field::str("reason", st.message()));
+    log_event("job-rejected", fields);
+  };
+
+  StatusOr<CampaignSpec> spec = decode_submit(line);
+  if (!spec.ok()) {
+    reject(spec.status(), 0);
     return;
   }
+  maybe_die_at("accept");
+
+  // Idempotency: with the spool on, every job has a key (the daemon
+  // assigns one when the client does not). Without the spool, keyless
+  // submits skip the whole key path -- the historic behavior.
+  if (spec->key.empty() && spool_.has_value()) {
+    spec->key = "d" + incarnation_ + "-" +
+                std::to_string(next_job_id_.load(std::memory_order_relaxed)) + "-" +
+                std::to_string(tracer_.now_us());
+  }
+  const std::string canonical = encode_submit(*spec);
+
+  if (!spec->key.empty()) {
+    std::unique_lock<std::mutex> lock(keys_mu_);
+    auto it = keys_.find(spec->key);
+    if (it != keys_.end()) {
+      KeyInfo info = it->second;
+      lock.unlock();
+      if (info.submit_line != canonical) {
+        reject(Status::invalid_argument("idempotency key '" + spec->key +
+                                        "' was already used with a different spec"),
+               info.job);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        counters_.jobs_duplicate->add();
+      }
+      log_event("job-duplicate", {EventLog::Field::num("job", info.job),
+                                  EventLog::Field::str("key", spec->key),
+                                  EventLog::Field::str("state", info.state)});
+      if (info.state == "done") {
+        // Completed (possibly in a previous incarnation): replay the
+        // persisted report -- byte-identical, never a re-run.
+        std::lock_guard<std::mutex> wlock(watchers_mu_);
+        std::uint64_t job_id = info.job;
+        watchers_.emplace_back([this, fd, job_id] { replay_done(fd, job_id, "done"); });
+        return;
+      }
+      if (!JobSpool::state_terminal(info.state)) {
+        // Still queued or running: attach this client to the live
+        // stream. The submit client ignores watch-only frame types, so
+        // the terminal frames it cares about arrive byte-identical.
+        (void)send_line(fd, encode_accepted(info.job, /*duplicate=*/true));
+        std::lock_guard<std::mutex> wlock(watchers_mu_);
+        std::uint64_t job_id = info.job;
+        watchers_.emplace_back([this, fd, job_id] { watch_connection(fd, job_id); });
+        return;
+      }
+      // Terminal failure (error/aborted/drained/deadline-expired):
+      // requeue the *same* job id -- its job_dir and journal shards
+      // resume byte-identically behind the fingerprint gate.
+      Job job;
+      job.id = info.job;
+      job.spec = *spec;
+      job.client_fd = fd;
+      if (spec->deadline_ms > 0) job.deadline_unix_ms = unix_ms() + spec->deadline_ms;
+      JobView view;
+      view.id = job.id;
+      view.priority = job.spec.priority;
+      view.design = job.spec.design_path;
+      view.state = "queued";
+      hub_.reset_job(view);
+      if (spool_.has_value()) (void)spool_->record_state(job.id, "queued", "resubmitted");
+      note_state(spec->key, "queued");
+      std::uint64_t id = job.id;
+      Status pushed = queue_.push(std::move(job));
+      if (!pushed.ok()) {
+        if (spool_.has_value()) (void)spool_->record_state(id, info.state, "requeue bounced");
+        note_state(spec->key, info.state);
+        reject(pushed, id);
+        return;
+      }
+      queued_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> mlock(metrics_mu_);
+        counters_.jobs_submitted->add();
+      }
+      tracer_.instant(id, ServiceTracer::kLifecycleTid, "resubmit");
+      tracer_.begin_span(id, ServiceTracer::kLifecycleTid, "queued");
+      log_event("job-requeued", {EventLog::Field::num("job", id),
+                                 EventLog::Field::str("key", spec->key)});
+      (void)send_line(fd, encode_accepted(id, /*duplicate=*/true));
+      return;
+    }
+    lock.unlock();
+  }
+
   Job job;
   job.id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   job.spec = std::move(*spec);
   job.client_fd = fd;
+  std::uint64_t now_ms = unix_ms();
+  if (job.spec.deadline_ms > 0) job.deadline_unix_ms = now_ms + job.spec.deadline_ms;
   std::uint64_t id = job.id;
   int priority = job.spec.priority;
   std::string design = job.spec.design_path;
+  std::string key = job.spec.key;
+
+  if (spool_.has_value()) {
+    // Write-ahead rule: the job is on disk (entry fsync'd, directory
+    // fsync'd) before the accept promise goes out or an executor can
+    // see it.
+    SpoolEntry entry;
+    entry.job = id;
+    entry.key = key;
+    entry.submit_line = canonical;
+    entry.priority = priority;
+    entry.deadline_ms = job.spec.deadline_ms;
+    entry.submitted_unix_ms = now_ms;
+    Status spooled = spool_->record_accepted(entry);
+    if (!spooled.ok()) {
+      reject(spooled, id);
+      return;
+    }
+  }
+  if (!key.empty()) {
+    std::lock_guard<std::mutex> lock(keys_mu_);
+    keys_[key] = KeyInfo{id, canonical, "queued"};
+  }
+  maybe_die_at("spooled");
+
+  // The hub channel opens before the queue push: an executor that pops
+  // instantly must find the channel (frames to a non-existent channel
+  // are dropped).
+  JobView view;
+  view.id = id;
+  view.priority = priority;
+  view.design = design;
+  view.state = "queued";
+  hub_.open_job(view);
   Status pushed = queue_.push(std::move(job));
   if (!pushed.ok()) {
     // Typed back-pressure: the client learns *why* (queue full vs
     // shutting down) and can retry later; nothing is silently dropped.
-    (void)send_line(fd, encode_rejected(pushed));
-    ::close(fd);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(metrics_mu_);
-      counters_.jobs_rejected->add();
+    if (spool_.has_value() && !key.empty()) {
+      (void)spool_->record_state(id, "aborted", pushed.message());
     }
-    log_event("job-rejected", {EventLog::Field::num("job", id),
-                               EventLog::Field::str("reason", pushed.message())});
+    note_state(key, "aborted");
+    hub_.close_job(id);
+    reject(pushed, id);
     return;
   }
   queued_.fetch_add(1, std::memory_order_relaxed);
@@ -300,12 +616,6 @@ void Service::handle_connection(int fd) {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     counters_.jobs_submitted->add();
   }
-  JobView view;
-  view.id = id;
-  view.priority = priority;
-  view.design = design;
-  view.state = "queued";
-  hub_.open_job(view);
   tracer_.name_job(id, "job " + std::to_string(id) + " " + basename_of(design));
   tracer_.instant(id, ServiceTracer::kLifecycleTid, "submit");
   tracer_.begin_span(id, ServiceTracer::kLifecycleTid, "queued");
@@ -376,9 +686,33 @@ void Service::run_job(Job job) {
                EventLog::Field::str("status", final_state),
                EventLog::Field::num("done", v.has_value() ? v->done : 0),
                EventLog::Field::num("total", v.has_value() ? v->total : 0)});
-    (void)send_line(job.client_fd, done_line);
-    ::close(job.client_fd);
+    // Terminal spool record *before* the done line: once a client has
+    // read "done", a restarted daemon must agree the job is over.
+    record_terminal(job, final_state, final_state == "done" ? "" : done_line);
+    if (job.client_fd >= 0) {
+      (void)send_line(job.client_fd, done_line);
+      ::close(job.client_fd);
+    }
   };
+
+  // A deadline that passed while the job sat in the queue is a typed
+  // terminal outcome, never a silent drop: the client (and the spool)
+  // see "deadline-expired".
+  if (job.deadline_unix_ms > 0 && unix_ms() > job.deadline_unix_ms) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      counters_.jobs_deadline_expired->add();
+    }
+    finish(encode_done(job.id, "deadline-expired",
+                       "deadline of " + std::to_string(job.spec.deadline_ms) +
+                           "ms passed while the job was queued"),
+           "deadline-expired");
+    return;
+  }
+  if (spool_.has_value() && !job.spec.key.empty()) {
+    (void)spool_->record_state(job.id, "running");
+  }
+  note_state(job.spec.key, "running");
 
   std::string job_dir = opt_.work_dir + "/job_" + std::to_string(job.id);
   Status dir_ok = ensure_dir(job_dir);
@@ -397,8 +731,9 @@ void Service::run_job(Job job) {
   sup.heartbeat_timeout_ms = opt_.heartbeat_timeout_ms;
   sup.drain = &drain_;
   // A client that vanished mid-job must not kill the job (its journals
-  // are still valuable); sends just stop.
-  bool client_gone = false;
+  // are still valuable); sends just stop. A job re-adopted at boot has
+  // no client at all (fd -1).
+  bool client_gone = job.client_fd < 0;
   auto send = [&](const std::string& line) {
     if (client_gone) return;
     if (!send_line(job.client_fd, line).ok()) client_gone = true;
@@ -469,6 +804,10 @@ void Service::run_job(Job job) {
         break;
       }
       case SupervisorEvent::Kind::kSiteStarted:
+        // Crash injection: the first site heartbeat proves worker
+        // shards exist on disk -- the daemon dying *here* leaves
+        // half-swept journals for the restart to resume.
+        maybe_die_at("shard-spawned");
         // Watch-only frames: the submit stream stays byte-compatible
         // with the pre-observability protocol.
         fanout(WatchFrame::Cls::kSite, encode_site_started(job.id, e.site, e.worker));
@@ -483,6 +822,7 @@ void Service::run_job(Job job) {
         }
         break;
       case SupervisorEvent::Kind::kPhaseBegin:
+        if (e.detail == "merge") maybe_die_at("pre-merge");
         tracer_.begin_span(job.id, ServiceTracer::kLifecycleTid, e.detail);
         if (e.detail == "merge") {
           hub_.update_job(job.id, [](JobView& v) { v.state = "merging"; });
@@ -504,6 +844,18 @@ void Service::run_job(Job job) {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     counters_.journal_bytes->add(result->journal_bytes);
   }
+  // Persist the report before the terminal spool record can say "done":
+  // a duplicate resubmit of a finished job replays these exact bytes,
+  // and "done" in the spool must imply the report is on disk.
+  if (spool_.has_value() && !job.spec.key.empty() && !result->rendered.empty() &&
+      !result->drained) {
+    Status saved = write_file_atomic(job_dir + "/report.txt", result->rendered);
+    if (!saved.ok()) {
+      finish(encode_done(job.id, "error", saved.to_string()), "error");
+      return;
+    }
+  }
+  maybe_die_at("pre-done");
   if (!result->rendered.empty()) {
     std::string header = encode_report_header(job.id, result->rendered.size());
     send(header);
@@ -541,6 +893,13 @@ void Service::watch_connection(int fd, std::uint64_t job_id) {
       if ((*sub)->finished()) break;
       continue;  // timeout: poll the stop flag again
     }
+    // Count the frame before writing it so a client that acts on a
+    // received frame (e.g. queries metrics right after the done frame)
+    // observes a counter that already includes it.
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      counters_.watch_frames_sent->add();
+    }
     Status st = send_line_interruptible(fd, frame->line, stopping_);
     if (st.ok() && !frame->payload.empty()) {
       st = send_bytes_interruptible(fd, frame->payload, stopping_);
@@ -553,7 +912,6 @@ void Service::watch_connection(int fd, std::uint64_t job_id) {
   ::close(fd);
   {
     std::lock_guard<std::mutex> lock(metrics_mu_);
-    counters_.watch_frames_sent->add(sent);
     counters_.watch_frames_coalesced->add(coalesced);
   }
   log_event("watch-closed", {EventLog::Field::num("job", job_id),

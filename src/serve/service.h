@@ -27,8 +27,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +39,7 @@
 #include "serve/events.h"
 #include "serve/hub.h"
 #include "serve/queue.h"
+#include "serve/spool.h"
 #include "serve/tracer.h"
 #include "support/status.h"
 
@@ -61,6 +64,14 @@ struct ServiceOptions {
   std::string work_dir = ".";
   /// Append-only JSONL structured event log; empty = no log.
   std::string events_out;
+  /// Write-ahead job spool directory; empty = spool disabled (jobs are
+  /// in-memory only, exactly the pre-spool behavior).
+  std::string spool_dir;
+  /// Crash-injection hook (test-only): SIGKILL the daemon the first
+  /// time it reaches this phase (accept | spooled | shard-spawned |
+  /// pre-merge | pre-done). A durable token in work_dir suppresses the
+  /// second pass, so a restarted daemon sails through.
+  std::string die_at;
 };
 
 class Service {
@@ -87,9 +98,27 @@ class Service {
 
   void init_metrics();
   void handle_connection(int fd);
+  void handle_submit(int fd, const std::string& line);
   void executor_loop();
   void run_job(Job job);
   void watch_connection(int fd, std::uint64_t job_id);
+  /// Boot-time spool recovery: re-adopts every non-terminal spooled job
+  /// (force-pushed past the queue cap -- they were already accepted
+  /// once), registers every idempotency key, expires overdue queued
+  /// jobs, and emits the daemon-recovered event.
+  [[nodiscard]] Status recover_jobs();
+  /// Durable-token crash injection: first pass through the configured
+  /// phase writes a token and raises SIGKILL; the token makes the
+  /// restarted daemon immune.
+  void maybe_die_at(const std::string& phase);
+  /// Replays a previously completed job (accept/report/done) from its
+  /// persisted report to a duplicate submitter. Runs on its own thread.
+  void replay_done(int fd, std::uint64_t job_id, const std::string& final_state);
+  /// Updates the in-memory key table's view of a job's state.
+  void note_state(const std::string& key, const std::string& state);
+  /// Terminal spool/key bookkeeping shared by run_job and the drain
+  /// path.
+  void record_terminal(const Job& job, const std::string& state, const std::string& detail);
   /// One-line status reply JSON (aggregate counts + per-priority queue
   /// depths + per-worker respawn/quarantine tallies).
   [[nodiscard]] std::string status_reply();
@@ -105,6 +134,24 @@ class Service {
   ServiceOptions opt_;
   int listen_fd_ = -1;
   JobQueue queue_;
+  /// Write-ahead spool; nullopt when disabled.
+  std::optional<JobSpool> spool_;
+  /// "<boot unix ms>-<pid>": names this daemon process across restarts
+  /// sharing a socket path.
+  std::string incarnation_;
+  std::uint64_t started_unix_ms_ = 0;
+  std::atomic<std::uint64_t> recovered_{0};
+  /// Idempotency-key table (rebuilt from the spool at boot).
+  struct KeyInfo {
+    std::uint64_t job = 0;
+    /// Canonical submit line (encode_submit of the decoded spec):
+    /// byte-compared against duplicate submits.
+    std::string submit_line;
+    /// Mirrors the job's spool state.
+    std::string state;
+  };
+  std::mutex keys_mu_;
+  std::map<std::string, KeyInfo> keys_;
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> drain_{false};     // handed to running supervisors
   std::atomic<bool> stopping_{false};  // watcher threads: abort sends, exit
@@ -137,6 +184,10 @@ class Service {
     metrics::Counter* watch_subscribers = nullptr;
     metrics::Counter* watch_frames_sent = nullptr;
     metrics::Counter* watch_frames_coalesced = nullptr;
+    metrics::Counter* jobs_recovered = nullptr;
+    metrics::Counter* jobs_duplicate = nullptr;
+    metrics::Counter* jobs_deadline_expired = nullptr;
+    metrics::Counter* spool_quarantined = nullptr;
     metrics::Histogram* job_wall_ms = nullptr;
   } counters_;
   /// Per-worker-index respawn/quarantine tallies across all jobs

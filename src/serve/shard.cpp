@@ -221,7 +221,11 @@ StatusOr<SupervisedResult> run_sharded_campaign(const CampaignSpec& spec,
         argv.push_back("--stall-at-site=" + std::to_string(id));
       }
     }
-    StatusOr<Subprocess> proc = Subprocess::spawn(argv, /*capture_stdout=*/true);
+    // kill_on_parent_death: if the daemon itself dies (kill -9), its
+    // workers must not keep appending to journal shards that a
+    // restarted daemon is about to re-adopt.
+    StatusOr<Subprocess> proc =
+        Subprocess::spawn(argv, /*capture_stdout=*/true, /*kill_on_parent_death=*/true);
     HLSAV_RETURN_IF_ERROR(proc.status());
     w.proc.emplace(std::move(*proc));
     w.stdout_buf.clear();

@@ -179,6 +179,11 @@ StatusOr<std::unique_ptr<CampaignJournal>> CampaignJournal::create(std::string p
                                                                    const JournalHeader& header) {
   Status st = write_file_atomic(path, header.fingerprint() + "\n");
   HLSAV_RETURN_IF_ERROR(st);
+  // The rename made the header durable; the *directory entry* needs its
+  // own fsync or a power loss can forget the journal existed at all.
+  std::size_t slash = path.find_last_of('/');
+  st = fsync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
+  HLSAV_RETURN_IF_ERROR(st);
   int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
   if (fd < 0) return errno_status("cannot reopen journal", path);
   return std::unique_ptr<CampaignJournal>(new CampaignJournal(std::move(path), fd));

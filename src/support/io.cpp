@@ -50,4 +50,22 @@ Status write_file_atomic(const std::string& path, std::string_view content) {
   return Status::ok_status();
 }
 
+Status fsync_dir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::io_error("cannot open directory '" + dir + "': " + std::strerror(errno));
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int saved = errno;
+    ::close(fd);
+    return Status::io_error("fsync of directory '" + dir + "': " + std::strerror(saved));
+  }
+  ::close(fd);
+  return Status::ok_status();
+}
+
 }  // namespace hlsav

@@ -22,4 +22,9 @@ namespace hlsav {
 /// The temp file is removed on any failure.
 [[nodiscard]] Status write_file_atomic(const std::string& path, std::string_view content);
 
+/// fsyncs the directory itself so a just-renamed entry survives a
+/// power loss (rename makes the *data* durable, but the new directory
+/// entry needs its own fsync to be on disk).
+[[nodiscard]] Status fsync_dir(const std::string& dir);
+
 }  // namespace hlsav

@@ -177,12 +177,38 @@ StatusOr<std::string> LineReader::read_line(int timeout_ms) {
       buf_.erase(0, eol + 1);
       return line;
     }
-    HLSAV_RETURN_IF_ERROR(fill(timeout_ms));
+    Status st = fill(timeout_ms);
+    if (!st.ok()) {
+      // A half-written frame is a different failure from a clean close
+      // or an idle timeout: the peer (or the wire) died mid-sentence.
+      // Surface it typed so callers don't mistake a torn frame for an
+      // orderly end of stream.
+      if (!buf_.empty()) {
+        std::string detail =
+            " (" + std::to_string(buf_.size()) + " bytes of a partial line buffered)";
+        if (st.code() == StatusCode::kUnavailable) {
+          return Status::io_error("peer closed mid-line" + detail);
+        }
+        if (st.code() == StatusCode::kBudgetExceeded) {
+          return Status::error(StatusCode::kBudgetExceeded, st.message() + detail);
+        }
+      }
+      return st;
+    }
   }
 }
 
 StatusOr<std::string> LineReader::read_bytes(std::size_t n, int timeout_ms) {
-  while (buf_.size() < n) HLSAV_RETURN_IF_ERROR(fill(timeout_ms));
+  while (buf_.size() < n) {
+    Status st = fill(timeout_ms);
+    if (!st.ok()) {
+      if (!buf_.empty() && st.code() == StatusCode::kUnavailable) {
+        return Status::io_error("peer closed mid-payload (" + std::to_string(buf_.size()) +
+                                " of " + std::to_string(n) + " bytes received)");
+      }
+      return st;
+    }
+  }
   std::string out = buf_.substr(0, n);
   buf_.erase(0, n);
   return out;

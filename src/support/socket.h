@@ -55,11 +55,15 @@ class LineReader {
   explicit LineReader(int fd) : fd_(fd) {}
 
   /// Next newline-terminated line (newline stripped). kUnavailable on
-  /// clean EOF, kIoError on read errors, kBudgetExceeded on timeout
-  /// (`timeout_ms` <= 0 blocks indefinitely).
+  /// clean EOF (no partial line buffered), kIoError on read errors or
+  /// when the peer closes with a partial line buffered (a torn frame is
+  /// not an orderly close), kBudgetExceeded on timeout (`timeout_ms`
+  /// <= 0 blocks indefinitely; the message notes any buffered partial
+  /// line so a stalled peer is distinguishable from an idle one).
   [[nodiscard]] StatusOr<std::string> read_line(int timeout_ms = -1);
 
-  /// Exactly `n` raw bytes (the sized report payload).
+  /// Exactly `n` raw bytes (the sized report payload). kIoError when
+  /// the peer closes after delivering only part of the payload.
   [[nodiscard]] StatusOr<std::string> read_bytes(std::size_t n, int timeout_ms = -1);
 
  private:

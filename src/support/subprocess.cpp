@@ -6,6 +6,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -25,7 +29,8 @@ std::string ExitInfo::describe() const {
 }
 
 StatusOr<Subprocess> Subprocess::spawn(const std::vector<std::string>& argv,
-                                       bool capture_stdout) {
+                                       bool capture_stdout,
+                                       bool kill_on_parent_death) {
   if (argv.empty()) return Status::invalid_argument("cannot spawn an empty argv");
 
   int pipe_fds[2] = {-1, -1};
@@ -51,6 +56,16 @@ StatusOr<Subprocess> Subprocess::spawn(const std::vector<std::string>& argv,
   }
   if (pid == 0) {
     // Child. Only async-signal-safe calls until exec.
+#ifdef __linux__
+    if (kill_on_parent_death) {
+      (void)::prctl(PR_SET_PDEATHSIG, SIGKILL);
+      // The parent may already have died between fork and prctl; the
+      // death signal only covers deaths *after* the call, so check.
+      if (::getppid() == 1) ::_exit(127);
+    }
+#else
+    (void)kill_on_parent_death;
+#endif
     if (capture_stdout) {
       ::close(pipe_fds[0]);
       while (::dup2(pipe_fds[1], STDOUT_FILENO) < 0 && errno == EINTR) {

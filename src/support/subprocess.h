@@ -38,9 +38,14 @@ class Subprocess {
   /// fork/execvp of `argv` (argv[0] is the binary, PATH-resolved). With
   /// `capture_stdout` the child's stdout is a pipe readable via
   /// stdout_fd() (O_NONBLOCK so a supervisor poll loop never sticks);
-  /// stderr always passes through to the parent's.
+  /// stderr always passes through to the parent's. With
+  /// `kill_on_parent_death` (Linux) the kernel delivers SIGKILL to the
+  /// child when the spawning thread exits -- a daemon killed by -9
+  /// cannot leave orphan workers appending to journal shards a restarted
+  /// daemon is about to adopt.
   [[nodiscard]] static StatusOr<Subprocess> spawn(const std::vector<std::string>& argv,
-                                                  bool capture_stdout);
+                                                  bool capture_stdout,
+                                                  bool kill_on_parent_death = false);
 
   Subprocess(Subprocess&& other) noexcept;
   Subprocess& operator=(Subprocess&& other) noexcept;

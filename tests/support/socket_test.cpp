@@ -105,6 +105,89 @@ TEST(Socket, PeerCloseSurfacesAsUnavailable) {
   ::unlink(path.c_str());
 }
 
+TEST(Socket, MidLineCloseIsATornFrameNotACleanEnd) {
+  // The peer dies after writing half a line. A clean close with an
+  // empty buffer is kUnavailable (orderly end of stream); a close with
+  // a partial line buffered must surface as kIoError so callers never
+  // mistake a torn frame for the peer simply being done.
+  std::string path = temp_socket_path();
+  StatusOr<int> listen_fd = unix_listen(path);
+  ASSERT_TRUE(listen_fd.ok());
+  std::thread client([&] {
+    StatusOr<int> fd = unix_connect(path);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(send_bytes(*fd, "half a frame with no newline").ok());
+    ::close(*fd);
+  });
+  StatusOr<int> conn = unix_accept(*listen_fd, 5000);
+  ASSERT_TRUE(conn.ok());
+  client.join();
+  LineReader reader(*conn);
+  StatusOr<std::string> line = reader.read_line(5000);
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kIoError) << line.status().to_string();
+  EXPECT_NE(line.status().message().find("mid-line"), std::string::npos)
+      << line.status().to_string();
+  EXPECT_NE(line.status().message().find("28 bytes"), std::string::npos)
+      << line.status().to_string();
+  ::close(*conn);
+  ::close(*listen_fd);
+  ::unlink(path.c_str());
+}
+
+TEST(Socket, MidLineTimeoutStaysTypedAndNamesTheBufferedBytes) {
+  // A stalled peer with a partial line buffered: still kBudgetExceeded
+  // (the caller may poll a stop flag and try again -- the bytes are not
+  // lost), but the message says a partial line is pending.
+  std::string path = temp_socket_path();
+  StatusOr<int> listen_fd = unix_listen(path);
+  ASSERT_TRUE(listen_fd.ok());
+  StatusOr<int> client_fd = unix_connect(path);
+  ASSERT_TRUE(client_fd.ok());
+  StatusOr<int> conn = unix_accept(*listen_fd, 5000);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(send_bytes(*client_fd, "stalled").ok());
+  LineReader reader(*conn);
+  StatusOr<std::string> line = reader.read_line(/*timeout_ms=*/50);
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kBudgetExceeded) << line.status().to_string();
+  EXPECT_NE(line.status().message().find("partial line"), std::string::npos)
+      << line.status().to_string();
+  // The line completes on retry: nothing was dropped by the timeout.
+  ASSERT_TRUE(send_line(*client_fd, " but alive").ok());
+  StatusOr<std::string> whole = reader.read_line(5000);
+  ASSERT_TRUE(whole.ok()) << whole.status().to_string();
+  EXPECT_EQ(*whole, "stalled but alive");
+  ::close(*client_fd);
+  ::close(*conn);
+  ::close(*listen_fd);
+  ::unlink(path.c_str());
+}
+
+TEST(Socket, MidPayloadCloseNamesTheShortfall) {
+  std::string path = temp_socket_path();
+  StatusOr<int> listen_fd = unix_listen(path);
+  ASSERT_TRUE(listen_fd.ok());
+  std::thread client([&] {
+    StatusOr<int> fd = unix_connect(path);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(send_bytes(*fd, "12345").ok());
+    ::close(*fd);  // promised more, delivered 5
+  });
+  StatusOr<int> conn = unix_accept(*listen_fd, 5000);
+  ASSERT_TRUE(conn.ok());
+  client.join();
+  LineReader reader(*conn);
+  StatusOr<std::string> payload = reader.read_bytes(64, 5000);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kIoError) << payload.status().to_string();
+  EXPECT_NE(payload.status().message().find("5 of 64 bytes"), std::string::npos)
+      << payload.status().to_string();
+  ::close(*conn);
+  ::close(*listen_fd);
+  ::unlink(path.c_str());
+}
+
 TEST(Socket, ConnectToMissingSocketFails) {
   StatusOr<int> fd = unix_connect(temp_socket_path() + "_never_bound");
   EXPECT_FALSE(fd.ok());

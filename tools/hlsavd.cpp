@@ -28,6 +28,16 @@
 //   --work-dir=DIR           shard journals land in DIR/job_<id>/
 //   --events-out=FILE        append-only JSONL event log (monotonic seq,
 //                            ts_ms since daemon start)
+//   --spool-dir=DIR          write-ahead job spool (default
+//                            WORK_DIR/spool); a restarted daemon
+//                            re-adopts every unfinished spooled job
+//   --no-spool               disable the spool: jobs are in-memory
+//                            only, exactly the pre-spool behaviour
+//   --die-at=PHASE           test-only crash injection: SIGKILL the
+//                            daemon the first time it reaches PHASE
+//                            (accept | spooled | shard-spawned |
+//                            pre-merge | pre-done); a durable token in
+//                            WORK_DIR makes the restart immune
 //
 // watch options:
 //   --job=N                  the job to attach to
@@ -44,12 +54,25 @@
 //   --crash-at-site=N --crash-limit=K --stall-at-site=N
 //                            test-only worker fault schedule (documented
 //                            for the kill tests; compiled in always)
+//   --key=K                  idempotency key: resubmitting the same
+//                            key+spec never double-runs -- the daemon
+//                            returns the original job (replaying its
+//                            report if already done)
+//   --retry[=N]              retry a refused/aborted submit up to N
+//                            times (default 5) with capped exponential
+//                            backoff; auto-generates a key when none
+//                            was given so retries stay idempotent
+//   --retry-base-ms=T        first backoff delay (default 200ms)
+//   --deadline-ms=T          give up if the job is still queued T ms
+//                            after accept; the daemon marks it
+//                            deadline-expired (exit 8), never runs it
 //
 // Exit codes: 0 ok, 1 error, 2 bad usage,
 //             6 job drained (daemon shut down mid-job; shard journals
 //               are flushed and resumable),
 //             7 rejected (back-pressure or validation) -- typed, resubmit
-//               later.
+//               later,
+//             8 deadline-expired (--deadline-ms passed while queued).
 // Worker exit codes (internal contract with the supervisor): 0 shard
 // complete, 1 error, 21 drained on SIGTERM after flushing the journal.
 #include <fcntl.h>
@@ -124,10 +147,11 @@ bool parse_double_flag(const std::string& text, double& out) {
 void print_usage(std::ostream& os) {
   os << "usage: hlsavd serve    --socket=PATH [--queue-cap=N --jobs=N --workers=N\n"
         "                        --quarantine-cap=N --heartbeat-timeout-ms=N --work-dir=DIR\n"
-        "                        --events-out=FILE]\n"
+        "                        --events-out=FILE --spool-dir=DIR --no-spool --die-at=PHASE]\n"
         "       hlsavd submit   --socket=PATH --design=FILE [--feed stream=v1,v2,...\n"
         "                        --assertions=MODE --seed=N --max-faults=N --max-cycles=N\n"
         "                        --site-wall-ms=N --workers=N --priority=N --out=FILE --quiet\n"
+        "                        --key=K --retry[=N] --retry-base-ms=T --deadline-ms=T\n"
         "                        --crash-at-site=N --crash-limit=K --stall-at-site=N]\n"
         "       hlsavd watch    --socket=PATH --job=N [--wait-ms=T --stall-reads-ms=T\n"
         "                        --out=FILE --quiet]\n"
@@ -138,7 +162,8 @@ void print_usage(std::ostream& os) {
         "       hlsavd --version\n"
         "exit codes: 0 ok, 1 error, 2 bad usage, 6 job drained by daemon\n"
         "            shutdown (journals resumable), 7 rejected (typed\n"
-        "            back-pressure; resubmit later)\n";
+        "            back-pressure; resubmit later), 8 deadline-expired\n"
+        "            (--deadline-ms passed while the job was queued)\n";
 }
 
 int usage() {
@@ -342,6 +367,8 @@ int main(int argc, char** argv) {
   WorkerArgs wargs;
   std::string out_path;
   bool quiet = false;
+  bool no_spool = false;
+  serve::SubmitOptions subopt;
   std::vector<std::string> feed_parts;
   std::uint64_t watch_job_id = 0;
   bool have_job_id = false;
@@ -438,6 +465,27 @@ int main(int argc, char** argv) {
       wargs.fault_token_dir = val("--fault-token-dir=");
     } else if (a.rfind("--events-out=", 0) == 0) {
       sopt.events_out = val("--events-out=");
+    } else if (a.rfind("--spool-dir=", 0) == 0) {
+      sopt.spool_dir = val("--spool-dir=");
+    } else if (a == "--no-spool") {
+      no_spool = true;
+    } else if (a.rfind("--die-at=", 0) == 0) {
+      sopt.die_at = val("--die-at=");
+    } else if (a.rfind("--key=", 0) == 0) {
+      spec.key = val("--key=");
+    } else if (a.rfind("--deadline-ms=", 0) == 0) {
+      if (!parse_u64_flag(val("--deadline-ms="), spec.deadline_ms)) return bad_value(a);
+    } else if (a == "--retry") {
+      subopt.retries = 5;
+    } else if (a.rfind("--retry=", 0) == 0) {
+      std::uint64_t v = 0;
+      if (!parse_u64_flag(val("--retry="), v) || v > 1000) return bad_value(a);
+      subopt.retries = static_cast<int>(v);
+    } else if (a.rfind("--retry-base-ms=", 0) == 0) {
+      if (!parse_u64_flag(val("--retry-base-ms="), subopt.retry_base_ms) ||
+          subopt.retry_base_ms == 0) {
+        return bad_value(a);
+      }
     } else if (a.rfind("--job=", 0) == 0) {
       if (!parse_u64_flag(val("--job="), watch_job_id)) return bad_value(a);
       have_job_id = true;
@@ -476,11 +524,17 @@ int main(int argc, char** argv) {
       if (socket_path.empty()) return usage();
       sopt.socket_path = socket_path;
       sopt.worker_binary = self_binary(argv[0]);
+      // The spool defaults on (WORK_DIR/spool); --no-spool wins over an
+      // explicit --spool-dir so wrapper scripts can force it off.
+      if (sopt.spool_dir.empty()) sopt.spool_dir = sopt.work_dir + "/spool";
+      if (no_spool) sopt.spool_dir.clear();
       return run_serve(sopt);
     }
     if (command == "submit") {
       if (socket_path.empty() || spec.design_path.empty()) return usage();
-      return serve::submit_job(socket_path, spec, out_path, quiet);
+      subopt.out_path = out_path;
+      subopt.quiet = quiet;
+      return serve::submit_job(socket_path, spec, subopt);
     }
     if (command == "watch") {
       if (socket_path.empty() || !have_job_id || watch_job_id == 0) return usage();
